@@ -1,0 +1,92 @@
+//! E4 — §2 claim: tiling-based FoV-guided streaming saves 45–80 % of
+//! bandwidth vs FoV-agnostic delivery (at matched quality).
+//!
+//! "Prior studies demonstrated via trace-driven simulations that tiling
+//! provides significant bandwidth saving (typically 45% [16] and 60% to
+//! 80% [37]) compared to the FoV-agnostic approach."
+
+use sperke_bench::{cols, header, note, row};
+use sperke_hmp::{AttentionModel, Behavior, FusedForecaster, TraceGenerator, ViewingContext};
+use sperke_net::{BandwidthTrace, PathModel, PathQueue, SinglePath};
+use sperke_player::{run_session, PlannerKind, PlayerConfig};
+use sperke_sim::{SimDuration, SimRng};
+use sperke_video::{Quality, VideoModelBuilder};
+use sperke_vra::{FixedQuality, OosConfig, SperkeConfig};
+
+fn main() {
+    header("E4 / §2 claim", "bandwidth savings of tiling vs FoV-agnostic (matched quality)");
+    cols(
+        "grid / oos margin",
+        &["guidedMB", "agnosMB", "saving%", "blank%"],
+    );
+
+    let mut shape_ok = true;
+    // (rows, cols, oos min-probability, prefetch-depth seconds, label)
+    for &(rows, cols_, min_prob, depth_s, label) in &[
+        (4u16, 6u16, 0.20, 2u64, "4x6 / 2s horizon"),
+        (4, 6, 0.20, 1, "4x6 / 1s horizon"),
+        (6, 12, 0.20, 1, "6x12 / 1s horizon"),
+        (6, 12, 0.35, 1, "6x12 / 1s, slim oos"),
+        (2, 4, 0.20, 2, "2x4 / 2s horizon"),
+    ] {
+        let video = VideoModelBuilder::new(31)
+            .duration(SimDuration::from_secs(45))
+            .grid(sperke_geo::TileGrid::new(rows, cols_))
+            .build();
+        let trace = TraceGenerator::new(
+            AttentionModel::generic(4),
+            Behavior::Focused,
+            ViewingContext::default(),
+        )
+        .generate(SimDuration::from_secs(50), 8);
+        let paths = || {
+            vec![PathQueue::new(
+                PathModel::new(
+                    "lab",
+                    BandwidthTrace::constant(60e6),
+                    SimDuration::from_millis(20),
+                    0.0,
+                ),
+                SimRng::new(1),
+            )]
+        };
+        let run = |planner: PlannerKind| {
+            run_session(
+                &video,
+                &trace,
+                paths(),
+                SinglePath(0),
+                FixedQuality(Quality(2)),
+                &FusedForecaster::motion_only(),
+                &PlayerConfig {
+                    planner,
+                    max_buffer: SimDuration::from_secs(depth_s),
+                    ..Default::default()
+                },
+            )
+        };
+        let guided = run(PlannerKind::Sperke(SperkeConfig {
+            oos: OosConfig { min_probability: min_prob, ..Default::default() },
+            ..Default::default()
+        }));
+        let agnostic = run(PlannerKind::FovAgnostic);
+        let saving = 100.0
+            * (1.0 - guided.qoe.bytes_fetched as f64 / agnostic.qoe.bytes_fetched as f64);
+        row(
+            label,
+            &[
+                guided.qoe.bytes_fetched as f64 / 1e6,
+                agnostic.qoe.bytes_fetched as f64 / 1e6,
+                saving,
+                guided.qoe.mean_blank_fraction * 100.0,
+            ],
+        );
+        if saving < 20.0 {
+            shape_ok = false;
+        }
+    }
+    note("paper cites 45% [16] and 60-80% [37]; savings grow with finer grids and");
+    note("slimmer OOS margins, trading blank-screen risk (blank%).");
+    println!("shape check: {}", if shape_ok { "PASS" } else { "FAIL" });
+    assert!(shape_ok);
+}

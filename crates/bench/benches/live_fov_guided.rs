@@ -1,0 +1,83 @@
+//! §3.4.2 integration — FoV-guided delivery for live viewers: bandwidth
+//! saved at matched viewport quality, with and without the crowd prior,
+//! across fetch leads (buffer depths).
+
+use sperke_bench::{cols, header, note, row};
+use sperke_geo::TileGrid;
+use sperke_hmp::{generate_ensemble, AttentionModel};
+use sperke_live::{run_fov_live, CrowdAggregator, FovLiveConfig, LiveViewer};
+use sperke_sim::{replicate, SimDuration};
+use sperke_video::VideoModelBuilder;
+
+fn run_one(seed: u64, lead_s: u64, use_crowd: bool) -> sperke_live::FovLiveReport {
+    let video = VideoModelBuilder::new(seed)
+        .duration(SimDuration::from_secs(30))
+        .grid(TileGrid::new(4, 6))
+        .build();
+    let att = AttentionModel::sports(seed);
+    let traces = generate_ensemble(&att, 9, SimDuration::from_secs(35), seed);
+    let mut it = traces.into_iter();
+    let lows: Vec<LiveViewer> = (0..8)
+        .map(|i| LiveViewer {
+            trace: it.next().expect("traces"),
+            latency: SimDuration::from_secs(8 + i % 3),
+        })
+        .collect();
+    let high = LiveViewer {
+        trace: it.next().expect("one more"),
+        latency: SimDuration::from_secs(30),
+    };
+    let mut crowd = CrowdAggregator::new(*video.grid(), video.chunk_duration());
+    if use_crowd {
+        for v in &lows {
+            crowd.ingest(v, video.chunk_count());
+        }
+    }
+    run_fov_live(
+        &video,
+        &high,
+        &crowd,
+        &FovLiveConfig { fetch_lead: SimDuration::from_secs(lead_s), ..Default::default() },
+    )
+}
+
+fn main() {
+    header("§3.4.2 integration", "FoV-guided live viewing with crowd-sourced HMP");
+    let seeds = [5u64, 11, 23, 31];
+    cols(
+        "fetch lead / prior",
+        &["saving%", "blank%", "vpUtil"],
+    );
+    let mut crowd_blank_by_lead = Vec::new();
+    let mut motion_blank_by_lead = Vec::new();
+    for &lead in &[1u64, 2, 4, 6] {
+        for use_crowd in [false, true] {
+            let saving = replicate(&seeds, |s| run_one(s, lead, use_crowd).savings * 100.0);
+            let blank = replicate(&seeds, |s| run_one(s, lead, use_crowd).blank_fraction * 100.0);
+            let util = replicate(&seeds, |s| run_one(s, lead, use_crowd).mean_viewport_utility);
+            row(
+                &format!("{lead}s / {}", if use_crowd { "crowd" } else { "motion" }),
+                &[saving.mean, blank.mean, util.mean],
+            );
+            if use_crowd {
+                crowd_blank_by_lead.push(blank.mean);
+            } else {
+                motion_blank_by_lead.push(blank.mean);
+            }
+        }
+    }
+    note("savings = bytes vs a panorama delivery at the same viewport quality;");
+    note("at deep buffers (long leads) motion-only prediction decays while the");
+    note("crowd already watched the content — its prior holds the line.");
+
+    // Shape: savings are real everywhere, and at the longest lead the
+    // crowd prior must not blank more than motion-only.
+    let last = crowd_blank_by_lead.len() - 1;
+    assert!(
+        crowd_blank_by_lead[last] <= motion_blank_by_lead[last] + 2.0,
+        "crowd {:.1}% vs motion {:.1}% at longest lead",
+        crowd_blank_by_lead[last],
+        motion_blank_by_lead[last]
+    );
+    println!("shape check: PASS");
+}

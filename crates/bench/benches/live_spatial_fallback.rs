@@ -1,0 +1,66 @@
+//! E7 — §3.4.2: spatial fall-back for live upload vs quality-only
+//! adaptation, across uplink budgets and content types.
+
+use sperke_bench::{cols, header, note, row};
+use sperke_hmp::{generate_ensemble, AttentionModel};
+use sperke_live::{plan_upload, viewer_experience, InterestProfile, UploadStrategy};
+use sperke_sim::{SimDuration, SimTime};
+
+fn main() {
+    header("E7 / §3.4.2", "spatial fall-back vs quality-only live upload adaptation");
+    let full_rate = 4e6;
+    let min_span = 60f64.to_radians();
+    let duration = SimDuration::from_secs(25);
+
+    for (content, att) in [
+        ("stage (concentrated)", AttentionModel::stage(3)),
+        ("sports (moving focus)", AttentionModel::sports(3)),
+        ("generic (mixed)", AttentionModel::generic(3)),
+    ] {
+        println!();
+        note(content);
+        cols(
+            "uplink budget",
+            &["qOnly", "spatial", "spanDeg", "cover%"],
+        );
+        let traces = generate_ensemble(&att, 10, duration, 19);
+        let interest = InterestProfile::from_traces(&traces, SimTime::from_secs(10));
+        for &frac in &[1.0f64, 0.6, 0.4, 0.25] {
+            let available = full_rate * frac;
+            let q = plan_upload(UploadStrategy::QualityOnly, full_rate, available, &interest, min_span);
+            let s = plan_upload(
+                UploadStrategy::SpatialFallback,
+                full_rate,
+                available,
+                &interest,
+                min_span,
+            );
+            let qe = viewer_experience(&q, &traces, duration);
+            let se = viewer_experience(&s, &traces, duration);
+            row(
+                &format!("{:.0}% of full rate", frac * 100.0),
+                &[
+                    qe.mean_quality,
+                    se.mean_quality,
+                    s.horizon.span.to_degrees(),
+                    se.gaze_coverage * 100.0,
+                ],
+            );
+        }
+    }
+    note("expected: for concentrated content (stage/sports), spatial fall-back");
+    note("delivers higher in-gaze quality than uniformly degrading the panorama;");
+    note("for scattered interest the advantage shrinks or reverses.");
+
+    // Shape check on the stage case at 40%.
+    let att = AttentionModel::stage(3);
+    let traces = generate_ensemble(&att, 10, duration, 19);
+    let interest = InterestProfile::from_traces(&traces, SimTime::from_secs(10));
+    let q = plan_upload(UploadStrategy::QualityOnly, full_rate, full_rate * 0.4, &interest, min_span);
+    let s = plan_upload(UploadStrategy::SpatialFallback, full_rate, full_rate * 0.4, &interest, min_span);
+    assert!(
+        viewer_experience(&s, &traces, duration).mean_quality
+            > viewer_experience(&q, &traces, duration).mean_quality
+    );
+    println!("shape check: PASS");
+}

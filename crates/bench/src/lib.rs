@@ -1,0 +1,34 @@
+//! Shared helpers for the Sperke benchmark harness.
+//!
+//! Every bench target regenerates one table/figure/claim of the paper
+//! and prints a paper-vs-measured comparison. Output format is uniform
+//! so `bench_output.txt` reads as a report.
+
+/// Print a bench header.
+pub fn header(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title} ===");
+}
+
+/// Print a labelled row of f64 columns.
+pub fn row(label: &str, values: &[f64]) {
+    print!("{label:<34}");
+    for v in values {
+        print!(" {v:>9.2}");
+    }
+    println!();
+}
+
+/// Print a column-title row.
+pub fn cols(label: &str, names: &[&str]) {
+    print!("{label:<34}");
+    for n in names {
+        print!(" {n:>9}");
+    }
+    println!();
+}
+
+/// Print a note line.
+pub fn note(text: &str) {
+    println!("  {text}");
+}

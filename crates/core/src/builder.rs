@@ -1,0 +1,392 @@
+//! The high-level session builder: one fluent entry point that wires a
+//! video, a viewer, a network and the Sperke algorithms into a runnable
+//! streaming experiment.
+
+use sperke_hmp::{
+    generate_ensemble, AttentionModel, Behavior, FusedForecaster, HeadTrace, Heatmap,
+    OracleForecaster, TraceGenerator, ViewingContext,
+};
+use sperke_net::{
+    BandwidthTrace, ContentAware, EarliestCompletion, MinRtt, PathModel, PathQueue, SinglePath,
+};
+use sperke_player::{run_session, PlannerKind, PlayerConfig, SessionResult};
+use sperke_sim::{SimDuration, SimRng};
+use sperke_video::{Ladder, VideoModel, VideoModelBuilder};
+use sperke_vra::{BufferBased, Mpc, RateBased, SperkeConfig};
+
+/// Which inner ABR drives the super-chunk quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbrChoice {
+    /// FESTIVE-style throughput-based (§3.1.2 \[29\]).
+    RateBased,
+    /// BBA-style buffer-based (§3.1.2 \[28\]).
+    BufferBased,
+    /// MPC-style control-theoretic (§3.1.2 \[44\]).
+    Mpc,
+}
+
+/// Which multipath scheduler moves chunks (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerChoice {
+    /// Only the first path is used.
+    SinglePath,
+    /// MPTCP's content-agnostic minRTT.
+    MinRtt,
+    /// Content-agnostic earliest-completion splitting.
+    EarliestCompletion,
+    /// The paper's priority-driven content-aware scheduler.
+    ContentAware,
+}
+
+/// A declarative description of one streaming experiment.
+#[derive(Debug, Clone)]
+pub struct Sperke {
+    seed: u64,
+    duration: SimDuration,
+    ladder: Ladder,
+    grid: (u16, u16),
+    attention: AttentionModel,
+    behavior: Behavior,
+    context: ViewingContext,
+    paths: Vec<PathModel>,
+    scheduler: SchedulerChoice,
+    abr: AbrChoice,
+    player: PlayerConfig,
+    crowd_users: usize,
+    use_speed_bound: bool,
+    svc_overhead: f64,
+    chunk_duration: SimDuration,
+    oracle_hmp: bool,
+}
+
+impl Sperke {
+    /// Start from sensible defaults: a 60 s generic video on a 4×6 grid,
+    /// one focused viewer, a single 25 Mbps WiFi path, the full Sperke
+    /// planner with a rate-based inner ABR.
+    pub fn builder(seed: u64) -> Sperke {
+        Sperke {
+            seed,
+            duration: SimDuration::from_secs(60),
+            ladder: Ladder::vod_default(),
+            grid: (4, 6),
+            attention: AttentionModel::generic(seed),
+            behavior: Behavior::Focused,
+            context: ViewingContext::default(),
+            paths: vec![PathModel::wifi()],
+            scheduler: SchedulerChoice::SinglePath,
+            abr: AbrChoice::RateBased,
+            player: PlayerConfig::default(),
+            crowd_users: 0,
+            use_speed_bound: false,
+            svc_overhead: 0.10,
+            chunk_duration: SimDuration::from_secs(1),
+            oracle_hmp: false,
+        }
+    }
+
+    /// Video duration.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Bitrate ladder.
+    pub fn ladder(mut self, ladder: Ladder) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Tile grid dimensions.
+    pub fn grid(mut self, rows: u16, cols: u16) -> Self {
+        self.grid = (rows, cols);
+        self
+    }
+
+    /// The video's attention structure (hotspots).
+    pub fn attention(mut self, attention: AttentionModel) -> Self {
+        self.attention = attention;
+        self
+    }
+
+    /// The viewer's behaviour class.
+    pub fn behavior(mut self, behavior: Behavior) -> Self {
+        self.behavior = behavior;
+        self
+    }
+
+    /// The viewing context (pose, mode, mobility).
+    pub fn context(mut self, context: ViewingContext) -> Self {
+        self.context = context;
+        self
+    }
+
+    /// Replace the network paths.
+    pub fn paths(mut self, paths: Vec<PathModel>) -> Self {
+        assert!(!paths.is_empty(), "need at least one path");
+        self.paths = paths;
+        self
+    }
+
+    /// Convenience: a single constant-rate path.
+    pub fn single_link(mut self, bps: f64) -> Self {
+        self.paths = vec![PathModel::new(
+            "link",
+            BandwidthTrace::constant(bps),
+            SimDuration::from_millis(20),
+            0.0,
+        )];
+        self
+    }
+
+    /// Convenience: the WiFi + LTE dual-path setup of §3.3.
+    pub fn wifi_plus_lte(mut self) -> Self {
+        self.paths = vec![PathModel::wifi(), PathModel::lte()];
+        self
+    }
+
+    /// Multipath scheduler.
+    pub fn scheduler(mut self, scheduler: SchedulerChoice) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Inner ABR algorithm.
+    pub fn abr(mut self, abr: AbrChoice) -> Self {
+        self.abr = abr;
+        self
+    }
+
+    /// Player configuration (planner, upgrades, weights...).
+    pub fn player(mut self, player: PlayerConfig) -> Self {
+        self.player = player;
+        self
+    }
+
+    /// Use the FoV-agnostic baseline planner.
+    pub fn fov_agnostic(mut self) -> Self {
+        self.player.planner = PlannerKind::FovAgnostic;
+        self
+    }
+
+    /// Use the Sperke planner with an explicit configuration.
+    pub fn sperke_planner(mut self, config: SperkeConfig) -> Self {
+        self.player.planner = PlannerKind::Sperke(config);
+        self
+    }
+
+    /// Set the chunk duration (the paper's "one or two seconds").
+    pub fn chunk_duration(mut self, d: SimDuration) -> Self {
+        assert!(!d.is_zero());
+        self.chunk_duration = d;
+        self
+    }
+
+    /// Set the SVC layering overhead of the video's scalable encoding.
+    pub fn svc_overhead(mut self, overhead: f64) -> Self {
+        assert!(overhead >= 0.0);
+        self.svc_overhead = overhead;
+        self
+    }
+
+    /// Replace prediction with a perfect-HMP oracle (§3.1.2 part one:
+    /// "let us assume that the HMP is perfect") — the upper bound every
+    /// real predictor is judged against.
+    pub fn with_oracle_hmp(mut self) -> Self {
+        self.oracle_hmp = true;
+        self
+    }
+
+    /// Enable the §3.2 cross-user popularity prior, built from an
+    /// ensemble of `users` synthetic viewers of the same video.
+    pub fn with_crowd(mut self, users: usize) -> Self {
+        self.crowd_users = users;
+        self
+    }
+
+    /// Enable the §3.2 per-user speed bound, learned from the viewer's
+    /// own (synthetic) viewing history.
+    pub fn with_speed_bound(mut self) -> Self {
+        self.use_speed_bound = true;
+        self
+    }
+
+    /// Materialize the video model this experiment streams.
+    pub fn build_video(&self) -> VideoModel {
+        VideoModelBuilder::new(self.seed)
+            .duration(self.duration)
+            .ladder(self.ladder.clone())
+            .grid(sperke_geo::TileGrid::new(self.grid.0, self.grid.1))
+            .svc_overhead(self.svc_overhead)
+            .chunk_duration(self.chunk_duration)
+            .build()
+    }
+
+    /// Materialize the viewer's head trace.
+    pub fn build_trace(&self) -> HeadTrace {
+        TraceGenerator::new(self.attention.clone(), self.behavior, self.context)
+            .generate(self.duration + SimDuration::from_secs(5), self.seed ^ 0x7ACE)
+    }
+
+    /// Materialize the HMP forecaster (with crowd prior / speed bound /
+    /// context as configured).
+    pub fn build_forecaster(&self) -> FusedForecaster {
+        let video = self.build_video();
+        let mut forecaster = FusedForecaster::motion_only();
+        forecaster.context = self.context;
+        if self.crowd_users > 0 {
+            let traces = generate_ensemble(
+                &self.attention,
+                self.crowd_users,
+                self.duration,
+                self.seed ^ 0xC40D,
+            );
+            let map = Heatmap::build(
+                *video.grid(),
+                video.chunk_duration(),
+                video.chunk_count(),
+                &traces,
+            );
+            forecaster = forecaster.with_heatmap(map);
+        }
+        if self.use_speed_bound {
+            // Learn the bound from a prior session of the same viewer.
+            let past = TraceGenerator::new(self.attention.clone(), self.behavior, self.context)
+                .generate(SimDuration::from_secs(60), self.seed ^ 0x5EED);
+            let bound = past.speed_percentile(95.0).max(0.1);
+            forecaster = forecaster.with_speed_bound(bound);
+        }
+        forecaster
+    }
+
+    /// Run the experiment.
+    pub fn run(&self) -> SessionResult {
+        let video = self.build_video();
+        let trace = self.build_trace();
+        let rng = SimRng::new(self.seed ^ 0xBEEF);
+        let paths: Vec<PathQueue> = self
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathQueue::new(p.clone(), rng.split(i as u64)))
+            .collect();
+
+        macro_rules! go {
+            ($abr:expr, $sched:expr, $forecaster:expr) => {
+                run_session(&video, &trace, paths, $sched, $abr, $forecaster, &self.player)
+            };
+        }
+        macro_rules! with_abr {
+            ($sched:expr, $forecaster:expr) => {
+                match self.abr {
+                    AbrChoice::RateBased => go!(RateBased::default(), $sched, $forecaster),
+                    AbrChoice::BufferBased => go!(BufferBased::default(), $sched, $forecaster),
+                    AbrChoice::Mpc => go!(Mpc::default(), $sched, $forecaster),
+                }
+            };
+        }
+        macro_rules! with_sched {
+            ($forecaster:expr) => {
+                match self.scheduler {
+                    SchedulerChoice::SinglePath => with_abr!(SinglePath(0), $forecaster),
+                    SchedulerChoice::MinRtt => with_abr!(MinRtt, $forecaster),
+                    SchedulerChoice::EarliestCompletion => {
+                        with_abr!(EarliestCompletion, $forecaster)
+                    }
+                    SchedulerChoice::ContentAware => with_abr!(ContentAware, $forecaster),
+                }
+            };
+        }
+        if self.oracle_hmp {
+            let oracle = OracleForecaster::new(trace.clone());
+            with_sched!(&oracle)
+        } else {
+            let forecaster = self.build_forecaster();
+            with_sched!(&forecaster)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_runs_cleanly() {
+        let result = Sperke::builder(7)
+            .duration(SimDuration::from_secs(10))
+            .run();
+        assert_eq!(result.qoe.chunks, 10);
+        assert!(result.qoe.bytes_fetched > 0);
+    }
+
+    #[test]
+    fn builder_is_deterministic() {
+        let mk = || {
+            Sperke::builder(3)
+                .duration(SimDuration::from_secs(8))
+                .single_link(15e6)
+                .run()
+        };
+        assert_eq!(mk().qoe, mk().qoe);
+    }
+
+    #[test]
+    fn fov_agnostic_fetches_more() {
+        let base = Sperke::builder(5)
+            .duration(SimDuration::from_secs(10))
+            .single_link(40e6);
+        let guided = base.clone().run();
+        let agnostic = base.fov_agnostic().run();
+        assert!(agnostic.qoe.bytes_fetched > guided.qoe.bytes_fetched);
+    }
+
+    #[test]
+    fn multipath_uses_both_paths() {
+        let r = Sperke::builder(9)
+            .duration(SimDuration::from_secs(10))
+            .wifi_plus_lte()
+            .scheduler(SchedulerChoice::ContentAware)
+            .run();
+        assert_eq!(r.path_bytes.len(), 2);
+        assert!(r.path_bytes[0] > 0);
+        assert_eq!(r.scheduler, "content-aware");
+    }
+
+    #[test]
+    fn all_abr_choices_run() {
+        for abr in [AbrChoice::RateBased, AbrChoice::BufferBased, AbrChoice::Mpc] {
+            let r = Sperke::builder(11)
+                .duration(SimDuration::from_secs(6))
+                .abr(abr)
+                .run();
+            assert_eq!(r.qoe.chunks, 6);
+        }
+    }
+
+    #[test]
+    fn oracle_hmp_is_an_upper_bound() {
+        let base = Sperke::builder(19)
+            .duration(SimDuration::from_secs(15))
+            .behavior(Behavior::Explorer)
+            .single_link(25e6);
+        let real = base.clone().run();
+        let oracle = base.with_oracle_hmp().run();
+        assert!(
+            oracle.qoe.mean_blank_fraction <= real.qoe.mean_blank_fraction + 1e-9,
+            "oracle blanks ({:.3}) must not exceed real HMP ({:.3})",
+            oracle.qoe.mean_blank_fraction,
+            real.qoe.mean_blank_fraction
+        );
+        assert!(oracle.qoe.mean_blank_fraction < 0.02, "perfect HMP ~never blanks");
+    }
+
+    #[test]
+    fn crowd_and_speed_bound_compose() {
+        let r = Sperke::builder(13)
+            .duration(SimDuration::from_secs(8))
+            .with_crowd(6)
+            .with_speed_bound()
+            .run();
+        assert_eq!(r.qoe.chunks, 8);
+    }
+}

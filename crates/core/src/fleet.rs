@@ -1,0 +1,371 @@
+//! Multi-viewer fleet simulation: the server side of FoV-guided
+//! streaming at scale.
+//!
+//! §2's bandwidth-saving numbers are per-viewer; what a CDN operator
+//! cares about is aggregate egress when *hundreds* of viewers share an
+//! origin. This module runs N viewers concurrently against one server
+//! whose egress is a shared, priority-multiplexed link
+//! (`MuxLink`), using the discrete-event kernel
+//! ([`Simulation`]/[`World`]) to interleave every viewer's decide and
+//! display points in exact time order.
+
+use serde::{Deserialize, Serialize};
+use sperke_geo::Viewport;
+use sperke_hmp::{generate_ensemble, AttentionModel, FusedForecaster, HeadTrace};
+use sperke_net::{ChunkPriority, MuxLink, SpatialPriority, StreamId, TemporalPriority};
+use sperke_sim::{RunOutcome, Scheduler, SimDuration, SimTime, Simulation, World};
+use sperke_video::{CellId, ChunkId, ChunkTime, Quality, Scheme, VideoModel};
+use sperke_vra::select_stochastic;
+use std::collections::HashMap;
+
+/// Fleet experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of concurrent viewers.
+    pub viewers: usize,
+    /// Server egress capacity, bits/second (the shared bottleneck).
+    pub egress_bps: f64,
+    /// Per-viewer fetch lead before a chunk's display.
+    pub fetch_lead: SimDuration,
+    /// Per-viewer downlink budget used by the planner, bits/second.
+    pub per_viewer_budget_bps: f64,
+    /// FoV-guided (`true`) or full-panorama delivery (`false`).
+    pub fov_guided: bool,
+    /// Seed for viewer behaviour.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            viewers: 20,
+            egress_bps: 200e6,
+            fetch_lead: SimDuration::from_secs(2),
+            per_viewer_budget_bps: 10e6,
+            fov_guided: true,
+            seed: 7,
+        }
+    }
+}
+
+/// Aggregate outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Viewers served.
+    pub viewers: usize,
+    /// Total bytes leaving the server.
+    pub egress_bytes: u64,
+    /// Mean egress rate over the session, bits/second.
+    pub egress_bps: f64,
+    /// Mean viewport utility across viewers and chunks.
+    pub mean_viewport_utility: f64,
+    /// Mean blank fraction across viewers and chunks.
+    pub mean_blank_fraction: f64,
+    /// Fraction of planned tile-streams that missed their display time
+    /// (egress congestion).
+    pub late_stream_fraction: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FleetEvent {
+    /// Viewer `v` plans and submits chunk `c`'s fetches.
+    Decide { viewer: usize, chunk: u32 },
+    /// Viewer `v` displays chunk `c`.
+    Display { viewer: usize, chunk: u32 },
+}
+
+struct FleetWorld<'a> {
+    video: &'a VideoModel,
+    traces: &'a [HeadTrace],
+    config: FleetConfig,
+    egress: MuxLink,
+    /// In-flight streams → (viewer, cell, quality).
+    pending: HashMap<StreamId, (usize, CellId, Quality)>,
+    /// Delivered cells per viewer.
+    buffers: Vec<HashMap<CellId, Quality>>,
+    /// Viewer playback offsets (staggered joins).
+    start_offset: Vec<SimDuration>,
+    // Accounting.
+    egress_bytes: u64,
+    utility_acc: f64,
+    blank_acc: f64,
+    displays: u32,
+    streams_total: u32,
+    streams_late: u32,
+}
+
+impl FleetWorld<'_> {
+    /// Pull completed streams out of the egress link into buffers.
+    fn drain_egress(&mut self, now: SimTime) {
+        for done in self.egress.run_until(now) {
+            if let Some((viewer, cell, q)) = self.pending.remove(&done.id) {
+                self.buffers[viewer].insert(cell, q);
+                self.egress_bytes += done.bytes;
+            }
+        }
+    }
+
+    fn display_wall(&self, viewer: usize, chunk: u32) -> SimTime {
+        SimTime::ZERO
+            + self.start_offset[viewer]
+            + self.video.chunk_duration() * (chunk + 1) as u64
+    }
+}
+
+impl World<FleetEvent> for FleetWorld<'_> {
+    fn handle(&mut self, event: FleetEvent, sched: &mut Scheduler<'_, FleetEvent>) {
+        let now = sched.now();
+        self.drain_egress(now);
+        match event {
+            FleetEvent::Decide { viewer, chunk } => {
+                let t = ChunkTime(chunk);
+                let video_time = SimTime::ZERO + self.video.chunk_duration() * chunk as u64;
+                // The viewer's own playback position at decide time.
+                let own_now = SimTime::from_nanos(
+                    now.as_nanos()
+                        .saturating_sub(self.start_offset[viewer].as_nanos()),
+                );
+                let trace = &self.traces[viewer];
+                let budget = (self.config.per_viewer_budget_bps
+                    * self.video.chunk_duration().as_secs_f64()
+                    / 8.0) as u64;
+                let selections: Vec<(sperke_geo::TileId, Quality, f64)> = if self.config.fov_guided
+                {
+                    let history = trace.history(own_now, 50);
+                    let forecast = FusedForecaster::motion_only().forecast(
+                        self.video.grid(),
+                        &history,
+                        own_now,
+                        video_time,
+                        t,
+                    );
+                    select_stochastic(self.video, &forecast, t, budget, Scheme::Avc, 0.05)
+                        .into_iter()
+                        .map(|c| (c.tile, c.quality, forecast.prob(c.tile)))
+                        .collect()
+                } else {
+                    // FoV-agnostic: the whole panorama at the best
+                    // quality the budget affords.
+                    let mut q = Quality::LOWEST;
+                    for cand in self.video.ladder().qualities() {
+                        if self.video.panorama_bytes(cand, t, Scheme::Avc) <= budget {
+                            q = cand;
+                        }
+                    }
+                    self.video.grid().tiles().map(|tile| (tile, q, 1.0)).collect()
+                };
+                for (tile, q, p) in selections {
+                    let bytes = self.video.avc_bytes(ChunkId::new(q, tile, t));
+                    let priority = ChunkPriority {
+                        spatial: if p >= 0.75 {
+                            SpatialPriority::Fov
+                        } else {
+                            SpatialPriority::Oos
+                        },
+                        temporal: TemporalPriority::Regular,
+                    };
+                    let id = self.egress.submit(bytes, now, priority);
+                    self.pending.insert(id, (viewer, CellId::new(tile, t), q));
+                    self.streams_total += 1;
+                }
+            }
+            FleetEvent::Display { viewer, chunk } => {
+                let t = ChunkTime(chunk);
+                // Streams for this chunk still pending are late.
+                let late = self
+                    .pending
+                    .values()
+                    .filter(|&&(v, cell, _)| v == viewer && cell.time == t)
+                    .count();
+                self.streams_late += late as u32;
+
+                let video_time = SimTime::ZERO
+                    + self.video.chunk_duration() * chunk as u64
+                    + self.video.chunk_duration() / 2;
+                let gaze = self.traces[viewer].at(video_time);
+                let visible =
+                    Viewport::headset(gaze).visible_tiles(self.video.grid(), 12);
+                let mut util = 0.0;
+                let mut blank = 0.0;
+                for &(tile, coverage) in &visible {
+                    match self.buffers[viewer].get(&CellId::new(tile, t)) {
+                        Some(&q) => util += coverage * self.video.ladder().utility(q),
+                        None => blank += coverage,
+                    }
+                }
+                self.utility_acc += util;
+                self.blank_acc += blank;
+                self.displays += 1;
+            }
+        }
+    }
+}
+
+/// Run the fleet experiment.
+pub fn run_fleet(video: &VideoModel, config: &FleetConfig) -> FleetReport {
+    assert!(config.viewers > 0);
+    let attention = AttentionModel::generic(config.seed);
+    let traces = generate_ensemble(
+        &attention,
+        config.viewers,
+        video.duration() + SimDuration::from_secs(5),
+        config.seed,
+    );
+
+    let mut world = FleetWorld {
+        video,
+        traces: &traces,
+        config: *config,
+        egress: MuxLink::new(config.egress_bps),
+        pending: HashMap::new(),
+        buffers: vec![HashMap::new(); config.viewers],
+        start_offset: (0..config.viewers)
+            .map(|v| SimDuration::from_millis(137 * v as u64))
+            .collect(),
+        egress_bytes: 0,
+        utility_acc: 0.0,
+        blank_acc: 0.0,
+        displays: 0,
+        streams_total: 0,
+        streams_late: 0,
+    };
+
+    let mut sim = Simulation::new();
+    let chunks = video.chunk_count();
+    for v in 0..config.viewers {
+        for c in 0..chunks {
+            let display = world.display_wall(v, c);
+            let decide = SimTime::from_nanos(
+                display
+                    .as_nanos()
+                    .saturating_sub(config.fetch_lead.as_nanos()),
+            );
+            sim.schedule(decide, FleetEvent::Decide { viewer: v, chunk: c });
+            sim.schedule(display, FleetEvent::Display { viewer: v, chunk: c });
+        }
+    }
+    let horizon = SimTime::ZERO
+        + video.duration()
+        + SimDuration::from_secs(30)
+        + SimDuration::from_millis(137 * config.viewers as u64);
+    let outcome = sim.run(&mut world, horizon);
+    debug_assert_ne!(outcome, RunOutcome::BudgetExhausted);
+
+    let session_secs = (video.duration()
+        + SimDuration::from_millis(137 * config.viewers as u64))
+    .as_secs_f64();
+    let n = world.displays.max(1) as f64;
+    FleetReport {
+        viewers: config.viewers,
+        egress_bytes: world.egress_bytes,
+        egress_bps: world.egress_bytes as f64 * 8.0 / session_secs,
+        mean_viewport_utility: world.utility_acc / n,
+        mean_blank_fraction: world.blank_acc / n,
+        late_stream_fraction: if world.streams_total == 0 {
+            0.0
+        } else {
+            world.streams_late as f64 / world.streams_total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sperke_video::VideoModelBuilder;
+
+    fn video() -> VideoModel {
+        VideoModelBuilder::new(3)
+            .duration(SimDuration::from_secs(15))
+            .build()
+    }
+
+    #[test]
+    fn fov_guided_fleet_cuts_egress_at_matched_quality() {
+        let v = video();
+        // The agnostic fleet gets a budget that affords the full
+        // panorama at Q2 (16 Mbps); the guided fleet delivers at least
+        // that viewport quality from a 10 Mbps budget.
+        let guided = run_fleet(
+            &v,
+            &FleetConfig {
+                viewers: 10,
+                egress_bps: 500e6,
+                per_viewer_budget_bps: 10e6,
+                fov_guided: true,
+                ..Default::default()
+            },
+        );
+        let agnostic = run_fleet(
+            &v,
+            &FleetConfig {
+                viewers: 10,
+                egress_bps: 500e6,
+                per_viewer_budget_bps: 18e6,
+                fov_guided: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            guided.mean_viewport_utility >= agnostic.mean_viewport_utility - 0.15,
+            "guided {:.2} must match agnostic {:.2}",
+            guided.mean_viewport_utility,
+            agnostic.mean_viewport_utility
+        );
+        assert!(
+            (guided.egress_bytes as f64) < 0.75 * agnostic.egress_bytes as f64,
+            "guided {} vs agnostic {}",
+            guided.egress_bytes,
+            agnostic.egress_bytes
+        );
+    }
+
+    #[test]
+    fn constrained_egress_makes_streams_late() {
+        let v = video();
+        let ample = run_fleet(
+            &v,
+            &FleetConfig { viewers: 12, egress_bps: 500e6, ..Default::default() },
+        );
+        let tight = run_fleet(
+            &v,
+            &FleetConfig { viewers: 12, egress_bps: 25e6, ..Default::default() },
+        );
+        assert!(tight.late_stream_fraction > ample.late_stream_fraction);
+        assert!(tight.mean_blank_fraction > ample.mean_blank_fraction);
+    }
+
+    #[test]
+    fn guided_fleet_survives_congestion_better() {
+        // At an egress that chokes full-panorama delivery, FoV-guided
+        // viewers still see most of their viewport.
+        let v = video();
+        let cfg = FleetConfig { viewers: 15, egress_bps: 60e6, ..Default::default() };
+        let guided = run_fleet(&v, &FleetConfig { fov_guided: true, ..cfg });
+        let agnostic = run_fleet(&v, &FleetConfig { fov_guided: false, ..cfg });
+        assert!(
+            guided.mean_blank_fraction < agnostic.mean_blank_fraction + 0.05,
+            "guided {:.3} vs agnostic {:.3}",
+            guided.mean_blank_fraction,
+            agnostic.mean_blank_fraction
+        );
+        assert!(guided.mean_viewport_utility > agnostic.mean_viewport_utility);
+    }
+
+    #[test]
+    fn deterministic() {
+        let v = video();
+        let cfg = FleetConfig { viewers: 6, ..Default::default() };
+        assert_eq!(run_fleet(&v, &cfg), run_fleet(&v, &cfg));
+    }
+
+    #[test]
+    fn scales_with_viewer_count() {
+        let v = video();
+        let small = run_fleet(&v, &FleetConfig { viewers: 4, ..Default::default() });
+        let large = run_fleet(&v, &FleetConfig { viewers: 16, ..Default::default() });
+        assert!(large.egress_bytes > small.egress_bytes * 3);
+        assert_eq!(small.viewers, 4);
+        assert_eq!(large.viewers, 16);
+    }
+}

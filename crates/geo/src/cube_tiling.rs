@@ -1,0 +1,221 @@
+//! Cube-face tiling: an alternative spatial segmentation.
+//!
+//! Equirectangular tiling (the [`TileGrid`](crate::tiling::TileGrid)
+//! default) wastes resolution at the poles; §2's related work cites
+//! "novel tile segmentation scheme[s] for omnidirectional video" \[33\]
+//! that segment on cube faces instead, where every tile covers a
+//! comparable solid angle. [`CubeTileGrid`] splits each of the six cube
+//! faces into `k × k` tiles.
+
+use crate::projection::{CubeFace, CubeMap, Uv};
+use crate::tiling::TileId;
+use crate::vector::Vec3;
+use crate::viewport::Viewport;
+use serde::{Deserialize, Serialize};
+
+/// A `6 × k × k` tiling over the cube map.
+///
+/// Tiles are numbered face-major in [`CubeFace::ALL`] order, row-major
+/// within a face; ids are compatible with [`TileId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CubeTileGrid {
+    /// Tiles per face edge (`k`); a face holds `k²` tiles.
+    pub per_edge: u16,
+}
+
+impl CubeTileGrid {
+    /// Construct; panics on zero or on overflowing [`TileId`].
+    pub fn new(per_edge: u16) -> CubeTileGrid {
+        assert!(per_edge > 0, "need at least one tile per edge");
+        let total = 6u32 * per_edge as u32 * per_edge as u32;
+        assert!(total <= u16::MAX as u32 + 1, "too many tiles for TileId");
+        CubeTileGrid { per_edge }
+    }
+
+    /// Total number of tiles.
+    pub fn tile_count(&self) -> usize {
+        6 * self.per_edge as usize * self.per_edge as usize
+    }
+
+    /// All tile ids.
+    pub fn tiles(&self) -> impl Iterator<Item = TileId> {
+        (0..self.tile_count() as u16).map(TileId)
+    }
+
+    /// `(face, row, col)` of a tile id.
+    pub fn position(&self, id: TileId) -> (CubeFace, u16, u16) {
+        let k = self.per_edge as usize;
+        let idx = id.index();
+        assert!(idx < self.tile_count(), "tile id out of range");
+        let face = CubeFace::ALL[idx / (k * k)];
+        let within = idx % (k * k);
+        (face, (within / k) as u16, (within % k) as u16)
+    }
+
+    /// Tile id at `(face, row, col)`.
+    pub fn id_at(&self, face: CubeFace, row: u16, col: u16) -> TileId {
+        assert!(row < self.per_edge && col < self.per_edge);
+        let k = self.per_edge as usize;
+        let f = CubeFace::ALL.iter().position(|&g| g == face).expect("known face");
+        TileId((f * k * k + row as usize * k + col as usize) as u16)
+    }
+
+    /// The tile containing a world direction.
+    pub fn tile_of_direction(&self, dir: Vec3) -> TileId {
+        let (face, uv) = CubeMap::project(dir);
+        let k = self.per_edge as f64;
+        let col = ((uv.u.clamp(0.0, 1.0 - 1e-12)) * k) as u16;
+        let row = ((uv.v.clamp(0.0, 1.0 - 1e-12)) * k) as u16;
+        self.id_at(face, row.min(self.per_edge - 1), col.min(self.per_edge - 1))
+    }
+
+    /// The world direction at a tile's centre.
+    pub fn tile_center(&self, id: TileId) -> Vec3 {
+        let (face, row, col) = self.position(id);
+        let k = self.per_edge as f64;
+        CubeMap::unproject(
+            face,
+            Uv { u: (col as f64 + 0.5) / k, v: (row as f64 + 0.5) / k },
+        )
+    }
+
+    /// The solid angle of a tile, estimated by sampling `s × s` points
+    /// on the face square and accumulating their differential areas.
+    pub fn solid_angle(&self, id: TileId, s: usize) -> f64 {
+        assert!(s >= 2);
+        let (face, row, col) = self.position(id);
+        let k = self.per_edge as f64;
+        let mut total = 0.0;
+        let cell = 1.0 / (k * s as f64); // uv step within the tile
+        for iy in 0..s {
+            for ix in 0..s {
+                let u = (col as f64 + (ix as f64 + 0.5) / s as f64) / k;
+                let v = (row as f64 + (iy as f64 + 0.5) / s as f64) / k;
+                // dΩ for a cube-face patch: the face spans [-1,1]² on a
+                // plane at distance 1; dΩ = dA / r³ with r = |(x,y,1)|.
+                let x = u * 2.0 - 1.0;
+                let y = v * 2.0 - 1.0;
+                let r2 = x * x + y * y + 1.0;
+                let da = (2.0 * cell) * (2.0 * cell);
+                total += da / r2.powf(1.5);
+                let _ = face;
+            }
+        }
+        total
+    }
+
+    /// Which tiles a viewport sees, with screen-coverage fractions
+    /// (sampled ray grid; fractions sum to 1).
+    pub fn visible_tiles(&self, vp: &Viewport, samples: u32) -> Vec<(TileId, f64)> {
+        assert!(samples >= 2);
+        let mut counts = vec![0u32; self.tile_count()];
+        for iy in 0..samples {
+            for ix in 0..samples {
+                let sx = (ix as f64 + 0.5) / samples as f64 * 2.0 - 1.0;
+                let sy = (iy as f64 + 0.5) / samples as f64 * 2.0 - 1.0;
+                counts[self.tile_of_direction(vp.ray(sx, sy)).index()] += 1;
+            }
+        }
+        let total = (samples * samples) as f64;
+        let mut out: Vec<(TileId, f64)> = counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(i, c)| (TileId(i as u16), c as f64 / total))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The ratio of the largest to the smallest tile solid angle — the
+    /// uniformity advantage over equirect tiling (1 = perfectly even).
+    pub fn solid_angle_spread(&self, samples: usize) -> f64 {
+        let angles: Vec<f64> = self.tiles().map(|t| self.solid_angle(t, samples)).collect();
+        let max = angles.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = angles.iter().cloned().fold(f64::INFINITY, f64::min);
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orientation::Orientation;
+    use crate::tiling::TileGrid;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn counts_and_positions() {
+        let g = CubeTileGrid::new(2);
+        assert_eq!(g.tile_count(), 24);
+        let id = g.id_at(CubeFace::Left, 1, 0);
+        assert_eq!(g.position(id), (CubeFace::Left, 1, 0));
+    }
+
+    #[test]
+    fn direction_roundtrips_through_center() {
+        let g = CubeTileGrid::new(3);
+        for t in g.tiles() {
+            assert_eq!(g.tile_of_direction(g.tile_center(t)), t);
+        }
+    }
+
+    #[test]
+    fn solid_angles_sum_to_sphere() {
+        let g = CubeTileGrid::new(2);
+        let total: f64 = g.tiles().map(|t| g.solid_angle(t, 16)).sum();
+        assert!(
+            (total - 4.0 * PI).abs() / (4.0 * PI) < 0.01,
+            "total {total} vs {}",
+            4.0 * PI
+        );
+    }
+
+    #[test]
+    fn cube_tiles_are_more_uniform_than_equirect() {
+        // The whole point of cube tiling (§2 [33]): per-tile solid angle
+        // varies far less than equirect rows near the poles.
+        let cube = CubeTileGrid::new(2); // 24 tiles
+        let equi = TileGrid::new(4, 6); // 24 tiles
+        let cube_spread = cube.solid_angle_spread(16);
+        let equi_angles: Vec<f64> = equi.tiles().map(|t| equi.rect(t).solid_angle()).collect();
+        let equi_spread = equi_angles.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            / equi_angles.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            cube_spread < equi_spread / 1.5,
+            "cube spread {cube_spread:.2} vs equirect {equi_spread:.2}"
+        );
+        assert!(cube_spread < 2.5, "cube tiles near-uniform: {cube_spread:.2}");
+    }
+
+    #[test]
+    fn viewport_coverage_sums_to_one() {
+        let g = CubeTileGrid::new(3);
+        let vp = Viewport::headset(Orientation::from_degrees(25.0, -10.0, 5.0));
+        let vis = g.visible_tiles(&vp, 24);
+        let sum: f64 = vis.iter().map(|&(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(!vis.is_empty());
+        assert!(vis.len() < g.tile_count(), "FoV must not see everything");
+    }
+
+    #[test]
+    fn gaze_tile_always_visible() {
+        let g = CubeTileGrid::new(3);
+        for yaw in [-150.0f64, -60.0, 0.0, 80.0, 170.0] {
+            let o = Orientation::from_degrees(yaw, 15.0, 0.0);
+            let vp = Viewport::headset(o);
+            let gaze_tile = g.tile_of_direction(o.direction());
+            assert!(
+                g.visible_tiles(&vp, 16).iter().any(|&(t, _)| t == gaze_tile),
+                "yaw {yaw}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_per_edge_rejected() {
+        CubeTileGrid::new(0);
+    }
+}

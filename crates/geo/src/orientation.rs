@@ -1,0 +1,287 @@
+//! Head orientation: Euler angles (yaw/pitch/roll, Figure 1 of the
+//! paper), unit quaternions, and interpolation.
+
+use crate::angles::{angle_dist, wrap_pi};
+use crate::vector::Vec3;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_PI_2;
+
+/// A viewing orientation as intrinsic Euler angles, in radians.
+///
+/// * `yaw` — rotation about the vertical (+Z) axis; 0 faces +X, positive
+///   turns left (towards +Y). Wrapped to `[-π, π)`.
+/// * `pitch` — elevation; positive looks up. Clamped to `[-π/2, π/2]`.
+/// * `roll` — rotation about the view axis; affects the viewport's edges
+///   but not its centre direction.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Orientation {
+    /// Yaw about +Z in radians, `[-π, π)`.
+    pub yaw: f64,
+    /// Pitch (elevation) in radians, `[-π/2, π/2]`.
+    pub pitch: f64,
+    /// Roll about the view axis in radians.
+    pub roll: f64,
+}
+
+impl Orientation {
+    /// Facing the panorama front (+X), level, no roll.
+    pub const FRONT: Orientation = Orientation { yaw: 0.0, pitch: 0.0, roll: 0.0 };
+
+    /// Construct, normalizing yaw to `[-π, π)` and clamping pitch.
+    pub fn new(yaw: f64, pitch: f64, roll: f64) -> Orientation {
+        Orientation {
+            yaw: wrap_pi(yaw),
+            pitch: pitch.clamp(-FRAC_PI_2, FRAC_PI_2),
+            roll: wrap_pi(roll),
+        }
+    }
+
+    /// Construct from degrees.
+    pub fn from_degrees(yaw: f64, pitch: f64, roll: f64) -> Orientation {
+        Orientation::new(yaw.to_radians(), pitch.to_radians(), roll.to_radians())
+    }
+
+    /// The unit view direction.
+    pub fn direction(&self) -> Vec3 {
+        let cp = self.pitch.cos();
+        Vec3::new(cp * self.yaw.cos(), cp * self.yaw.sin(), self.pitch.sin())
+    }
+
+    /// Build the orientation whose view direction is `dir` (roll = 0).
+    pub fn looking_at(dir: Vec3) -> Orientation {
+        let d = dir.normalized();
+        Orientation::new(d.y.atan2(d.x), d.z.clamp(-1.0, 1.0).asin(), 0.0)
+    }
+
+    /// Great-circle angle between the view directions of two
+    /// orientations, in radians `[0, π]`. Ignores roll.
+    pub fn angular_distance(&self, other: &Orientation) -> f64 {
+        self.direction().angle_to(other.direction())
+    }
+
+    /// The camera basis `(forward, left, up)` including roll.
+    pub fn basis(&self) -> (Vec3, Vec3, Vec3) {
+        let f = self.direction();
+        // Un-rolled left/up.
+        let left0 = Vec3::new(-self.yaw.sin(), self.yaw.cos(), 0.0);
+        let up0 = f.cross(left0).normalized(); // forward × left = up (X × Y = Z)
+        // Apply roll: rotate left/up around the forward axis.
+        let (s, c) = self.roll.sin_cos();
+        let left = left0 * c + up0 * s;
+        let up = up0 * c - left0 * s;
+        (f, left, up)
+    }
+
+    /// Spherical interpolation between two orientations (component-wise
+    /// on the shortest yaw arc; adequate for head-movement traces where
+    /// successive samples are close).
+    pub fn slerp(&self, other: &Orientation, t: f64) -> Orientation {
+        let t = t.clamp(0.0, 1.0);
+        let dyaw = wrap_pi(other.yaw - self.yaw);
+        let dpitch = other.pitch - self.pitch;
+        let droll = wrap_pi(other.roll - self.roll);
+        Orientation::new(
+            self.yaw + dyaw * t,
+            self.pitch + dpitch * t,
+            self.roll + droll * t,
+        )
+    }
+
+    /// Yaw distance to another orientation (wrapped absolute), radians.
+    pub fn yaw_distance(&self, other: &Orientation) -> f64 {
+        angle_dist(self.yaw, other.yaw)
+    }
+}
+
+/// A unit quaternion, used where composition of rotations is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part x.
+    pub x: f64,
+    /// Vector part y.
+    pub y: f64,
+    /// Vector part z.
+    pub z: f64,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Rotation of `angle` radians about `axis`.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
+        let a = axis.normalized();
+        let (s, c) = (angle / 2.0).sin_cos();
+        Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+    }
+
+    /// Quaternion for an [`Orientation`] (yaw about Z, then pitch about
+    /// the rotated -Y/left axis, then roll about the view axis).
+    pub fn from_orientation(o: &Orientation) -> Quat {
+        let qyaw = Quat::from_axis_angle(Vec3::Z, o.yaw);
+        let left = qyaw.rotate(Vec3::Y);
+        // Positive pitch looks *up*: a right-hand rotation about the left
+        // axis tilts the view down, hence the negated angle.
+        let qpitch = Quat::from_axis_angle(left, -o.pitch);
+        let fwd = (qpitch * qyaw).rotate(Vec3::X);
+        let qroll = Quat::from_axis_angle(fwd, o.roll);
+        qroll * qpitch * qyaw
+    }
+
+    /// Hamilton product: `self * other` applies `other` first.
+    #[allow(clippy::should_implement_trait)] // also provided via ops::Mul below
+    pub fn mul(self, o: Quat) -> Quat {
+        Quat {
+            w: self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            x: self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            y: self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            z: self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        }
+    }
+
+    /// Conjugate (inverse for unit quaternions).
+    pub fn conj(self) -> Quat {
+        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Normalize to unit length.
+    pub fn normalized(self) -> Quat {
+        let n = (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt();
+        if n < 1e-12 {
+            Quat::IDENTITY
+        } else {
+            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        }
+    }
+
+    /// Rotate a vector.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        let qv = Quat { w: 0.0, x: v.x, y: v.y, z: v.z };
+        let r = self.mul(qv).mul(self.conj());
+        Vec3::new(r.x, r.y, r.z)
+    }
+
+    /// Rotation angle between two unit quaternions, radians `[0, π]`.
+    pub fn angle_to(self, other: Quat) -> f64 {
+        let d = self.conj().mul(other).normalized();
+        2.0 * d.w.abs().clamp(0.0, 1.0).acos()
+    }
+}
+
+impl std::ops::Mul for Quat {
+    type Output = Quat;
+    fn mul(self, rhs: Quat) -> Quat {
+        Quat::mul(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angles::deg;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn direction_of_cardinal_orientations() {
+        let front = Orientation::FRONT.direction();
+        assert!(close(front.x, 1.0) && close(front.y, 0.0) && close(front.z, 0.0));
+        let left = Orientation::new(deg(90.0), 0.0, 0.0).direction();
+        assert!(close(left.y, 1.0));
+        let up = Orientation::new(0.0, deg(90.0), 0.0).direction();
+        assert!(close(up.z, 1.0));
+    }
+
+    #[test]
+    fn looking_at_inverts_direction() {
+        for (yaw, pitch) in [(0.3, 0.2), (-2.0, -0.7), (3.0, 1.2)] {
+            let o = Orientation::new(yaw, pitch, 0.0);
+            let back = Orientation::looking_at(o.direction());
+            assert!(close(back.yaw, o.yaw), "yaw {} vs {}", back.yaw, o.yaw);
+            assert!(close(back.pitch, o.pitch));
+        }
+    }
+
+    #[test]
+    fn angular_distance_symmetric_and_sane() {
+        let a = Orientation::from_degrees(0.0, 0.0, 0.0);
+        let b = Orientation::from_degrees(90.0, 0.0, 0.0);
+        assert!(close(a.angular_distance(&b), deg(90.0)));
+        assert!(close(b.angular_distance(&a), deg(90.0)));
+        assert!(close(a.angular_distance(&a), 0.0));
+    }
+
+    #[test]
+    fn pitch_is_clamped_yaw_is_wrapped() {
+        let o = Orientation::new(deg(370.0), deg(120.0), 0.0);
+        assert!(close(o.yaw, deg(10.0)));
+        assert!(close(o.pitch, deg(90.0)));
+    }
+
+    #[test]
+    fn slerp_midpoint_across_wraparound() {
+        let a = Orientation::from_degrees(170.0, 0.0, 0.0);
+        let b = Orientation::from_degrees(-170.0, 0.0, 0.0);
+        let mid = a.slerp(&b, 0.5);
+        // midpoint should be at 180°, i.e. -180 after wrap
+        assert!(close(mid.yaw.abs(), deg(180.0)), "mid.yaw = {}", mid.yaw);
+    }
+
+    #[test]
+    fn slerp_endpoints() {
+        let a = Orientation::from_degrees(10.0, 20.0, 0.0);
+        let b = Orientation::from_degrees(50.0, -10.0, 0.0);
+        assert_eq!(a.slerp(&b, 0.0), a);
+        let e = a.slerp(&b, 1.0);
+        assert!(close(e.yaw, b.yaw) && close(e.pitch, b.pitch));
+    }
+
+    #[test]
+    fn quat_rotates_axes() {
+        let q = Quat::from_axis_angle(Vec3::Z, deg(90.0));
+        let r = q.rotate(Vec3::X);
+        assert!(close(r.y, 1.0) && close(r.x, 0.0));
+    }
+
+    #[test]
+    fn quat_from_orientation_matches_direction() {
+        for (yaw, pitch, roll) in [(0.5, 0.3, 0.0), (-1.2, -0.4, 0.7), (2.8, 1.0, -1.0)] {
+            let o = Orientation::new(yaw, pitch, roll);
+            let q = Quat::from_orientation(&o);
+            let dir = q.rotate(Vec3::X);
+            let want = o.direction();
+            assert!((dir - want).norm() < 1e-9, "mismatch at {yaw},{pitch},{roll}");
+        }
+    }
+
+    #[test]
+    fn quat_angle_between() {
+        let a = Quat::from_axis_angle(Vec3::Z, 0.0);
+        let b = Quat::from_axis_angle(Vec3::Z, deg(60.0));
+        assert!(close(a.angle_to(b), deg(60.0)));
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        for roll in [0.0, 0.5, -1.0] {
+            let o = Orientation::new(0.7, 0.4, roll);
+            let (f, l, u) = o.basis();
+            assert!(close(f.norm(), 1.0));
+            assert!(close(l.norm(), 1.0));
+            assert!(close(u.norm(), 1.0));
+            assert!(f.dot(l).abs() < 1e-9);
+            assert!(f.dot(u).abs() < 1e-9);
+            assert!(l.dot(u).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn basis_up_points_up_when_level() {
+        let (_, _, u) = Orientation::FRONT.basis();
+        assert!(close(u.z, 1.0), "up = {u:?}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Sphere sampling utilities.
+//!
+//! Used by the §2 *versioning* model (a server keeps many versions of a
+//! video, each with a high-quality region centred on one of a set of
+//! well-spread directions — Oculus 360 maintains up to 88) and by
+//! Monte-Carlo coverage computations.
+
+use crate::orientation::Orientation;
+use crate::vector::Vec3;
+use std::f64::consts::{PI, TAU};
+
+/// `n` approximately uniformly distributed unit directions (Fibonacci
+/// spiral lattice). Deterministic.
+pub fn fibonacci_sphere(n: usize) -> Vec<Vec3> {
+    assert!(n > 0, "need at least one point");
+    let golden = PI * (3.0 - 5.0f64.sqrt());
+    (0..n)
+        .map(|i| {
+            // z descends uniformly; yaw advances by the golden angle.
+            let z = 1.0 - (2.0 * i as f64 + 1.0) / n as f64;
+            let r = (1.0 - z * z).max(0.0).sqrt();
+            let theta = golden * i as f64;
+            Vec3::new(r * theta.cos(), r * theta.sin(), z)
+        })
+        .collect()
+}
+
+/// Like [`fibonacci_sphere`], as orientations (roll 0).
+pub fn fibonacci_orientations(n: usize) -> Vec<Orientation> {
+    fibonacci_sphere(n).into_iter().map(Orientation::looking_at).collect()
+}
+
+/// The nearest direction in `candidates` to `dir` (index), by
+/// great-circle distance. Panics on empty candidates.
+pub fn nearest(candidates: &[Vec3], dir: Vec3) -> usize {
+    assert!(!candidates.is_empty());
+    let d = dir.normalized();
+    let mut best = (f64::NEG_INFINITY, 0usize);
+    for (i, &c) in candidates.iter().enumerate() {
+        let dot = c.normalized().dot(d);
+        if dot > best.0 {
+            best = (dot, i);
+        }
+    }
+    best.1
+}
+
+/// The maximum over the sphere of the distance to the nearest candidate
+/// (covering radius), estimated on a `steps × 2·steps` lat/long grid.
+pub fn covering_radius(candidates: &[Vec3], steps: usize) -> f64 {
+    assert!(!candidates.is_empty() && steps >= 4);
+    let mut worst = 0.0f64;
+    for iy in 0..steps {
+        let pitch = -PI / 2.0 + (iy as f64 + 0.5) / steps as f64 * PI;
+        for ix in 0..(2 * steps) {
+            let yaw = -PI + (ix as f64 + 0.5) / (2 * steps) as f64 * TAU;
+            let dir = Orientation::new(yaw, pitch, 0.0).direction();
+            let i = nearest(candidates, dir);
+            worst = worst.max(candidates[i].normalized().angle_to(dir));
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fibonacci_points_are_unit_and_distinct() {
+        let pts = fibonacci_sphere(88);
+        assert_eq!(pts.len(), 88);
+        for p in &pts {
+            assert!((p.norm() - 1.0).abs() < 1e-12);
+        }
+        for (i, a) in pts.iter().enumerate() {
+            for b in pts.iter().skip(i + 1) {
+                assert!(a.angle_to(*b) > 0.05, "points collide");
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_centroid_near_origin() {
+        let pts = fibonacci_sphere(200);
+        let sum = pts.iter().fold(Vec3::ZERO, |acc, &p| acc + p);
+        assert!(sum.norm() / 200.0 < 0.05, "distribution should balance");
+    }
+
+    #[test]
+    fn nearest_finds_the_obvious_candidate() {
+        let candidates = vec![Vec3::X, Vec3::Y, Vec3::Z];
+        assert_eq!(nearest(&candidates, Vec3::new(0.9, 0.1, 0.0)), 0);
+        assert_eq!(nearest(&candidates, Vec3::new(0.0, 0.0, -1.0).lerp(Vec3::Z, 0.9)), 2);
+    }
+
+    #[test]
+    fn covering_radius_shrinks_with_more_points() {
+        let r8 = covering_radius(&fibonacci_sphere(8), 24);
+        let r88 = covering_radius(&fibonacci_sphere(88), 24);
+        assert!(r88 < r8, "88 versions cover tighter than 8: {r88} vs {r8}");
+        // 88 well-spread points cover the sphere within ~25°.
+        assert!(r88 < 30f64.to_radians(), "r88 = {}°", r88.to_degrees());
+    }
+
+    #[test]
+    fn orientations_match_directions() {
+        let pts = fibonacci_sphere(16);
+        let os = fibonacci_orientations(16);
+        for (p, o) in pts.iter().zip(&os) {
+            assert!(p.angle_to(o.direction()) < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_candidates_rejected() {
+        nearest(&[], Vec3::X);
+    }
+}

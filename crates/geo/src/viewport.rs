@@ -1,0 +1,207 @@
+//! The user's Field of View and its mapping onto tiles.
+//!
+//! "The width and height of the FoV are usually fixed parameters of a VR
+//! headset" (§2). A [`Viewport`] is an orientation plus fixed angular
+//! extents; its key operation is computing which tiles of a [`TileGrid`]
+//! are visible, and with what share of the screen.
+
+use crate::orientation::Orientation;
+use crate::tiling::{TileGrid, TileId};
+use crate::vector::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A field of view: where the user looks and how wide the headset sees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Viewport {
+    /// Centre orientation (head pose).
+    pub orientation: Orientation,
+    /// Horizontal field of view, radians.
+    pub hfov: f64,
+    /// Vertical field of view, radians.
+    pub vfov: f64,
+}
+
+impl Viewport {
+    /// A typical Cardboard-class headset FoV: 100° × 90°.
+    pub fn headset(orientation: Orientation) -> Viewport {
+        Viewport {
+            orientation,
+            hfov: 100f64.to_radians(),
+            vfov: 90f64.to_radians(),
+        }
+    }
+
+    /// Construct with explicit FoV extents (radians).
+    pub fn new(orientation: Orientation, hfov: f64, vfov: f64) -> Viewport {
+        assert!(hfov > 0.0 && hfov < std::f64::consts::TAU, "hfov out of range");
+        assert!(vfov > 0.0 && vfov < std::f64::consts::PI, "vfov out of range");
+        Viewport { orientation, hfov, vfov }
+    }
+
+    /// Whether a world direction falls inside the FoV frustum.
+    pub fn contains(&self, dir: Vec3) -> bool {
+        let (f, l, u) = self.orientation.basis();
+        let d = dir.normalized();
+        let df = d.dot(f);
+        if df <= 0.0 {
+            return false; // behind the viewer
+        }
+        let dl = d.dot(l);
+        let du = d.dot(u);
+        // Angular offsets in the camera frame.
+        let h = dl.atan2(df).abs();
+        let v = du.atan2((df * df + dl * dl).sqrt()).abs();
+        h <= self.hfov / 2.0 && v <= self.vfov / 2.0
+    }
+
+    /// The world direction of a point on the viewport plane, with
+    /// `(sx, sy)` in `[-1, 1]²` (`sx` left-positive, `sy` up-positive).
+    pub fn ray(&self, sx: f64, sy: f64) -> Vec3 {
+        let (f, l, u) = self.orientation.basis();
+        let x = (self.hfov / 2.0).tan() * sx;
+        let y = (self.vfov / 2.0).tan() * sy;
+        (f + l * x + u * y).normalized()
+    }
+
+    /// Which tiles are on screen, and what fraction of the screen each
+    /// covers. Computed by casting a `samples × samples` grid of rays
+    /// (perspective-correct); fractions sum to 1.
+    ///
+    /// The returned list is ordered by decreasing coverage.
+    pub fn visible_tiles(&self, grid: &TileGrid, samples: u32) -> Vec<(TileId, f64)> {
+        assert!(samples >= 2, "need at least a 2x2 sample grid");
+        let mut counts = vec![0u32; grid.tile_count()];
+        let n = samples;
+        for iy in 0..n {
+            for ix in 0..n {
+                // Sample cell centres, not edges, to avoid double-counting corners.
+                let sx = (ix as f64 + 0.5) / n as f64 * 2.0 - 1.0;
+                let sy = (iy as f64 + 0.5) / n as f64 * 2.0 - 1.0;
+                let dir = self.ray(sx, sy);
+                counts[grid.tile_of_direction(dir).index()] += 1;
+            }
+        }
+        let total = (n * n) as f64;
+        let mut out: Vec<(TileId, f64)> = counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(i, c)| (TileId(i as u16), c as f64 / total))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Just the set of visible tile ids (sorted by id), using the default
+    /// sampling density.
+    pub fn visible_tile_set(&self, grid: &TileGrid) -> Vec<TileId> {
+        let mut tiles: Vec<TileId> = self
+            .visible_tiles(grid, 16)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        tiles.sort();
+        tiles
+    }
+
+    /// Fraction of the screen covered by `tile` (0 when off screen).
+    pub fn tile_coverage(&self, grid: &TileGrid, tile: TileId, samples: u32) -> f64 {
+        self.visible_tiles(grid, samples)
+            .into_iter()
+            .find(|&(t, _)| t == tile)
+            .map(|(_, f)| f)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angles::deg;
+
+    #[test]
+    fn contains_center_and_rejects_behind() {
+        let vp = Viewport::headset(Orientation::FRONT);
+        assert!(vp.contains(Vec3::X));
+        assert!(!vp.contains(-Vec3::X));
+        assert!(!vp.contains(Vec3::Z), "straight up is outside a 90-degree vfov");
+    }
+
+    #[test]
+    fn contains_respects_fov_edges() {
+        let vp = Viewport::new(Orientation::FRONT, deg(100.0), deg(90.0));
+        let just_in = Orientation::from_degrees(49.0, 0.0, 0.0).direction();
+        let just_out = Orientation::from_degrees(51.0, 0.0, 0.0).direction();
+        assert!(vp.contains(just_in));
+        assert!(!vp.contains(just_out));
+        let up_in = Orientation::from_degrees(0.0, 44.0, 0.0).direction();
+        let up_out = Orientation::from_degrees(0.0, 46.0, 0.0).direction();
+        assert!(vp.contains(up_in));
+        assert!(!vp.contains(up_out));
+    }
+
+    #[test]
+    fn ray_center_is_view_direction() {
+        let o = Orientation::from_degrees(40.0, 20.0, 0.0);
+        let vp = Viewport::headset(o);
+        assert!(vp.ray(0.0, 0.0).angle_to(o.direction()) < 1e-9);
+    }
+
+    #[test]
+    fn rays_stay_inside_fov() {
+        let vp = Viewport::headset(Orientation::from_degrees(30.0, -10.0, 15.0));
+        for &(sx, sy) in &[(-0.99, -0.99), (0.99, 0.99), (-0.99, 0.99), (0.5, -0.5)] {
+            assert!(vp.contains(vp.ray(sx, sy)), "ray ({sx},{sy}) escaped the FoV");
+        }
+    }
+
+    #[test]
+    fn visible_fractions_sum_to_one() {
+        let grid = TileGrid::new(4, 6);
+        let vp = Viewport::headset(Orientation::from_degrees(77.0, 13.0, 0.0));
+        let vis = vp.visible_tiles(&grid, 32);
+        let sum: f64 = vis.iter().map(|&(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(!vis.is_empty());
+    }
+
+    #[test]
+    fn front_viewport_sees_center_tiles_of_2x4() {
+        let grid = TileGrid::sperke_prototype();
+        let vp = Viewport::headset(Orientation::FRONT);
+        let tiles = vp.visible_tile_set(&grid);
+        // Front viewport straddles pitch 0 (both rows) around yaw 0
+        // (columns 1-2 of the 4): at minimum the four central tiles.
+        for t in [grid.id_at(0, 2), grid.id_at(1, 2)] {
+            assert!(tiles.contains(&t), "expected {t} visible, got {tiles:?}");
+        }
+        assert!(tiles.len() < grid.tile_count(), "FoV must not cover everything");
+    }
+
+    #[test]
+    fn coverage_of_hidden_tile_is_zero() {
+        let grid = TileGrid::new(4, 6);
+        let vp = Viewport::headset(Orientation::FRONT);
+        // The tile behind the viewer:
+        let behind = grid.tile_of_direction(-Vec3::X);
+        assert_eq!(vp.tile_coverage(&grid, behind, 24), 0.0);
+    }
+
+    #[test]
+    fn wider_fov_sees_no_fewer_tiles() {
+        let grid = TileGrid::new(4, 8);
+        let o = Orientation::from_degrees(12.0, 5.0, 0.0);
+        let narrow = Viewport::new(o, deg(60.0), deg(50.0)).visible_tile_set(&grid);
+        let wide = Viewport::new(o, deg(120.0), deg(100.0)).visible_tile_set(&grid);
+        assert!(wide.len() >= narrow.len());
+        for t in &narrow {
+            assert!(wide.contains(t), "narrow tile {t} missing from wide set");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_fov_rejected() {
+        Viewport::new(Orientation::FRONT, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Lightweight viewing context (§3.2): watching mode, mobility and pose.
+//!
+//! The paper's app collects "indoor/outdoor, watching mode (bare
+//! smartphone vs headset), mobility (stationary vs mobile), pose
+//! (sitting, standing, lying etc.)" and uses it to prune implausible
+//! head movements — "when the user is lying on a couch or bed, it is
+//! quite difficult for her to view a direction that is 180° behind".
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// How the user watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WatchMode {
+    /// Holding the phone ("magic window").
+    BareSmartphone,
+    /// Wearing a headset (Cardboard-class).
+    Headset,
+}
+
+/// Whether the user is moving about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mobility {
+    /// Standing/sitting still.
+    Stationary,
+    /// Walking or in a vehicle.
+    Mobile,
+}
+
+/// Body pose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pose {
+    /// Seated; comfortable yaw range roughly ±120°.
+    Sitting,
+    /// Standing; can turn fully around.
+    Standing,
+    /// Lying down; yaw practically limited to roughly ±90°.
+    Lying,
+}
+
+/// The contextual signals the §3.2 study collects per session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ViewingContext {
+    /// Watching mode.
+    pub mode: WatchMode,
+    /// Mobility state.
+    pub mobility: Mobility,
+    /// Body pose.
+    pub pose: Pose,
+}
+
+impl Default for ViewingContext {
+    fn default() -> Self {
+        ViewingContext {
+            mode: WatchMode::Headset,
+            mobility: Mobility::Stationary,
+            pose: Pose::Sitting,
+        }
+    }
+}
+
+impl ViewingContext {
+    /// The reachable yaw half-range around the session's "front", radians.
+    ///
+    /// This is the pruning signal of §3.2: directions outside
+    /// `[-limit, +limit]` are treated as (near-)unreachable.
+    pub fn yaw_half_range(&self) -> f64 {
+        match self.pose {
+            Pose::Standing => PI,                     // full turn possible
+            Pose::Sitting => 120f64.to_radians(),     // torso twist
+            Pose::Lying => 90f64.to_radians(),        // paper's couch example
+        }
+    }
+
+    /// Whether a yaw offset from the session front is plausibly reachable.
+    pub fn yaw_reachable(&self, yaw_offset: f64) -> bool {
+        sperke_geo::angles::wrap_pi(yaw_offset).abs() <= self.yaw_half_range() + 1e-12
+    }
+
+    /// A multiplier on expected head speed: phone-in-hand panning is
+    /// slower than head rotation; mobile users move their view less.
+    pub fn speed_factor(&self) -> f64 {
+        let mode = match self.mode {
+            WatchMode::Headset => 1.0,
+            WatchMode::BareSmartphone => 0.7,
+        };
+        let mobility = match self.mobility {
+            Mobility::Stationary => 1.0,
+            Mobility::Mobile => 0.6,
+        };
+        mode * mobility
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lying_cannot_look_behind() {
+        let ctx = ViewingContext { pose: Pose::Lying, ..Default::default() };
+        assert!(!ctx.yaw_reachable(PI), "180° behind is unreachable lying down");
+        assert!(ctx.yaw_reachable(80f64.to_radians()));
+    }
+
+    #[test]
+    fn standing_reaches_everything() {
+        let ctx = ViewingContext { pose: Pose::Standing, ..Default::default() };
+        assert!(ctx.yaw_reachable(PI));
+        assert!(ctx.yaw_reachable(-PI));
+    }
+
+    #[test]
+    fn yaw_reachable_wraps_input() {
+        let ctx = ViewingContext { pose: Pose::Sitting, ..Default::default() };
+        // 350° offset wraps to -10°, well within a sitting range.
+        assert!(ctx.yaw_reachable(350f64.to_radians()));
+    }
+
+    #[test]
+    fn speed_factors_ordered() {
+        let headset = ViewingContext::default();
+        let phone = ViewingContext { mode: WatchMode::BareSmartphone, ..Default::default() };
+        let walking = ViewingContext { mobility: Mobility::Mobile, ..Default::default() };
+        assert!(phone.speed_factor() < headset.speed_factor());
+        assert!(walking.speed_factor() < headset.speed_factor());
+    }
+}

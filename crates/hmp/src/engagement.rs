@@ -1,0 +1,157 @@
+//! Engagement estimation (§3.2): "we can leverage eye gaze tracking to
+//! analyze the user's engagement level, which possibly indicates the
+//! likelihood of sharp head movement".
+//!
+//! Without eye trackers the observable proxy is *gaze stability*: an
+//! engaged viewer locks onto content (low jitter, few saccades); a
+//! disengaged viewer scans. The estimator turns recent head motion into
+//! an engagement score, and the score into a saccade-likelihood
+//! adjustment the forecaster can use to widen or tighten its
+//! uncertainty.
+
+use serde::{Deserialize, Serialize};
+use sperke_geo::Orientation;
+use sperke_sim::SimTime;
+
+/// Engagement level in `[0, 1]`: 1 = locked onto content.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Engagement(pub f64);
+
+impl Engagement {
+    /// The uncertainty multiplier the forecaster should apply: an
+    /// engaged viewer's motion is more predictable (× <1), a
+    /// disengaged viewer may saccade anywhere (× >1).
+    pub fn uncertainty_factor(self) -> f64 {
+        // Map [0,1] engagement to [1.6, 0.7].
+        1.6 - 0.9 * self.0.clamp(0.0, 1.0)
+    }
+
+    /// Probability of a saccade (> 30° jump) in the next second, an
+    /// empirical-shaped logistic of disengagement.
+    pub fn saccade_probability(self) -> f64 {
+        let x = 1.0 - self.0.clamp(0.0, 1.0);
+        0.05 + 0.5 * x * x
+    }
+}
+
+/// Tuning for the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngagementConfig {
+    /// Head speed (rad/s) considered fully "locked".
+    pub calm_speed: f64,
+    /// Head speed at/above which the viewer counts as scanning.
+    pub scan_speed: f64,
+}
+
+impl Default for EngagementConfig {
+    fn default() -> Self {
+        EngagementConfig { calm_speed: 0.1, scan_speed: 1.2 }
+    }
+}
+
+/// Estimate engagement from a gaze history window (oldest first).
+///
+/// The score combines mean speed (scanning) and direction reversals
+/// (restlessness); both are normalized against the config thresholds.
+pub fn estimate_engagement(
+    history: &[(SimTime, Orientation)],
+    config: &EngagementConfig,
+) -> Engagement {
+    if history.len() < 3 {
+        return Engagement(0.5); // no evidence either way
+    }
+    // Mean angular speed over the window.
+    let mut speeds = Vec::with_capacity(history.len() - 1);
+    let mut yaw_rates = Vec::with_capacity(history.len() - 1);
+    for w in history.windows(2) {
+        let dt = (w[1].0 - w[0].0).as_secs_f64();
+        if dt <= 0.0 {
+            continue;
+        }
+        speeds.push(w[0].1.angular_distance(&w[1].1) / dt);
+        yaw_rates.push(sperke_geo::angles::wrap_pi(w[1].1.yaw - w[0].1.yaw) / dt);
+    }
+    if speeds.is_empty() {
+        return Engagement(0.5);
+    }
+    let mean_speed = speeds.iter().sum::<f64>() / speeds.len() as f64;
+    // Reversal fraction: sign changes of the yaw rate among decisive samples.
+    let decisive: Vec<f64> = yaw_rates.iter().copied().filter(|r| r.abs() > 0.05).collect();
+    let reversals = decisive
+        .windows(2)
+        .filter(|w| w[0].signum() != w[1].signum())
+        .count();
+    let reversal_frac = if decisive.len() > 1 {
+        reversals as f64 / (decisive.len() - 1) as f64
+    } else {
+        0.0
+    };
+
+    let speed_score = 1.0
+        - ((mean_speed - config.calm_speed) / (config.scan_speed - config.calm_speed))
+            .clamp(0.0, 1.0);
+    let steadiness = 1.0 - reversal_frac.clamp(0.0, 1.0);
+    Engagement((0.7 * speed_score + 0.3 * steadiness).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{AttentionModel, Behavior, TraceGenerator};
+    use crate::context::ViewingContext;
+    use sperke_sim::SimDuration;
+
+    fn history_of(behavior: Behavior, seed: u64) -> Vec<(SimTime, Orientation)> {
+        let trace = TraceGenerator::new(
+            AttentionModel::generic(2),
+            behavior,
+            ViewingContext::default(),
+        )
+        .generate(SimDuration::from_secs(20), seed);
+        trace.history(SimTime::from_secs(15), 100)
+    }
+
+    #[test]
+    fn still_viewer_scores_engaged() {
+        let e = estimate_engagement(&history_of(Behavior::Still, 3), &EngagementConfig::default());
+        assert!(e.0 > 0.6, "still viewer engagement {}", e.0);
+    }
+
+    #[test]
+    fn explorer_scores_less_engaged_than_still() {
+        let cfg = EngagementConfig::default();
+        let still = estimate_engagement(&history_of(Behavior::Still, 3), &cfg);
+        let explorer = estimate_engagement(&history_of(Behavior::Explorer, 3), &cfg);
+        assert!(
+            explorer.0 < still.0,
+            "explorer {} should be below still {}",
+            explorer.0,
+            still.0
+        );
+    }
+
+    #[test]
+    fn short_history_is_neutral() {
+        let h = vec![(SimTime::ZERO, Orientation::FRONT)];
+        assert_eq!(estimate_engagement(&h, &EngagementConfig::default()).0, 0.5);
+    }
+
+    #[test]
+    fn uncertainty_factor_monotone() {
+        assert!(Engagement(1.0).uncertainty_factor() < Engagement(0.5).uncertainty_factor());
+        assert!(Engagement(0.5).uncertainty_factor() < Engagement(0.0).uncertainty_factor());
+        assert!((Engagement(1.0).uncertainty_factor() - 0.7).abs() < 1e-12);
+        assert!((Engagement(0.0).uncertainty_factor() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saccade_probability_rises_with_disengagement() {
+        assert!(
+            Engagement(0.1).saccade_probability() > Engagement(0.9).saccade_probability()
+        );
+        for e in [0.0, 0.3, 0.7, 1.0] {
+            let p = Engagement(e).saccade_probability();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The "data fusion" forecaster (§3.2): motion extrapolation blended
+//! with the cross-user popularity prior, pruned by the per-user speed
+//! bound and the viewing context.
+//!
+//! Downstream consumers (rate adaptation, multipath, prefetching) don't
+//! want a single predicted orientation — they want, per tile, the
+//! probability that the tile will be on screen at a future chunk time.
+//! That is a [`TileForecast`].
+
+use crate::context::ViewingContext;
+use crate::popularity::Heatmap;
+use crate::predictor::{DampedRegression, Predictor};
+use serde::{Deserialize, Serialize};
+use sperke_geo::{Orientation, TileGrid, TileId, Viewport};
+use sperke_sim::{SimDuration, SimTime};
+use sperke_video::ChunkTime;
+
+/// Per-tile on-screen probabilities for one future chunk time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileForecast {
+    probs: Vec<f64>,
+}
+
+impl TileForecast {
+    /// Build from raw per-tile probabilities (clamped to `[0,1]`).
+    pub fn new(probs: Vec<f64>) -> TileForecast {
+        TileForecast {
+            probs: probs.into_iter().map(|p| p.clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// A uniform forecast (no information).
+    pub fn uniform(grid: &TileGrid, p: f64) -> TileForecast {
+        TileForecast::new(vec![p; grid.tile_count()])
+    }
+
+    /// Probability that `tile` is on screen.
+    pub fn prob(&self, tile: TileId) -> f64 {
+        self.probs[tile.index()]
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when empty (never for grid-built forecasts).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Tiles ranked by descending probability (ties by id).
+    pub fn ranked(&self) -> Vec<(TileId, f64)> {
+        let mut v: Vec<(TileId, f64)> = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (TileId(i as u16), p))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The `k` most probable tiles.
+    pub fn top_k(&self, k: usize) -> Vec<TileId> {
+        self.ranked().into_iter().take(k).map(|(t, _)| t).collect()
+    }
+
+    /// Tiles with probability at least `threshold`.
+    pub fn above(&self, threshold: f64) -> Vec<TileId> {
+        self.ranked()
+            .into_iter()
+            .filter(|&(_, p)| p >= threshold)
+            .map(|(t, _)| t)
+            .collect()
+    }
+}
+
+/// Tuning for the fused forecaster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FusionConfig {
+    /// Below this horizon, trust motion extrapolation alone.
+    pub short_horizon: SimDuration,
+    /// At/beyond this horizon the popularity prior reaches its maximum
+    /// blend weight.
+    pub long_horizon: SimDuration,
+    /// Maximum weight the popularity prior can take (< 1 keeps motion in
+    /// the mix even at long horizons).
+    pub max_prior_weight: f64,
+    /// Gaussian growth of motion uncertainty with horizon, rad/s.
+    pub uncertainty_rate: f64,
+    /// Ceiling on the motion uncertainty (head-prediction error
+    /// saturates — viewers revert to content, they don't random-walk).
+    pub uncertainty_cap: f64,
+    /// Floor probability applied instead of zero when pruning
+    /// (robustness against hard errors).
+    pub prune_floor: f64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig {
+            short_horizon: SimDuration::from_millis(500),
+            long_horizon: SimDuration::from_secs(2),
+            max_prior_weight: 0.7,
+            uncertainty_rate: 0.35,
+            uncertainty_cap: 0.85,
+            prune_floor: 0.05,
+        }
+    }
+}
+
+/// Anything that can forecast per-tile on-screen probabilities.
+///
+/// [`FusedForecaster`] is the production implementation;
+/// [`OracleForecaster`](crate::oracle::OracleForecaster) peeks at the
+/// future for perfect-HMP upper bounds (§3.1.2 part one: "let us assume
+/// that the HMP is perfect").
+pub trait Forecaster {
+    /// Forecast on-screen probabilities for the chunk starting at
+    /// `target_time`, given gaze history up to `now`.
+    fn forecast(
+        &self,
+        grid: &TileGrid,
+        history: &[(SimTime, Orientation)],
+        now: SimTime,
+        target_time: SimTime,
+        chunk_time: ChunkTime,
+    ) -> TileForecast;
+}
+
+/// The fused §3.2 forecaster.
+#[derive(Debug, Clone)]
+pub struct FusedForecaster {
+    /// Motion predictor (damped regression by default).
+    pub motion: DampedRegression,
+    /// Cross-user popularity prior, when available.
+    pub heatmap: Option<Heatmap>,
+    /// Learned per-user speed bound (rad/s), e.g. the user's historical
+    /// 95th-percentile head speed.
+    pub speed_bound: Option<f64>,
+    /// Session context for reachability pruning.
+    pub context: ViewingContext,
+    /// The session's "front" yaw (radians) against which context limits
+    /// apply; normally the initial gaze direction.
+    pub front_yaw: f64,
+    /// Tuning.
+    pub config: FusionConfig,
+}
+
+impl FusedForecaster {
+    /// A purely motion-driven forecaster (no prior, no pruning).
+    pub fn motion_only() -> FusedForecaster {
+        FusedForecaster {
+            motion: DampedRegression::default(),
+            heatmap: None,
+            speed_bound: None,
+            context: ViewingContext { pose: crate::context::Pose::Standing, ..Default::default() },
+            front_yaw: 0.0,
+            config: FusionConfig::default(),
+        }
+    }
+
+    /// Attach a popularity heatmap.
+    pub fn with_heatmap(mut self, heatmap: Heatmap) -> Self {
+        self.heatmap = Some(heatmap);
+        self
+    }
+
+    /// Attach a learned speed bound (rad/s).
+    pub fn with_speed_bound(mut self, bound: f64) -> Self {
+        assert!(bound > 0.0);
+        self.speed_bound = Some(bound);
+        self
+    }
+
+    /// Attach a viewing context and session front.
+    pub fn with_context(mut self, context: ViewingContext, front_yaw: f64) -> Self {
+        self.context = context;
+        self.front_yaw = front_yaw;
+        self
+    }
+
+    /// Forecast on-screen probabilities for the chunk starting at
+    /// `target_time`, given gaze history up to `now`.
+    pub fn forecast(
+        &self,
+        grid: &TileGrid,
+        history: &[(SimTime, Orientation)],
+        now: SimTime,
+        target_time: SimTime,
+        chunk_time: ChunkTime,
+    ) -> TileForecast {
+        Forecaster::forecast(self, grid, history, now, target_time, chunk_time)
+    }
+}
+
+impl Forecaster for FusedForecaster {
+    fn forecast(
+        &self,
+        grid: &TileGrid,
+        history: &[(SimTime, Orientation)],
+        now: SimTime,
+        target_time: SimTime,
+        chunk_time: ChunkTime,
+    ) -> TileForecast {
+        assert!(!history.is_empty(), "history must be non-empty");
+        let horizon = target_time.saturating_since(now);
+        let current = history.last().expect("non-empty").1;
+        let predicted = self.motion.predict(history, horizon);
+
+        // --- Motion component: FoV membership blurred by horizon noise.
+        let vp = Viewport::headset(predicted);
+        let fov_radius = (vp.hfov.min(vp.vfov)) / 2.0;
+        let sigma = (0.12 + self.config.uncertainty_rate * horizon.as_secs_f64())
+            .min(self.config.uncertainty_cap.max(0.12));
+        let motion_probs: Vec<f64> = grid
+            .tiles()
+            .map(|tile| {
+                let d = grid.distance_to_tile(predicted.direction(), tile);
+                let outside = (d - fov_radius).max(0.0);
+                (-0.5 * (outside / sigma).powi(2)).exp()
+            })
+            .collect();
+
+        // --- Popularity component, combined as a noisy-OR: the tile is
+        // on screen if motion predicts it OR the crowd watches it. This
+        // lifts popular tiles at long horizons without ever *displacing*
+        // the viewer's own motion evidence (a convex blend would dilute
+        // a certain motion prediction down to the crowd average).
+        let w = self.prior_weight(horizon);
+        let mut probs: Vec<f64> = if let (Some(map), true) = (&self.heatmap, w > 0.0) {
+            grid.tiles()
+                .map(|tile| {
+                    let pop = map.tile_probability(chunk_time, tile);
+                    let m = motion_probs[tile.index()];
+                    1.0 - (1.0 - m) * (1.0 - w * pop)
+                })
+                .collect()
+        } else {
+            motion_probs
+        };
+
+        // --- Speed-bound pruning: tiles unreachable within the horizon.
+        if let Some(bound) = self.speed_bound {
+            let reach = bound * horizon.as_secs_f64() + fov_radius;
+            for tile in grid.tiles() {
+                let d = grid.distance_to_tile(current.direction(), tile);
+                if d > reach {
+                    probs[tile.index()] =
+                        probs[tile.index()].min(self.config.prune_floor);
+                }
+            }
+        }
+
+        // --- Context pruning: tiles no reachable gaze could *see*. The
+        // pose limits where the gaze can point; the viewport extends a
+        // further FoV half-width beyond the gaze, so the visibility
+        // limit is the pose range plus that margin (a viewer pinned at
+        // the limit still sees past it).
+        for tile in grid.tiles() {
+            let center = grid.tile_center(tile);
+            let yaw = center.y.atan2(center.x);
+            let offset = sperke_geo::angles::wrap_pi(yaw - self.front_yaw).abs();
+            if offset > self.context.yaw_half_range() + fov_radius {
+                probs[tile.index()] = probs[tile.index()].min(self.config.prune_floor);
+            }
+        }
+
+        TileForecast::new(probs)
+    }
+}
+
+impl FusedForecaster {
+    /// The popularity prior's blend weight at a horizon.
+    pub fn prior_weight(&self, horizon: SimDuration) -> f64 {
+        if self.heatmap.is_none() {
+            return 0.0;
+        }
+        let short = self.config.short_horizon.as_secs_f64();
+        let long = self.config.long_horizon.as_secs_f64();
+        let h = horizon.as_secs_f64();
+        if h <= short {
+            0.0
+        } else if h >= long {
+            self.config.max_prior_weight
+        } else {
+            self.config.max_prior_weight * (h - short) / (long - short)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Pose;
+    use crate::generate::{generate_ensemble, AttentionModel};
+    use crate::popularity::Heatmap;
+    use crate::trace::HeadTrace;
+    use sperke_geo::Vec3;
+
+    fn still_history(yaw_deg: f64) -> Vec<(SimTime, Orientation)> {
+        (0..25)
+            .map(|i| {
+                (
+                    SimTime::from_secs_f64(i as f64 * 0.02),
+                    Orientation::from_degrees(yaw_deg, 0.0, 0.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forecast_peaks_at_gaze_for_still_viewer() {
+        let grid = TileGrid::new(4, 6);
+        let f = FusedForecaster::motion_only();
+        let h = still_history(0.0);
+        let now = h.last().unwrap().0;
+        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_millis(500), ChunkTime(0));
+        let front = grid.tile_of_direction(Vec3::X);
+        let behind = grid.tile_of_direction(-Vec3::X);
+        assert!(fc.prob(front) > 0.95);
+        assert!(fc.prob(behind) < 0.3, "behind={}", fc.prob(behind));
+    }
+
+    #[test]
+    fn uncertainty_spreads_with_horizon() {
+        let grid = TileGrid::new(4, 6);
+        let f = FusedForecaster::motion_only();
+        let h = still_history(0.0);
+        let now = h.last().unwrap().0;
+        let behind = grid.tile_of_direction(-Vec3::X);
+        let near = f.forecast(&grid, &h, now, now + SimDuration::from_millis(200), ChunkTime(0));
+        let far = f.forecast(&grid, &h, now, now + SimDuration::from_secs(3), ChunkTime(0));
+        assert!(far.prob(behind) > near.prob(behind));
+    }
+
+    #[test]
+    fn prior_weight_ramps() {
+        let grid = TileGrid::new(2, 4);
+        let map = Heatmap::empty(grid, SimDuration::from_secs(1), 1);
+        let f = FusedForecaster::motion_only().with_heatmap(map);
+        assert_eq!(f.prior_weight(SimDuration::from_millis(100)), 0.0);
+        let mid = f.prior_weight(SimDuration::from_millis(1250));
+        assert!(mid > 0.0 && mid < 0.7);
+        assert_eq!(f.prior_weight(SimDuration::from_secs(5)), 0.7);
+    }
+
+    #[test]
+    fn no_heatmap_means_zero_prior_weight() {
+        let f = FusedForecaster::motion_only();
+        assert_eq!(f.prior_weight(SimDuration::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    fn heatmap_lifts_popular_tiles_at_long_horizon() {
+        let grid = TileGrid::new(4, 6);
+        // Everyone else looks behind (yaw 180) — the popularity prior
+        // should raise that tile at long horizons even though our user
+        // currently looks front.
+        let traces: Vec<HeadTrace> = (0..6)
+            .map(|_| {
+                HeadTrace::from_fn(SimDuration::from_secs(4), |_| {
+                    Orientation::from_degrees(180.0, 0.0, 0.0)
+                })
+            })
+            .collect();
+        let map = Heatmap::build(grid, SimDuration::from_secs(1), 4, &traces);
+        let with = FusedForecaster::motion_only().with_heatmap(map);
+        let without = FusedForecaster::motion_only();
+        let h = still_history(0.0);
+        let now = h.last().unwrap().0;
+        let target = now + SimDuration::from_secs(3);
+        let behind = grid.tile_of_direction(-Vec3::X);
+        let pw = with.forecast(&grid, &h, now, target, ChunkTime(3)).prob(behind);
+        let po = without.forecast(&grid, &h, now, target, ChunkTime(3)).prob(behind);
+        assert!(pw > po, "prior must lift the popular tile: {pw} vs {po}");
+        assert!(pw > 0.5);
+    }
+
+    #[test]
+    fn speed_bound_prunes_distant_tiles() {
+        let grid = TileGrid::new(4, 6);
+        let f = FusedForecaster::motion_only().with_speed_bound(0.2); // slow user
+        let h = still_history(0.0);
+        let now = h.last().unwrap().0;
+        // Long horizon would otherwise blur probability everywhere.
+        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_secs(4), ChunkTime(0));
+        let behind = grid.tile_of_direction(-Vec3::X);
+        assert!(fc.prob(behind) <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn lying_context_prunes_rear_tiles() {
+        let grid = TileGrid::new(4, 6);
+        let ctx = ViewingContext { pose: Pose::Lying, ..Default::default() };
+        let f = FusedForecaster::motion_only().with_context(ctx, 0.0);
+        let h = still_history(0.0);
+        let now = h.last().unwrap().0;
+        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_secs(3), ChunkTime(0));
+        let behind = grid.tile_of_direction(-Vec3::X);
+        let front = grid.tile_of_direction(Vec3::X);
+        assert!(fc.prob(behind) <= 0.05 + 1e-12);
+        assert!(fc.prob(front) > 0.9);
+    }
+
+    #[test]
+    fn moving_viewer_shifts_forecast_ahead() {
+        let grid = TileGrid::new(1, 12); // fine yaw resolution
+        let f = FusedForecaster::motion_only();
+        // Turning left at 1 rad/s.
+        let h: Vec<(SimTime, Orientation)> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.02;
+                (SimTime::from_secs_f64(t), Orientation::new(t, 0.0, 0.0))
+            })
+            .collect();
+        let now = h.last().unwrap().0;
+        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_secs(1), ChunkTime(1));
+        let current_tile = grid.tile_of_direction(h.last().unwrap().1.direction());
+        // Expected gaze after damped 1s of 1 rad/s ≈ +0.7 rad ahead.
+        let ahead_tile = grid.tile_of_angles(h.last().unwrap().1.yaw + 0.7, 0.0);
+        assert!(fc.prob(ahead_tile) >= fc.prob(current_tile) * 0.9);
+        // The tile 180° away must be far less likely than the path ahead.
+        let opposite = grid.tile_of_angles(h.last().unwrap().1.yaw + std::f64::consts::PI, 0.0);
+        assert!(fc.prob(opposite) < fc.prob(ahead_tile));
+    }
+
+    #[test]
+    fn forecast_ranked_and_topk_consistent() {
+        let grid = TileGrid::new(4, 6);
+        let f = FusedForecaster::motion_only();
+        let h = still_history(40.0);
+        let now = h.last().unwrap().0;
+        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_millis(300), ChunkTime(0));
+        let ranked = fc.ranked();
+        assert_eq!(ranked.len(), grid.tile_count());
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(fc.top_k(3), ranked[..3].iter().map(|&(t, _)| t).collect::<Vec<_>>());
+        let above = fc.above(0.5);
+        assert!(above.iter().all(|&t| fc.prob(t) >= 0.5));
+    }
+
+    #[test]
+    fn ensemble_prior_boosts_hit_rate_for_slow_viewer() {
+        // A viewer about to saccade to the stage: popularity knows where
+        // the stage is even though motion extrapolation doesn't.
+        let att = AttentionModel::stage(21);
+        let traces = generate_ensemble(&att, 10, SimDuration::from_secs(10), 7);
+        let grid = TileGrid::new(4, 6);
+        let map = Heatmap::build(grid, SimDuration::from_secs(1), 10, &traces);
+        let stage_tile =
+            grid.tile_of_direction(att.hotspots()[0].position(5.0).direction());
+        // User currently looks 140° away from the stage.
+        let stage_yaw = att.hotspots()[0].yaw0;
+        let h = still_history(stage_yaw.to_degrees() + 140.0);
+        let now = h.last().unwrap().0;
+        let target = now + SimDuration::from_secs(3);
+        let with = FusedForecaster::motion_only()
+            .with_heatmap(map)
+            .forecast(&grid, &h, now, target, ChunkTime(5));
+        let without =
+            FusedForecaster::motion_only().forecast(&grid, &h, now, target, ChunkTime(5));
+        assert!(with.prob(stage_tile) > without.prob(stage_tile));
+    }
+}

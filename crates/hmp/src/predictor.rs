@@ -1,0 +1,395 @@
+//! Short-horizon head-movement predictors.
+//!
+//! Prior studies (§3.2) show that "HMP at a short time scale (hundreds
+//! of milliseconds up to two seconds) with a reasonable accuracy can be
+//! achieved by learning past head movement readings". These predictors
+//! operate on the trailing window of a [`HeadTrace`](crate::HeadTrace)
+//! and extrapolate to a horizon.
+
+use sperke_geo::angles::unwrap_angles;
+use sperke_geo::Orientation;
+use sperke_sim::stats::linear_fit;
+use sperke_sim::{SimDuration, SimTime};
+
+/// A point predictor of head orientation.
+pub trait Predictor {
+    /// Short display name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Predict the orientation `horizon` after the newest history
+    /// sample. `history` is ordered oldest-first and non-empty.
+    fn predict(&self, history: &[(SimTime, Orientation)], horizon: SimDuration) -> Orientation;
+}
+
+/// Persistence: the head stays where it is. The baseline every HMP study
+/// compares against; surprisingly strong at sub-second horizons.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Persistence;
+
+impl Predictor for Persistence {
+    fn name(&self) -> &'static str {
+        "persistence"
+    }
+
+    fn predict(&self, history: &[(SimTime, Orientation)], _horizon: SimDuration) -> Orientation {
+        history.last().expect("non-empty history").1
+    }
+}
+
+/// Ordinary least squares on the recent window, extrapolated linearly
+/// (yaw unwrapped before fitting so ±180° crossings don't corrupt the
+/// slope). This is the "learning past head movement readings" approach
+/// of [16, 37] cited in §3.2.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearRegression {
+    /// Number of trailing samples to fit (≥ 2).
+    pub window: usize,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        // 0.5 s at 50 Hz.
+        LinearRegression { window: 25 }
+    }
+}
+
+impl Predictor for LinearRegression {
+    fn name(&self) -> &'static str {
+        "linear-regression"
+    }
+
+    fn predict(&self, history: &[(SimTime, Orientation)], horizon: SimDuration) -> Orientation {
+        let n = history.len().min(self.window.max(2));
+        let tail = &history[history.len() - n..];
+        if tail.len() < 2 {
+            return tail.last().expect("non-empty").1;
+        }
+        let t_end = tail.last().expect("non-empty").0.as_secs_f64();
+        let xs: Vec<f64> = tail.iter().map(|&(t, _)| t.as_secs_f64() - t_end).collect();
+        let yaws_raw: Vec<f64> = tail.iter().map(|&(_, o)| o.yaw).collect();
+        let yaws = unwrap_angles(&yaws_raw);
+        let pitches: Vec<f64> = tail.iter().map(|&(_, o)| o.pitch).collect();
+        let (ya, yb) = linear_fit(&xs, &yaws);
+        let (pa, pb) = linear_fit(&xs, &pitches);
+        let h = horizon.as_secs_f64();
+        Orientation::new(ya + yb * h, pa + pb * h, tail.last().expect("non-empty").1.roll)
+    }
+}
+
+/// Dead reckoning: constant angular velocity estimated from the last two
+/// samples. More reactive but noisier than regression.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadReckoning;
+
+impl Predictor for DeadReckoning {
+    fn name(&self) -> &'static str {
+        "dead-reckoning"
+    }
+
+    fn predict(&self, history: &[(SimTime, Orientation)], horizon: SimDuration) -> Orientation {
+        if history.len() < 2 {
+            return history.last().expect("non-empty").1;
+        }
+        let (t0, a) = history[history.len() - 2];
+        let (t1, b) = history[history.len() - 1];
+        let dt = (t1 - t0).as_secs_f64();
+        if dt <= 0.0 {
+            return b;
+        }
+        let h = horizon.as_secs_f64();
+        let dyaw = sperke_geo::angles::wrap_pi(b.yaw - a.yaw) / dt;
+        let dpitch = (b.pitch - a.pitch) / dt;
+        Orientation::new(b.yaw + dyaw * h, b.pitch + dpitch * h, b.roll)
+    }
+}
+
+/// A velocity-damped regression: linear regression whose extrapolation
+/// is attenuated with the horizon, reflecting that human head motion
+/// decelerates (saccades are short). Works better than raw LR at 1–2 s.
+#[derive(Debug, Clone, Copy)]
+pub struct DampedRegression {
+    /// Fitting window in samples.
+    pub window: usize,
+    /// Horizon (seconds) at which extrapolated velocity halves.
+    pub half_life: f64,
+}
+
+impl Default for DampedRegression {
+    fn default() -> Self {
+        DampedRegression { window: 25, half_life: 0.7 }
+    }
+}
+
+impl Predictor for DampedRegression {
+    fn name(&self) -> &'static str {
+        "damped-regression"
+    }
+
+    fn predict(&self, history: &[(SimTime, Orientation)], horizon: SimDuration) -> Orientation {
+        let lr = LinearRegression { window: self.window };
+        let now = history.last().expect("non-empty").1;
+        let raw = lr.predict(history, horizon);
+        // Damp the *displacement* rather than the endpoint: integrate an
+        // exponentially decaying velocity over the horizon.
+        let h = horizon.as_secs_f64();
+        let lambda = std::f64::consts::LN_2 / self.half_life;
+        let effective = (1.0 - (-lambda * h).exp()) / lambda; // ∫ e^-λt dt
+        let scale = if h > 0.0 { effective / h } else { 1.0 };
+        let dyaw = sperke_geo::angles::wrap_pi(raw.yaw - now.yaw) * scale;
+        let dpitch = (raw.pitch - now.pitch) * scale;
+        Orientation::new(now.yaw + dyaw, now.pitch + dpitch, now.roll)
+    }
+}
+
+/// An alpha-beta filter (steady-state Kalman): tracks position and
+/// velocity with fixed gains, smoothing sensor noise better than raw
+/// dead reckoning while staying more reactive than a long regression
+/// window.
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaBeta {
+    /// Position correction gain, in `(0, 1]`.
+    pub alpha: f64,
+    /// Velocity correction gain, in `(0, 1]`.
+    pub beta: f64,
+}
+
+impl Default for AlphaBeta {
+    fn default() -> Self {
+        AlphaBeta { alpha: 0.5, beta: 0.1 }
+    }
+}
+
+impl Predictor for AlphaBeta {
+    fn name(&self) -> &'static str {
+        "alpha-beta"
+    }
+
+    fn predict(&self, history: &[(SimTime, Orientation)], horizon: SimDuration) -> Orientation {
+        let mut it = history.iter();
+        let Some(&(t0, o0)) = it.next() else {
+            panic!("history must be non-empty");
+        };
+        // Run the filter over the window (yaw unwrapped incrementally).
+        let mut yaw = o0.yaw;
+        let mut pitch = o0.pitch;
+        let mut vyaw = 0.0f64;
+        let mut vpitch = 0.0f64;
+        let mut last_t = t0;
+        for &(t, o) in it {
+            let dt = (t - last_t).as_secs_f64();
+            if dt <= 0.0 {
+                continue;
+            }
+            // Predict.
+            let pred_yaw = yaw + vyaw * dt;
+            let pred_pitch = pitch + vpitch * dt;
+            // Measure (take the short way around for yaw).
+            let meas_yaw = pred_yaw + sperke_geo::angles::wrap_pi(o.yaw - pred_yaw);
+            let ry = meas_yaw - pred_yaw;
+            let rp = o.pitch - pred_pitch;
+            yaw = pred_yaw + self.alpha * ry;
+            pitch = pred_pitch + self.alpha * rp;
+            vyaw += self.beta * ry / dt;
+            vpitch += self.beta * rp / dt;
+            last_t = t;
+        }
+        let h = horizon.as_secs_f64();
+        Orientation::new(yaw + vyaw * h, pitch + vpitch * h, 0.0)
+    }
+}
+
+/// An online ensemble: runs several predictors and follows the one with
+/// the lowest recent *backtest* error on the supplied history (the last
+/// third of the window is used as a holdout).
+pub struct Ensemble {
+    members: Vec<Box<dyn Predictor>>,
+}
+
+impl Ensemble {
+    /// The default ensemble: persistence, damped regression, alpha-beta.
+    pub fn standard() -> Ensemble {
+        Ensemble {
+            members: vec![
+                Box::new(Persistence),
+                Box::new(DampedRegression::default()),
+                Box::new(AlphaBeta::default()),
+            ],
+        }
+    }
+
+    /// Build from explicit members (at least one).
+    pub fn new(members: Vec<Box<dyn Predictor>>) -> Ensemble {
+        assert!(!members.is_empty(), "ensemble needs members");
+        Ensemble { members }
+    }
+}
+
+impl Predictor for Ensemble {
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+
+    fn predict(&self, history: &[(SimTime, Orientation)], horizon: SimDuration) -> Orientation {
+        if history.len() < 6 {
+            return self.members[0].predict(history, horizon);
+        }
+        // Backtest: predict the last sample from the first two-thirds.
+        let split = history.len() * 2 / 3;
+        let (train, holdout) = history.split_at(split);
+        let target = holdout.last().expect("non-empty holdout");
+        let gap = target.0 - train.last().expect("non-empty train").0;
+        let mut best = (f64::INFINITY, 0usize);
+        for (i, m) in self.members.iter().enumerate() {
+            let p = m.predict(train, gap);
+            let err = p.angular_distance(&target.1);
+            if err < best.0 {
+                best = (err, i);
+            }
+        }
+        self.members[best.1].predict(history, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_linear(rate: f64, n: usize) -> Vec<(SimTime, Orientation)> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.02;
+                (SimTime::from_secs_f64(t), Orientation::new(rate * t, 0.1 * t, 0.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn persistence_returns_last() {
+        let h = history_linear(1.0, 10);
+        let p = Persistence.predict(&h, SimDuration::from_secs(1));
+        assert_eq!(p, h.last().unwrap().1);
+    }
+
+    #[test]
+    fn regression_extrapolates_linear_motion_exactly() {
+        let h = history_linear(0.8, 50);
+        let horizon = SimDuration::from_millis(500);
+        let p = LinearRegression::default().predict(&h, horizon);
+        let t_pred = h.last().unwrap().0.as_secs_f64() + 0.5;
+        assert!((p.yaw - 0.8 * t_pred).abs() < 1e-6, "yaw {}", p.yaw);
+        assert!((p.pitch - 0.1 * t_pred).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regression_handles_wraparound_motion() {
+        // Yaw crossing +π: raw samples jump to -π side.
+        let h: Vec<(SimTime, Orientation)> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.02;
+                (
+                    SimTime::from_secs_f64(t),
+                    Orientation::new(3.0 + 0.5 * t, 0.0, 0.0), // wraps at π≈3.14
+                )
+            })
+            .collect();
+        let p = LinearRegression::default().predict(&h, SimDuration::from_millis(200));
+        let expect = sperke_geo::angles::wrap_pi(3.0 + 0.5 * (0.98 + 0.2));
+        assert!(
+            sperke_geo::angles::angle_dist(p.yaw, expect) < 1e-6,
+            "yaw {} vs {}",
+            p.yaw,
+            expect
+        );
+    }
+
+    #[test]
+    fn dead_reckoning_uses_last_velocity() {
+        let h = history_linear(1.0, 10);
+        let p = DeadReckoning.predict(&h, SimDuration::from_millis(100));
+        let last_t = h.last().unwrap().0.as_secs_f64();
+        assert!((p.yaw - (last_t + 0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_histories_fall_back_to_persistence() {
+        let h = vec![(SimTime::ZERO, Orientation::from_degrees(30.0, 5.0, 0.0))];
+        for p in [
+            LinearRegression::default().predict(&h, SimDuration::from_secs(1)),
+            DeadReckoning.predict(&h, SimDuration::from_secs(1)),
+            DampedRegression::default().predict(&h, SimDuration::from_secs(1)),
+        ] {
+            assert!(p.angular_distance(&h[0].1) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn damped_regression_travels_less_than_raw() {
+        let h = history_linear(1.5, 50);
+        let horizon = SimDuration::from_secs(2);
+        let now = h.last().unwrap().1;
+        let raw = LinearRegression::default().predict(&h, horizon);
+        let damped = DampedRegression::default().predict(&h, horizon);
+        assert!(
+            now.angular_distance(&damped) < now.angular_distance(&raw),
+            "damping must shrink the extrapolated displacement"
+        );
+        // But still move in the same direction.
+        assert!(damped.yaw > now.yaw);
+    }
+
+    #[test]
+    fn alpha_beta_tracks_linear_motion() {
+        let h = history_linear(1.0, 50);
+        let p = AlphaBeta::default().predict(&h, SimDuration::from_millis(500));
+        let expect = h.last().unwrap().0.as_secs_f64() + 0.5;
+        assert!((p.yaw - expect).abs() < 0.08, "yaw {} vs {}", p.yaw, expect);
+    }
+
+    #[test]
+    fn alpha_beta_handles_wraparound() {
+        let h: Vec<(SimTime, Orientation)> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.02;
+                (SimTime::from_secs_f64(t), Orientation::new(3.0 + 0.5 * t, 0.0, 0.0))
+            })
+            .collect();
+        let p = AlphaBeta::default().predict(&h, SimDuration::from_millis(200));
+        let expect = sperke_geo::angles::wrap_pi(3.0 + 0.5 * 1.18);
+        assert!(
+            sperke_geo::angles::angle_dist(p.yaw, expect) < 0.1,
+            "yaw {} vs {}",
+            p.yaw,
+            expect
+        );
+    }
+
+    #[test]
+    fn ensemble_follows_the_better_member() {
+        // Linear motion: the regression/alpha-beta member must beat
+        // persistence, and the ensemble should match it closely.
+        let h = history_linear(1.0, 60);
+        let horizon = SimDuration::from_millis(400);
+        let e = Ensemble::standard().predict(&h, horizon);
+        let persist = Persistence.predict(&h, horizon);
+        let truth = Orientation::new(h.last().unwrap().0.as_secs_f64() + 0.4, 0.0, 0.0);
+        assert!(
+            e.angular_distance(&truth) < persist.angular_distance(&truth),
+            "ensemble must beat pure persistence on linear motion"
+        );
+    }
+
+    #[test]
+    fn ensemble_short_history_falls_back() {
+        let h = vec![(SimTime::ZERO, Orientation::from_degrees(12.0, 0.0, 0.0))];
+        let p = Ensemble::standard().predict(&h, SimDuration::from_secs(1));
+        assert!(p.angular_distance(&h[0].1) < 1e-9);
+    }
+
+    #[test]
+    fn damped_equals_raw_at_zero_horizon() {
+        let h = history_linear(1.0, 50);
+        let d = DampedRegression::default().predict(&h, SimDuration::ZERO);
+        let now = h.last().unwrap().1;
+        assert!(d.angular_distance(&now) < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Client-side bandwidth estimation from observed chunk downloads.
+//!
+//! Both baselines used by rate-adaptation literature are provided: an
+//! EWMA (sensitive, fast) and the harmonic mean of recent samples
+//! (FESTIVE-style, robust to outliers). The player feeds each completed
+//! transfer's goodput in; VRA reads the estimate out.
+
+use serde::{Deserialize, Serialize};
+use sperke_sim::stats::harmonic_mean;
+
+/// Estimation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// Exponentially weighted moving average with the given alpha.
+    Ewma {
+        /// Weight of the newest sample, in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Harmonic mean of the last `window` samples (FESTIVE \[29\]).
+    Harmonic {
+        /// Number of samples to retain.
+        window: usize,
+    },
+}
+
+/// A throughput estimator fed by completed downloads.
+#[derive(Debug, Clone)]
+pub struct BandwidthEstimator {
+    kind: EstimatorKind,
+    samples: Vec<f64>,
+    ewma: Option<f64>,
+}
+
+impl BandwidthEstimator {
+    /// Create an estimator of the given kind.
+    pub fn new(kind: EstimatorKind) -> BandwidthEstimator {
+        if let EstimatorKind::Ewma { alpha } = kind {
+            assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        }
+        if let EstimatorKind::Harmonic { window } = kind {
+            assert!(window > 0, "window must be positive");
+        }
+        BandwidthEstimator { kind, samples: Vec::new(), ewma: None }
+    }
+
+    /// The FESTIVE default: harmonic mean of the last 5 chunks.
+    pub fn festive() -> BandwidthEstimator {
+        BandwidthEstimator::new(EstimatorKind::Harmonic { window: 5 })
+    }
+
+    /// Record an observed goodput sample (bits/second). Non-positive
+    /// samples (e.g. dropped best-effort chunks) are ignored.
+    pub fn record(&mut self, goodput_bps: f64) {
+        if goodput_bps <= 0.0 || !goodput_bps.is_finite() {
+            return;
+        }
+        match self.kind {
+            EstimatorKind::Ewma { alpha } => {
+                self.ewma = Some(match self.ewma {
+                    None => goodput_bps,
+                    Some(prev) => alpha * goodput_bps + (1.0 - alpha) * prev,
+                });
+            }
+            EstimatorKind::Harmonic { window } => {
+                self.samples.push(goodput_bps);
+                if self.samples.len() > window {
+                    let excess = self.samples.len() - window;
+                    self.samples.drain(..excess);
+                }
+            }
+        }
+    }
+
+    /// Current estimate (bits/second), or `None` before any sample.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.kind {
+            EstimatorKind::Ewma { .. } => self.ewma,
+            EstimatorKind::Harmonic { .. } => {
+                if self.samples.is_empty() {
+                    None
+                } else {
+                    Some(harmonic_mean(&self.samples))
+                }
+            }
+        }
+    }
+
+    /// Conservative estimate: the raw estimate scaled by a safety factor
+    /// (standard practice to absorb estimation error).
+    pub fn conservative(&self, safety: f64) -> Option<f64> {
+        self.estimate().map(|e| e * safety)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_is_robust_to_spikes() {
+        let mut e = BandwidthEstimator::new(EstimatorKind::Harmonic { window: 5 });
+        for _ in 0..4 {
+            e.record(2e6);
+        }
+        e.record(100e6); // spike
+        let est = e.estimate().unwrap();
+        assert!(est < 3e6, "harmonic mean resists the spike: {est}");
+    }
+
+    #[test]
+    fn ewma_tracks_changes() {
+        let mut e = BandwidthEstimator::new(EstimatorKind::Ewma { alpha: 0.5 });
+        e.record(1e6);
+        e.record(3e6);
+        assert!((e.estimate().unwrap() - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut e = BandwidthEstimator::new(EstimatorKind::Harmonic { window: 2 });
+        e.record(1e6);
+        e.record(1e6);
+        e.record(4e6);
+        e.record(4e6);
+        assert!((e.estimate().unwrap() - 4e6).abs() < 1.0, "old samples evicted");
+    }
+
+    #[test]
+    fn empty_estimator_returns_none() {
+        assert_eq!(BandwidthEstimator::festive().estimate(), None);
+    }
+
+    #[test]
+    fn invalid_samples_ignored() {
+        let mut e = BandwidthEstimator::festive();
+        e.record(0.0);
+        e.record(-5.0);
+        e.record(f64::NAN);
+        assert_eq!(e.estimate(), None);
+        e.record(1e6);
+        assert!(e.estimate().is_some());
+    }
+
+    #[test]
+    fn conservative_scales() {
+        let mut e = BandwidthEstimator::festive();
+        e.record(10e6);
+        assert!((e.conservative(0.8).unwrap() - 8e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        BandwidthEstimator::new(EstimatorKind::Harmonic { window: 0 });
+    }
+}

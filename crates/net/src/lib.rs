@@ -1,0 +1,185 @@
+//! # sperke-net — network path models and multipath chunk scheduling
+//!
+//! The §3.3 subsystem: flow-level models of WiFi/LTE paths
+//! ([`PathModel`] over a time-varying [`BandwidthTrace`]), a FIFO
+//! transfer engine with reliable/best-effort delivery ([`PathQueue`]),
+//! client bandwidth estimation ([`BandwidthEstimator`]), and the
+//! multipath schedulers compared in experiment E6 — MPTCP-style
+//! content-agnostic baselines ([`MinRtt`], [`EarliestCompletion`])
+//! versus the paper's priority-driven [`ContentAware`] scheduler.
+//!
+//! ```
+//! use sperke_net::{MultipathSession, ContentAware, ChunkRequest, ChunkPriority, PathQueue, PathModel};
+//! use sperke_sim::{SimRng, SimTime};
+//!
+//! let paths = vec![
+//!     PathQueue::new(PathModel::wifi(), SimRng::new(1)),
+//!     PathQueue::new(PathModel::lte(), SimRng::new(2)),
+//! ];
+//! let mut session = MultipathSession::new(paths, ContentAware);
+//! let req = ChunkRequest { bytes: 250_000, priority: ChunkPriority::FOV, deadline: SimTime::from_secs(2) };
+//! let (completion, path) = session.submit(req, SimTime::ZERO);
+//! assert_eq!(path, 0, "FoV chunk rides the premium path");
+//! assert!(completion.finished > SimTime::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod estimator;
+pub mod multipath;
+pub mod mux;
+pub mod path;
+pub mod priority;
+pub mod shaper;
+pub mod transfer;
+
+pub use bandwidth::BandwidthTrace;
+pub use estimator::{BandwidthEstimator, EstimatorKind};
+pub use multipath::{
+    Assignment, ChunkRequest, ContentAware, EarliestCompletion, MinRtt, MultipathScheduler,
+    MultipathSession, SinglePath,
+};
+pub use mux::{weight_of, MuxLink, StreamCompletion, StreamId};
+pub use path::PathModel;
+pub use priority::{ChunkPriority, Reliability, SpatialPriority, TemporalPriority};
+pub use shaper::TokenBucket;
+pub use transfer::{Completion, PathQueue, TransferId, TransferOutcome};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sperke_sim::{SimDuration, SimRng, SimTime};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Transfer time is monotone in bytes for any constant-rate path.
+        #[test]
+        fn transfer_time_monotone(bps in 1e5f64..1e9, a in 1u64..10_000_000, b in 1u64..10_000_000) {
+            let p = PathModel::new("x", BandwidthTrace::constant(bps),
+                SimDuration::from_millis(20), 0.0);
+            let (small, large) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                p.transfer_time(small, SimTime::ZERO, 1.0) <= p.transfer_time(large, SimTime::ZERO, 1.0)
+            );
+        }
+
+        /// bits_between is additive over adjacent intervals.
+        #[test]
+        fn bits_between_additive(
+            cut_ms in 1u64..10_000,
+            end_extra_ms in 1u64..10_000,
+            rates in proptest::collection::vec(1e5f64..1e8, 1..6),
+        ) {
+            let segments: Vec<(SimTime, f64)> = rates.iter().enumerate()
+                .map(|(i, &r)| (SimTime::from_secs(i as u64 * 2), r))
+                .collect();
+            let tr = BandwidthTrace::steps(segments);
+            let t0 = SimTime::ZERO;
+            let t1 = SimTime::from_millis(cut_ms);
+            let t2 = SimTime::from_millis(cut_ms + end_extra_ms);
+            let whole = tr.bits_between(t0, t2);
+            let parts = tr.bits_between(t0, t1) + tr.bits_between(t1, t2);
+            prop_assert!((whole - parts).abs() < 1.0);
+        }
+
+        /// time_to_transfer inverts bits_between.
+        #[test]
+        fn transfer_inverts_integral(
+            start_ms in 0u64..5000,
+            bits in 1e3f64..1e8,
+            rates in proptest::collection::vec(1e5f64..1e8, 1..6),
+        ) {
+            let segments: Vec<(SimTime, f64)> = rates.iter().enumerate()
+                .map(|(i, &r)| (SimTime::from_secs(i as u64), r))
+                .collect();
+            let tr = BandwidthTrace::steps(segments);
+            let from = SimTime::from_millis(start_ms);
+            let d = tr.time_to_transfer(bits, from, 1.0);
+            let back = tr.bits_between(from, from + d);
+            prop_assert!((back - bits).abs() / bits < 1e-6, "bits {bits} back {back}");
+        }
+
+        /// The mux link conserves work: the makespan of a batch equals
+        /// total bits / rate regardless of weights, and every stream's
+        /// completion is after its submission.
+        #[test]
+        fn mux_conserves_work(
+            sizes in proptest::collection::vec(1_000u64..2_000_000, 1..12),
+            weights in proptest::collection::vec(0.1f64..16.0, 12),
+        ) {
+            let rate = 10e6;
+            let mut link = MuxLink::new(rate);
+            let total_bits: f64 = sizes.iter().map(|&b| b as f64 * 8.0).sum();
+            for (i, &bytes) in sizes.iter().enumerate() {
+                link.submit_weighted(bytes, SimTime::ZERO, weights[i % weights.len()]);
+            }
+            let done = link.drain();
+            prop_assert_eq!(done.len(), sizes.len());
+            let makespan = done.iter().map(|c| c.finished).max().expect("non-empty");
+            let expect = total_bits / rate;
+            prop_assert!((makespan.as_secs_f64() - expect).abs() < 1e-6,
+                "makespan {} vs {}", makespan.as_secs_f64(), expect);
+            for c in &done {
+                prop_assert!(c.finished >= c.submitted);
+            }
+        }
+
+        /// Token buckets never hand out more than depth + rate*time.
+        #[test]
+        fn token_bucket_bounded(
+            rate in 1e5f64..1e8,
+            burst in 1e3f64..1e6,
+            steps in proptest::collection::vec((1u64..2000, 100u64..1_000_000), 1..20),
+        ) {
+            let mut tb = TokenBucket::new(rate, burst);
+            let mut now = SimTime::ZERO;
+            let mut last_done = SimTime::ZERO;
+            for (gap_ms, bytes) in steps {
+                now = now.max(last_done) + SimDuration::from_millis(gap_ms);
+                let done = tb.transmit(bytes, now);
+                prop_assert!(done >= now);
+                // Completion never beats the sustained rate by more than
+                // the burst allowance.
+                let min_time = (bytes as f64 - burst).max(0.0) * 8.0 / rate;
+                prop_assert!(done.saturating_since(now).as_secs_f64() >= min_time - 1e-9);
+                last_done = done;
+            }
+        }
+
+        /// Every scheduler returns a valid path index and completions
+        /// never finish before submission.
+        #[test]
+        fn schedulers_produce_valid_assignments(
+            seed: u64,
+            sizes in proptest::collection::vec(1_000u64..5_000_000, 1..20),
+            prio in 0usize..3,
+        ) {
+            let priorities = [ChunkPriority::CRITICAL, ChunkPriority::FOV, ChunkPriority::OOS];
+            let mk_paths = |s: u64| vec![
+                PathQueue::new(PathModel::wifi(), SimRng::new(s)),
+                PathQueue::new(PathModel::lte(), SimRng::new(s ^ 1)),
+            ];
+            let schedulers: Vec<Box<dyn MultipathScheduler>> = vec![
+                Box::new(SinglePath(0)), Box::new(MinRtt),
+                Box::new(EarliestCompletion), Box::new(ContentAware),
+            ];
+            for sched in schedulers {
+                let mut session = MultipathSession::new(mk_paths(seed), sched);
+                for (i, &bytes) in sizes.iter().enumerate() {
+                    let now = SimTime::from_millis(i as u64 * 100);
+                    let req = ChunkRequest {
+                        bytes,
+                        priority: priorities[prio],
+                        deadline: now + SimDuration::from_secs(2),
+                    };
+                    let (c, path) = session.submit(req, now);
+                    prop_assert!(path < 2);
+                    prop_assert!(c.finished > now);
+                }
+            }
+        }
+    }
+}

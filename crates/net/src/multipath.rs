@@ -1,0 +1,418 @@
+//! Multipath chunk scheduling (§3.3).
+//!
+//! The baseline is MPTCP's content-agnostic model: "the upper-layer
+//! video server application regards all available paths as a single
+//! logical path, while the multipath scheduler transparently splits the
+//! video bitstream over the actual paths." The proposal is to use
+//! application knowledge — the spatial/temporal priorities of Table 1 —
+//! to assign each chunk to an appropriate path and delivery mode.
+
+use crate::priority::{ChunkPriority, Reliability, SpatialPriority, TemporalPriority};
+use crate::transfer::{Completion, PathQueue};
+use serde::{Deserialize, Serialize};
+use sperke_sim::SimTime;
+
+/// A chunk delivery request as seen by the multipath layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRequest {
+    /// Bytes to move.
+    pub bytes: u64,
+    /// Table 1 priority.
+    pub priority: ChunkPriority,
+    /// Playback deadline (informational for schedulers).
+    pub deadline: SimTime,
+}
+
+/// A scheduling decision: which path, and how to deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Index into the path set.
+    pub path: usize,
+    /// Transport reliability to use.
+    pub reliability: Reliability,
+}
+
+/// A multipath chunk scheduler.
+pub trait MultipathScheduler {
+    /// Display name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Decide where to send a request. `paths` is the live path set.
+    fn assign(&mut self, req: &ChunkRequest, paths: &[PathQueue], now: SimTime) -> Assignment;
+}
+
+/// Everything over one fixed path (no multipath).
+#[derive(Debug, Clone, Copy)]
+pub struct SinglePath(pub usize);
+
+impl MultipathScheduler for SinglePath {
+    fn name(&self) -> &'static str {
+        "single-path"
+    }
+
+    fn assign(&mut self, _req: &ChunkRequest, paths: &[PathQueue], _now: SimTime) -> Assignment {
+        assert!(self.0 < paths.len());
+        Assignment { path: self.0, reliability: Reliability::Reliable }
+    }
+}
+
+/// MPTCP's default minRTT scheduler, content-agnostic: send on the
+/// lowest-RTT path that is idle; when all are busy, the one that frees
+/// first. Always reliable (TCP semantics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinRtt;
+
+impl MultipathScheduler for MinRtt {
+    fn name(&self) -> &'static str {
+        "mptcp-minrtt"
+    }
+
+    fn assign(&mut self, _req: &ChunkRequest, paths: &[PathQueue], now: SimTime) -> Assignment {
+        assert!(!paths.is_empty());
+        let idle: Vec<usize> = (0..paths.len())
+            .filter(|&i| paths[i].available_at(now) <= now)
+            .collect();
+        let path = if !idle.is_empty() {
+            *idle
+                .iter()
+                .min_by_key(|&&i| paths[i].path().rtt)
+                .expect("non-empty")
+        } else {
+            (0..paths.len())
+                .min_by_key(|&i| (paths[i].available_at(now), paths[i].path().rtt))
+                .expect("non-empty")
+        };
+        Assignment { path, reliability: Reliability::Reliable }
+    }
+}
+
+/// Greedy earliest-completion splitting: content-agnostic like MPTCP,
+/// but aware of chunk size (a stronger baseline than minRTT).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EarliestCompletion;
+
+impl MultipathScheduler for EarliestCompletion {
+    fn name(&self) -> &'static str {
+        "earliest-completion"
+    }
+
+    fn assign(&mut self, req: &ChunkRequest, paths: &[PathQueue], now: SimTime) -> Assignment {
+        assert!(!paths.is_empty());
+        let path = (0..paths.len())
+            .min_by_key(|&i| paths[i].estimate_completion(req.bytes, now))
+            .expect("non-empty");
+        Assignment { path, reliability: Reliability::Reliable }
+    }
+}
+
+/// The paper's content-aware scheduler: FoV/urgent chunks take the path
+/// that completes them soonest with reliable delivery; OOS chunks are
+/// steered to the *other* path(s) best-effort, keeping the premium path
+/// free — "prioritize FoV and OOS chunks over the high-quality and
+/// low-quality paths, respectively, and deliver them in different
+/// transport-layer QoS (reliable vs best-effort)".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContentAware;
+
+impl MultipathScheduler for ContentAware {
+    fn name(&self) -> &'static str {
+        "content-aware"
+    }
+
+    fn assign(&mut self, req: &ChunkRequest, paths: &[PathQueue], now: SimTime) -> Assignment {
+        assert!(!paths.is_empty());
+        if paths.len() == 1 {
+            return Assignment { path: 0, reliability: req.priority.reliability() };
+        }
+        // Rank paths by completion estimate for this chunk.
+        let mut order: Vec<usize> = (0..paths.len()).collect();
+        order.sort_by_key(|&i| paths[i].estimate_completion(req.bytes, now));
+        let best = order[0];
+        let path = match (req.priority.spatial, req.priority.temporal) {
+            // Urgent chunks always take the fastest completion.
+            (_, TemporalPriority::Urgent) => best,
+            // Regular FoV chunks take the premium path: the one with the
+            // better (lower-loss, then lower-rtt) link, falling back to
+            // earliest completion when it is heavily backlogged.
+            (SpatialPriority::Fov, TemporalPriority::Regular) => {
+                let premium = premium_path(paths);
+                let est_premium = paths[premium].estimate_completion(req.bytes, now);
+                if est_premium <= req.deadline || premium == best {
+                    premium
+                } else {
+                    best
+                }
+            }
+            // OOS chunks go to the non-premium path to keep the premium
+            // path's queue short for FoV traffic — but only best-effort
+            // while that path's loss keeps drops rare; on a badly
+            // degraded secondary, fall back to reliable delivery on the
+            // earliest-completion path (shipping bytes that mostly die
+            // helps nobody).
+            (SpatialPriority::Oos, TemporalPriority::Regular) => {
+                let premium = premium_path(paths);
+                let alt = (0..paths.len())
+                    .filter(|&i| i != premium)
+                    .min_by_key(|&i| paths[i].estimate_completion(req.bytes, now))
+                    .unwrap_or(best);
+                if paths[alt].path().loss <= BEST_EFFORT_MAX_LOSS {
+                    return Assignment { path: alt, reliability: Reliability::BestEffort };
+                }
+                best
+            }
+        };
+        let reliability = match req.priority.spatial {
+            SpatialPriority::Fov => Reliability::Reliable,
+            SpatialPriority::Oos => {
+                if paths[path].path().loss <= BEST_EFFORT_MAX_LOSS {
+                    Reliability::BestEffort
+                } else {
+                    Reliability::Reliable
+                }
+            }
+        };
+        Assignment { path, reliability }
+    }
+}
+
+/// Above this loss rate, best-effort chunk delivery drops too many
+/// chunks to be worth the bytes; the content-aware scheduler switches
+/// the affected traffic back to reliable delivery.
+const BEST_EFFORT_MAX_LOSS: f64 = 0.01;
+
+/// The "high-quality" path: lowest loss, ties broken by RTT then index.
+fn premium_path(paths: &[PathQueue]) -> usize {
+    (0..paths.len())
+        .min_by(|&a, &b| {
+            paths[a]
+                .path()
+                .loss
+                .partial_cmp(&paths[b].path().loss)
+                .expect("loss is finite")
+                .then(paths[a].path().rtt.cmp(&paths[b].path().rtt))
+                .then(a.cmp(&b))
+        })
+        .expect("non-empty")
+}
+
+impl MultipathScheduler for Box<dyn MultipathScheduler> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn assign(&mut self, req: &ChunkRequest, paths: &[PathQueue], now: SimTime) -> Assignment {
+        (**self).assign(req, paths, now)
+    }
+}
+
+/// A set of paths driven by a scheduler, with aggregate accounting.
+pub struct MultipathSession<S: MultipathScheduler> {
+    paths: Vec<PathQueue>,
+    scheduler: S,
+    /// Completions in submission order, with the chosen path.
+    pub log: Vec<(Completion, usize)>,
+}
+
+impl<S: MultipathScheduler> MultipathSession<S> {
+    /// Build a session over the given paths.
+    pub fn new(paths: Vec<PathQueue>, scheduler: S) -> Self {
+        assert!(!paths.is_empty(), "need at least one path");
+        MultipathSession { paths, scheduler, log: Vec::new() }
+    }
+
+    /// The live path set.
+    pub fn paths(&self) -> &[PathQueue] {
+        &self.paths
+    }
+
+    /// The scheduler's name.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Submit a request; returns the completion and the path used.
+    pub fn submit(&mut self, req: ChunkRequest, now: SimTime) -> (Completion, usize) {
+        let assignment = self.scheduler.assign(&req, &self.paths, now);
+        let completion =
+            self.paths[assignment.path].submit(req.bytes, now, assignment.reliability);
+        self.log.push((completion, assignment.path));
+        (completion, assignment.path)
+    }
+
+    /// Total delivered bytes across paths.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.paths.iter().map(|p| p.bytes_delivered).sum()
+    }
+
+    /// Total dropped bytes across paths.
+    pub fn bytes_dropped(&self) -> u64 {
+        self.paths.iter().map(|p| p.bytes_dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BandwidthTrace;
+    use crate::path::PathModel;
+    use sperke_sim::{SimDuration, SimRng};
+
+    fn wifi_lte() -> Vec<PathQueue> {
+        // Path 0: fast & clean (wifi). Path 1: slower & lossy (lte).
+        vec![
+            PathQueue::new(
+                PathModel::new(
+                    "wifi",
+                    BandwidthTrace::constant(25e6),
+                    SimDuration::from_millis(15),
+                    0.001,
+                ),
+                SimRng::new(1),
+            ),
+            PathQueue::new(
+                PathModel::new(
+                    "lte",
+                    BandwidthTrace::constant(8e6),
+                    SimDuration::from_millis(60),
+                    0.02,
+                ),
+                SimRng::new(2),
+            ),
+        ]
+    }
+
+    /// Like [`wifi_lte`] but with a mildly lossy LTE, so the Mathis cap
+    /// does not throttle it (loss 2% caps LTE near 1.7 Mbps) while WiFi
+    /// (0.1% loss) remains the premium path.
+    fn wifi_lte_clean() -> Vec<PathQueue> {
+        let mut paths = wifi_lte();
+        paths[1] = PathQueue::new(
+            PathModel::new(
+                "lte",
+                BandwidthTrace::constant(8e6),
+                SimDuration::from_millis(60),
+                0.002,
+            ),
+            SimRng::new(2),
+        );
+        paths
+    }
+
+    fn fov_req(bytes: u64) -> ChunkRequest {
+        ChunkRequest { bytes, priority: ChunkPriority::FOV, deadline: SimTime::from_secs(10) }
+    }
+
+    fn oos_req(bytes: u64) -> ChunkRequest {
+        ChunkRequest { bytes, priority: ChunkPriority::OOS, deadline: SimTime::from_secs(10) }
+    }
+
+    #[test]
+    fn single_path_sticks() {
+        let mut s = MultipathSession::new(wifi_lte(), SinglePath(1));
+        let (_, p1) = s.submit(fov_req(100_000), SimTime::ZERO);
+        let (_, p2) = s.submit(oos_req(100_000), SimTime::ZERO);
+        assert_eq!((p1, p2), (1, 1));
+    }
+
+    #[test]
+    fn minrtt_prefers_low_rtt_when_idle() {
+        let mut s = MultipathSession::new(wifi_lte(), MinRtt);
+        let (_, p) = s.submit(fov_req(100_000), SimTime::ZERO);
+        assert_eq!(p, 0, "wifi has lower RTT");
+    }
+
+    #[test]
+    fn minrtt_spills_to_second_path_when_busy() {
+        let mut s = MultipathSession::new(wifi_lte(), MinRtt);
+        let (_, p1) = s.submit(fov_req(5_000_000), SimTime::ZERO); // occupies wifi ~1.6s
+        let (_, p2) = s.submit(fov_req(100_000), SimTime::ZERO);
+        assert_eq!(p1, 0);
+        assert_eq!(p2, 1, "wifi busy, lte idle");
+    }
+
+    #[test]
+    fn earliest_completion_considers_size() {
+        let mut s = MultipathSession::new(wifi_lte_clean(), EarliestCompletion);
+        // Fill wifi with a big transfer.
+        s.submit(fov_req(20_000_000), SimTime::ZERO); // ~6.4s on wifi
+        // A new large chunk completes sooner on idle LTE than queued wifi.
+        let (c, p) = s.submit(fov_req(2_000_000), SimTime::ZERO);
+        assert_eq!(p, 1);
+        assert!(c.finished.as_secs_f64() < 6.0);
+    }
+
+    #[test]
+    fn content_aware_separates_fov_and_oos() {
+        let mut s = MultipathSession::new(wifi_lte_clean(), ContentAware);
+        let (_, p_fov) = s.submit(fov_req(500_000), SimTime::ZERO);
+        let (_, p_oos) = s.submit(oos_req(500_000), SimTime::ZERO);
+        assert_eq!(p_fov, 0, "FoV on the premium path");
+        assert_eq!(p_oos, 1, "OOS steered to the secondary path");
+    }
+
+    #[test]
+    fn content_aware_avoids_best_effort_on_degraded_path() {
+        // With a badly lossy secondary (2%), shipping OOS best-effort
+        // would mostly drop; the scheduler falls back to reliable
+        // delivery on the earliest-completion path instead.
+        let mut s = MultipathSession::new(wifi_lte(), ContentAware);
+        for _ in 0..20 {
+            let (c, _) = s.submit(oos_req(400_000), SimTime::ZERO);
+            assert_eq!(c.outcome, crate::transfer::TransferOutcome::Delivered);
+        }
+        assert_eq!(s.bytes_dropped(), 0);
+    }
+
+    #[test]
+    fn content_aware_keeps_premium_queue_short() {
+        // Load both schedulers with alternating FoV/OOS traffic and
+        // compare FoV completion times: content-aware should beat
+        // earliest-completion because OOS bulk never blocks wifi.
+        let run = |mut s: MultipathSession<Box<dyn MultipathScheduler>>| -> f64 {
+            let mut fov_done = Vec::new();
+            for i in 0..10 {
+                let now = SimTime::from_millis(i * 50);
+                let (c, _) = s.submit(fov_req(400_000), now);
+                fov_done.push(c.finished.saturating_since(now).as_secs_f64());
+                s.submit(oos_req(1_200_000), now);
+            }
+            fov_done.iter().sum::<f64>() / fov_done.len() as f64
+        };
+        let aware = run(MultipathSession::new(
+            wifi_lte_clean(),
+            Box::new(ContentAware) as Box<dyn MultipathScheduler>,
+        ));
+        let agnostic = run(MultipathSession::new(
+            wifi_lte_clean(),
+            Box::new(EarliestCompletion) as Box<dyn MultipathScheduler>,
+        ));
+        assert!(
+            aware < agnostic,
+            "content-aware FoV latency {aware:.3}s vs agnostic {agnostic:.3}s"
+        );
+    }
+
+    #[test]
+    fn urgent_chunks_take_fastest_completion() {
+        let mut s = MultipathSession::new(wifi_lte_clean(), ContentAware);
+        // Saturate wifi.
+        s.submit(fov_req(20_000_000), SimTime::ZERO);
+        let urgent = ChunkRequest {
+            bytes: 200_000,
+            priority: ChunkPriority::CRITICAL,
+            deadline: SimTime::from_millis(500),
+        };
+        let (c, p) = s.submit(urgent, SimTime::ZERO);
+        assert_eq!(p, 1, "urgent rides the idle path");
+        assert!(c.finished.as_secs_f64() < 0.5);
+    }
+
+    #[test]
+    fn aggregate_accounting() {
+        let mut s = MultipathSession::new(wifi_lte(), MinRtt);
+        s.submit(fov_req(1_000_000), SimTime::ZERO);
+        s.submit(fov_req(1_000_000), SimTime::ZERO);
+        assert_eq!(s.bytes_delivered(), 2_000_000);
+        assert_eq!(s.log.len(), 2);
+    }
+
+}

@@ -1,0 +1,240 @@
+//! A network path: bandwidth profile + latency + loss, with a TCP-like
+//! transfer-time model.
+//!
+//! The model is flow-level, not packet-level: a transfer of `B` bytes
+//! starting at `t` costs one RTT of request latency, a slow-start ramp
+//! penalty, and then `B` bytes at the path's loss-capped rate. This is
+//! the right granularity for studying chunk scheduling (the paper's
+//! §3.3) — decisions depend on per-chunk completion times, not on
+//! per-packet dynamics.
+
+use crate::bandwidth::BandwidthTrace;
+use serde::{Deserialize, Serialize};
+use sperke_sim::{SimDuration, SimRng, SimTime};
+
+/// TCP maximum segment size used by the loss-throughput cap.
+const MSS_BITS: f64 = 1460.0 * 8.0;
+
+/// A single network path (e.g. WiFi or LTE).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathModel {
+    /// Display name ("wifi", "lte").
+    pub name: String,
+    /// Link capacity over time.
+    pub bandwidth: BandwidthTrace,
+    /// Base round-trip time.
+    pub rtt: SimDuration,
+    /// Packet loss probability in `[0, 1)`.
+    pub loss: f64,
+}
+
+impl PathModel {
+    /// Construct a path.
+    pub fn new(
+        name: impl Into<String>,
+        bandwidth: BandwidthTrace,
+        rtt: SimDuration,
+        loss: f64,
+    ) -> PathModel {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        assert!(!rtt.is_zero(), "rtt must be positive");
+        PathModel { name: name.into(), bandwidth, rtt, loss }
+    }
+
+    /// A typical home WiFi path: 25 Mbps, 15 ms RTT, 0.1 % loss.
+    pub fn wifi() -> PathModel {
+        PathModel::new(
+            "wifi",
+            BandwidthTrace::constant(25e6),
+            SimDuration::from_millis(15),
+            0.001,
+        )
+    }
+
+    /// A typical LTE path: 12 Mbps, 60 ms RTT, 0.5 % loss.
+    pub fn lte() -> PathModel {
+        PathModel::new(
+            "lte",
+            BandwidthTrace::constant(12e6),
+            SimDuration::from_millis(60),
+            0.005,
+        )
+    }
+
+    /// The TCP throughput ceiling imposed by loss (Mathis:
+    /// `MSS / (RTT * sqrt(p)) * C`), bits/second; infinite at zero loss.
+    pub fn loss_cap_bps(&self) -> f64 {
+        if self.loss <= 0.0 {
+            return f64::INFINITY;
+        }
+        let c = 1.22; // sqrt(3/2)
+        c * MSS_BITS / (self.rtt.as_secs_f64() * self.loss.sqrt())
+    }
+
+    /// The achievable steady-state rate at `t` given `share` of the link.
+    pub fn rate_at(&self, t: SimTime, share: f64) -> f64 {
+        (self.bandwidth.at(t) * share).min(self.loss_cap_bps())
+    }
+
+    /// Time to complete a reliable transfer of `bytes` starting at
+    /// `start`, holding `share` of the link: one RTT request latency +
+    /// slow-start ramp + bulk at the loss-capped rate.
+    pub fn transfer_time(&self, bytes: u64, start: SimTime, share: f64) -> SimDuration {
+        assert!(share > 0.0 && share <= 1.0);
+        let bits = bytes as f64 * 8.0;
+        // Slow-start: roughly doubling cwnd each RTT from 10 MSS; we fold
+        // it into an extra latency of log2(ceil(bits / ss_threshold))
+        // RTTs, capped, which matches flow-completion-time models.
+        let initial_window_bits = 10.0 * MSS_BITS;
+        let ramp_rtts = if bits <= initial_window_bits {
+            0.0
+        } else {
+            ((bits / initial_window_bits).log2().ceil()).min(6.0)
+        };
+        let latency = self.rtt + self.rtt.mul_f64(ramp_rtts * 0.5);
+        // Bulk transfer at the (possibly time-varying) capped rate.
+        let cap = self.loss_cap_bps();
+        let data_start = start + latency;
+        let bulk = if cap.is_infinite() {
+            self.bandwidth.time_to_transfer(bits, data_start, share)
+        } else {
+            // Apply the loss cap by scaling the share when the link is
+            // faster than the cap at the start instant (approximation:
+            // the cap rarely binds mid-transfer in our scenarios).
+            let link = self.bandwidth.at(data_start) * share;
+            if link <= cap {
+                self.bandwidth.time_to_transfer(bits, data_start, share)
+            } else {
+                SimDuration::from_secs_f64(bits / cap)
+            }
+        };
+        latency + bulk
+    }
+
+    /// Transfer time on a *warm* connection (back-to-back pipelined
+    /// requests over a persistent connection): no request RTT and no
+    /// slow-start ramp, just bytes at the capped rate.
+    pub fn transfer_time_warm(&self, bytes: u64, start: SimTime, share: f64) -> SimDuration {
+        assert!(share > 0.0 && share <= 1.0);
+        let bits = bytes as f64 * 8.0;
+        let cap = self.loss_cap_bps();
+        let link = self.bandwidth.at(start) * share;
+        if cap.is_finite() && link > cap {
+            SimDuration::from_secs_f64(bits / cap)
+        } else {
+            self.bandwidth.time_to_transfer(bits, start, share)
+        }
+    }
+
+    /// Whether a best-effort (unreliable) transfer of `bytes` survives:
+    /// each MSS-sized packet independently survives with probability
+    /// `1 - loss`, and the transfer is useless if more than 2 % of
+    /// packets are lost (no retransmission). Deterministic in `rng`.
+    pub fn best_effort_survives(&self, bytes: u64, rng: &mut SimRng) -> bool {
+        if self.loss <= 0.0 {
+            return true;
+        }
+        let packets = (bytes as f64 / 1460.0).ceil().max(1.0);
+        // Normal approximation to the binomial count of lost packets.
+        let mean = packets * self.loss;
+        let sd = (packets * self.loss * (1.0 - self.loss)).sqrt();
+        let lost = (mean + sd * rng.gaussian()).max(0.0);
+        lost / packets <= 0.02
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_cap_formula() {
+        let p = PathModel::new(
+            "x",
+            BandwidthTrace::constant(100e6),
+            SimDuration::from_millis(100),
+            0.01,
+        );
+        // 1.22 * 11680 / (0.1 * 0.1) = ~1.42 Mbps
+        let cap = p.loss_cap_bps();
+        assert!((cap - 1.22 * MSS_BITS / 0.01).abs() / cap < 1e-9);
+        assert!(PathModel::new("y", BandwidthTrace::constant(1e6), SimDuration::from_millis(10), 0.0)
+            .loss_cap_bps()
+            .is_infinite());
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let p = PathModel::wifi();
+        let small = p.transfer_time(100_000, SimTime::ZERO, 1.0);
+        let large = p.transfer_time(1_000_000, SimTime::ZERO, 1.0);
+        assert!(large > small);
+        // 1 MB at 25 Mbps ≈ 0.32 s plus latencies.
+        assert!(large.as_secs_f64() > 0.32 && large.as_secs_f64() < 0.5, "{large}");
+    }
+
+    #[test]
+    fn small_transfer_dominated_by_rtt() {
+        let p = PathModel::lte();
+        let t = p.transfer_time(1000, SimTime::ZERO, 1.0);
+        assert!(t >= p.rtt);
+        assert!(t.as_secs_f64() < 0.1);
+    }
+
+    #[test]
+    fn lossy_path_is_slower() {
+        let clean = PathModel::new(
+            "clean",
+            BandwidthTrace::constant(50e6),
+            SimDuration::from_millis(50),
+            0.0,
+        );
+        let lossy = PathModel::new(
+            "lossy",
+            BandwidthTrace::constant(50e6),
+            SimDuration::from_millis(50),
+            0.02,
+        );
+        let bytes = 2_000_000;
+        assert!(
+            lossy.transfer_time(bytes, SimTime::ZERO, 1.0)
+                > clean.transfer_time(bytes, SimTime::ZERO, 1.0)
+        );
+    }
+
+    #[test]
+    fn rate_at_respects_share_and_cap() {
+        let p = PathModel::new(
+            "x",
+            BandwidthTrace::constant(10e6),
+            SimDuration::from_millis(20),
+            0.0,
+        );
+        assert_eq!(p.rate_at(SimTime::ZERO, 0.5), 5e6);
+    }
+
+    #[test]
+    fn best_effort_survival_depends_on_loss() {
+        let mut rng = SimRng::new(3);
+        let clean = PathModel::new("c", BandwidthTrace::constant(1e6), SimDuration::from_millis(10), 0.001);
+        let dirty = PathModel::new("d", BandwidthTrace::constant(1e6), SimDuration::from_millis(10), 0.08);
+        let n = 500;
+        let clean_ok = (0..n).filter(|_| clean.best_effort_survives(500_000, &mut rng)).count();
+        let dirty_ok = (0..n).filter(|_| dirty.best_effort_survives(500_000, &mut rng)).count();
+        assert!(clean_ok > n * 9 / 10, "clean {clean_ok}/{n}");
+        assert!(dirty_ok < n / 10, "dirty {dirty_ok}/{n}");
+    }
+
+    #[test]
+    fn zero_loss_always_survives() {
+        let mut rng = SimRng::new(1);
+        let p = PathModel::new("p", BandwidthTrace::constant(1e6), SimDuration::from_millis(10), 0.0);
+        assert!(p.best_effort_survives(u64::MAX / 2, &mut rng));
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_loss_rejected() {
+        PathModel::new("bad", BandwidthTrace::constant(1e6), SimDuration::from_millis(1), 1.0);
+    }
+}

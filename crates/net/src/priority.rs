@@ -1,0 +1,131 @@
+//! Spatial and temporal chunk priorities (Table 1).
+//!
+//! | Priority | Spatial     | Temporal       |
+//! |----------|-------------|----------------|
+//! | High     | FoV chunks  | urgent chunks  |
+//! | Low      | OOS chunks  | regular chunks |
+//!
+//! These drive the content-aware multipath scheduler (§3.3): FoV and
+//! urgent chunks deserve the better path and reliable delivery; OOS
+//! chunks can ride the weaker path best-effort.
+
+use serde::{Deserialize, Serialize};
+
+/// Spatial priority: is the chunk expected on screen?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SpatialPriority {
+    /// Out-of-sight: fetched only to tolerate HMP error.
+    Oos,
+    /// Inside the predicted field of view.
+    Fov,
+}
+
+/// Temporal priority: how close is the playback deadline?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TemporalPriority {
+    /// Comfortable deadline.
+    Regular,
+    /// "A very short playback deadline due to, for example, a correction
+    /// of a previous inaccurate HMP."
+    Urgent,
+}
+
+/// A chunk's combined delivery priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkPriority {
+    /// Spatial dimension.
+    pub spatial: SpatialPriority,
+    /// Temporal dimension.
+    pub temporal: TemporalPriority,
+}
+
+impl ChunkPriority {
+    /// FoV + urgent: the highest priority.
+    pub const CRITICAL: ChunkPriority = ChunkPriority {
+        spatial: SpatialPriority::Fov,
+        temporal: TemporalPriority::Urgent,
+    };
+    /// FoV + regular.
+    pub const FOV: ChunkPriority = ChunkPriority {
+        spatial: SpatialPriority::Fov,
+        temporal: TemporalPriority::Regular,
+    };
+    /// OOS + regular: the lowest priority.
+    pub const OOS: ChunkPriority = ChunkPriority {
+        spatial: SpatialPriority::Oos,
+        temporal: TemporalPriority::Regular,
+    };
+
+    /// A scalar rank for ordering: higher = more important. Urgency
+    /// dominates spatiality (a late FoV correction beats a prefetch).
+    pub fn rank(self) -> u8 {
+        let t = match self.temporal {
+            TemporalPriority::Urgent => 2,
+            TemporalPriority::Regular => 0,
+        };
+        let s = match self.spatial {
+            SpatialPriority::Fov => 1,
+            SpatialPriority::Oos => 0,
+        };
+        t + s
+    }
+
+    /// Whether this chunk should be delivered reliably (retransmit on
+    /// loss) or best-effort (drop on loss), per §3.3's proposal.
+    pub fn reliability(self) -> Reliability {
+        match self.spatial {
+            SpatialPriority::Fov => Reliability::Reliable,
+            SpatialPriority::Oos => Reliability::BestEffort,
+        }
+    }
+}
+
+impl PartialOrd for ChunkPriority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ChunkPriority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+/// Transport-layer delivery mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reliability {
+    /// Retransmit until delivered (TCP-like).
+    Reliable,
+    /// May be dropped under loss (UDP-like); the receiver copes.
+    BestEffort,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_ordering_matches_table1() {
+        assert!(ChunkPriority::CRITICAL > ChunkPriority::FOV);
+        assert!(ChunkPriority::FOV > ChunkPriority::OOS);
+        let oos_urgent = ChunkPriority {
+            spatial: SpatialPriority::Oos,
+            temporal: TemporalPriority::Urgent,
+        };
+        assert!(oos_urgent > ChunkPriority::FOV, "urgency dominates");
+    }
+
+    #[test]
+    fn reliability_follows_spatial_priority() {
+        assert_eq!(ChunkPriority::FOV.reliability(), Reliability::Reliable);
+        assert_eq!(ChunkPriority::OOS.reliability(), Reliability::BestEffort);
+        assert_eq!(ChunkPriority::CRITICAL.reliability(), Reliability::Reliable);
+    }
+
+    #[test]
+    fn enum_ordering() {
+        assert!(SpatialPriority::Fov > SpatialPriority::Oos);
+        assert!(TemporalPriority::Urgent > TemporalPriority::Regular);
+    }
+}

@@ -1,0 +1,142 @@
+//! Token-bucket traffic shaping — the `tc` in the paper's testbed.
+//!
+//! Table 2's rows were produced with Linux `tc` rate limits, which are
+//! token buckets: a steady fill rate plus a burst allowance. A pure
+//! rate cap (what [`BandwidthTrace::capped`](crate::BandwidthTrace)
+//! models) misses the burst behaviour that lets small objects (MPD
+//! polls, urgent tiles) through a "slow" link instantly.
+
+use serde::{Deserialize, Serialize};
+use sperke_sim::{SimDuration, SimTime};
+
+/// A token bucket: `rate_bps` sustained, up to `burst_bytes` instantly.
+///
+/// ```
+/// use sperke_net::TokenBucket;
+/// use sperke_sim::SimTime;
+///
+/// let mut tb = TokenBucket::tc(0.5e6); // a Table-2 style 0.5 Mbps cap
+/// // A small manifest poll rides the burst allowance instantly...
+/// assert_eq!(tb.transmit(2_000, SimTime::ZERO), SimTime::ZERO);
+/// // ...while a video segment drains at the sustained rate.
+/// let done = tb.transmit(500_000, SimTime::ZERO);
+/// assert!(done.as_secs_f64() > 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    /// Sustained fill rate, bits/second.
+    pub rate_bps: f64,
+    /// Bucket depth, bytes.
+    pub burst_bytes: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A full bucket at time zero.
+    pub fn new(rate_bps: f64, burst_bytes: f64) -> TokenBucket {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        assert!(burst_bytes > 0.0, "burst must be positive");
+        TokenBucket { rate_bps, burst_bytes, tokens: burst_bytes, last: SimTime::ZERO }
+    }
+
+    /// A `tc`-style shaper: rate cap with a 50 ms burst allowance.
+    pub fn tc(rate_bps: f64) -> TokenBucket {
+        TokenBucket::new(rate_bps, (rate_bps * 0.05 / 8.0).max(3000.0))
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        assert!(now >= self.last, "time must be monotone");
+        let dt = (now - self.last).as_secs_f64();
+        self.tokens = (self.tokens + self.rate_bps / 8.0 * dt).min(self.burst_bytes);
+        self.last = now;
+    }
+
+    /// Tokens (bytes) available at `now`.
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// When a transfer of `bytes` submitted at `now` completes under
+    /// this shaper (tokens drawn greedily; the deficit drains at the
+    /// sustained rate). Consumes the tokens.
+    pub fn transmit(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        self.refill(now);
+        let b = bytes as f64;
+        if b <= self.tokens {
+            self.tokens -= b;
+            return now; // rides the burst
+        }
+        let deficit = b - self.tokens;
+        self.tokens = 0.0;
+        let wait = SimDuration::from_secs_f64(deficit * 8.0 / self.rate_bps);
+        self.last = now + wait;
+        now + wait
+    }
+
+    /// The steady-state time to move `bytes` (ignoring any burst).
+    pub fn sustained_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.rate_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_objects_ride_the_burst() {
+        let mut tb = TokenBucket::tc(0.5e6); // Table 2's worst row
+        // An MPD poll (2 kB) goes through instantly despite 0.5 Mbps.
+        let done = tb.transmit(2_000, SimTime::ZERO);
+        assert_eq!(done, SimTime::ZERO);
+    }
+
+    #[test]
+    fn bulk_drains_at_sustained_rate() {
+        let mut tb = TokenBucket::new(8e6, 10_000.0);
+        // 1 MB: 10 kB burst + 990 kB at 1 MB/s = 0.99 s.
+        let done = tb.transmit(1_000_000, SimTime::ZERO);
+        assert!((done.as_secs_f64() - 0.99).abs() < 1e-9, "{done}");
+    }
+
+    #[test]
+    fn bucket_refills_over_idle_time() {
+        let mut tb = TokenBucket::new(8e6, 10_000.0);
+        tb.transmit(10_000, SimTime::ZERO); // drain the burst
+        assert!(tb.available(SimTime::ZERO) < 1.0);
+        // After 10 ms, 10 kB of tokens are back (1 MB/s fill).
+        let avail = tb.available(SimTime::from_millis(10));
+        assert!((avail - 10_000.0).abs() < 1.0, "{avail}");
+    }
+
+    #[test]
+    fn bucket_never_exceeds_depth() {
+        let mut tb = TokenBucket::new(8e6, 5_000.0);
+        assert_eq!(tb.available(SimTime::from_secs(100)), 5_000.0);
+    }
+
+    #[test]
+    fn back_to_back_transfers_serialize() {
+        let mut tb = TokenBucket::new(8e6, 1_000.0);
+        let first = tb.transmit(500_000, SimTime::ZERO);
+        let second = tb.transmit(500_000, first);
+        // Each ~0.5 MB at 1 MB/s ≈ 0.5 s; total ≈ 1 s minus the burst.
+        assert!((second.as_secs_f64() - 0.999).abs() < 0.01, "{second}");
+    }
+
+    #[test]
+    fn sustained_time_matches_rate() {
+        let tb = TokenBucket::new(4e6, 1.0 + 1e4);
+        assert!((tb.sustained_time(500_000).as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_must_be_monotone() {
+        let mut tb = TokenBucket::new(1e6, 1000.0);
+        tb.transmit(100, SimTime::from_secs(5));
+        tb.transmit(100, SimTime::from_secs(1));
+    }
+}

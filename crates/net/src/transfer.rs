@@ -1,0 +1,237 @@
+//! A per-path FIFO transfer engine.
+//!
+//! Chunk requests queue on a path and complete in order; each transfer's
+//! duration comes from the [`PathModel`] at its actual start time. This
+//! captures head-of-line blocking — the phenomenon the content-aware
+//! scheduler exploits by keeping OOS bulk off the path that urgent FoV
+//! chunks need.
+
+use crate::path::PathModel;
+use crate::priority::Reliability;
+use serde::{Deserialize, Serialize};
+use sperke_sim::{SimRng, SimTime};
+
+/// Identifier for a transfer accepted by a [`PathQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransferId(pub u64);
+
+/// The outcome of a completed transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferOutcome {
+    /// All bytes delivered.
+    Delivered,
+    /// Best-effort transfer lost too many packets and was discarded.
+    Dropped,
+}
+
+/// A completed transfer record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The transfer.
+    pub id: TransferId,
+    /// When the request was submitted.
+    pub submitted: SimTime,
+    /// When the last byte arrived (or the drop was detected).
+    pub finished: SimTime,
+    /// Bytes requested.
+    pub bytes: u64,
+    /// Outcome.
+    pub outcome: TransferOutcome,
+}
+
+impl Completion {
+    /// Achieved goodput in bits/second (0 for drops).
+    pub fn goodput_bps(&self) -> f64 {
+        if self.outcome == TransferOutcome::Dropped {
+            return 0.0;
+        }
+        let secs = self.finished.saturating_since(self.submitted).as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / secs
+        }
+    }
+}
+
+/// FIFO transfer queue over one path.
+#[derive(Debug, Clone)]
+pub struct PathQueue {
+    path: PathModel,
+    /// When the path frees up.
+    busy_until: SimTime,
+    next_id: u64,
+    rng: SimRng,
+    /// Bytes delivered so far (for accounting).
+    pub bytes_delivered: u64,
+    /// Bytes submitted that were dropped (best-effort losses).
+    pub bytes_dropped: u64,
+}
+
+impl PathQueue {
+    /// Wrap a path model; `rng` drives best-effort loss outcomes.
+    pub fn new(path: PathModel, rng: SimRng) -> PathQueue {
+        PathQueue {
+            path,
+            busy_until: SimTime::ZERO,
+            next_id: 0,
+            rng,
+            bytes_delivered: 0,
+            bytes_dropped: 0,
+        }
+    }
+
+    /// The wrapped path.
+    pub fn path(&self) -> &PathModel {
+        &self.path
+    }
+
+    /// When the queue drains (never before `now`).
+    pub fn available_at(&self, now: SimTime) -> SimTime {
+        self.busy_until.max(now)
+    }
+
+    /// Estimated completion time if `bytes` were enqueued now — the
+    /// quantity schedulers compare across paths.
+    pub fn estimate_completion(&self, bytes: u64, now: SimTime) -> SimTime {
+        let start = self.available_at(now);
+        if start > now {
+            start + self.path.transfer_time_warm(bytes, start, 1.0)
+        } else {
+            start + self.path.transfer_time(bytes, start, 1.0)
+        }
+    }
+
+    /// Enqueue a transfer; returns its completion record.
+    ///
+    /// When the queue is busy the new transfer pipelines over the warm
+    /// persistent connection (no per-request RTT); from idle it pays the
+    /// full request latency and slow-start ramp.
+    pub fn submit(&mut self, bytes: u64, now: SimTime, reliability: Reliability) -> Completion {
+        let start = self.available_at(now);
+        let duration = if start > now {
+            self.path.transfer_time_warm(bytes, start, 1.0)
+        } else {
+            self.path.transfer_time(bytes, start, 1.0)
+        };
+        let finished = start + duration;
+        self.busy_until = finished;
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        let outcome = match reliability {
+            Reliability::Reliable => TransferOutcome::Delivered,
+            Reliability::BestEffort => {
+                if self.path.best_effort_survives(bytes, &mut self.rng) {
+                    TransferOutcome::Delivered
+                } else {
+                    TransferOutcome::Dropped
+                }
+            }
+        };
+        match outcome {
+            TransferOutcome::Delivered => self.bytes_delivered += bytes,
+            TransferOutcome::Dropped => self.bytes_dropped += bytes,
+        }
+        Completion { id, submitted: now, finished, bytes, outcome }
+    }
+
+    /// Drop all queued work (e.g. on a VRA rescheduling decision): the
+    /// path frees immediately at `now`.
+    pub fn flush(&mut self, now: SimTime) {
+        self.busy_until = self.busy_until.min(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BandwidthTrace;
+    use sperke_sim::SimDuration;
+
+    fn queue(bps: f64) -> PathQueue {
+        PathQueue::new(
+            PathModel::new(
+                "t",
+                BandwidthTrace::constant(bps),
+                SimDuration::from_millis(10),
+                0.0,
+            ),
+            SimRng::new(1),
+        )
+    }
+
+    #[test]
+    fn sequential_transfers_queue_up() {
+        let mut q = queue(8e6); // 1 MB/s
+        let a = q.submit(1_000_000, SimTime::ZERO, Reliability::Reliable);
+        let b = q.submit(1_000_000, SimTime::ZERO, Reliability::Reliable);
+        assert!(b.finished > a.finished, "FIFO ordering");
+        // Second starts when the first ends.
+        let gap = b.finished - a.finished;
+        assert!(gap.as_secs_f64() > 0.9, "second transfer takes ~1s, gap {gap}");
+    }
+
+    #[test]
+    fn estimate_matches_submit() {
+        let mut q = queue(8e6);
+        let est = q.estimate_completion(500_000, SimTime::ZERO);
+        let got = q.submit(500_000, SimTime::ZERO, Reliability::Reliable);
+        assert_eq!(est, got.finished);
+    }
+
+    #[test]
+    fn idle_queue_starts_immediately() {
+        let mut q = queue(8e6);
+        let c = q.submit(1_000_000, SimTime::from_secs(5), Reliability::Reliable);
+        assert!(c.finished.as_secs_f64() > 5.9 && c.finished.as_secs_f64() < 6.2);
+    }
+
+    #[test]
+    fn flush_frees_the_path() {
+        let mut q = queue(8e6);
+        q.submit(10_000_000, SimTime::ZERO, Reliability::Reliable); // ~10s
+        q.flush(SimTime::from_secs(1));
+        let c = q.submit(8_000, SimTime::from_secs(1), Reliability::Reliable);
+        assert!(c.finished.as_secs_f64() < 1.1, "path freed at flush time");
+    }
+
+    #[test]
+    fn goodput_accounting() {
+        let mut q = queue(8e6);
+        let c = q.submit(1_000_000, SimTime::ZERO, Reliability::Reliable);
+        let g = c.goodput_bps();
+        assert!(g > 6e6 && g < 8.1e6, "goodput {g}");
+        assert_eq!(q.bytes_delivered, 1_000_000);
+        assert_eq!(q.bytes_dropped, 0);
+    }
+
+    #[test]
+    fn best_effort_on_lossy_path_drops() {
+        let mut q = PathQueue::new(
+            PathModel::new(
+                "lossy",
+                BandwidthTrace::constant(8e6),
+                SimDuration::from_millis(10),
+                0.08,
+            ),
+            SimRng::new(2),
+        );
+        let mut dropped = 0;
+        for _ in 0..50 {
+            let c = q.submit(500_000, SimTime::ZERO, Reliability::BestEffort);
+            if c.outcome == TransferOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 40, "8% loss should kill most best-effort chunks");
+        assert!(q.bytes_dropped > 0);
+    }
+
+    #[test]
+    fn transfer_ids_unique() {
+        let mut q = queue(8e6);
+        let a = q.submit(1, SimTime::ZERO, Reliability::Reliable);
+        let b = q.submit(1, SimTime::ZERO, Reliability::Reliable);
+        assert_ne!(a.id, b.id);
+    }
+}

@@ -1,0 +1,214 @@
+//! Typed session event log.
+//!
+//! `run_session` can record everything it does as a stream of
+//! [`PlayerEvent`]s — the raw material for debugging a policy, plotting
+//! a session timeline, or feeding external analysis, mirroring how the
+//! prototype would log its pipeline (§3.5).
+
+use serde::{Deserialize, Serialize};
+use sperke_net::ChunkPriority;
+use sperke_sim::{SimDuration, SimTime};
+use sperke_video::{ChunkTime, Quality};
+use sperke_geo::TileId;
+
+/// One logged event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlayerEvent {
+    /// A fetch plan was issued for a chunk time.
+    PlanIssued {
+        /// Wall time of the decision.
+        at: SimTime,
+        /// The chunk planned.
+        chunk: ChunkTime,
+        /// Chosen FoV quality.
+        fov_quality: Quality,
+        /// Number of fetches in the plan.
+        fetches: u32,
+        /// Total planned bytes.
+        bytes: u64,
+    },
+    /// A tile transfer finished.
+    FetchCompleted {
+        /// Completion wall time.
+        at: SimTime,
+        /// The tile.
+        tile: TileId,
+        /// The chunk time.
+        chunk: ChunkTime,
+        /// Delivered quality.
+        quality: Quality,
+        /// Delivery priority used.
+        priority: ChunkPriority,
+        /// Whether the transfer was dropped (best-effort loss).
+        dropped: bool,
+    },
+    /// Playback stalled waiting for a chunk.
+    Stalled {
+        /// When the stall began.
+        at: SimTime,
+        /// The blocking chunk.
+        chunk: ChunkTime,
+        /// Stall length.
+        duration: SimDuration,
+    },
+    /// A realtime chunk missed its deadline and was skipped.
+    Skipped {
+        /// The deadline that was missed.
+        at: SimTime,
+        /// The skipped chunk.
+        chunk: ChunkTime,
+    },
+    /// An incremental upgrade was applied (§3.1.1).
+    Upgraded {
+        /// Completion wall time.
+        at: SimTime,
+        /// The tile upgraded.
+        tile: TileId,
+        /// The chunk time.
+        chunk: ChunkTime,
+        /// Quality reached.
+        to: Quality,
+        /// Delta bytes fetched.
+        delta_bytes: u64,
+    },
+    /// A chunk was displayed.
+    Displayed {
+        /// Display wall time.
+        at: SimTime,
+        /// The chunk.
+        chunk: ChunkTime,
+        /// Screen-weighted viewport utility.
+        viewport_utility: f64,
+        /// Blank screen fraction.
+        blank: f64,
+    },
+}
+
+impl PlayerEvent {
+    /// The event's wall time.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            PlayerEvent::PlanIssued { at, .. }
+            | PlayerEvent::FetchCompleted { at, .. }
+            | PlayerEvent::Stalled { at, .. }
+            | PlayerEvent::Skipped { at, .. }
+            | PlayerEvent::Upgraded { at, .. }
+            | PlayerEvent::Displayed { at, .. } => at,
+        }
+    }
+
+    /// The chunk the event concerns.
+    pub fn chunk(&self) -> ChunkTime {
+        match *self {
+            PlayerEvent::PlanIssued { chunk, .. }
+            | PlayerEvent::FetchCompleted { chunk, .. }
+            | PlayerEvent::Stalled { chunk, .. }
+            | PlayerEvent::Skipped { chunk, .. }
+            | PlayerEvent::Upgraded { chunk, .. }
+            | PlayerEvent::Displayed { chunk, .. } => chunk,
+        }
+    }
+}
+
+/// An in-memory event collector.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<PlayerEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: PlayerEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in emission order.
+    pub fn events(&self) -> &[PlayerEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events concerning one chunk.
+    pub fn for_chunk(&self, chunk: ChunkTime) -> Vec<&PlayerEvent> {
+        self.events.iter().filter(|e| e.chunk() == chunk).collect()
+    }
+
+    /// Serialize to newline-delimited JSON.
+    pub fn to_ndjson(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("event serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let events = [
+            PlayerEvent::PlanIssued {
+                at: SimTime::from_secs(1),
+                chunk: ChunkTime(3),
+                fov_quality: Quality(2),
+                fetches: 9,
+                bytes: 1000,
+            },
+            PlayerEvent::Stalled {
+                at: SimTime::from_secs(2),
+                chunk: ChunkTime(3),
+                duration: SimDuration::from_millis(300),
+            },
+            PlayerEvent::Skipped { at: SimTime::from_secs(3), chunk: ChunkTime(3) },
+            PlayerEvent::Displayed {
+                at: SimTime::from_secs(4),
+                chunk: ChunkTime(3),
+                viewport_utility: 1.5,
+                blank: 0.0,
+            },
+        ];
+        for e in events {
+            assert_eq!(e.chunk(), ChunkTime(3));
+            assert!(e.at() >= SimTime::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn log_collects_and_filters() {
+        let mut log = EventLog::new();
+        log.push(PlayerEvent::Skipped { at: SimTime::ZERO, chunk: ChunkTime(0) });
+        log.push(PlayerEvent::Skipped { at: SimTime::from_secs(1), chunk: ChunkTime(1) });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.for_chunk(ChunkTime(1)).len(), 1);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn ndjson_has_one_line_per_event() {
+        let mut log = EventLog::new();
+        for i in 0..5u32 {
+            log.push(PlayerEvent::Skipped {
+                at: SimTime::from_secs(i as u64),
+                chunk: ChunkTime(i),
+            });
+        }
+        assert_eq!(log.to_ndjson().lines().count(), 5);
+    }
+}

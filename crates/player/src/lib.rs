@@ -1,0 +1,23 @@
+//! # sperke-player — the FoV-guided adaptive streaming client
+//!
+//! Figure 4's client-side logic as a deterministic simulation: the
+//! [`CellBuffer`] (encoded chunk cache), the per-session QoE model
+//! ([`QoeReport`], §3.1.2's stalls/bitrate/switches plus 360°-specific
+//! viewport quality and blank fraction), and [`run_session`] — the loop
+//! that plans with `sperke-vra`, forecasts with `sperke-hmp`, transfers
+//! with `sperke-net`, applies incremental upgrades, and scores what the
+//! user actually saw.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod client;
+pub mod events;
+pub mod qoe;
+pub mod session;
+
+pub use buffer::{BufferedCell, CellBuffer};
+pub use qoe::{ChunkRecord, QoeReport, QoeWeights};
+pub use client::{ClientStats, DashClient};
+pub use events::{EventLog, PlayerEvent};
+pub use session::{run_session, run_session_logged, PlannerKind, PlayerConfig, SessionResult};

@@ -1,0 +1,209 @@
+//! Quality-of-experience accounting.
+//!
+//! §3.1.2: the VRA goal is "to maximize the user QoE \[14\] (fewer
+//! stalls/skips, higher bitrate, and fewer quality changes)". For 360°
+//! video the bitrate that matters is the quality *inside the viewport
+//! actually watched*; bytes spent on tiles never seen are waste, not
+//! QoE.
+
+use serde::{Deserialize, Serialize};
+use sperke_sim::SimDuration;
+
+/// Weights of the composite QoE score (MPC-style linear QoE \[44\]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoeWeights {
+    /// Reward per unit of time-averaged viewport utility.
+    pub quality: f64,
+    /// Penalty per second of stall.
+    pub stall: f64,
+    /// Penalty per quality-level switch between consecutive chunks.
+    pub switch: f64,
+    /// Penalty per unit of blank-screen fraction (unfetched tile shown).
+    pub blank: f64,
+}
+
+impl Default for QoeWeights {
+    fn default() -> Self {
+        QoeWeights { quality: 1.0, stall: 4.0, switch: 0.5, blank: 6.0 }
+    }
+}
+
+/// One displayed chunk's record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// Chunk index.
+    pub index: u32,
+    /// Screen-share-weighted mean utility of the displayed viewport.
+    pub viewport_utility: f64,
+    /// Fraction of the screen with no buffered tile (displayed blank /
+    /// frozen).
+    pub blank_fraction: f64,
+    /// Quality level of the FoV plan for this chunk.
+    pub fov_quality: u8,
+    /// Stall incurred waiting for this chunk.
+    pub stall: SimDuration,
+    /// Bytes fetched for this chunk (all tiles + upgrades).
+    pub bytes_fetched: u64,
+    /// Of those, bytes for tiles that ended up outside the viewport, plus
+    /// bytes discarded by AVC re-downloads.
+    pub bytes_wasted: u64,
+}
+
+/// The aggregated session report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QoeReport {
+    /// Number of chunks displayed.
+    pub chunks: u32,
+    /// Mean viewport utility (0 = base quality everywhere).
+    pub mean_viewport_utility: f64,
+    /// Mean blank fraction.
+    pub mean_blank_fraction: f64,
+    /// Total stall time.
+    pub stall_time: SimDuration,
+    /// Number of stall events.
+    pub stall_count: u32,
+    /// Startup delay (first-frame latency).
+    pub startup_delay: SimDuration,
+    /// Number of FoV quality switches.
+    pub quality_switches: u32,
+    /// Total bytes fetched.
+    pub bytes_fetched: u64,
+    /// Bytes that never contributed to the displayed viewport.
+    pub bytes_wasted: u64,
+    /// The composite score under the given weights.
+    pub score: f64,
+}
+
+impl QoeReport {
+    /// Aggregate per-chunk records into a report.
+    pub fn from_records(records: &[ChunkRecord], startup_delay: SimDuration, weights: &QoeWeights) -> QoeReport {
+        let n = records.len() as f64;
+        if records.is_empty() {
+            return QoeReport {
+                chunks: 0,
+                mean_viewport_utility: 0.0,
+                mean_blank_fraction: 0.0,
+                stall_time: SimDuration::ZERO,
+                stall_count: 0,
+                startup_delay,
+                quality_switches: 0,
+                bytes_fetched: 0,
+                bytes_wasted: 0,
+                score: 0.0,
+            };
+        }
+        let mean_utility = records.iter().map(|r| r.viewport_utility).sum::<f64>() / n;
+        let mean_blank = records.iter().map(|r| r.blank_fraction).sum::<f64>() / n;
+        let stall_time = records
+            .iter()
+            .fold(SimDuration::ZERO, |acc, r| acc + r.stall);
+        let stall_count = records.iter().filter(|r| !r.stall.is_zero()).count() as u32;
+        let switches = records
+            .windows(2)
+            .filter(|w| w[0].fov_quality != w[1].fov_quality)
+            .count() as u32;
+        let bytes_fetched = records.iter().map(|r| r.bytes_fetched).sum();
+        let bytes_wasted = records.iter().map(|r| r.bytes_wasted).sum();
+        let score = weights.quality * mean_utility
+            - weights.stall * stall_time.as_secs_f64() / n
+            - weights.switch * switches as f64 / n
+            - weights.blank * mean_blank;
+        QoeReport {
+            chunks: records.len() as u32,
+            mean_viewport_utility: mean_utility,
+            mean_blank_fraction: mean_blank,
+            stall_time,
+            stall_count,
+            startup_delay,
+            quality_switches: switches,
+            bytes_fetched,
+            bytes_wasted,
+            score,
+        }
+    }
+
+    /// Waste as a fraction of fetched bytes.
+    pub fn waste_fraction(&self) -> f64 {
+        if self.bytes_fetched == 0 {
+            0.0
+        } else {
+            self.bytes_wasted as f64 / self.bytes_fetched as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u32, util: f64, q: u8, stall_ms: u64) -> ChunkRecord {
+        ChunkRecord {
+            index: i,
+            viewport_utility: util,
+            blank_fraction: 0.0,
+            fov_quality: q,
+            stall: SimDuration::from_millis(stall_ms),
+            bytes_fetched: 1000,
+            bytes_wasted: 100,
+        }
+    }
+
+    #[test]
+    fn empty_records_zeroed() {
+        let r = QoeReport::from_records(&[], SimDuration::ZERO, &QoeWeights::default());
+        assert_eq!(r.chunks, 0);
+        assert_eq!(r.score, 0.0);
+    }
+
+    #[test]
+    fn aggregation_counts_switches_and_stalls() {
+        let records = vec![
+            record(0, 2.0, 1, 0),
+            record(1, 2.0, 2, 500),
+            record(2, 2.0, 2, 0),
+            record(3, 2.0, 1, 250),
+        ];
+        let r = QoeReport::from_records(&records, SimDuration::from_millis(900), &QoeWeights::default());
+        assert_eq!(r.chunks, 4);
+        assert_eq!(r.quality_switches, 2);
+        assert_eq!(r.stall_count, 2);
+        assert_eq!(r.stall_time, SimDuration::from_millis(750));
+        assert_eq!(r.bytes_fetched, 4000);
+        assert_eq!(r.bytes_wasted, 400);
+        assert!((r.waste_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(r.startup_delay, SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn score_decreases_with_stalls() {
+        let clean = vec![record(0, 2.0, 1, 0), record(1, 2.0, 1, 0)];
+        let stalled = vec![record(0, 2.0, 1, 0), record(1, 2.0, 1, 2000)];
+        let w = QoeWeights::default();
+        let a = QoeReport::from_records(&clean, SimDuration::ZERO, &w).score;
+        let b = QoeReport::from_records(&stalled, SimDuration::ZERO, &w).score;
+        assert!(a > b);
+    }
+
+    #[test]
+    fn score_increases_with_utility() {
+        let lo = vec![record(0, 1.0, 1, 0)];
+        let hi = vec![record(0, 3.0, 1, 0)];
+        let w = QoeWeights::default();
+        assert!(
+            QoeReport::from_records(&hi, SimDuration::ZERO, &w).score
+                > QoeReport::from_records(&lo, SimDuration::ZERO, &w).score
+        );
+    }
+
+    #[test]
+    fn blank_fraction_penalized() {
+        let mut blank = record(0, 2.0, 1, 0);
+        blank.blank_fraction = 0.5;
+        let clean = record(0, 2.0, 1, 0);
+        let w = QoeWeights::default();
+        assert!(
+            QoeReport::from_records(&[clean], SimDuration::ZERO, &w).score
+                > QoeReport::from_records(&[blank], SimDuration::ZERO, &w).score
+        );
+    }
+}

@@ -1,0 +1,739 @@
+//! The end-to-end streaming session: Figure 4's client loop.
+//!
+//! Ties together head-movement prediction (`sperke-hmp`), rate
+//! adaptation (`sperke-vra`) and the network (`sperke-net`) over a
+//! virtual clock, and scores the result (`qoe`). The download pipeline
+//! is chunk-sequential: plan → fetch (FoV blocks, OOS rides along) →
+//! optional incremental-upgrade pass near the deadline → display → next
+//! chunk. Stalls push the playback timeline exactly as a real player's
+//! rebuffering does, while the head keeps moving on the wall clock.
+
+use crate::buffer::CellBuffer;
+use crate::events::{EventLog, PlayerEvent};
+use crate::qoe::{ChunkRecord, QoeReport, QoeWeights};
+use sperke_hmp::{Forecaster, HeadTrace};
+use sperke_net::{
+    BandwidthEstimator, ChunkPriority, ChunkRequest, EstimatorKind, MultipathScheduler,
+    MultipathSession, PathQueue, SpatialPriority, TransferOutcome,
+};
+use sperke_sim::{SimDuration, SimTime};
+use sperke_vra::{
+    decide_upgrade, plan_fov_agnostic, upgrade_candidates, Abr, FetchPlan, PlanInput, SperkeConfig,
+    SperkeVra, UpgradeConfig, UpgradeDecision,
+};
+use sperke_video::{CellId, ChunkForm, Quality, Scheme, VideoModel};
+
+/// Which planner drives fetching.
+#[derive(Debug, Clone)]
+pub enum PlannerKind {
+    /// The full Sperke FoV-guided planner (§3.1).
+    Sperke(SperkeConfig),
+    /// The §2 baseline: fetch the entire panorama every chunk.
+    FovAgnostic,
+}
+
+/// Player configuration.
+#[derive(Debug, Clone)]
+pub struct PlayerConfig {
+    /// Planner choice.
+    pub planner: PlannerKind,
+    /// Whether the incremental-upgrade pass runs (§3.1.1).
+    pub upgrades_enabled: bool,
+    /// Upgrade tuning.
+    pub upgrade: UpgradeConfig,
+    /// Bandwidth estimator kind.
+    pub estimator: EstimatorKind,
+    /// Samples of gaze history handed to the forecaster.
+    pub history_samples: usize,
+    /// QoE weights.
+    pub weights: QoeWeights,
+    /// How close to the deadline the upgrade pass re-checks the HMP.
+    pub upgrade_lead: SimDuration,
+    /// Prefetch depth cap: fetching chunk `t` waits until its deadline
+    /// is at most this far away. FoV-guided players must keep this short
+    /// — "the HMP prediction window is usually short and may thus limit
+    /// the video buffer occupancy" (§3.1.2).
+    pub max_buffer: SimDuration,
+    /// Realtime (live) mode: "for realtime (live) streaming, chunks not
+    /// received by their deadlines are skipped" (§3.1.2, footnote) —
+    /// the playback timeline never stalls; late chunks display blank.
+    pub realtime: bool,
+}
+
+impl Default for PlayerConfig {
+    fn default() -> Self {
+        PlayerConfig {
+            planner: PlannerKind::Sperke(SperkeConfig::default()),
+            upgrades_enabled: true,
+            upgrade: UpgradeConfig::default(),
+            estimator: EstimatorKind::Harmonic { window: 5 },
+            history_samples: 50,
+            weights: QoeWeights::default(),
+            upgrade_lead: SimDuration::from_millis(600),
+            max_buffer: SimDuration::from_secs(2),
+            realtime: false,
+        }
+    }
+}
+
+/// The session outcome.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// Aggregated QoE.
+    pub qoe: QoeReport,
+    /// Per-chunk details.
+    pub records: Vec<ChunkRecord>,
+    /// Bytes delivered per path index.
+    pub path_bytes: Vec<u64>,
+    /// Scheduler used.
+    pub scheduler: &'static str,
+    /// Number of successful incremental upgrades applied.
+    pub upgrades_applied: u32,
+}
+
+enum PlannerState<A: Abr> {
+    Sperke(Box<SperkeVra<A>>),
+    Agnostic(A),
+}
+
+/// Run a streaming session of `video` for the viewer in `trace`.
+///
+/// * `paths` + `scheduler` — the network (§3.3); pass one path and
+///   [`sperke_net::SinglePath`] for single-path experiments.
+/// * `abr` — the inner rate-adaptation algorithm (§3.1.2).
+/// * `forecaster` — the HMP stack (§3.2).
+pub fn run_session<A: Abr, S: MultipathScheduler, F: Forecaster>(
+    video: &VideoModel,
+    trace: &HeadTrace,
+    paths: Vec<PathQueue>,
+    scheduler: S,
+    abr: A,
+    forecaster: &F,
+    config: &PlayerConfig,
+) -> SessionResult {
+    run_session_impl(video, trace, paths, scheduler, abr, forecaster, config, None)
+}
+
+/// Like [`run_session`], additionally recording every decision into
+/// `log` as typed [`PlayerEvent`]s.
+#[allow(clippy::too_many_arguments)]
+pub fn run_session_logged<A: Abr, S: MultipathScheduler, F: Forecaster>(
+    video: &VideoModel,
+    trace: &HeadTrace,
+    paths: Vec<PathQueue>,
+    scheduler: S,
+    abr: A,
+    forecaster: &F,
+    config: &PlayerConfig,
+    log: &mut EventLog,
+) -> SessionResult {
+    run_session_impl(video, trace, paths, scheduler, abr, forecaster, config, Some(log))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
+    video: &VideoModel,
+    trace: &HeadTrace,
+    paths: Vec<PathQueue>,
+    scheduler: S,
+    abr: A,
+    forecaster: &F,
+    config: &PlayerConfig,
+    mut log: Option<&mut EventLog>,
+) -> SessionResult {
+    let cd = video.chunk_duration();
+    let mut net = MultipathSession::new(paths, scheduler);
+    let mut estimator = BandwidthEstimator::new(config.estimator);
+    let mut buffer = CellBuffer::new();
+    let mut records = Vec::new();
+    let mut upgrades_applied = 0u32;
+
+    let mut planner = match &config.planner {
+        PlannerKind::Sperke(cfg) => {
+            PlannerState::Sperke(Box::new(SperkeVra::new(abr, cfg.clone())))
+        }
+        PlannerKind::FovAgnostic => PlannerState::Agnostic(abr),
+    };
+
+    let mut now = SimTime::ZERO;
+    let mut stall_total = SimDuration::ZERO;
+    let mut playback_start: Option<SimTime> = None;
+    let mut last_quality = Quality::LOWEST;
+    let mut startup_delay = SimDuration::ZERO;
+
+    for t in video.chunk_times() {
+        // --- Timeline bookkeeping.
+        let est_deadline = match playback_start {
+            Some(ps) => ps + cd * t.0 as u64 + stall_total,
+            None => now + cd, // optimistic guess before playback starts
+        };
+        // Prefetch throttle: idle until the chunk enters the window.
+        let mut buffer_level = est_deadline.saturating_since(now);
+        if buffer_level > config.max_buffer {
+            now = SimTime::from_nanos(
+                est_deadline.as_nanos() - config.max_buffer.as_nanos(),
+            );
+            buffer_level = config.max_buffer;
+        }
+
+        // --- HMP: gaze history lives on the wall clock since playback
+        // start (the head keeps moving during stalls).
+        let trace_now = playback_start
+            .map(|ps| now.saturating_since(ps))
+            .unwrap_or(SimDuration::ZERO);
+        let trace_target = playback_start
+            .map(|ps| est_deadline.saturating_since(ps))
+            .unwrap_or(SimDuration::ZERO);
+        let history = trace.history(SimTime::ZERO + trace_now, config.history_samples);
+        let forecast = forecaster.forecast(
+            video.grid(),
+            &history,
+            SimTime::ZERO + trace_now,
+            SimTime::ZERO + trace_target,
+            t,
+        );
+
+        // --- Plan.
+        let bw = estimator.conservative(0.9);
+        let plan: FetchPlan = match &mut planner {
+            PlannerState::Sperke(vra) => vra.plan(&PlanInput {
+                video,
+                forecast: &forecast,
+                time: t,
+                now,
+                buffer: buffer_level,
+                bandwidth_bps: bw,
+                bandwidth_forecast: vec![],
+                last_quality,
+            }),
+            PlannerState::Agnostic(a) => {
+                plan_fov_agnostic(a, video, t, buffer_level, bw, last_quality)
+            }
+        };
+
+        if let Some(l) = log.as_deref_mut() {
+            l.push(PlayerEvent::PlanIssued {
+                at: now,
+                chunk: t,
+                fov_quality: plan.fov_quality,
+                fetches: plan.fetches.len() as u32,
+                bytes: plan.total_bytes(),
+            });
+        }
+
+        // --- Fetch. FoV first (plans order them first), track completion.
+        let mut chunk_bytes = 0u64;
+        let mut batch_delivered = 0u64;
+        let mut batch_end = now;
+        let mut fov_done = now;
+        for fetch in &plan.fetches {
+            let req = ChunkRequest {
+                bytes: fetch.bytes,
+                priority: fetch.priority,
+                deadline: est_deadline,
+            };
+            let (completion, _path) = net.submit(req, now);
+            chunk_bytes += fetch.bytes;
+            if let Some(l) = log.as_deref_mut() {
+                l.push(PlayerEvent::FetchCompleted {
+                    at: completion.finished,
+                    tile: fetch.chunk.tile,
+                    chunk: t,
+                    quality: fetch.chunk.quality,
+                    priority: fetch.priority,
+                    dropped: completion.outcome == TransferOutcome::Dropped,
+                });
+            }
+            match completion.outcome {
+                TransferOutcome::Delivered => {
+                    batch_delivered += fetch.bytes;
+                    batch_end = batch_end.max(completion.finished);
+                    buffer.insert(
+                        CellId::new(fetch.chunk.tile, fetch.chunk.time),
+                        fetch.chunk.quality,
+                        fetch.form,
+                        fetch.bytes,
+                    );
+                    if fetch.priority.spatial == SpatialPriority::Fov {
+                        fov_done = fov_done.max(completion.finished);
+                    }
+                }
+                TransferOutcome::Dropped => {
+                    if fetch.priority.spatial == SpatialPriority::Fov {
+                        // A dropped FoV chunk must be refetched reliably.
+                        let retry = ChunkRequest {
+                            bytes: fetch.bytes,
+                            priority: ChunkPriority::CRITICAL,
+                            deadline: est_deadline,
+                        };
+                        let (retry_done, _) = net.submit(retry, now);
+                        chunk_bytes += fetch.bytes;
+                        batch_delivered += fetch.bytes;
+                        batch_end = batch_end.max(retry_done.finished);
+                        buffer.insert(
+                            CellId::new(fetch.chunk.tile, fetch.chunk.time),
+                            fetch.chunk.quality,
+                            fetch.form,
+                            fetch.bytes,
+                        );
+                        fov_done = fov_done.max(retry_done.finished);
+                    }
+                    // Dropped OOS chunks are simply absent; their cost
+                    // stays in chunk_bytes and becomes waste.
+                }
+            }
+        }
+
+        // One goodput sample per chunk batch: the whole batch pipelines
+        // over a warm connection, so aggregate bytes / elapsed time is
+        // the honest throughput figure (per-tile samples would be
+        // RTT-bound and badly underestimate the link).
+        let elapsed = batch_end.saturating_since(now).as_secs_f64();
+        if elapsed > 0.0 && batch_delivered > 0 {
+            estimator.record(batch_delivered as f64 * 8.0 / elapsed);
+        }
+
+        // --- Startup & stall/skip accounting.
+        let mut stall = SimDuration::ZERO;
+        let mut skipped = false;
+        let display_time = match playback_start {
+            None => {
+                playback_start = Some(fov_done);
+                startup_delay = fov_done.saturating_since(SimTime::ZERO);
+                fov_done
+            }
+            Some(ps) => {
+                let deadline = ps + cd * t.0 as u64 + stall_total;
+                if fov_done > deadline {
+                    if config.realtime {
+                        // Live: the deadline is hard; the chunk is
+                        // skipped and the timeline marches on.
+                        skipped = true;
+                        if let Some(l) = log.as_deref_mut() {
+                            l.push(PlayerEvent::Skipped { at: deadline, chunk: t });
+                        }
+                    } else {
+                        stall = fov_done - deadline;
+                        stall_total += stall;
+                        if let Some(l) = log.as_deref_mut() {
+                            l.push(PlayerEvent::Stalled {
+                                at: deadline,
+                                chunk: t,
+                                duration: stall,
+                            });
+                        }
+                    }
+                }
+                ps + cd * t.0 as u64 + stall_total
+            }
+        };
+        let ps = playback_start.expect("set above");
+        now = if config.realtime { now.max(display_time) } else { fov_done };
+
+        // --- Incremental-upgrade pass (§3.1.1 / §3.1.2 part three):
+        // re-check the HMP close to the deadline and fetch deltas for
+        // buffered cells that turned out to matter.
+        let mut upgrade_bytes = 0u64;
+        if config.upgrades_enabled {
+            let lead_target = SimTime::from_nanos(
+                display_time
+                    .as_nanos()
+                    .saturating_sub(config.upgrade_lead.as_nanos()),
+            );
+            let check_at = now.max(lead_target);
+            let check_trace = check_at.saturating_since(ps);
+            let fresh_history =
+                trace.history(SimTime::ZERO + check_trace, config.history_samples);
+            let fresh = forecaster.forecast(
+                video.grid(),
+                &fresh_history,
+                SimTime::ZERO + check_trace,
+                SimTime::ZERO + display_time.saturating_since(ps),
+                t,
+            );
+            let buffered = buffer.cells_at(t);
+            let candidates = upgrade_candidates(video, &buffered, &fresh, plan.fov_quality);
+            for mut cand in candidates {
+                let form = buffer.get(cand.cell).map(|c| c.form);
+                let scheme = match form {
+                    Some(ChunkForm::SvcCumulative) | Some(ChunkForm::SvcLayer(_)) => {
+                        Scheme::Svc { overhead: video.svc_overhead() }
+                    }
+                    _ => Scheme::Avc,
+                };
+                cand.deadline = display_time;
+                let sizes = video.cell_sizes(cand.cell.tile, cand.cell.time);
+                let bw_now = estimator.conservative(0.9).unwrap_or(0.0);
+                // A Defer verdict names the time to look again ("when to
+                // upgrade", §3.1.2); follow it for up to a few rounds.
+                let mut at = check_at;
+                for _ in 0..4 {
+                    match decide_upgrade(&cand, &sizes, scheme, at, bw_now, &config.upgrade) {
+                        UpgradeDecision::UpgradeNow { delta_bytes } => {
+                            let req = ChunkRequest {
+                                bytes: delta_bytes,
+                                priority: ChunkPriority::CRITICAL,
+                                deadline: display_time,
+                            };
+                            let (completion, _) = net.submit(req, at);
+                            upgrade_bytes += delta_bytes;
+                            if completion.outcome == TransferOutcome::Delivered
+                                && completion.finished <= display_time
+                            {
+                                match scheme {
+                                    Scheme::Svc { .. } => {
+                                        buffer.upgrade(cand.cell, cand.want, delta_bytes)
+                                    }
+                                    Scheme::Avc => buffer.insert(
+                                        cand.cell,
+                                        cand.want,
+                                        ChunkForm::Avc,
+                                        delta_bytes,
+                                    ),
+                                }
+                                upgrades_applied += 1;
+                                if let Some(l) = log.as_deref_mut() {
+                                    l.push(PlayerEvent::Upgraded {
+                                        at: completion.finished,
+                                        tile: cand.cell.tile,
+                                        chunk: t,
+                                        to: cand.want,
+                                        delta_bytes,
+                                    });
+                                }
+                            }
+                            break;
+                        }
+                        UpgradeDecision::Defer { revisit_at } => {
+                            if revisit_at <= at {
+                                break;
+                            }
+                            at = revisit_at;
+                        }
+                        UpgradeDecision::Skip => break,
+                    }
+                }
+            }
+        }
+
+        // A skipped realtime chunk displays nothing at all.
+        if skipped {
+            records.push(ChunkRecord {
+                index: t.0,
+                viewport_utility: 0.0,
+                blank_fraction: 1.0,
+                fov_quality: plan.fov_quality.0,
+                stall: SimDuration::ZERO,
+                bytes_fetched: chunk_bytes + upgrade_bytes,
+                bytes_wasted: chunk_bytes + upgrade_bytes,
+            });
+            last_quality = plan.fov_quality;
+            buffer.evict_before(t);
+            continue;
+        }
+
+        // --- Display evaluation at the mid-chunk gaze.
+        let gaze_trace_time = display_time.saturating_since(ps) + cd / 2;
+        let gaze = trace.at(SimTime::ZERO + gaze_trace_time);
+        let viewport = sperke_geo::Viewport::headset(gaze);
+        let visible = viewport.visible_tiles(video.grid(), 16);
+        let mut utility = 0.0;
+        let mut blank = 0.0;
+        let mut useful_bytes = 0u64;
+        for &(tile, coverage) in &visible {
+            let cell = CellId::new(tile, t);
+            match buffer.get(cell) {
+                Some(bc) => {
+                    utility += coverage * video.ladder().utility(bc.quality);
+                    let scheme = match bc.form {
+                        ChunkForm::Avc => Scheme::Avc,
+                        _ => Scheme::Svc { overhead: video.svc_overhead() },
+                    };
+                    useful_bytes +=
+                        video.cell_sizes(tile, t).initial_cost(scheme, bc.quality);
+                }
+                None => blank += coverage,
+            }
+        }
+        if let Some(l) = log.as_deref_mut() {
+            l.push(PlayerEvent::Displayed {
+                at: display_time,
+                chunk: t,
+                viewport_utility: utility,
+                blank,
+            });
+        }
+        let total_bytes = chunk_bytes + upgrade_bytes;
+        let wasted = total_bytes.saturating_sub(useful_bytes);
+        records.push(ChunkRecord {
+            index: t.0,
+            viewport_utility: utility,
+            blank_fraction: blank,
+            fov_quality: plan.fov_quality.0,
+            stall,
+            bytes_fetched: total_bytes,
+            bytes_wasted: wasted,
+        });
+        last_quality = plan.fov_quality;
+        buffer.evict_before(t);
+    }
+
+    let qoe = QoeReport::from_records(&records, startup_delay, &config.weights);
+    let path_bytes = net.paths().iter().map(|p| p.bytes_delivered).collect();
+    SessionResult {
+        qoe,
+        records,
+        path_bytes,
+        scheduler: net.scheduler_name(),
+        upgrades_applied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sperke_hmp::{AttentionModel, Behavior, FusedForecaster, TraceGenerator, ViewingContext};
+    use sperke_net::{BandwidthTrace, PathModel, SinglePath};
+    use sperke_sim::SimRng;
+    use sperke_vra::RateBased;
+    use sperke_video::VideoModelBuilder;
+
+    fn video(secs: u64) -> VideoModel {
+        VideoModelBuilder::new(11)
+            .duration(SimDuration::from_secs(secs))
+            .build()
+    }
+
+    fn trace(secs: u64, seed: u64) -> HeadTrace {
+        TraceGenerator::new(
+            AttentionModel::generic(2),
+            Behavior::Focused,
+            ViewingContext::default(),
+        )
+        .generate(SimDuration::from_secs(secs + 5), seed)
+    }
+
+    fn single_path(bps: f64) -> Vec<PathQueue> {
+        vec![PathQueue::new(
+            PathModel::new(
+                "lab",
+                BandwidthTrace::constant(bps),
+                SimDuration::from_millis(20),
+                0.0,
+            ),
+            SimRng::new(7),
+        )]
+    }
+
+    fn run(video: &VideoModel, tr: &HeadTrace, bps: f64, config: PlayerConfig) -> SessionResult {
+        run_session(
+            video,
+            tr,
+            single_path(bps),
+            SinglePath(0),
+            RateBased::default(),
+            &FusedForecaster::motion_only(),
+            &config,
+        )
+    }
+
+    #[test]
+    fn ample_bandwidth_plays_cleanly() {
+        let v = video(15);
+        let tr = trace(15, 3);
+        let r = run(&v, &tr, 100e6, PlayerConfig::default());
+        assert_eq!(r.qoe.chunks, 15);
+        assert_eq!(r.qoe.stall_count, 0, "no stalls at 100 Mbps");
+        assert!(r.qoe.mean_blank_fraction < 0.12, "blank {}", r.qoe.mean_blank_fraction);
+        assert!(r.qoe.mean_viewport_utility > 0.5);
+    }
+
+    #[test]
+    fn starved_bandwidth_stalls_or_degrades() {
+        let v = video(15);
+        let tr = trace(15, 3);
+        let rich = run(&v, &tr, 60e6, PlayerConfig::default());
+        let poor = run(&v, &tr, 1.5e6, PlayerConfig::default());
+        assert!(
+            poor.qoe.mean_viewport_utility < rich.qoe.mean_viewport_utility,
+            "poor {} vs rich {}",
+            poor.qoe.mean_viewport_utility,
+            rich.qoe.mean_viewport_utility
+        );
+        assert!(poor.qoe.score < rich.qoe.score);
+    }
+
+    #[test]
+    fn fov_guided_uses_less_bandwidth_than_agnostic() {
+        // The §2 savings claim is at *matched quality*: pin both players
+        // to Q2 and compare bytes on the wire.
+        use sperke_vra::FixedQuality;
+        let v = video(15);
+        let tr = trace(15, 5);
+        let run_fixed = |planner: PlannerKind| {
+            run_session(
+                &v,
+                &tr,
+                single_path(60e6),
+                SinglePath(0),
+                FixedQuality(sperke_video::Quality(2)),
+                &FusedForecaster::motion_only(),
+                &PlayerConfig { planner, ..Default::default() },
+            )
+        };
+        let guided = run_fixed(PlannerKind::Sperke(SperkeConfig::default()));
+        let agnostic = run_fixed(PlannerKind::FovAgnostic);
+        assert!(
+            (guided.qoe.bytes_fetched as f64) < 0.7 * agnostic.qoe.bytes_fetched as f64,
+            "guided {} vs agnostic {}",
+            guided.qoe.bytes_fetched,
+            agnostic.qoe.bytes_fetched
+        );
+        // And the agnostic player never shows blank tiles.
+        assert_eq!(agnostic.qoe.mean_blank_fraction, 0.0);
+    }
+
+    #[test]
+    fn upgrades_happen_for_wandering_viewer() {
+        let v = video(20);
+        let tr = TraceGenerator::new(
+            AttentionModel::generic(4),
+            Behavior::Explorer,
+            ViewingContext::default(),
+        )
+        .generate(SimDuration::from_secs(25), 9);
+        let config = PlayerConfig {
+            planner: PlannerKind::Sperke(SperkeConfig {
+                encoding: sperke_vra::EncodingPolicy::SvcOnly,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        // Ample headroom so urgent deltas aren't stuck behind OOS bulk
+        // on the single path (the §3.3 head-of-line problem).
+        let r = run(&v, &tr, 80e6, config);
+        assert!(
+            r.upgrades_applied > 0,
+            "an explorer should trigger incremental upgrades"
+        );
+    }
+
+    #[test]
+    fn disabled_upgrades_apply_none() {
+        let v = video(10);
+        let tr = trace(10, 5);
+        let r = run(
+            &v,
+            &tr,
+            30e6,
+            PlayerConfig { upgrades_enabled: false, ..Default::default() },
+        );
+        assert_eq!(r.upgrades_applied, 0);
+    }
+
+    #[test]
+    fn realtime_mode_skips_instead_of_stalling() {
+        let v = video(15);
+        let tr = trace(15, 3);
+        // A link too slow for even the base layer forces lateness.
+        let vod = run(&v, &tr, 1.0e6, PlayerConfig::default());
+        let live = run(
+            &v,
+            &tr,
+            1.0e6,
+            PlayerConfig { realtime: true, ..Default::default() },
+        );
+        assert_eq!(live.qoe.stall_count, 0, "live never stalls");
+        assert!(vod.qoe.stall_count > 0, "VoD stalls on the same link");
+        assert!(
+            live.qoe.mean_blank_fraction > vod.qoe.mean_blank_fraction,
+            "live pays in skipped (blank) chunks instead"
+        );
+        assert_eq!(live.qoe.chunks, 15);
+    }
+
+    #[test]
+    fn realtime_with_ample_bandwidth_skips_nothing() {
+        let v = video(10);
+        let tr = trace(10, 3);
+        let live = run(
+            &v,
+            &tr,
+            60e6,
+            PlayerConfig { realtime: true, ..Default::default() },
+        );
+        assert_eq!(live.qoe.stall_count, 0);
+        assert!(live.qoe.mean_blank_fraction < 0.15);
+    }
+
+    #[test]
+    fn session_is_deterministic() {
+        let v = video(10);
+        let tr = trace(10, 5);
+        let a = run(&v, &tr, 20e6, PlayerConfig::default());
+        let b = run(&v, &tr, 20e6, PlayerConfig::default());
+        assert_eq!(a.qoe, b.qoe);
+    }
+
+    #[test]
+    fn startup_delay_is_first_fov_fetch() {
+        let v = video(10);
+        let tr = trace(10, 5);
+        let r = run(&v, &tr, 20e6, PlayerConfig::default());
+        assert!(!r.qoe.startup_delay.is_zero());
+        assert!(r.qoe.startup_delay.as_secs_f64() < 2.0);
+    }
+
+    #[test]
+    fn event_log_captures_the_session() {
+        use crate::events::{EventLog, PlayerEvent};
+        let v = video(8);
+        let tr = trace(8, 6);
+        let mut log = EventLog::new();
+        let r = run_session_logged(
+            &v,
+            &tr,
+            single_path(25e6),
+            SinglePath(0),
+            RateBased::default(),
+            &FusedForecaster::motion_only(),
+            &PlayerConfig::default(),
+            &mut log,
+        );
+        assert_eq!(r.qoe.chunks, 8);
+        // One plan + one display per chunk; fetch completions in between.
+        let plans = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PlayerEvent::PlanIssued { .. }))
+            .count();
+        let displays = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PlayerEvent::Displayed { .. }))
+            .count();
+        let fetches = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PlayerEvent::FetchCompleted { .. }))
+            .count();
+        assert_eq!(plans, 8);
+        assert_eq!(displays, 8);
+        assert!(fetches >= plans, "every plan moves at least one tile");
+        // The logged run matches the plain run byte for byte.
+        let plain = run(&v, &tr, 25e6, PlayerConfig::default());
+        assert_eq!(plain.qoe, r.qoe);
+        // NDJSON export yields one line per event.
+        assert_eq!(log.to_ndjson().lines().count(), log.len());
+    }
+
+    #[test]
+    fn path_bytes_accounted() {
+        let v = video(8);
+        let tr = trace(8, 6);
+        let r = run(&v, &tr, 30e6, PlayerConfig::default());
+        assert_eq!(r.path_bytes.len(), 1);
+        assert!(r.path_bytes[0] > 0);
+        assert_eq!(r.scheduler, "single-path");
+    }
+}

@@ -1,0 +1,246 @@
+//! Metric recorders used by the experiment harnesses.
+//!
+//! Three shapes cover everything Sperke measures:
+//! * [`Counter`] — monotone totals (bytes fetched, stalls, frames drawn),
+//! * [`TimeSeries`] — `(SimTime, value)` samples (buffer level, bitrate),
+//! * [`Histogram`] — distribution summaries (latency, prediction error).
+
+use crate::stats;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A time-stamped series of scalar samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Record `value` at `time`. Samples must be pushed in nondecreasing
+    /// time order; out-of-order pushes panic (they indicate a sim bug).
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(time >= last, "TimeSeries samples must be time-ordered");
+        }
+        self.samples.push((time, value));
+    }
+
+    /// All samples in order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Just the values.
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the sample values (unweighted).
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.values())
+    }
+
+    /// Time-weighted average, holding each sample's value until the next
+    /// sample (and the last value until `end`). `0.0` when empty.
+    pub fn time_weighted_mean(&self, end: SimTime) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut total = 0.0;
+        for w in self.samples.windows(2) {
+            let dt = (w[1].0 - w[0].0).as_secs_f64();
+            acc += w[0].1 * dt;
+            total += dt;
+        }
+        let (last_t, last_v) = *self.samples.last().expect("non-empty");
+        let tail = end.saturating_since(last_t).as_secs_f64();
+        acc += last_v * tail;
+        total += tail;
+        if total <= 0.0 {
+            // All samples share an instant: fall back to the plain mean.
+            self.mean()
+        } else {
+            acc / total
+        }
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+}
+
+/// A distribution summary that stores all samples (experiments are small
+/// enough that exact percentiles are affordable and more trustworthy than
+/// sketches).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.samples)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        stats::stddev(&self.samples)
+    }
+
+    /// Interpolated percentile, `p` in `[0,100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        stats::percentile(&self.samples, p)
+    }
+
+    /// Minimum sample; `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum sample; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn timeseries_means() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(0), 1.0);
+        ts.record(SimTime::from_secs(1), 3.0);
+        assert_eq!(ts.mean(), 2.0);
+        // value 1.0 for 1s, then 3.0 for 1s until end=2s -> 2.0
+        assert!((ts.time_weighted_mean(SimTime::from_secs(2)) - 2.0).abs() < 1e-12);
+        // value 1.0 for 1s, then 3.0 for 3s -> (1+9)/4 = 2.5
+        assert!((ts.time_weighted_mean(SimTime::from_secs(4)) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeseries_time_weighted_degenerate() {
+        let mut ts = TimeSeries::new();
+        assert_eq!(ts.time_weighted_mean(SimTime::from_secs(1)), 0.0);
+        ts.record(SimTime::from_secs(1), 5.0);
+        assert_eq!(ts.time_weighted_mean(SimTime::from_secs(1)), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn timeseries_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(2), 1.0);
+        ts.record(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 2.5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+        assert_eq!(h.percentile(50.0), 2.5);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.is_empty());
+    }
+}

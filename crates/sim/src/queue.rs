@@ -1,0 +1,198 @@
+//! The event queue at the heart of the discrete-event kernel.
+//!
+//! Events are ordered by their scheduled [`SimTime`]; ties are broken by
+//! insertion order (FIFO among same-instant events), which keeps
+//! simulations deterministic regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// ```
+/// use sperke_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "later");
+/// q.push(SimTime::from_secs(1), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedule `event` at absolute time `time`. Returns a cancellation handle.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry { time, seq, id, event });
+        id
+    }
+
+    /// Cancel a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet been popped or cancelled.
+    /// Cancellation is lazy: the entry is skipped when it reaches the head.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.cancelled.contains(&head.id) {
+                let id = head.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+                continue;
+            }
+            return Some(head.time);
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3u32);
+        q.push(SimTime::from_secs(1), 1u32);
+        q.push(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::ZERO, 0);
+        q.push(SimTime::ZERO, 1);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Small statistics helpers shared by every experiment harness.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Harmonic mean; `0.0` for an empty slice. Non-positive samples are skipped.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    let mut n = 0usize;
+    let mut denom = 0.0;
+    for &x in xs {
+        if x > 0.0 {
+            n += 1;
+            denom += 1.0 / x;
+        }
+    }
+    if n == 0 || denom == 0.0 {
+        0.0
+    } else {
+        n as f64 / denom
+    }
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`. `0.0` for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Simple ordinary-least-squares fit `y = a + b x`; returns `(a, b)`.
+///
+/// Returns `(mean(y), 0.0)` when `x` has no variance or fewer than two points.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "linear_fit needs equal-length inputs");
+    if x.len() < 2 {
+        return (mean(y), 0.0);
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+    }
+    if sxx <= f64::EPSILON {
+        return (my, 0.0);
+    }
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// Exponentially-weighted moving average estimator.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha` is the weight of the newest sample, in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feed a sample and return the updated estimate.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let v = match self.value {
+            None => sample,
+            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current estimate, if any sample has been seen.
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_skips_nonpositive() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[1.0, 2.0, 4.0]) - 12.0 / 7.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 0.0, -3.0, 2.0, 4.0]) - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let (a, b) = linear_fit(&x, &y);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_x() {
+        let (a, b) = linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+        assert_eq!(b, 0.0);
+        assert_eq!(a, 2.0);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.update(20.0), 15.0);
+        for _ in 0..50 {
+            e.update(20.0);
+        }
+        assert!((e.get().unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+}

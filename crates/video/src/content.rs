@@ -1,0 +1,412 @@
+//! The synthetic panoramic video: per-tile, per-chunk byte sizes.
+//!
+//! Substitutes for the paper's real test clips. Sizes follow a
+//! three-factor model: the ladder's panorama bitrate × the tile's share
+//! of panorama bits (solid angle × spatial complexity) × deterministic
+//! per-chunk jitter (temporal complexity). All randomness derives from
+//! the video's seed, so a given `VideoModel` is identical across runs.
+
+use crate::encoding::{CellSizes, Scheme};
+use crate::ids::{ChunkId, ChunkTime, Quality};
+use crate::ladder::Ladder;
+use serde::{Deserialize, Serialize};
+use sperke_geo::{TileGrid, TileId};
+use sperke_sim::{SimDuration, SimRng, SimTime};
+
+/// A fully specified panoramic video.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoModel {
+    grid: TileGrid,
+    ladder: Ladder,
+    chunk_duration: SimDuration,
+    duration: SimDuration,
+    /// Frames per second of the source.
+    pub fps: f64,
+    svc_overhead: f64,
+    /// Per-tile share of the panorama's bits; sums to 1.
+    tile_weights: Vec<f64>,
+    /// Amplitude of per-chunk size jitter (0 = constant bitrate).
+    jitter: f64,
+    seed: u64,
+}
+
+/// Builder for [`VideoModel`].
+#[derive(Debug, Clone)]
+pub struct VideoModelBuilder {
+    grid: TileGrid,
+    ladder: Ladder,
+    chunk_duration: SimDuration,
+    duration: SimDuration,
+    fps: f64,
+    svc_overhead: f64,
+    complexity_variance: f64,
+    jitter: f64,
+    seed: u64,
+}
+
+impl VideoModelBuilder {
+    /// Start from defaults: 4×6 grid, VoD ladder, 1 s chunks, 60 s video,
+    /// 30 fps, 10 % SVC overhead.
+    pub fn new(seed: u64) -> VideoModelBuilder {
+        VideoModelBuilder {
+            grid: TileGrid::new(4, 6),
+            ladder: Ladder::vod_default(),
+            chunk_duration: SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(60),
+            fps: 30.0,
+            svc_overhead: 0.10,
+            complexity_variance: 0.3,
+            jitter: 0.15,
+            seed,
+        }
+    }
+
+    /// Set the tile grid.
+    pub fn grid(mut self, grid: TileGrid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Set the bitrate ladder.
+    pub fn ladder(mut self, ladder: Ladder) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Set the chunk duration (paper: "one or two seconds").
+    pub fn chunk_duration(mut self, d: SimDuration) -> Self {
+        assert!(!d.is_zero(), "chunk duration must be positive");
+        self.chunk_duration = d;
+        self
+    }
+
+    /// Set the total video duration.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        assert!(!d.is_zero(), "duration must be positive");
+        self.duration = d;
+        self
+    }
+
+    /// Set the frame rate.
+    pub fn fps(mut self, fps: f64) -> Self {
+        assert!(fps > 0.0);
+        self.fps = fps;
+        self
+    }
+
+    /// Set the SVC size overhead factor.
+    pub fn svc_overhead(mut self, overhead: f64) -> Self {
+        assert!(overhead >= 0.0);
+        self.svc_overhead = overhead;
+        self
+    }
+
+    /// Set the spatial complexity spread across tiles (0 = uniform).
+    pub fn complexity_variance(mut self, v: f64) -> Self {
+        assert!((0.0..1.0).contains(&v), "variance must be in [0,1)");
+        self.complexity_variance = v;
+        self
+    }
+
+    /// Set the per-chunk temporal size jitter amplitude (0 = CBR).
+    pub fn jitter(mut self, j: f64) -> Self {
+        assert!((0.0..1.0).contains(&j));
+        self.jitter = j;
+        self
+    }
+
+    /// Finalize the model.
+    pub fn build(self) -> VideoModel {
+        let mut rng = SimRng::new(self.seed).split(0xC0_11_7E_57);
+        let n = self.grid.tile_count();
+        // Weight = solid-angle share × lognormal-ish complexity factor.
+        let mut weights: Vec<f64> = self
+            .grid
+            .tiles()
+            .map(|t| {
+                let solid = self.grid.rect(t).solid_angle();
+                let complexity = (1.0 + self.complexity_variance * rng.gaussian()).max(0.2);
+                solid * complexity
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        debug_assert_eq!(weights.len(), n);
+        VideoModel {
+            grid: self.grid,
+            ladder: self.ladder,
+            chunk_duration: self.chunk_duration,
+            duration: self.duration,
+            fps: self.fps,
+            svc_overhead: self.svc_overhead,
+            tile_weights: weights,
+            jitter: self.jitter,
+            seed: self.seed,
+        }
+    }
+}
+
+impl VideoModel {
+    /// The tile grid.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// The bitrate ladder.
+    pub fn ladder(&self) -> &Ladder {
+        &self.ladder
+    }
+
+    /// Chunk duration.
+    pub fn chunk_duration(&self) -> SimDuration {
+        self.chunk_duration
+    }
+
+    /// Total duration.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// SVC overhead factor used by this video's scalable encoding.
+    pub fn svc_overhead(&self) -> f64 {
+        self.svc_overhead
+    }
+
+    /// The video's deterministic seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of chunk times (ceil of duration / chunk duration).
+    pub fn chunk_count(&self) -> u32 {
+        let d = self.duration.as_nanos();
+        let c = self.chunk_duration.as_nanos();
+        d.div_ceil(c) as u32
+    }
+
+    /// All chunk time indices.
+    pub fn chunk_times(&self) -> impl Iterator<Item = ChunkTime> {
+        (0..self.chunk_count()).map(ChunkTime)
+    }
+
+    /// Playback start time of chunk `t`.
+    pub fn chunk_start(&self, t: ChunkTime) -> SimTime {
+        SimTime::ZERO + self.chunk_duration * t.0 as u64
+    }
+
+    /// Playback deadline of chunk `t` (its start; the chunk must be
+    /// present by then to avoid a stall/skip).
+    pub fn chunk_deadline(&self, t: ChunkTime) -> SimTime {
+        self.chunk_start(t)
+    }
+
+    /// The chunk being played at `position` into the video.
+    pub fn chunk_at(&self, position: SimTime) -> ChunkTime {
+        let idx = position.as_nanos() / self.chunk_duration.as_nanos();
+        ChunkTime((idx as u32).min(self.chunk_count().saturating_sub(1)))
+    }
+
+    /// A tile's share of panorama bits.
+    pub fn tile_weight(&self, tile: TileId) -> f64 {
+        self.tile_weights[tile.index()]
+    }
+
+    /// Deterministic per-cell jitter multiplier in `[1-j, 1+j]`.
+    fn cell_jitter(&self, tile: TileId, t: ChunkTime) -> f64 {
+        if self.jitter == 0.0 {
+            return 1.0;
+        }
+        let label = (tile.0 as u64) << 32 | t.0 as u64;
+        let mut rng = SimRng::new(self.seed).split(label ^ 0x7153_C0DE);
+        1.0 + self.jitter * (2.0 * rng.uniform() - 1.0)
+    }
+
+    /// The AVC byte size of chunk `C(q, l, t)`.
+    pub fn avc_bytes(&self, id: ChunkId) -> u64 {
+        assert!(self.ladder.contains(id.quality), "quality beyond ladder");
+        assert!(id.time.0 < self.chunk_count(), "chunk time beyond video");
+        let panorama_bits = self.ladder.bitrate(id.quality) * self.chunk_duration.as_secs_f64();
+        let bytes = panorama_bits / 8.0 * self.tile_weight(id.tile) * self.cell_jitter(id.tile, id.time);
+        (bytes.round() as u64).max(1)
+    }
+
+    /// The full size table of one cell across all qualities.
+    pub fn cell_sizes(&self, tile: TileId, t: ChunkTime) -> CellSizes {
+        let mut sizes: Vec<u64> = self
+            .ladder
+            .qualities()
+            .map(|q| self.avc_bytes(ChunkId::new(q, tile, t)))
+            .collect();
+        // Jitter is per-cell (not per-quality) so monotonicity holds by
+        // construction; enforce it anyway against pathological ladders.
+        for i in 1..sizes.len() {
+            if sizes[i] <= sizes[i - 1] {
+                sizes[i] = sizes[i - 1] + 1;
+            }
+        }
+        CellSizes::new(sizes, self.svc_overhead)
+    }
+
+    /// Bytes of a chunk under the given encoding scheme (initial fetch).
+    pub fn chunk_bytes(&self, id: ChunkId, scheme: Scheme) -> u64 {
+        self.cell_sizes(id.tile, id.time).initial_cost(scheme, id.quality)
+    }
+
+    /// Total bytes of the whole panorama at quality `q` for chunk `t`
+    /// (what a FoV-agnostic player downloads per chunk period).
+    pub fn panorama_bytes(&self, q: Quality, t: ChunkTime, scheme: Scheme) -> u64 {
+        self.grid
+            .tiles()
+            .map(|tile| self.chunk_bytes(ChunkId::new(q, tile, t), scheme))
+            .sum()
+    }
+
+    /// Server storage footprint in bytes for the *tiling* approach:
+    /// every tile at every quality (AVC), plus optionally the SVC copies.
+    pub fn tiling_storage_bytes(&self, include_svc: bool) -> u64 {
+        let mut total = 0u64;
+        for t in self.chunk_times() {
+            for tile in self.grid.tiles() {
+                let sizes = self.cell_sizes(tile, t);
+                for q in self.ladder.qualities() {
+                    total += sizes.avc(q);
+                    if include_svc {
+                        total += sizes.svc_layer(crate::ids::Layer(q.0));
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Server storage footprint for the *versioning* approach (§2):
+    /// `versions` full-panorama copies, each stored at every quality.
+    /// Oculus 360 maintains up to 88 versions.
+    pub fn versioning_storage_bytes(&self, versions: u32) -> u64 {
+        let mut per_copy = 0u64;
+        for t in self.chunk_times() {
+            for q in self.ladder.qualities() {
+                per_copy += self.panorama_bytes(q, t, Scheme::Avc);
+            }
+        }
+        per_copy * versions as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn video() -> VideoModel {
+        VideoModelBuilder::new(7)
+            .duration(SimDuration::from_secs(10))
+            .build()
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = video();
+        let b = video();
+        let id = ChunkId::new(Quality(2), TileId(5), ChunkTime(3));
+        assert_eq!(a.avc_bytes(id), b.avc_bytes(id));
+        assert_eq!(a.tile_weight(TileId(9)), b.tile_weight(TileId(9)));
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let v = video();
+        let sum: f64 = v.grid().tiles().map(|t| v.tile_weight(t)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_count_rounds_up() {
+        let v = VideoModelBuilder::new(1)
+            .duration(SimDuration::from_millis(2500))
+            .chunk_duration(SimDuration::from_secs(1))
+            .build();
+        assert_eq!(v.chunk_count(), 3);
+    }
+
+    #[test]
+    fn chunk_at_maps_positions() {
+        let v = video();
+        assert_eq!(v.chunk_at(SimTime::ZERO), ChunkTime(0));
+        assert_eq!(v.chunk_at(SimTime::from_millis(1500)), ChunkTime(1));
+        // Clamp at the end.
+        assert_eq!(v.chunk_at(SimTime::from_secs(999)), ChunkTime(9));
+    }
+
+    #[test]
+    fn panorama_bytes_match_ladder_bitrate() {
+        let v = VideoModelBuilder::new(3)
+            .duration(SimDuration::from_secs(4))
+            .jitter(0.0)
+            .build();
+        let q = Quality(1); // 8 Mbps
+        let bytes = v.panorama_bytes(q, ChunkTime(0), Scheme::Avc);
+        let expect = 8.0e6 / 8.0; // one second
+        let err = (bytes as f64 - expect).abs() / expect;
+        assert!(err < 0.01, "panorama bytes {bytes} vs expected {expect}");
+    }
+
+    #[test]
+    fn higher_quality_is_strictly_bigger() {
+        let v = video();
+        let sizes = v.cell_sizes(TileId(7), ChunkTime(2));
+        for i in 1..v.ladder().levels() {
+            assert!(sizes.avc(Quality(i as u8)) > sizes.avc(Quality((i - 1) as u8)));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let v = VideoModelBuilder::new(11)
+            .duration(SimDuration::from_secs(30))
+            .jitter(0.15)
+            .complexity_variance(0.0)
+            .build();
+        let q = Quality(0);
+        // With no complexity variance, per-tile mean size is weight-proportional;
+        // check per-chunk sizes stay within the jitter band around the mean.
+        for tile in v.grid().tiles() {
+            let sizes: Vec<f64> = v
+                .chunk_times()
+                .map(|t| v.avc_bytes(ChunkId::new(q, tile, t)) as f64)
+                .collect();
+            let base = v.ladder().bitrate(q) / 8.0 * v.tile_weight(tile);
+            for s in sizes {
+                assert!(s >= base * 0.84 && s <= base * 1.16, "s={s} base={base}");
+            }
+        }
+    }
+
+    #[test]
+    fn versioning_storage_dwarfs_tiling() {
+        // The motivation for the tiling approach (§2): versioning
+        // multiplies the whole catalogue by the version count.
+        let v = video();
+        let tiling = v.tiling_storage_bytes(true);
+        let versioning = v.versioning_storage_bytes(88);
+        assert!(
+            versioning > 20 * tiling,
+            "versioning {versioning} vs tiling {tiling}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_quality_rejected() {
+        let v = video();
+        v.avc_bytes(ChunkId::new(Quality(42), TileId(0), ChunkTime(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_time_rejected() {
+        let v = video();
+        v.avc_bytes(ChunkId::new(Quality(0), TileId(0), ChunkTime(999)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Bitrate ladders: the set of quality levels a video is encoded into.
+
+use crate::ids::Quality;
+use serde::{Deserialize, Serialize};
+
+/// One rung of the ladder: a named quality level with a target bitrate
+/// for the *full panorama* and a perceptual utility score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rung {
+    /// Human-readable name, e.g. "720p".
+    pub name: String,
+    /// Target bitrate of the full panorama at this level, bits/second.
+    pub bitrate_bps: f64,
+    /// Vertical resolution in lines (for decode-cost models).
+    pub height: u32,
+}
+
+/// An ordered set of quality levels, lowest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ladder {
+    rungs: Vec<Rung>,
+}
+
+impl Ladder {
+    /// Build from rungs ordered lowest-quality first. Panics when empty
+    /// or when bitrates are not strictly increasing.
+    pub fn new(rungs: Vec<Rung>) -> Ladder {
+        assert!(!rungs.is_empty(), "ladder must have at least one rung");
+        assert!(rungs.len() <= 64, "unreasonably tall ladder");
+        for w in rungs.windows(2) {
+            assert!(
+                w[1].bitrate_bps > w[0].bitrate_bps,
+                "bitrates must be strictly increasing"
+            );
+        }
+        Ladder { rungs }
+    }
+
+    /// YouTube live's six-level ladder (144p..1080p), with panorama
+    /// bitrates scaled ~5× above conventional video per the paper's
+    /// size observation (§3.4.1).
+    pub fn youtube_live() -> Ladder {
+        Ladder::new(vec![
+            Rung { name: "144p".into(), bitrate_bps: 0.5e6, height: 144 },
+            Rung { name: "240p".into(), bitrate_bps: 1.0e6, height: 240 },
+            Rung { name: "360p".into(), bitrate_bps: 2.0e6, height: 360 },
+            Rung { name: "480p".into(), bitrate_bps: 4.0e6, height: 480 },
+            Rung { name: "720p".into(), bitrate_bps: 8.0e6, height: 720 },
+            Rung { name: "1080p".into(), bitrate_bps: 16.0e6, height: 1080 },
+        ])
+    }
+
+    /// Facebook live's two-level ladder (720p/1080p, §3.4.1).
+    pub fn facebook_live() -> Ladder {
+        Ladder::new(vec![
+            Rung { name: "720p".into(), bitrate_bps: 8.0e6, height: 720 },
+            Rung { name: "1080p".into(), bitrate_bps: 16.0e6, height: 1080 },
+        ])
+    }
+
+    /// A four-level ladder for on-demand tiled streaming experiments.
+    pub fn vod_default() -> Ladder {
+        Ladder::new(vec![
+            Rung { name: "480p".into(), bitrate_bps: 4.0e6, height: 480 },
+            Rung { name: "720p".into(), bitrate_bps: 8.0e6, height: 720 },
+            Rung { name: "1080p".into(), bitrate_bps: 16.0e6, height: 1080 },
+            Rung { name: "2160p".into(), bitrate_bps: 32.0e6, height: 2160 },
+        ])
+    }
+
+    /// Number of quality levels.
+    pub fn levels(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// The highest quality level.
+    pub fn top(&self) -> Quality {
+        Quality((self.rungs.len() - 1) as u8)
+    }
+
+    /// All quality levels, lowest first.
+    pub fn qualities(&self) -> impl Iterator<Item = Quality> {
+        (0..self.rungs.len() as u8).map(Quality)
+    }
+
+    /// The rung at a quality level. Panics on an out-of-range level.
+    pub fn rung(&self, q: Quality) -> &Rung {
+        &self.rungs[q.index()]
+    }
+
+    /// Whether the ladder defines this level.
+    pub fn contains(&self, q: Quality) -> bool {
+        q.index() < self.rungs.len()
+    }
+
+    /// Full-panorama bitrate at a level, bits/second.
+    pub fn bitrate(&self, q: Quality) -> f64 {
+        self.rung(q).bitrate_bps
+    }
+
+    /// Perceptual utility of a level: log-bitrate normalized so the
+    /// lowest rung scores 0 and each doubling adds 1 (the standard
+    /// log-utility used by MPC-style rate adaptation).
+    pub fn utility(&self, q: Quality) -> f64 {
+        (self.bitrate(q) / self.bitrate(Quality::LOWEST)).log2()
+    }
+
+    /// The highest level whose bitrate does not exceed `budget_bps`;
+    /// the lowest level if even that exceeds the budget.
+    pub fn highest_below(&self, budget_bps: f64) -> Quality {
+        let mut best = Quality::LOWEST;
+        for q in self.qualities() {
+            if self.bitrate(q) <= budget_bps {
+                best = q;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_ladders_are_valid() {
+        assert_eq!(Ladder::youtube_live().levels(), 6);
+        assert_eq!(Ladder::facebook_live().levels(), 2);
+        assert_eq!(Ladder::vod_default().levels(), 4);
+    }
+
+    #[test]
+    fn top_and_contains() {
+        let l = Ladder::vod_default();
+        assert_eq!(l.top(), Quality(3));
+        assert!(l.contains(Quality(3)));
+        assert!(!l.contains(Quality(4)));
+    }
+
+    #[test]
+    fn utility_is_zero_at_base_and_monotone() {
+        let l = Ladder::youtube_live();
+        assert_eq!(l.utility(Quality(0)), 0.0);
+        let utils: Vec<f64> = l.qualities().map(|q| l.utility(q)).collect();
+        for w in utils.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // 1.0 Mbps is 2x the 0.5 Mbps base -> utility 1.
+        assert!((l.utility(Quality(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn highest_below_budget() {
+        let l = Ladder::youtube_live();
+        assert_eq!(l.highest_below(5.0e6), Quality(3)); // 4 Mbps rung
+        assert_eq!(l.highest_below(100e6), l.top());
+        assert_eq!(l.highest_below(0.1e6), Quality(0), "falls back to base");
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_monotone_ladder_rejected() {
+        Ladder::new(vec![
+            Rung { name: "a".into(), bitrate_bps: 2e6, height: 360 },
+            Rung { name: "b".into(), bitrate_bps: 1e6, height: 720 },
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_ladder_rejected() {
+        Ladder::new(vec![]);
+    }
+}

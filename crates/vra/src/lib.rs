@@ -1,0 +1,171 @@
+//! # sperke-vra — video rate adaptation for tiled 360° streaming
+//!
+//! The §3.1 subsystem, decomposed exactly as the paper does:
+//!
+//! 1. **Super chunks** ([`SuperChunk`]) reduce FoV-guided VRA to regular
+//!    VRA when the HMP is perfect; the inner [`abr`] algorithms
+//!    (rate-based / buffer-based / MPC, the §3.1.2 survey) choose their
+//!    quality.
+//! 2. **OOS selection** ([`oos::select_oos`]) spends the leftover budget
+//!    on out-of-sight tiles, quality decaying with distance/probability.
+//! 3. **Incremental upgrades** ([`upgrade::decide_upgrade`]) exploit SVC
+//!    deltas when the HMP correction reveals buffered cells will be
+//!    displayed — including the *upgrade-or-not* and *when-to-upgrade*
+//!    decisions, and the hybrid SVC/AVC [`EncodingPolicy`].
+//!
+//! [`SperkeVra`] composes all three into a per-chunk [`FetchPlan`];
+//! [`plan_fov_agnostic`] is the §2 baseline that fetches everything.
+
+#![warn(missing_docs)]
+
+pub mod abr;
+pub mod knapsack;
+pub mod oos;
+pub mod sperke;
+pub mod superchunk;
+pub mod upgrade;
+
+pub use abr::{Abr, AbrContext, BufferBased, ExactMpc, FixedQuality, Mpc, RateBased};
+pub use oos::{select_oos, OosChoice, OosConfig};
+pub use knapsack::{expected_utility, select_stochastic, selection_cost, StochasticChoice};
+pub use sperke::{
+    plan_fov_agnostic, upgrade_candidates, EncodingPolicy, FetchPlan, PlanInput, PlannedFetch,
+    SelectionPolicy, SperkeConfig, SperkeVra,
+};
+pub use superchunk::SuperChunk;
+pub use upgrade::{decide_upgrade, UpgradeCandidate, UpgradeConfig, UpgradeDecision};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sperke_geo::Orientation;
+    use sperke_hmp::{FusedForecaster, TileForecast};
+    use sperke_sim::{SimDuration, SimTime};
+    use sperke_video::{ChunkTime, Quality, VideoModelBuilder};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Plans never exceed the bandwidth budget (with 5% slack for
+        /// rounding), for any gaze/bandwidth combination.
+        #[test]
+        fn plans_respect_budget(
+            seed: u64,
+            yaw_deg in -180.0f64..180.0,
+            bw_mbps in 2.0f64..80.0,
+            last_q in 0u8..4,
+        ) {
+            let video = VideoModelBuilder::new(seed)
+                .duration(SimDuration::from_secs(10))
+                .build();
+            let history = vec![(SimTime::ZERO, Orientation::from_degrees(yaw_deg, 0.0, 0.0))];
+            let fc = FusedForecaster::motion_only().forecast(
+                video.grid(), &history, SimTime::ZERO,
+                SimTime::from_secs(1), ChunkTime(1));
+            let mut vra = SperkeVra::new(RateBased::default(), SperkeConfig::default());
+            let plan = vra.plan(&PlanInput {
+                video: &video,
+                forecast: &fc,
+                time: ChunkTime(1),
+                now: SimTime::ZERO,
+                buffer: SimDuration::from_secs(2),
+                bandwidth_bps: Some(bw_mbps * 1e6),
+                bandwidth_forecast: vec![],
+                last_quality: Quality(last_q.min(3)),
+            });
+            let plan_bps = plan.total_bytes() as f64 * 8.0
+                / video.chunk_duration().as_secs_f64();
+            prop_assert!(plan_bps <= bw_mbps * 1e6 * 1.05,
+                "plan {plan_bps:.0} vs budget {:.0}", bw_mbps * 1e6);
+            // No duplicate cells in a plan.
+            let mut cells: Vec<_> = plan.fetches.iter().map(|f| (f.chunk.tile, f.chunk.time)).collect();
+            cells.sort();
+            let before = cells.len();
+            cells.dedup();
+            prop_assert_eq!(before, cells.len(), "duplicate cell in plan");
+        }
+
+        /// OOS selection cost is monotone in the budget.
+        #[test]
+        fn oos_monotone_in_budget(seed: u64, budget_a in 0u64..4_000_000, budget_b in 0u64..4_000_000) {
+            let video = VideoModelBuilder::new(seed)
+                .duration(SimDuration::from_secs(10))
+                .build();
+            let fc = TileForecast::uniform(video.grid(), 0.4);
+            let cost = |budget: u64| -> u64 {
+                select_oos(&video, &fc, ChunkTime(0), &[], Quality(2),
+                    sperke_video::Scheme::Avc, budget, &OosConfig::default())
+                    .iter()
+                    .map(|c| video.avc_bytes(sperke_video::ChunkId::new(c.quality, c.tile, ChunkTime(0))))
+                    .sum()
+            };
+            let (lo, hi) = if budget_a <= budget_b { (budget_a, budget_b) } else { (budget_b, budget_a) };
+            let c_lo = cost(lo);
+            let c_hi = cost(hi);
+            prop_assert!(c_lo <= lo, "cost exceeds budget");
+            prop_assert!(c_hi <= hi, "cost exceeds budget");
+            prop_assert!(c_lo <= c_hi, "more budget bought less");
+        }
+
+        /// The stochastic knapsack respects any budget and only selects
+        /// tiles above the probability floor.
+        #[test]
+        fn knapsack_budget_and_floor(
+            seed: u64,
+            budget in 0u64..6_000_000,
+            floor in 0.0f64..0.6,
+            probs in proptest::collection::vec(0.0f64..1.0, 24),
+        ) {
+            let video = VideoModelBuilder::new(seed)
+                .duration(SimDuration::from_secs(4))
+                .build();
+            let fc = TileForecast::new(probs);
+            let choices = select_stochastic(
+                &video, &fc, ChunkTime(0), budget, sperke_video::Scheme::Avc, floor);
+            let cost: u64 = choices.iter()
+                .map(|c| video.avc_bytes(sperke_video::ChunkId::new(c.quality, c.tile, ChunkTime(0))))
+                .sum();
+            prop_assert!(cost <= budget);
+            for c in &choices {
+                prop_assert!(fc.prob(c.tile) >= floor);
+            }
+            // No tile appears twice.
+            let mut tiles: Vec<_> = choices.iter().map(|c| c.tile).collect();
+            tiles.sort();
+            let n = tiles.len();
+            tiles.dedup();
+            prop_assert_eq!(n, tiles.len());
+        }
+
+        /// decide_upgrade never proposes a delta that misses the deadline
+        /// at the assumed bandwidth.
+        #[test]
+        fn upgrades_meet_deadlines(
+            have in 0u8..3,
+            want in 1u8..4,
+            prob in 0.5f64..1.0,
+            deadline_ms in 10u64..5000,
+            bw_mbps in 1.0f64..50.0,
+        ) {
+            prop_assume!(want > have);
+            let sizes = sperke_video::CellSizes::new(
+                vec![100_000, 250_000, 600_000, 1_400_000], 0.1);
+            let cand = UpgradeCandidate {
+                cell: sperke_video::CellId::new(sperke_geo::TileId(0), ChunkTime(0)),
+                have: Quality(have),
+                want: Quality(want),
+                probability: prob,
+                deadline: SimTime::from_millis(deadline_ms),
+            };
+            let bw = bw_mbps * 1e6;
+            let d = decide_upgrade(&cand, &sizes, sperke_video::Scheme::svc_default(),
+                SimTime::ZERO, bw, &UpgradeConfig::default());
+            if let UpgradeDecision::UpgradeNow { delta_bytes } = d {
+                let fetch_secs = delta_bytes as f64 * 8.0 / bw;
+                prop_assert!(fetch_secs <= deadline_ms as f64 / 1000.0 + 1e-9,
+                    "proposed fetch {fetch_secs}s misses {deadline_ms}ms deadline");
+            }
+        }
+    }
+}

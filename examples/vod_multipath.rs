@@ -1,0 +1,66 @@
+//! On-demand 360° streaming over WiFi + LTE: compare the §3.3 multipath
+//! schedulers on the same session.
+//!
+//! ```sh
+//! cargo run --example vod_multipath
+//! ```
+
+use sperke_core::{SchedulerChoice, Sperke};
+use sperke_hmp::Behavior;
+use sperke_net::{BandwidthTrace, PathModel};
+use sperke_sim::SimDuration;
+
+fn main() {
+    println!("On-demand 360° streaming over asymmetric WiFi + LTE (§3.3)");
+    println!();
+
+    // Neither link alone comfortably carries the top quality rungs; the
+    // LTE path is additionally lossy, which penalizes schedulers that
+    // put deadline-critical chunks on it.
+    let paths = vec![
+        PathModel::new(
+            "wifi",
+            BandwidthTrace::constant(9e6),
+            SimDuration::from_millis(15),
+            0.001,
+        ),
+        PathModel::new(
+            "lte",
+            BandwidthTrace::constant(8e6),
+            SimDuration::from_millis(60),
+            0.02,
+        ),
+    ];
+
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "scheduler", "vpUtil", "stalls", "score", "wifi MB", "lte MB"
+    );
+    for (label, choice) in [
+        ("single-path (wifi)", SchedulerChoice::SinglePath),
+        ("mptcp-minrtt", SchedulerChoice::MinRtt),
+        ("earliest-completion", SchedulerChoice::EarliestCompletion),
+        ("content-aware", SchedulerChoice::ContentAware),
+    ] {
+        let r = Sperke::builder(7)
+            .duration(SimDuration::from_secs(30))
+            .behavior(Behavior::Focused)
+            .paths(paths.clone())
+            .scheduler(choice)
+            .run();
+        println!(
+            "{:<22} {:>8.2} {:>8} {:>8.2} {:>10.1} {:>10.1}",
+            label,
+            r.qoe.mean_viewport_utility,
+            r.qoe.stall_count,
+            r.qoe.score,
+            r.path_bytes[0] as f64 / 1e6,
+            r.path_bytes.get(1).copied().unwrap_or(0) as f64 / 1e6,
+        );
+    }
+
+    println!();
+    println!("The content-aware scheduler keeps FoV and urgent chunks on the premium");
+    println!("(clean, low-RTT) path and uses the lossy LTE only where a loss is cheap,");
+    println!("matching Table 1's spatial/temporal priorities.");
+}

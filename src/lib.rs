@@ -1,0 +1,7 @@
+//! Root package of the Sperke reproduction workspace.
+//!
+//! This crate only hosts the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`; the library surface lives in
+//! [`sperke_core`] and the per-subsystem crates it re-exports.
+
+pub use sperke_core::*;

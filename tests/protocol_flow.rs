@@ -1,0 +1,141 @@
+//! End-to-end DASH protocol flows: origin ↔ client over a simulated
+//! access link, for VoD and live presentations.
+
+use sperke_geo::{Orientation, TileId, Viewport};
+use sperke_net::{BandwidthTrace, PathModel, PathQueue};
+use sperke_player::DashClient;
+use sperke_sim::{SimDuration, SimRng, SimTime};
+use sperke_video::{
+    ChunkForm, ChunkId, ChunkTime, DashOrigin, Quality, Scheme, TiledStore, VideoModel,
+    VideoModelBuilder,
+};
+
+fn video() -> VideoModel {
+    VideoModelBuilder::new(9)
+        .duration(SimDuration::from_secs(6))
+        .build()
+}
+
+fn client(bps: f64) -> DashClient {
+    DashClient::new(PathQueue::new(
+        PathModel::new(
+            "access",
+            BandwidthTrace::constant(bps),
+            SimDuration::from_millis(25),
+            0.0,
+        ),
+        SimRng::new(3),
+    ))
+}
+
+#[test]
+fn vod_session_over_the_wire() {
+    // A miniature FoV-guided session speaking the actual protocol:
+    // manifest, then per-chunk the viewport's tiles at Q2.
+    let v = video();
+    let mut origin = DashOrigin::new();
+    origin.host_vod("clip", TiledStore::hybrid(v.clone()), Scheme::svc_default());
+    let mut client = client(25e6);
+
+    let (mpd, m_done) = client
+        .fetch_manifest(&mut origin, "clip", SimTime::ZERO)
+        .expect("manifest");
+    assert_eq!(mpd.segment_count, 6);
+
+    let vp = Viewport::headset(Orientation::FRONT);
+    let tiles = vp.visible_tile_set(v.grid());
+    let mut now = m_done.finished;
+    let mut delivered = 0u64;
+    for t in v.chunk_times() {
+        for &tile in &tiles {
+            let chunk = ChunkId::new(Quality(2), tile, t);
+            let (bytes, done) = client
+                .fetch_segment(&mut origin, "clip", chunk, ChunkForm::Avc, now)
+                .expect("segment");
+            delivered += bytes;
+            now = done.finished;
+        }
+    }
+    // The whole FoV stream fits comfortably in real time on 25 Mbps.
+    assert!(
+        now.as_secs_f64() < 6.0,
+        "6 s of FoV tiles took {:.2} s to fetch",
+        now.as_secs_f64()
+    );
+    assert!(delivered > 0);
+    assert_eq!(origin.stats().payload_bytes, delivered);
+    assert_eq!(origin.stats().errors, 0);
+}
+
+#[test]
+fn live_viewer_polls_until_published() {
+    let v = video();
+    let mut origin = DashOrigin::new();
+    origin.host_live("event", TiledStore::avc_only(v.clone()), Scheme::Avc);
+    let mut client = client(20e6);
+
+    let chunk = ChunkId::new(Quality(0), TileId(5), ChunkTime(0));
+    // Poll before publication: the segment is refused (HTTP 425-style)
+    // but the manifest shows no live edge yet.
+    assert!(client
+        .fetch_segment(&mut origin, "event", chunk, ChunkForm::Avc, SimTime::ZERO)
+        .is_none());
+    let (mpd, _) = client
+        .fetch_manifest(&mut origin, "event", SimTime::from_millis(100))
+        .expect("manifest");
+    assert_eq!(mpd.live_edge(), None);
+
+    // The ingest pipeline publishes chunk 0; the next poll sees it and
+    // the fetch succeeds.
+    origin.publish("event", ChunkTime(0));
+    let (mpd, m_done) = client
+        .fetch_manifest(&mut origin, "event", SimTime::from_millis(1200))
+        .expect("manifest");
+    assert_eq!(mpd.live_edge(), Some(ChunkTime(0)));
+    let got = client.fetch_segment(&mut origin, "event", chunk, ChunkForm::Avc, m_done.finished);
+    assert!(got.is_some());
+    assert_eq!(client.stats().errors, 1, "exactly the pre-publication poll failed");
+}
+
+#[test]
+fn svc_upgrade_over_the_wire_costs_only_the_delta() {
+    let v = video();
+    let mut origin = DashOrigin::new();
+    origin.host_vod("clip", TiledStore::hybrid(v.clone()), Scheme::svc_default());
+    let mut client = client(20e6);
+
+    let tile = TileId(7);
+    let t = ChunkTime(1);
+    // Initial fetch at base quality (SVC form, so upgrades are deltas).
+    let base = ChunkId::new(Quality(0), tile, t);
+    let (base_bytes, done) = client
+        .fetch_segment(&mut origin, "clip", base, ChunkForm::SvcCumulative, SimTime::ZERO)
+        .expect("base layer");
+    // Upgrade to Q2 by fetching layers 1 and 2 individually.
+    let mut delta_bytes = 0;
+    let mut now = done.finished;
+    for layer in 1..=2u8 {
+        let id = ChunkId::new(Quality(2), tile, t);
+        let (bytes, d) = client
+            .fetch_segment(
+                &mut origin,
+                "clip",
+                id,
+                ChunkForm::SvcLayer(sperke_video::Layer(layer)),
+                now,
+            )
+            .expect("layer");
+        delta_bytes += bytes;
+        now = d.finished;
+    }
+    // Compare against re-downloading the whole Q2 AVC representation.
+    let avc = ChunkId::new(Quality(2), tile, t);
+    let (avc_bytes, _) = client
+        .fetch_segment(&mut origin, "clip", avc, ChunkForm::Avc, now)
+        .expect("avc");
+    assert!(
+        base_bytes + delta_bytes < base_bytes + avc_bytes,
+        "delta path ({delta_bytes}) must beat re-download ({avc_bytes})"
+    );
+    assert!(delta_bytes < avc_bytes);
+}

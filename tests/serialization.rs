@@ -1,0 +1,60 @@
+//! Cross-crate serialization tests: the on-disk formats the §3.2 study
+//! depends on (head traces, manifests, reports) survive round trips.
+
+use sperke_hmp::{AttentionModel, Behavior, HeadTrace, TraceGenerator, ViewingContext};
+use sperke_sim::SimDuration;
+use sperke_video::{Mpd, Scheme, VideoModelBuilder};
+
+#[test]
+fn head_trace_json_roundtrip_preserves_playback() {
+    let trace = TraceGenerator::new(
+        AttentionModel::generic(4),
+        Behavior::Focused,
+        ViewingContext::default(),
+    )
+    .generate(SimDuration::from_secs(5), 11);
+    let json = trace.to_json();
+    let back = HeadTrace::from_json(&json).expect("parses");
+    assert_eq!(back.len(), trace.len());
+    assert_eq!(back.context, trace.context);
+    // Interpolated playback must agree within float-print precision.
+    for ms in (0..5000).step_by(137) {
+        let t = sperke_sim::SimTime::from_millis(ms);
+        assert!(trace.at(t).angular_distance(&back.at(t)) < 1e-6);
+    }
+}
+
+#[test]
+fn mpd_roundtrips_for_both_schemes() {
+    let video = VideoModelBuilder::new(3)
+        .duration(SimDuration::from_secs(6))
+        .build();
+    for scheme in [Scheme::Avc, Scheme::svc_default()] {
+        let mpd = Mpd::vod("clip", &video, scheme);
+        let back = Mpd::from_json(&mpd.to_json()).expect("parses");
+        assert_eq!(mpd, back);
+    }
+}
+
+#[test]
+fn qoe_report_serializes() {
+    let result = sperke_core::Sperke::builder(2)
+        .duration(SimDuration::from_secs(5))
+        .run();
+    let json = serde_json::to_string(&result.qoe).expect("serializes");
+    let back: sperke_player::QoeReport = serde_json::from_str(&json).expect("parses");
+    assert_eq!(result.qoe, back);
+}
+
+#[test]
+fn live_result_serializes() {
+    use sperke_live::{run_live, LiveRunConfig, NetworkCondition, PlatformProfile};
+    let r = run_live(
+        &PlatformProfile::facebook(),
+        NetworkCondition { up_cap_bps: None, down_cap_bps: None },
+        &LiveRunConfig { duration: SimDuration::from_secs(30), ..Default::default() },
+    );
+    let json = serde_json::to_string(&r).expect("serializes");
+    let back: sperke_live::LiveRunResult = serde_json::from_str(&json).expect("parses");
+    assert_eq!(r.segment_latencies.len(), back.segment_latencies.len());
+}
