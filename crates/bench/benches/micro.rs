@@ -8,6 +8,7 @@ use sperke_hmp::FusedForecaster;
 use sperke_net::{
     ChunkPriority, ChunkRequest, ContentAware, MultipathScheduler, PathModel, PathQueue,
 };
+use sperke_sim::trace::{TraceEvent, TraceLevel, TraceSink};
 use sperke_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use sperke_video::ChunkTime;
 
@@ -84,9 +85,34 @@ fn bench_scheduler(c: &mut Criterion) {
     });
 }
 
+fn bench_trace(c: &mut Criterion) {
+    // The observability promise: a disabled sink costs one branch on the
+    // hot path. Compare against an enabled Verbose sink doing real work.
+    let disabled = TraceSink::disabled();
+    c.bench_function("sim/trace_emit_disabled", |b| {
+        b.iter(|| {
+            disabled.emit(std::hint::black_box(TraceEvent::CacheHit {
+                at: SimTime::from_nanos(42),
+                frame: 7,
+                tile: 3,
+            }))
+        })
+    });
+    let enabled = TraceSink::with_level(TraceLevel::Verbose);
+    c.bench_function("sim/trace_emit_enabled", |b| {
+        b.iter(|| {
+            enabled.emit(std::hint::black_box(TraceEvent::CacheHit {
+                at: SimTime::from_nanos(42),
+                frame: 7,
+                tile: 3,
+            }))
+        })
+    });
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_geometry, bench_event_queue, bench_forecast, bench_scheduler
+    targets = bench_geometry, bench_event_queue, bench_forecast, bench_scheduler, bench_trace
 );
 criterion_main!(micro);

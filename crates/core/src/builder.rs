@@ -10,6 +10,7 @@ use sperke_net::{
     BandwidthTrace, ContentAware, EarliestCompletion, MinRtt, PathModel, PathQueue, SinglePath,
 };
 use sperke_player::{run_session, PlannerKind, PlayerConfig, SessionResult};
+use sperke_sim::trace::{Trace, TraceLevel, TraceSink};
 use sperke_sim::{SimDuration, SimRng};
 use sperke_video::{Ladder, VideoModel, VideoModelBuilder};
 use sperke_vra::{BufferBased, Mpc, RateBased, SperkeConfig};
@@ -57,6 +58,30 @@ pub struct Sperke {
     svc_overhead: f64,
     chunk_duration: SimDuration,
     oracle_hmp: bool,
+    trace: TraceLevel,
+}
+
+/// The outcome of a traced experiment: the session result plus the
+/// captured [`Trace`] (empty when tracing was off).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The streaming session's QoE and per-chunk records.
+    pub session: SessionResult,
+    /// The captured trace (events + metrics registry).
+    pub trace: Trace,
+}
+
+impl RunReport {
+    /// Stable FNV-1a fingerprint of the trace's JSONL bytes. Identical
+    /// seeds and trace levels yield identical digests across runs.
+    pub fn trace_digest(&self) -> u64 {
+        self.trace.digest()
+    }
+
+    /// The trace as newline-delimited JSON, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        self.trace.to_jsonl()
+    }
 }
 
 impl Sperke {
@@ -81,7 +106,16 @@ impl Sperke {
             svc_overhead: 0.10,
             chunk_duration: SimDuration::from_secs(1),
             oracle_hmp: false,
+            trace: TraceLevel::Off,
         }
+    }
+
+    /// Record a deterministic trace of the run at `level`; retrieve it
+    /// through [`Sperke::run_report`]. Defaults to [`TraceLevel::Off`],
+    /// which costs nothing.
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
     }
 
     /// Video duration.
@@ -260,8 +294,18 @@ impl Sperke {
 
     /// Run the experiment.
     pub fn run(&self) -> SessionResult {
+        self.run_report().session
+    }
+
+    /// Run the experiment and return the [`RunReport`] carrying both the
+    /// session result and the trace captured at the level set by
+    /// [`Sperke::with_trace`].
+    pub fn run_report(&self) -> RunReport {
         let video = self.build_video();
         let trace = self.build_trace();
+        let sink = TraceSink::with_level(self.trace);
+        let mut player = self.player.clone();
+        player.trace = sink.clone();
         let rng = SimRng::new(self.seed ^ 0xBEEF);
         let paths: Vec<PathQueue> = self
             .paths
@@ -272,7 +316,7 @@ impl Sperke {
 
         macro_rules! go {
             ($abr:expr, $sched:expr, $forecaster:expr) => {
-                run_session(&video, &trace, paths, $sched, $abr, $forecaster, &self.player)
+                run_session(&video, &trace, paths, $sched, $abr, $forecaster, &player)
             };
         }
         macro_rules! with_abr {
@@ -296,13 +340,14 @@ impl Sperke {
                 }
             };
         }
-        if self.oracle_hmp {
+        let session = if self.oracle_hmp {
             let oracle = OracleForecaster::new(trace.clone());
             with_sched!(&oracle)
         } else {
             let forecaster = self.build_forecaster();
             with_sched!(&forecaster)
-        }
+        };
+        RunReport { session, trace: sink.snapshot() }
     }
 }
 
@@ -378,6 +423,53 @@ mod tests {
             real.qoe.mean_blank_fraction
         );
         assert!(oracle.qoe.mean_blank_fraction < 0.02, "perfect HMP ~never blanks");
+    }
+
+    #[test]
+    fn run_report_traces_deterministically() {
+        let mk = || {
+            Sperke::builder(21)
+                .duration(SimDuration::from_secs(6))
+                .wifi_plus_lte()
+                .scheduler(SchedulerChoice::ContentAware)
+                .with_trace(TraceLevel::Verbose)
+                .run_report()
+        };
+        let a = mk();
+        let b = mk();
+        assert!(!a.trace.is_empty(), "tracing captures events");
+        assert_eq!(a.to_jsonl(), b.to_jsonl(), "same seed, byte-identical JSONL");
+        assert_eq!(a.trace_digest(), b.trace_digest());
+        assert_eq!(a.session.qoe, b.session.qoe);
+    }
+
+    #[test]
+    fn untraced_run_report_is_empty_and_cheap() {
+        let r = Sperke::builder(21)
+            .duration(SimDuration::from_secs(4))
+            .run_report();
+        assert!(r.trace.is_empty());
+        assert_eq!(r.trace.dropped(), 0);
+        // A disabled trace still produces a stable digest (of nothing).
+        assert_eq!(r.trace_digest(), r.trace_digest());
+    }
+
+    #[test]
+    fn trace_level_gates_event_volume() {
+        let at = |level: TraceLevel| {
+            Sperke::builder(33)
+                .duration(SimDuration::from_secs(6))
+                .with_trace(level)
+                .run_report()
+                .trace
+                .len()
+        };
+        let events = at(TraceLevel::Events);
+        let decisions = at(TraceLevel::Decisions);
+        assert!(
+            decisions > events,
+            "higher levels record strictly more ({events} vs {decisions})"
+        );
     }
 
     #[test]

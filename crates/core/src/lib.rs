@@ -35,8 +35,9 @@
 pub mod builder;
 pub mod fleet;
 
-pub use builder::{AbrChoice, SchedulerChoice, Sperke};
+pub use builder::{AbrChoice, RunReport, SchedulerChoice, Sperke};
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use sperke_sim::trace::{Trace, TraceEvent, TraceLevel};
 
 // Re-export the subsystem crates under stable names so downstream users
 // depend on one crate.

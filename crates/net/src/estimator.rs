@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 use sperke_sim::stats::harmonic_mean;
+use sperke_sim::trace::{TraceEvent, TraceSink};
+use sperke_sim::SimTime;
 
 /// Estimation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,6 +31,7 @@ pub struct BandwidthEstimator {
     kind: EstimatorKind,
     samples: Vec<f64>,
     ewma: Option<f64>,
+    trace: TraceSink,
 }
 
 impl BandwidthEstimator {
@@ -40,12 +43,33 @@ impl BandwidthEstimator {
         if let EstimatorKind::Harmonic { window } = kind {
             assert!(window > 0, "window must be positive");
         }
-        BandwidthEstimator { kind, samples: Vec::new(), ewma: None }
+        BandwidthEstimator { kind, samples: Vec::new(), ewma: None, trace: TraceSink::disabled() }
+    }
+
+    /// Record estimator updates into `sink` (used by
+    /// [`BandwidthEstimator::record_at`]).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The FESTIVE default: harmonic mean of the last 5 chunks.
     pub fn festive() -> BandwidthEstimator {
         BandwidthEstimator::new(EstimatorKind::Harmonic { window: 5 })
+    }
+
+    /// Like [`BandwidthEstimator::record`], additionally stamping the
+    /// sample with its virtual time and emitting a
+    /// [`TraceEvent::BandwidthUpdated`] into the attached trace sink.
+    pub fn record_at(&mut self, goodput_bps: f64, now: SimTime) {
+        self.record(goodput_bps);
+        if self.trace.is_enabled() {
+            self.trace.emit(TraceEvent::BandwidthUpdated {
+                at: now,
+                goodput_bps,
+                estimate_bps: self.estimate().unwrap_or(0.0),
+            });
+            self.trace.metrics(|m| m.histogram("net.goodput_bps").record(goodput_bps));
+        }
     }
 
     /// Record an observed goodput sample (bits/second). Non-positive

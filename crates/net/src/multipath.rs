@@ -8,8 +8,9 @@
 //! to assign each chunk to an appropriate path and delivery mode.
 
 use crate::priority::{ChunkPriority, Reliability, SpatialPriority, TemporalPriority};
-use crate::transfer::{Completion, PathQueue};
+use crate::transfer::{Completion, PathQueue, TransferOutcome};
 use serde::{Deserialize, Serialize};
+use sperke_sim::trace::{TraceEvent, TraceSink};
 use sperke_sim::SimTime;
 
 /// A chunk delivery request as seen by the multipath layer.
@@ -210,13 +211,19 @@ pub struct MultipathSession<S: MultipathScheduler> {
     scheduler: S,
     /// Completions in submission order, with the chosen path.
     pub log: Vec<(Completion, usize)>,
+    trace: TraceSink,
 }
 
 impl<S: MultipathScheduler> MultipathSession<S> {
     /// Build a session over the given paths.
     pub fn new(paths: Vec<PathQueue>, scheduler: S) -> Self {
         assert!(!paths.is_empty(), "need at least one path");
-        MultipathSession { paths, scheduler, log: Vec::new() }
+        MultipathSession { paths, scheduler, log: Vec::new(), trace: TraceSink::disabled() }
+    }
+
+    /// Record path assignments and transfer completions into `sink`.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The live path set.
@@ -235,6 +242,29 @@ impl<S: MultipathScheduler> MultipathSession<S> {
         let completion =
             self.paths[assignment.path].submit(req.bytes, now, assignment.reliability);
         self.log.push((completion, assignment.path));
+        if self.trace.is_enabled() {
+            self.trace.emit(TraceEvent::PathAssigned {
+                at: now,
+                path: assignment.path as u32,
+                bytes: req.bytes,
+                fov: req.priority.spatial == SpatialPriority::Fov,
+                urgent: req.priority.temporal == TemporalPriority::Urgent,
+                reliable: assignment.reliability == Reliability::Reliable,
+            });
+            self.trace.emit(TraceEvent::TransferFinished {
+                at: completion.finished,
+                path: assignment.path as u32,
+                bytes: req.bytes,
+                delivered: completion.outcome == TransferOutcome::Delivered,
+            });
+            self.trace.metrics(|m| {
+                m.counter(match completion.outcome {
+                    TransferOutcome::Delivered => "net.bytes_delivered",
+                    TransferOutcome::Dropped => "net.bytes_dropped",
+                })
+                .add(req.bytes);
+            });
+        }
         (completion, assignment.path)
     }
 

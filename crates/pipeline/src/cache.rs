@@ -105,16 +105,20 @@ impl DecodedFrameCache {
         self.resident.insert(key, ());
     }
 
-    /// Drop all frames older than `frame` (already displayed).
-    pub fn evict_before(&mut self, frame: u64) {
+    /// Drop all frames older than `frame` (already displayed), returning
+    /// how many entries were dropped.
+    pub fn evict_before(&mut self, frame: u64) -> usize {
+        let mut dropped = 0;
         while let Some(&front) = self.order.front() {
             if front.frame < frame {
                 self.order.pop_front();
                 self.resident.remove(&front);
+                dropped += 1;
             } else {
                 break;
             }
         }
+        dropped
     }
 
     /// Current statistics.
@@ -186,7 +190,7 @@ mod tests {
         c.insert(key(0, 0));
         c.insert(key(1, 0));
         c.insert(key(2, 0));
-        c.evict_before(2);
+        assert_eq!(c.evict_before(2), 2);
         assert!(!c.contains(key(0, 0)));
         assert!(!c.contains(key(1, 0)));
         assert!(c.contains(key(2, 0)));

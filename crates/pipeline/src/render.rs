@@ -15,6 +15,7 @@ use crate::scheduler::DecoderPool;
 use serde::{Deserialize, Serialize};
 use sperke_geo::{TileGrid, TileId, Viewport};
 use sperke_hmp::HeadTrace;
+use sperke_sim::trace::{TraceEvent, TraceSink};
 use sperke_sim::{SimDuration, SimTime};
 
 /// The three Figure-5 configurations.
@@ -88,6 +89,24 @@ pub fn simulate_render(
     config: &PipelineConfig,
     duration: SimDuration,
 ) -> RenderStats {
+    simulate_render_traced(device, video, grid, trace, mode, config, duration, &TraceSink::disabled())
+}
+
+/// Like [`simulate_render`], additionally emitting decode-scheduler and
+/// cache events ([`TraceEvent::DecodeAdmitted`], [`TraceEvent::CacheHit`],
+/// [`TraceEvent::CacheEvicted`]) into `sink` at
+/// [`TraceLevel::Verbose`](sperke_sim::trace::TraceLevel::Verbose).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_render_traced(
+    device: &DeviceProfile,
+    video: SourceVideo,
+    grid: &TileGrid,
+    trace: &HeadTrace,
+    mode: RenderMode,
+    config: &PipelineConfig,
+    duration: SimDuration,
+    sink: &TraceSink,
+) -> RenderStats {
     let (decoders, cache_capacity) = match mode {
         RenderMode::UnoptimizedAll => (1, 0),
         RenderMode::OptimizedAll | RenderMode::OptimizedFov => {
@@ -128,8 +147,21 @@ pub fn simulate_render(
                 cache.insert(key);
                 decoded_at.insert(key, completion.finished);
                 ready_at = ready_at.max(completion.finished);
-            } else if let Some(&done) = decoded_at.get(&key) {
-                ready_at = ready_at.max(done);
+                if sink.is_enabled() {
+                    sink.emit(TraceEvent::DecodeAdmitted {
+                        at: now,
+                        frame: key.frame,
+                        tile: key.tile.0,
+                        decoder: completion.decoder as u32,
+                    });
+                }
+            } else {
+                if sink.is_enabled() {
+                    sink.emit(TraceEvent::CacheHit { at: now, frame: key.frame, tile: key.tile.0 });
+                }
+                if let Some(&done) = decoded_at.get(&key) {
+                    ready_at = ready_at.max(done);
+                }
             }
         }
         if ready_at > now {
@@ -157,6 +189,14 @@ pub fn simulate_render(
                         let completion = pool.submit(key, now, decode_time);
                         cache.insert(key);
                         decoded_at.insert(key, completion.finished);
+                        if sink.is_enabled() {
+                            sink.emit(TraceEvent::DecodeAdmitted {
+                                at: now,
+                                frame: key.frame,
+                                tile: key.tile.0,
+                                decoder: completion.decoder as u32,
+                            });
+                        }
                     }
                 }
                 prefetched_through += 1;
@@ -171,11 +211,27 @@ pub fn simulate_render(
         }
         now = next;
         frames += 1;
-        cache.evict_before(source_frame.saturating_sub(1));
+        let evicted = cache.evict_before(source_frame.saturating_sub(1));
+        if evicted > 0 && sink.is_enabled() {
+            sink.emit(TraceEvent::CacheEvicted {
+                at: now,
+                frame: source_frame.saturating_sub(1),
+                count: evicted as u32,
+            });
+        }
         decoded_at.retain(|k, _| k.frame + 1 >= source_frame);
     }
 
     let elapsed = now.saturating_since(SimTime::ZERO);
+    if sink.is_enabled() {
+        let stats = cache.stats();
+        sink.metrics(|m| {
+            m.counter("pipeline.frames").add(frames);
+            m.counter("pipeline.cache_hits").add(stats.hits);
+            m.counter("pipeline.cache_misses").add(stats.misses);
+            m.histogram("pipeline.fps").record(frames as f64 / elapsed.as_secs_f64());
+        });
+    }
     RenderStats {
         frames,
         elapsed,
@@ -365,6 +421,58 @@ mod tests {
             SimDuration::from_secs(10),
         );
         assert!(s.cache_hit_rate > 0.6, "hit rate {}", s.cache_hit_rate);
+    }
+
+    #[test]
+    fn traced_render_captures_pipeline_events() {
+        use sperke_sim::trace::{TraceLevel, TraceSink};
+        let (device, video, grid) = fig5_setup();
+        let trace = still_trace();
+        let sink = TraceSink::with_level(TraceLevel::Verbose);
+        let traced = simulate_render_traced(
+            &device,
+            video,
+            &grid,
+            &trace,
+            RenderMode::OptimizedAll,
+            &PipelineConfig::default(),
+            SimDuration::from_secs(2),
+            &sink,
+        );
+        let untraced = simulate_render(
+            &device,
+            video,
+            &grid,
+            &trace,
+            RenderMode::OptimizedAll,
+            &PipelineConfig::default(),
+            SimDuration::from_secs(2),
+        );
+        // Tracing must not perturb the simulation.
+        assert_eq!(traced, untraced);
+        let snap = sink.snapshot();
+        let admits = snap
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DecodeAdmitted { .. }))
+            .count();
+        let hits = snap
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CacheHit { .. }))
+            .count();
+        let evictions = snap
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CacheEvicted { .. }))
+            .count();
+        assert!(admits > 0, "decode admits recorded");
+        assert!(hits > 0, "cache hits recorded");
+        assert!(evictions > 0, "cache evictions recorded");
+        assert_eq!(
+            snap.metrics().counter_value("pipeline.frames"),
+            Some(traced.frames)
+        );
     }
 
     #[test]

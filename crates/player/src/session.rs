@@ -16,6 +16,7 @@ use sperke_net::{
     BandwidthEstimator, ChunkPriority, ChunkRequest, EstimatorKind, MultipathScheduler,
     MultipathSession, PathQueue, SpatialPriority, TransferOutcome,
 };
+use sperke_sim::trace::{Subsystem, TraceEvent, TraceLevel, TraceSink};
 use sperke_sim::{SimDuration, SimTime};
 use sperke_vra::{
     decide_upgrade, plan_fov_agnostic, upgrade_candidates, Abr, FetchPlan, PlanInput, SperkeConfig,
@@ -58,6 +59,10 @@ pub struct PlayerConfig {
     /// received by their deadlines are skipped" (§3.1.2, footnote) —
     /// the playback timeline never stalls; late chunks display blank.
     pub realtime: bool,
+    /// Trace sink shared with every subsystem the session drives (the
+    /// network layer, the bandwidth estimator and the VRA planner all
+    /// emit into it). Disabled by default; emission is then a no-op.
+    pub trace: TraceSink,
 }
 
 impl Default for PlayerConfig {
@@ -72,6 +77,7 @@ impl Default for PlayerConfig {
             upgrade_lead: SimDuration::from_millis(600),
             max_buffer: SimDuration::from_secs(2),
             realtime: false,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -142,15 +148,20 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
     mut log: Option<&mut EventLog>,
 ) -> SessionResult {
     let cd = video.chunk_duration();
+    let sink = config.trace.clone();
     let mut net = MultipathSession::new(paths, scheduler);
+    net.set_trace(sink.clone());
     let mut estimator = BandwidthEstimator::new(config.estimator);
+    estimator.set_trace(sink.clone());
     let mut buffer = CellBuffer::new();
     let mut records = Vec::new();
     let mut upgrades_applied = 0u32;
 
     let mut planner = match &config.planner {
         PlannerKind::Sperke(cfg) => {
-            PlannerState::Sperke(Box::new(SperkeVra::new(abr, cfg.clone())))
+            let mut vra = Box::new(SperkeVra::new(abr, cfg.clone()));
+            vra.set_trace(sink.clone());
+            PlannerState::Sperke(vra)
         }
         PlannerKind::FovAgnostic => PlannerState::Agnostic(abr),
     };
@@ -174,6 +185,18 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                 est_deadline.as_nanos() - config.max_buffer.as_nanos(),
             );
             buffer_level = config.max_buffer;
+        }
+
+        if sink.is_enabled() {
+            sink.emit(TraceEvent::BufferLevel {
+                at: now,
+                chunk: t.0,
+                level_ms: buffer_level.as_nanos() / 1_000_000,
+            });
+            sink.metrics(|m| {
+                m.series("player.buffer_level_s")
+                    .record(now, buffer_level.as_secs_f64());
+            });
         }
 
         // --- HMP: gaze history lives on the wall clock since playback
@@ -207,7 +230,21 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                 last_quality,
             }),
             PlannerState::Agnostic(a) => {
-                plan_fov_agnostic(a, video, t, buffer_level, bw, last_quality)
+                let plan = plan_fov_agnostic(a, video, t, buffer_level, bw, last_quality);
+                // The agnostic planner has no sink of its own; log its
+                // ABR choice here so both planners leave the same shape
+                // of decision record.
+                if sink.enabled(Subsystem::Vra, TraceLevel::Decisions) {
+                    sink.emit(TraceEvent::AbrDecision {
+                        at: now,
+                        chunk: t.0,
+                        chosen: plan.fov_quality.0,
+                        buffer_ms: buffer_level.as_nanos() / 1_000_000,
+                        bandwidth_bps: bw.unwrap_or(0.0),
+                        candidates: vec![],
+                    });
+                }
+                plan
             }
         };
 
@@ -290,7 +327,7 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
         // RTT-bound and badly underestimate the link).
         let elapsed = batch_end.saturating_since(now).as_secs_f64();
         if elapsed > 0.0 && batch_delivered > 0 {
-            estimator.record(batch_delivered as f64 * 8.0 / elapsed);
+            estimator.record_at(batch_delivered as f64 * 8.0 / elapsed, batch_end);
         }
 
         // --- Startup & stall/skip accounting.
@@ -320,6 +357,18 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                                 at: deadline,
                                 chunk: t,
                                 duration: stall,
+                            });
+                        }
+                        if sink.is_enabled() {
+                            sink.emit(TraceEvent::StallStarted { at: deadline, chunk: t.0 });
+                            sink.emit(TraceEvent::StallEnded {
+                                at: fov_done,
+                                chunk: t.0,
+                                duration_ms: stall.as_nanos() / 1_000_000,
+                            });
+                            sink.metrics(|m| {
+                                m.counter("player.stalls").incr();
+                                m.histogram("player.stall_s").record(stall.as_secs_f64());
                             });
                         }
                     }
@@ -377,6 +426,16 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                             };
                             let (completion, _) = net.submit(req, at);
                             upgrade_bytes += delta_bytes;
+                            if !(completion.outcome == TransferOutcome::Delivered
+                                && completion.finished <= display_time)
+                            {
+                                sink.emit(TraceEvent::UpgradeRejected {
+                                    at: completion.finished,
+                                    tile: cand.cell.tile.0,
+                                    chunk: t.0,
+                                    want: cand.want.0,
+                                });
+                            }
                             if completion.outcome == TransferOutcome::Delivered
                                 && completion.finished <= display_time
                             {
@@ -401,6 +460,13 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                                         delta_bytes,
                                     });
                                 }
+                                sink.emit(TraceEvent::UpgradeGranted {
+                                    at: completion.finished,
+                                    tile: cand.cell.tile.0,
+                                    chunk: t.0,
+                                    to: cand.want.0,
+                                    delta_bytes,
+                                });
                             }
                             break;
                         }
@@ -410,7 +476,15 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                             }
                             at = revisit_at;
                         }
-                        UpgradeDecision::Skip => break,
+                        UpgradeDecision::Skip => {
+                            sink.emit(TraceEvent::UpgradeRejected {
+                                at,
+                                tile: cand.cell.tile.0,
+                                chunk: t.0,
+                                want: cand.want.0,
+                            });
+                            break;
+                        }
                     }
                 }
             }
@@ -418,6 +492,18 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
 
         // A skipped realtime chunk displays nothing at all.
         if skipped {
+            if sink.is_enabled() {
+                sink.emit(TraceEvent::BlankFrame {
+                    at: display_time,
+                    chunk: t.0,
+                    fraction: 1.0,
+                });
+                sink.metrics(|m| {
+                    m.counter("player.skips").incr();
+                    m.counter("player.bytes_fetched").add(chunk_bytes + upgrade_bytes);
+                    m.histogram("player.blank_fraction").record(1.0);
+                });
+            }
             records.push(ChunkRecord {
                 index: t.0,
                 viewport_utility: 0.0,
@@ -461,6 +547,16 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                 chunk: t,
                 viewport_utility: utility,
                 blank,
+            });
+        }
+        if sink.is_enabled() {
+            if blank > 0.0 {
+                sink.emit(TraceEvent::BlankFrame { at: display_time, chunk: t.0, fraction: blank });
+            }
+            sink.metrics(|m| {
+                m.counter("player.bytes_fetched").add(chunk_bytes + upgrade_bytes);
+                m.histogram("player.blank_fraction").record(blank);
+                m.histogram("player.viewport_utility").record(utility);
             });
         }
         let total_bytes = chunk_bytes + upgrade_bytes;

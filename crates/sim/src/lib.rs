@@ -43,6 +43,7 @@ pub mod rng;
 pub mod runner;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use experiment::{replicate, Replicates, SEED_PANEL};
 pub use metrics::{Counter, Histogram, TimeSeries};
@@ -50,6 +51,9 @@ pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use runner::{RunOutcome, Scheduler, Simulation, World};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    fnv1a64, MetricsRegistry, Subsystem, Trace, TraceConfig, TraceEvent, TraceLevel, TraceSink,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -21,14 +21,15 @@ impl Counter {
         Counter::default()
     }
 
-    /// Increment by one.
+    /// Increment by one. Saturates at `u64::MAX` instead of wrapping —
+    /// a pegged counter is a visible anomaly, a wrapped one is a lie.
     pub fn incr(&mut self) {
-        self.value += 1;
+        self.value = self.value.saturating_add(1);
     }
 
-    /// Increment by `n`.
+    /// Increment by `n`, saturating at `u64::MAX`.
     pub fn add(&mut self, n: u64) {
-        self.value += n;
+        self.value = self.value.saturating_add(n);
     }
 
     /// Current total.
@@ -153,8 +154,12 @@ impl Histogram {
         stats::stddev(&self.samples)
     }
 
-    /// Interpolated percentile, `p` in `[0,100]`.
+    /// Interpolated percentile, `p` in `[0,100]`. Defined on empty input:
+    /// returns `0.0`, matching [`Histogram::min`]/[`Histogram::max`].
     pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
         stats::percentile(&self.samples, p)
     }
 
@@ -242,5 +247,24 @@ mod tests {
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_empty_percentile_is_defined() {
+        let h = Histogram::new();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0.0, "empty percentile({p}) must be 0.0");
+        }
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        c.add(100);
+        assert_eq!(c.get(), u64::MAX, "pegged, not wrapped");
     }
 }

@@ -13,6 +13,7 @@ use crate::superchunk::SuperChunk;
 use serde::{Deserialize, Serialize};
 use sperke_hmp::TileForecast;
 use sperke_net::{ChunkPriority, SpatialPriority, TemporalPriority};
+use sperke_sim::trace::{CandidateQuality, Subsystem, TraceEvent, TraceLevel, TraceSink};
 use sperke_sim::{SimDuration, SimTime};
 use sperke_video::{CellId, ChunkForm, ChunkId, ChunkTime, Layer, Quality, Scheme, VideoModel};
 
@@ -188,12 +189,44 @@ pub struct SperkeVra<A: Abr> {
     pub abr: A,
     /// Tuning.
     pub config: SperkeConfig,
+    trace: TraceSink,
 }
 
 impl<A: Abr> SperkeVra<A> {
     /// Construct with an inner ABR.
     pub fn new(abr: A, config: SperkeConfig) -> Self {
-        SperkeVra { abr, config }
+        SperkeVra { abr, config, trace: TraceSink::disabled() }
+    }
+
+    /// Record ABR decisions (with their candidate qualities) into `sink`.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// Emit the per-plan [`TraceEvent::AbrDecision`], with the candidate
+    /// ladder only when the sink actually records VRA decisions.
+    fn emit_decision(&self, input: &PlanInput<'_>, chosen: Quality, unit_bitrate: &[f64]) {
+        if !self.trace.enabled(Subsystem::Vra, TraceLevel::Decisions) {
+            return;
+        }
+        let ladder = input.video.ladder();
+        let candidates = ladder
+            .qualities()
+            .zip(unit_bitrate.iter())
+            .map(|(q, &bps)| CandidateQuality {
+                quality: q.0,
+                bitrate_bps: bps,
+                utility: ladder.utility(q),
+            })
+            .collect();
+        self.trace.emit(TraceEvent::AbrDecision {
+            at: input.now,
+            chunk: input.time.0,
+            chosen: chosen.0,
+            buffer_ms: input.buffer.as_nanos() / 1_000_000,
+            bandwidth_bps: input.bandwidth_bps.unwrap_or(0.0),
+            candidates,
+        });
     }
 
     /// Produce the fetch plan for one chunk time.
@@ -228,6 +261,7 @@ impl<A: Abr> SperkeVra<A> {
             chunk_duration: video.chunk_duration(),
         };
         let fov_quality = self.abr.choose(&ctx);
+        self.emit_decision(input, fov_quality, &ctx.unit_bitrate);
 
         // Temporal priority: near-deadline chunks are urgent.
         let deadline = video.chunk_deadline(input.time);
@@ -355,6 +389,7 @@ impl<A: Abr> SperkeVra<A> {
                 probability: p,
             });
         }
+        self.emit_decision(input, fov_quality, &[]);
         FetchPlan { time: input.time, fov_quality, fetches }
     }
 }

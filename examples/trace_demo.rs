@@ -1,0 +1,69 @@
+//! Observability demo: run a traced session, print the trace summary,
+//! and export JSONL.
+//!
+//! ```text
+//! cargo run --example trace_demo -- [seed] [off|events|decisions|verbose] [out.jsonl]
+//! ```
+
+use sperke_core::{SchedulerChoice, Sperke, TraceLevel};
+use sperke_sim::trace::Subsystem;
+use sperke_sim::SimDuration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+    let level = match args.next().as_deref() {
+        None | Some("decisions") => TraceLevel::Decisions,
+        Some("off") => TraceLevel::Off,
+        Some("events") => TraceLevel::Events,
+        Some("verbose") => TraceLevel::Verbose,
+        Some(other) => {
+            eprintln!("unknown trace level `{other}` (want off|events|decisions|verbose)");
+            std::process::exit(2);
+        }
+    };
+    let out = args.next();
+
+    let report = Sperke::builder(seed)
+        .duration(SimDuration::from_secs(12))
+        .wifi_plus_lte()
+        .scheduler(SchedulerChoice::ContentAware)
+        .with_trace(level)
+        .run_report();
+
+    println!(
+        "seed {seed} @ {level:?}: QoE {:.3}, {} stalls, {:.1} MB fetched",
+        report.session.qoe.score,
+        report.session.qoe.stall_count,
+        report.session.qoe.bytes_fetched as f64 / 1e6
+    );
+    println!(
+        "trace: {} events ({} dropped), digest {:#018x}",
+        report.trace.len(),
+        report.trace.dropped(),
+        report.trace_digest()
+    );
+    for sub in Subsystem::ALL {
+        let n = report.trace.for_subsystem(sub).len();
+        if n > 0 {
+            println!("  {:<8} {n:>5} events", sub.name());
+        }
+    }
+    let names: Vec<String> = report
+        .trace
+        .metrics()
+        .names()
+        .into_iter()
+        .map(|(kind, name)| format!("{name} ({kind})"))
+        .collect();
+    if !names.is_empty() {
+        println!("metrics: {}", names.join(", "));
+    }
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_jsonl()).expect("write JSONL");
+        println!("wrote {path}");
+    }
+}

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full stack wired together through
 //! the `sperke-core` builder.
 
-use sperke_core::{AbrChoice, SchedulerChoice, Sperke};
+use sperke_core::{AbrChoice, SchedulerChoice, Sperke, TraceLevel};
 use sperke_hmp::{Behavior, Pose, ViewingContext};
 use sperke_sim::SimDuration;
 use sperke_video::Ladder;
@@ -40,14 +40,20 @@ fn whole_stack_is_seed_deterministic() {
             .scheduler(SchedulerChoice::ContentAware)
             .with_crowd(5)
             .with_speed_bound()
-            .run()
+            .with_trace(TraceLevel::Verbose)
+            .run_report()
     };
     let a = run();
     let b = run();
-    assert_eq!(a.qoe, b.qoe);
-    assert_eq!(a.records, b.records);
-    assert_eq!(a.path_bytes, b.path_bytes);
-    assert_eq!(a.upgrades_applied, b.upgrades_applied);
+    assert_eq!(a.session.qoe, b.session.qoe);
+    assert_eq!(a.session.records, b.session.records);
+    assert_eq!(a.session.path_bytes, b.session.path_bytes);
+    assert_eq!(a.session.upgrades_applied, b.session.upgrades_applied);
+    // The trace layer inherits the determinism: identical seeds at the
+    // same level must export byte-identical JSONL and equal digests.
+    assert!(!a.trace.is_empty(), "verbose trace captured events");
+    assert_eq!(a.to_jsonl(), b.to_jsonl(), "byte-identical JSONL export");
+    assert_eq!(a.trace_digest(), b.trace_digest());
 }
 
 #[test]

@@ -1,0 +1,80 @@
+//! Golden-trace regression test: one fully-featured seed-77 session is
+//! pinned down to its exact trace digest and QoE numbers. Any change to
+//! the simulation's event ordering, RNG consumption, or trace encoding
+//! shows up here first.
+//!
+//! Regenerating the goldens after an *intentional* behaviour change:
+//!
+//! ```text
+//! cargo test --test golden_trace -- --ignored --nocapture
+//! ```
+//!
+//! then paste the printed constants over the `GOLDEN_*` values below.
+
+use sperke_core::{RunReport, SchedulerChoice, Sperke, TraceLevel};
+use sperke_hmp::Behavior;
+use sperke_sim::SimDuration;
+
+/// The exact configuration the goldens were captured from. Must stay in
+/// lockstep with `whole_stack_is_seed_deterministic` in end_to_end.rs.
+fn golden_run() -> RunReport {
+    Sperke::builder(77)
+        .duration(SimDuration::from_secs(12))
+        .behavior(Behavior::Explorer)
+        .wifi_plus_lte()
+        .scheduler(SchedulerChoice::ContentAware)
+        .with_crowd(5)
+        .with_speed_bound()
+        .with_trace(TraceLevel::Verbose)
+        .run_report()
+}
+
+const GOLDEN_DIGEST: u64 = 0x533ff88215373387;
+const GOLDEN_EVENTS: usize = 503;
+const GOLDEN_SCORE_BITS: u64 = 0xbfde2aaaaaaaaaaa; // score = -0.47135416666666663
+const GOLDEN_BYTES_FETCHED: u64 = 6742682;
+const GOLDEN_STALL_COUNT: u32 = 0;
+
+#[test]
+fn seed_77_matches_golden_trace() {
+    let report = golden_run();
+    assert_eq!(
+        report.trace_digest(),
+        GOLDEN_DIGEST,
+        "trace digest drifted — if the behaviour change is intentional, \
+         regenerate with `cargo test --test golden_trace -- --ignored --nocapture`"
+    );
+    assert_eq!(report.trace.len(), GOLDEN_EVENTS, "event count drifted");
+    assert_eq!(
+        report.session.qoe.score.to_bits(),
+        GOLDEN_SCORE_BITS,
+        "QoE score drifted (got {})",
+        report.session.qoe.score
+    );
+    assert_eq!(report.session.qoe.bytes_fetched, GOLDEN_BYTES_FETCHED);
+    assert_eq!(report.session.qoe.stall_count, GOLDEN_STALL_COUNT);
+}
+
+/// Prints fresh golden constants. Run with
+/// `cargo test --test golden_trace -- --ignored --nocapture` and paste
+/// the output over the `GOLDEN_*` constants above.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn regenerate_golden_constants() {
+    let report = golden_run();
+    println!("const GOLDEN_DIGEST: u64 = {:#018x};", report.trace_digest());
+    println!("const GOLDEN_EVENTS: usize = {};", report.trace.len());
+    println!(
+        "const GOLDEN_SCORE_BITS: u64 = {:#018x}; // score = {}",
+        report.session.qoe.score.to_bits(),
+        report.session.qoe.score
+    );
+    println!(
+        "const GOLDEN_BYTES_FETCHED: u64 = {};",
+        report.session.qoe.bytes_fetched
+    );
+    println!(
+        "const GOLDEN_STALL_COUNT: u32 = {};",
+        report.session.qoe.stall_count
+    );
+}

@@ -1,0 +1,193 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the `proptest!` macro with `name in strategy` and `name: Type`
+//! parameters, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range
+//! and tuple strategies, and `proptest::collection::vec`.
+//!
+//! Differences from the real crate, chosen for a hermetic offline
+//! build: no shrinking (a failing case panics with its inputs via the
+//! assertion message), and cases are generated from a deterministic
+//! per-test seed (FNV of the test path), so runs are exactly
+//! reproducible. The case count defaults to 64 and can be raised with
+//! the `PROPTEST_CASES` environment variable.
+
+#![allow(clippy::all)] // vendored offline shim; not held to workspace lint policy
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The standard prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = ($config).cases;
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                let mut __rejected = 0u32;
+                for __case in 0..__cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__path, __case);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $crate::__proptest_bind!(__rng; $($params)*);
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => __rejected += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            __path, __case, __cases, __msg
+                        ),
+                    }
+                }
+                assert!(
+                    __rejected < __cases,
+                    "proptest {}: every case was rejected by prop_assume!",
+                    __path
+                );
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::case_count();
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                let mut __rejected = 0u32;
+                for __case in 0..__cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__path, __case);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $crate::__proptest_bind!(__rng; $($params)*);
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => __rejected += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            __path, __case, __cases, __msg
+                        ),
+                    }
+                }
+                assert!(
+                    __rejected < __cases,
+                    "proptest {}: every case was rejected by prop_assume!",
+                    __path
+                );
+            }
+        )*
+    };
+}
+
+/// Internal: bind `name in strategy` / `name: Type` parameter lists.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident: $ty:ty) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Assert a condition inside a property, failing the case if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Assert two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)*);
+    }};
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}

@@ -1,0 +1,49 @@
+//! The JSON-shaped data model all (de)serialization flows through.
+
+/// A dynamically typed JSON value.
+///
+/// Maps preserve insertion order (struct field declaration order), so
+/// serializing the same value twice yields byte-identical output — a
+/// property the deterministic trace layer depends on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always < 0; non-negative values use `U64`).
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, as ordered key/value pairs.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a `Map`; `None` for other shapes or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}

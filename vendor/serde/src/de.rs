@@ -1,0 +1,208 @@
+//! The `Deserialize` trait, its error type, and impls for std types.
+
+use crate::content::Content;
+use std::fmt;
+
+/// Error produced while lifting a [`Content`] tree into a typed value.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Content) -> DeError {
+        DeError::custom(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lift themselves out of a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Convert the JSON data model into `Self`.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Fetch and deserialize a struct field by name.
+///
+/// Missing fields deserialize from `null` so that `Option` fields
+/// default to `None` while required fields report a clear error.
+pub fn missing_field<T: Deserialize>(
+    entries: &[(String, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v)
+            .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        None => T::from_content(&Content::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match *content {
+                    Content::U64(v) if v <= <$t>::MAX as u64 => Ok(v as $t),
+                    _ => Err(DeError::expected(stringify!($t), content)),
+                }
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::U64(v) if v <= <$t>::MAX as u64 => v as i64,
+                    Content::I64(v) => v,
+                    _ => return Err(DeError::expected(stringify!($t), content)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::expected(stringify!($t), content))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            // serde_json writes non-finite floats as null.
+            Content::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("f64", content)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", content)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("char", content)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", content)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("array", content)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($t::from_content(&items[$n])?,)+))
+                    }
+                    _ => Err(DeError::expected(concat!("array of length ", $len), content)),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", content)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<u64, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .parse::<u64>()
+                        .map_err(|_| DeError::custom(format!("non-integer map key `{k}`")))?;
+                    Ok((key, V::from_content(v)?))
+                })
+                .collect(),
+            _ => Err(DeError::expected("object", content)),
+        }
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}

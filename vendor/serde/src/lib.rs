@@ -1,0 +1,32 @@
+//! Offline shim for the `serde` crate.
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors a minimal serialization framework that is API-compatible with
+//! the subset of serde it uses: `#[derive(Serialize, Deserialize)]` plus
+//! the `serde_json::{to_string, to_string_pretty, from_str}` entry
+//! points.
+//!
+//! Instead of serde's visitor architecture, this shim routes everything
+//! through a concrete JSON-shaped [`Content`] tree: `Serialize` lowers a
+//! value into `Content`, `Deserialize` lifts it back. The derive macro
+//! (see `serde_derive`) generates those two conversions for structs and
+//! enums using serde's standard data model:
+//!
+//! * structs → JSON objects (fields in declaration order),
+//! * newtype structs → their inner value,
+//! * tuple structs → arrays, unit structs → null,
+//! * enums → externally tagged (`"Variant"` / `{"Variant": …}`).
+//!
+//! Field/variant order is deterministic, which the simulation's
+//! trace-digest machinery relies on.
+
+#![allow(clippy::all)] // vendored offline shim; not held to workspace lint policy
+mod content;
+mod de;
+mod ser;
+
+pub use content::Content;
+pub use de::{missing_field, DeError, Deserialize};
+pub use ser::Serialize;
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,422 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls for the
+//! vendored content-model serde shim. Because crates.io (and therefore
+//! `syn`/`quote`) is unavailable, the item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes — the only ones this
+//! workspace uses — are non-generic structs (named, tuple, unit) and
+//! enums whose variants are unit, tuple, or struct-like. Enums follow
+//! serde's externally tagged representation.
+
+#![allow(clippy::all)] // vendored offline shim; not held to workspace lint policy
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim does not support generic type `{name}`");
+    }
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_body(&mut tokens, i)),
+        "enum" => Shape::Enum(parse_enum_body(&tokens, i)),
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` then the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_body(tokens: &mut Vec<TokenTree>, i: usize) -> Fields {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            parse_named_fields(g.stream())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_top_level_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("unsupported struct body: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("expected field name, found {other}"),
+        }
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Commas inside
+        // generic arguments are shielded by tracking `<`/`>` depth
+        // (parens/brackets/braces are already nested token groups).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Fields::Named(names)
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for (idx, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx == tokens.len() - 1 {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: usize) -> Vec<Variant> {
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected enum body, found {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => format!(
+                        "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vn}(f0) => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_content(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Content::Seq(::std::vec![{}]))]),",
+                            binders.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binders} }} => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Content::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                }
+            }).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::missing_field(__entries, \"{f}\")?,"))
+                .collect();
+            format!(
+                "match __content {{\n\
+                     ::serde::Content::Map(__entries) => \
+                         ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"struct {name}\", __other)),\n\
+                 }}",
+                inits.join(" ")
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__content)?))"
+        ),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __content {{\n\
+                     ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"tuple struct {name}\", __other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!(
+            "match __content {{\n\
+                 ::serde::Content::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"unit struct {name}\", __other)),\n\
+             }}"
+        ),
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Tuple(1) => format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(\
+                     {name}::{vn}(::serde::Deserialize::from_content(__value)?)),"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => match __value {{\n\
+                             ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vn}({})),\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"{n}-element array for {name}::{vn}\", __other)),\n\
+                         }},",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::missing_field(__entries, \"{f}\")?,"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => match __value {{\n\
+                             ::serde::Content::Map(__entries) => \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"object for {name}::{vn}\", __other)),\n\
+                         }},",
+                        inits.join(" ")
+                    )
+                }
+                Fields::Unit => unreachable!("unit variants handled above"),
+            }
+        })
+        .collect();
+    format!(
+        "match __content {{\n\
+             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of enum {name}\"))),\n\
+             }},\n\
+             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __value) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum {name}\", __other)),\n\
+         }}",
+        units = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n"),
+    )
+}

@@ -1,0 +1,127 @@
+//! Offline shim for `serde_json`.
+//!
+//! Serializes the vendored serde [`Content`] model to JSON text and
+//! parses JSON text back. Output is deterministic: struct fields keep
+//! declaration order, floats print via Rust's shortest round-trip
+//! formatting, and non-finite floats become `null` (as in the real
+//! serde_json).
+
+#![allow(clippy::all)] // vendored offline shim; not held to workspace lint policy
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+mod parse;
+mod write;
+
+/// Re-export of the dynamic JSON value type.
+pub type Value = Content;
+
+/// Error produced by JSON serialization or parsing.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::compact(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::pretty(&value.to_content(), &mut out, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to its dynamic [`Value`] representation.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_content())
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse::parse(s)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Deserialize a `T` from a dynamic [`Value`].
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_content(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(to_string(&-5i64).unwrap(), "-5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi \"there\"\n").unwrap(), "\"hi \\\"there\\\"\\n\"");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("2").unwrap(), 2.0);
+        assert_eq!(from_str::<String>("\"a\\u0041b\"").unwrap(), "aAb");
+    }
+
+    #[test]
+    fn roundtrip_compound() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (2, 1.25)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,0.5],[2,1.25]]");
+        let back: Vec<(u32, f64)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("7").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<u64>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_prints_nested() {
+        let v: Vec<Vec<u32>> = vec![vec![1], vec![]];
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "[\n  [\n    1\n  ],\n  []\n]");
+    }
+}
