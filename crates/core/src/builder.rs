@@ -7,7 +7,8 @@ use sperke_hmp::{
     OracleForecaster, TraceGenerator, ViewingContext,
 };
 use sperke_net::{
-    BandwidthTrace, ContentAware, EarliestCompletion, MinRtt, PathModel, PathQueue, SinglePath,
+    BandwidthTrace, ContentAware, EarliestCompletion, FaultScript, MinRtt, PathModel, PathQueue,
+    RecoveryPolicy, SinglePath,
 };
 use sperke_player::{run_session, PlannerKind, PlayerConfig, SessionResult};
 use sperke_sim::trace::{Trace, TraceLevel, TraceSink};
@@ -59,6 +60,7 @@ pub struct Sperke {
     chunk_duration: SimDuration,
     oracle_hmp: bool,
     trace: TraceLevel,
+    faults: FaultScript,
 }
 
 /// The outcome of a traced experiment: the session result plus the
@@ -107,7 +109,34 @@ impl Sperke {
             chunk_duration: SimDuration::from_secs(1),
             oracle_hmp: false,
             trace: TraceLevel::Off,
+            faults: FaultScript::none(),
         }
+    }
+
+    /// Attach a fault-injection script: scripted or seeded-stochastic
+    /// outages and degradations applied to the network paths. The script
+    /// is compiled per path when the experiment runs; the same seed and
+    /// script always reproduce the same failures.
+    pub fn with_faults(mut self, faults: FaultScript) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enable resilient transfers: deadline-based timeouts with bounded
+    /// retry, exponential backoff and cross-path failover, following
+    /// `policy`. Without this, a transfer interrupted by an outage simply
+    /// fails (the naive client of the §3.3 comparison).
+    pub fn with_resilience(mut self, policy: RecoveryPolicy) -> Self {
+        self.player.resilience = Some(policy);
+        self
+    }
+
+    /// Enable spatial fall-back rendering: when a chunk's tile is
+    /// missing, the player re-displays the previous chunk's buffered
+    /// tile (counted as `degraded_fraction`) instead of going blank.
+    pub fn with_fallback(mut self) -> Self {
+        self.player.fallback_enabled = true;
+        self
     }
 
     /// Record a deterministic trace of the run at `level`; retrieve it
@@ -311,7 +340,10 @@ impl Sperke {
             .paths
             .iter()
             .enumerate()
-            .map(|(i, p)| PathQueue::new(p.clone(), rng.split(i as u64)))
+            .map(|(i, p)| {
+                PathQueue::new(p.clone(), rng.split(i as u64))
+                    .with_faults(self.faults.compile_for(i))
+            })
             .collect();
 
         macro_rules! go {
@@ -470,6 +502,70 @@ mod tests {
             decisions > events,
             "higher levels record strictly more ({events} vs {decisions})"
         );
+    }
+
+    #[test]
+    fn fault_script_degrades_the_session() {
+        use sperke_sim::SimTime;
+        let base = Sperke::builder(17)
+            .duration(SimDuration::from_secs(12))
+            .single_link(25e6);
+        let clean = base.clone().run();
+        let faulted = base
+            .with_faults(FaultScript::none().link_down(
+                0,
+                SimTime::from_secs(4),
+                SimTime::from_secs(8),
+            ))
+            .run();
+        assert!(
+            faulted.qoe.mean_blank_fraction > clean.qoe.mean_blank_fraction,
+            "an outage must cost screen area: faulted {} vs clean {}",
+            faulted.qoe.mean_blank_fraction,
+            clean.qoe.mean_blank_fraction
+        );
+        assert!(faulted.qoe.score < clean.qoe.score);
+    }
+
+    #[test]
+    fn resilience_and_fallback_soften_an_outage() {
+        use sperke_sim::SimTime;
+        let faulty = || {
+            Sperke::builder(23)
+                .duration(SimDuration::from_secs(12))
+                .paths(vec![
+                    PathModel::new(
+                        "wifi",
+                        BandwidthTrace::constant(40e6),
+                        SimDuration::from_millis(15),
+                        0.0,
+                    ),
+                    PathModel::new(
+                        "lte",
+                        BandwidthTrace::constant(10e6),
+                        SimDuration::from_millis(60),
+                        0.0,
+                    ),
+                ])
+                .scheduler(SchedulerChoice::ContentAware)
+                .with_faults(FaultScript::none().link_down(
+                    0,
+                    SimTime::from_secs(4),
+                    SimTime::from_secs(9),
+                ))
+        };
+        let naive = faulty().run();
+        let hardened = faulty()
+            .with_resilience(RecoveryPolicy::default())
+            .with_fallback()
+            .run();
+        assert!(
+            hardened.qoe.mean_blank_fraction < naive.qoe.mean_blank_fraction,
+            "failover + fall-back shrink the blank area: hardened {} vs naive {}",
+            hardened.qoe.mean_blank_fraction,
+            naive.qoe.mean_blank_fraction
+        );
+        assert!(hardened.qoe.score > naive.qoe.score);
     }
 
     #[test]

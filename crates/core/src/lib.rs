@@ -37,6 +37,7 @@ pub mod fleet;
 
 pub use builder::{AbrChoice, RunReport, SchedulerChoice, Sperke};
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use sperke_net::{FaultScript, FaultSpec, PathFaults, RecoveryPolicy};
 pub use sperke_sim::trace::{Trace, TraceEvent, TraceLevel};
 
 // Re-export the subsystem crates under stable names so downstream users

@@ -27,6 +27,7 @@
 
 pub mod bandwidth;
 pub mod estimator;
+pub mod fault;
 pub mod multipath;
 pub mod mux;
 pub mod path;
@@ -36,9 +37,10 @@ pub mod transfer;
 
 pub use bandwidth::BandwidthTrace;
 pub use estimator::{BandwidthEstimator, EstimatorKind};
+pub use fault::{FaultScript, FaultSpec, PathFaults};
 pub use multipath::{
-    Assignment, ChunkRequest, ContentAware, EarliestCompletion, MinRtt, MultipathScheduler,
-    MultipathSession, SinglePath,
+    failover_assignment, Assignment, ChunkRequest, ContentAware, EarliestCompletion, MinRtt,
+    MultipathScheduler, MultipathSession, RecoveryOutcome, RecoveryPolicy, SinglePath,
 };
 pub use mux::{weight_of, MuxLink, StreamCompletion, StreamId};
 pub use path::PathModel;

@@ -11,7 +11,8 @@ use crate::priority::{ChunkPriority, Reliability, SpatialPriority, TemporalPrior
 use crate::transfer::{Completion, PathQueue, TransferOutcome};
 use serde::{Deserialize, Serialize};
 use sperke_sim::trace::{TraceEvent, TraceSink};
-use sperke_sim::SimTime;
+use sperke_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// A chunk delivery request as seen by the multipath layer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,6 +41,91 @@ pub trait MultipathScheduler {
 
     /// Decide where to send a request. `paths` is the live path set.
     fn assign(&mut self, req: &ChunkRequest, paths: &[PathQueue], now: SimTime) -> Assignment;
+
+    /// Decide how to recover after attempt `attempt` on `failed_path`
+    /// ended in a failure or timeout at `now`. Return `None` to abandon
+    /// the chunk. The default (content-agnostic) policy retries every
+    /// chunk reliably on the path — other than the one that just failed —
+    /// that would complete it soonest; content-aware schedulers override
+    /// this to spend the retry budget only where the viewport benefits.
+    fn reassign(
+        &mut self,
+        req: &ChunkRequest,
+        paths: &[PathQueue],
+        failed_path: usize,
+        attempt: u32,
+        now: SimTime,
+    ) -> Option<Assignment> {
+        let _ = attempt;
+        Some(failover_assignment(req, paths, failed_path, now))
+    }
+}
+
+/// The content-agnostic failover choice: the earliest-completion path
+/// other than `avoid`, falling back to `avoid` itself when it is the
+/// only path, always reliable (a recovery retransmission that drops
+/// helps nobody).
+pub fn failover_assignment(
+    req: &ChunkRequest,
+    paths: &[PathQueue],
+    avoid: usize,
+    now: SimTime,
+) -> Assignment {
+    let path = (0..paths.len())
+        .filter(|&i| i != avoid)
+        .min_by_key(|&i| paths[i].estimate_completion(req.bytes, now))
+        .unwrap_or(avoid);
+    Assignment { path, reliability: Reliability::Reliable }
+}
+
+/// Bounded-retry parameters for [`MultipathSession::submit_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Minimum patience per attempt: an attempt is cut off at
+    /// `max(deadline, submit_time + timeout)` — the deadline governs when
+    /// it is later than the floor, so a transfer that would finish in
+    /// time is never interrupted.
+    pub timeout: SimDuration,
+    /// How many recovery attempts may follow the initial try.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff: SimDuration,
+    /// Multiplier applied to the backoff for each further retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            timeout: SimDuration::from_millis(800),
+            max_retries: 2,
+            backoff: SimDuration::from_millis(100),
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The backoff delay applied after failed attempt `attempt` (1-based).
+    pub fn delay_after(&self, attempt: u32) -> SimDuration {
+        self.backoff.mul_f64(self.backoff_factor.powi(attempt.saturating_sub(1) as i32))
+    }
+}
+
+/// How a [`MultipathSession::submit_resilient`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryOutcome {
+    /// The final attempt's completion. Its outcome is
+    /// [`TransferOutcome::Failed`] when the chunk was abandoned or the
+    /// retry budget ran out with the path still down.
+    pub completion: Completion,
+    /// Path of the final attempt.
+    pub path: usize,
+    /// Total attempts made (1 = the first try succeeded).
+    pub attempts: u32,
+    /// The scheduler declined to retry (e.g. content-aware policy drops
+    /// out-of-sight chunks rather than spend retry bandwidth on them).
+    pub abandoned: bool,
 }
 
 /// Everything over one fixed path (no multipath).
@@ -146,17 +232,17 @@ impl MultipathScheduler for ContentAware {
             }
             // OOS chunks go to the non-premium path to keep the premium
             // path's queue short for FoV traffic — but only best-effort
-            // while that path's loss keeps drops rare; on a badly
-            // degraded secondary, fall back to reliable delivery on the
-            // earliest-completion path (shipping bytes that mostly die
-            // helps nobody).
+            // while this chunk is likely to survive the path's loss; on a
+            // badly degraded secondary, fall back to reliable delivery on
+            // the earliest-completion path (shipping bytes that mostly
+            // die helps nobody).
             (SpatialPriority::Oos, TemporalPriority::Regular) => {
                 let premium = premium_path(paths);
                 let alt = (0..paths.len())
                     .filter(|&i| i != premium)
                     .min_by_key(|&i| paths[i].estimate_completion(req.bytes, now))
                     .unwrap_or(best);
-                if paths[alt].path().loss <= BEST_EFFORT_MAX_LOSS {
+                if best_effort_ok(&paths[alt], req.bytes) {
                     return Assignment { path: alt, reliability: Reliability::BestEffort };
                 }
                 best
@@ -165,7 +251,7 @@ impl MultipathScheduler for ContentAware {
         let reliability = match req.priority.spatial {
             SpatialPriority::Fov => Reliability::Reliable,
             SpatialPriority::Oos => {
-                if paths[path].path().loss <= BEST_EFFORT_MAX_LOSS {
+                if best_effort_ok(&paths[path], req.bytes) {
                     Reliability::BestEffort
                 } else {
                     Reliability::Reliable
@@ -174,12 +260,38 @@ impl MultipathScheduler for ContentAware {
         };
         Assignment { path, reliability }
     }
+
+    fn reassign(
+        &mut self,
+        req: &ChunkRequest,
+        paths: &[PathQueue],
+        failed_path: usize,
+        _attempt: u32,
+        now: SimTime,
+    ) -> Option<Assignment> {
+        // Retry bandwidth is scarce exactly when recovery runs (a path
+        // just died). Spend it on what the viewer sees: FoV and urgent
+        // chunks fail over reliably; regular out-of-sight chunks are
+        // abandoned — their absence costs a little peripheral quality,
+        // not a blank viewport.
+        match (req.priority.spatial, req.priority.temporal) {
+            (SpatialPriority::Oos, TemporalPriority::Regular) => None,
+            _ => Some(failover_assignment(req, paths, failed_path, now)),
+        }
+    }
 }
 
-/// Above this loss rate, best-effort chunk delivery drops too many
-/// chunks to be worth the bytes; the content-aware scheduler switches
-/// the affected traffic back to reliable delivery.
-const BEST_EFFORT_MAX_LOSS: f64 = 0.01;
+/// Minimum estimated chunk survival probability for best-effort delivery
+/// to be worth the bytes. The gate is per-chunk: drop probability scales
+/// with size, so a flat loss-rate threshold ships large chunks that
+/// mostly die (and refuses small ones that would almost always make it).
+const BEST_EFFORT_MIN_SURVIVAL: f64 = 0.9;
+
+/// Whether a chunk of `bytes` is likely enough to survive best-effort
+/// delivery on this path (see [`BEST_EFFORT_MIN_SURVIVAL`]).
+fn best_effort_ok(queue: &PathQueue, bytes: u64) -> bool {
+    queue.path().best_effort_survival_prob(bytes) >= BEST_EFFORT_MIN_SURVIVAL
+}
 
 /// The "high-quality" path: lowest loss, ties broken by RTT then index.
 fn premium_path(paths: &[PathQueue]) -> usize {
@@ -203,22 +315,76 @@ impl MultipathScheduler for Box<dyn MultipathScheduler> {
     fn assign(&mut self, req: &ChunkRequest, paths: &[PathQueue], now: SimTime) -> Assignment {
         (**self).assign(req, paths, now)
     }
+    fn reassign(
+        &mut self,
+        req: &ChunkRequest,
+        paths: &[PathQueue],
+        failed_path: usize,
+        attempt: u32,
+        now: SimTime,
+    ) -> Option<Assignment> {
+        (**self).reassign(req, paths, failed_path, attempt, now)
+    }
 }
 
 /// A set of paths driven by a scheduler, with aggregate accounting.
+///
+/// # Trace-event ordering
+///
+/// Transfers resolve in the future (`Completion::finished` lies ahead of
+/// the submission clock), so the session defers their trace events and
+/// releases them as the submission clock advances: every `Net` event is
+/// emitted once the clock passes its timestamp, in timestamp order. As
+/// long as submissions arrive with nondecreasing `now` values, `Net`
+/// events therefore appear in the trace in nondecreasing time order.
+/// Callers whose clocks regress (the player's upgrade pass re-submits at
+/// earlier instants) can recover a globally time-sorted view with
+/// [`sperke_sim::trace::Trace::to_jsonl_ordered`]. Call
+/// [`MultipathSession::finish_trace`] at end of session to release
+/// whatever is still deferred.
 pub struct MultipathSession<S: MultipathScheduler> {
     paths: Vec<PathQueue>,
     scheduler: S,
-    /// Completions in submission order, with the chosen path.
+    /// Completions in submission order, with the chosen path. Each
+    /// resilient retry appends its own entry.
     pub log: Vec<(Completion, usize)>,
     trace: TraceSink,
+    /// Events waiting for the submission clock to pass their timestamp,
+    /// keyed `(timestamp, insertion-sequence)` so ties keep insertion
+    /// order.
+    deferred: BTreeMap<(SimTime, u64), TraceEvent>,
+    defer_seq: u64,
+    /// High-water mark of submission clocks seen so far.
+    clock: SimTime,
+    /// Precomputed `PathDown`/`PathUp` transitions from the attached
+    /// fault timelines, time-ordered, released as the clock advances.
+    transitions: Vec<(SimTime, TraceEvent)>,
+    transition_cursor: usize,
 }
 
 impl<S: MultipathScheduler> MultipathSession<S> {
     /// Build a session over the given paths.
     pub fn new(paths: Vec<PathQueue>, scheduler: S) -> Self {
         assert!(!paths.is_empty(), "need at least one path");
-        MultipathSession { paths, scheduler, log: Vec::new(), trace: TraceSink::disabled() }
+        let mut transitions: Vec<(SimTime, TraceEvent)> = Vec::new();
+        for (i, p) in paths.iter().enumerate() {
+            for &(from, until) in p.faults().outages() {
+                transitions.push((from, TraceEvent::PathDown { at: from, path: i as u32 }));
+                transitions.push((until, TraceEvent::PathUp { at: until, path: i as u32 }));
+            }
+        }
+        transitions.sort_by_key(|&(t, _)| t);
+        MultipathSession {
+            paths,
+            scheduler,
+            log: Vec::new(),
+            trace: TraceSink::disabled(),
+            deferred: BTreeMap::new(),
+            defer_seq: 0,
+            clock: SimTime::ZERO,
+            transitions,
+            transition_cursor: 0,
+        }
     }
 
     /// Record path assignments and transfer completions into `sink`.
@@ -236,36 +402,224 @@ impl<S: MultipathScheduler> MultipathSession<S> {
         self.scheduler.name()
     }
 
+    fn defer(&mut self, event: TraceEvent) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.deferred.insert((event.at(), self.defer_seq), event);
+        self.defer_seq += 1;
+    }
+
+    /// Advance the submission clock to `to` (it never moves backwards)
+    /// and emit every deferred event — including fault-timeline
+    /// transitions — whose timestamp the clock has passed.
+    fn advance_clock(&mut self, to: SimTime) {
+        if to > self.clock {
+            self.clock = to;
+        }
+        if !self.trace.is_enabled() {
+            return;
+        }
+        while self.transition_cursor < self.transitions.len()
+            && self.transitions[self.transition_cursor].0 <= self.clock
+        {
+            let event = self.transitions[self.transition_cursor].1.clone();
+            self.transition_cursor += 1;
+            self.deferred.insert((event.at(), self.defer_seq), event);
+            self.defer_seq += 1;
+        }
+        self.drain_ready();
+    }
+
+    fn drain_ready(&mut self) {
+        while let Some((&(at, _), _)) = self.deferred.iter().next() {
+            if at > self.clock {
+                break;
+            }
+            let (_, event) = self.deferred.pop_first().expect("checked non-empty");
+            self.trace.emit(event);
+        }
+    }
+
+    /// Release every still-deferred trace event (the session is over, no
+    /// later submission will advance the clock past them). Fault
+    /// transitions beyond the last deferred timestamp are not invented —
+    /// a link still down when the session ends stays down in the trace.
+    pub fn finish_trace(&mut self) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let horizon = self
+            .deferred
+            .keys()
+            .next_back()
+            .map(|&(t, _)| t)
+            .unwrap_or(self.clock)
+            .max(self.clock);
+        self.advance_clock(horizon);
+    }
+
+    fn count_bytes(&mut self, outcome: TransferOutcome, bytes: u64) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.metrics(|m| {
+            m.counter(match outcome {
+                TransferOutcome::Delivered => "net.bytes_delivered",
+                TransferOutcome::Dropped => "net.bytes_dropped",
+                TransferOutcome::Failed => "net.bytes_failed",
+            })
+            .add(bytes);
+        });
+    }
+
+    fn defer_attempt_events(&mut self, req: &ChunkRequest, assignment: Assignment, at: SimTime) {
+        self.defer(TraceEvent::PathAssigned {
+            at,
+            path: assignment.path as u32,
+            bytes: req.bytes,
+            fov: req.priority.spatial == SpatialPriority::Fov,
+            urgent: req.priority.temporal == TemporalPriority::Urgent,
+            reliable: assignment.reliability == Reliability::Reliable,
+        });
+    }
+
     /// Submit a request; returns the completion and the path used.
+    ///
+    /// With a fault script attached the completion may come back
+    /// [`TransferOutcome::Failed`] — this entry point performs no
+    /// recovery (that is [`MultipathSession::submit_resilient`]); it
+    /// models the naive client that simply eats the failure.
     pub fn submit(&mut self, req: ChunkRequest, now: SimTime) -> (Completion, usize) {
+        self.advance_clock(now);
         let assignment = self.scheduler.assign(&req, &self.paths, now);
         let completion =
             self.paths[assignment.path].submit(req.bytes, now, assignment.reliability);
         self.log.push((completion, assignment.path));
-        if self.trace.is_enabled() {
-            self.trace.emit(TraceEvent::PathAssigned {
-                at: now,
-                path: assignment.path as u32,
-                bytes: req.bytes,
-                fov: req.priority.spatial == SpatialPriority::Fov,
-                urgent: req.priority.temporal == TemporalPriority::Urgent,
-                reliable: assignment.reliability == Reliability::Reliable,
-            });
-            self.trace.emit(TraceEvent::TransferFinished {
-                at: completion.finished,
-                path: assignment.path as u32,
-                bytes: req.bytes,
-                delivered: completion.outcome == TransferOutcome::Delivered,
-            });
-            self.trace.metrics(|m| {
-                m.counter(match completion.outcome {
-                    TransferOutcome::Delivered => "net.bytes_delivered",
-                    TransferOutcome::Dropped => "net.bytes_dropped",
-                })
-                .add(req.bytes);
-            });
-        }
+        self.defer_attempt_events(&req, assignment, now);
+        self.defer(TraceEvent::TransferFinished {
+            at: completion.finished,
+            path: assignment.path as u32,
+            bytes: req.bytes,
+            delivered: completion.outcome == TransferOutcome::Delivered,
+        });
+        self.count_bytes(completion.outcome, req.bytes);
+        self.drain_ready();
         (completion, assignment.path)
+    }
+
+    /// Submit with deadline-based timeout, bounded retry and cross-path
+    /// failover.
+    ///
+    /// Each attempt is given until `max(req.deadline, submit + timeout)`;
+    /// an attempt that would resolve later is aborted at that cutoff and
+    /// charged as failed (from the client's seat an undelivered chunk and
+    /// a dead path look the same: no bytes by the deadline). After a
+    /// failure the scheduler's [`MultipathScheduler::reassign`] picks the
+    /// failover target — or abandons the chunk — and the retry goes out
+    /// after exponential backoff. The last permitted attempt is accepted
+    /// as-is: late bytes beat no bytes once the budget is spent.
+    pub fn submit_resilient(
+        &mut self,
+        req: ChunkRequest,
+        now: SimTime,
+        policy: &RecoveryPolicy,
+    ) -> RecoveryOutcome {
+        let mut attempt: u32 = 0;
+        let mut at = now;
+        let mut assignment = self.scheduler.assign(&req, &self.paths, now);
+        // Only the caller's clock gates deferred emission: retries happen
+        // at future instants (`failed.finished + delay`) and advancing the
+        // drain clock to them would release events ahead of a later
+        // caller's (earlier) submissions, breaking monotone emission.
+        self.advance_clock(now);
+        loop {
+            attempt += 1;
+            let completion =
+                self.paths[assignment.path].submit(req.bytes, at, assignment.reliability);
+            self.defer_attempt_events(&req, assignment, at);
+            let retries_left = attempt <= policy.max_retries;
+            let cutoff = req.deadline.max(at + policy.timeout);
+
+            let failure = if completion.outcome == TransferOutcome::Failed {
+                self.defer(TraceEvent::TransferFinished {
+                    at: completion.finished,
+                    path: assignment.path as u32,
+                    bytes: req.bytes,
+                    delivered: false,
+                });
+                Some(completion)
+            } else if retries_left && completion.finished > cutoff {
+                // Too slow to matter and budget remains: abort the
+                // queue-side work so the path frees up, and treat the
+                // attempt as failed at the cutoff.
+                self.paths[assignment.path].abort(completion.id, cutoff);
+                self.defer(TraceEvent::TransferTimedOut {
+                    at: cutoff,
+                    path: assignment.path as u32,
+                    bytes: req.bytes,
+                    attempt,
+                });
+                Some(Completion {
+                    finished: cutoff,
+                    outcome: TransferOutcome::Failed,
+                    ..completion
+                })
+            } else {
+                None
+            };
+
+            let Some(failed) = failure else {
+                self.log.push((completion, assignment.path));
+                self.defer(TraceEvent::TransferFinished {
+                    at: completion.finished,
+                    path: assignment.path as u32,
+                    bytes: req.bytes,
+                    delivered: completion.outcome == TransferOutcome::Delivered,
+                });
+                self.count_bytes(completion.outcome, req.bytes);
+                self.drain_ready();
+                return RecoveryOutcome {
+                    completion,
+                    path: assignment.path,
+                    attempts: attempt,
+                    abandoned: false,
+                };
+            };
+
+            self.log.push((failed, assignment.path));
+            self.count_bytes(TransferOutcome::Failed, req.bytes);
+            let next = if retries_left {
+                self.scheduler
+                    .reassign(&req, &self.paths, assignment.path, attempt, failed.finished)
+            } else {
+                None
+            };
+            match next {
+                None => {
+                    self.drain_ready();
+                    return RecoveryOutcome {
+                        completion: failed,
+                        path: assignment.path,
+                        attempts: attempt,
+                        abandoned: retries_left,
+                    };
+                }
+                Some(fallback) => {
+                    let delay = policy.delay_after(attempt);
+                    self.defer(TraceEvent::RetryScheduled {
+                        at: failed.finished,
+                        path: assignment.path as u32,
+                        bytes: req.bytes,
+                        attempt,
+                        delay_ms: (delay.as_secs_f64() * 1000.0).round() as u64,
+                    });
+                    self.drain_ready();
+                    at = failed.finished + delay;
+                    assignment = fallback;
+                }
+            }
+        }
     }
 
     /// Total delivered bytes across paths.
@@ -276,6 +630,11 @@ impl<S: MultipathScheduler> MultipathSession<S> {
     /// Total dropped bytes across paths.
     pub fn bytes_dropped(&self) -> u64 {
         self.paths.iter().map(|p| p.bytes_dropped).sum()
+    }
+
+    /// Total failed bytes across paths (outage interruptions, timeouts).
+    pub fn bytes_failed(&self) -> u64 {
+        self.paths.iter().map(|p| p.bytes_failed).sum()
     }
 }
 
@@ -445,4 +804,167 @@ mod tests {
         assert_eq!(s.log.len(), 2);
     }
 
+    /// A flat loss threshold treats a 20 KB and a 2 MB chunk the same;
+    /// the survival gate must not. On a borderline 1.5%-loss secondary,
+    /// the large chunk concentrates tightly under the 2% loss budget
+    /// (many packets → low variance → survives best-effort) while the
+    /// small one is a coin flip that reliable delivery should cover.
+    #[test]
+    fn best_effort_gate_depends_on_chunk_size() {
+        let mut paths = wifi_lte();
+        paths[1] = PathQueue::new(
+            PathModel::new(
+                "lte",
+                BandwidthTrace::constant(8e6),
+                SimDuration::from_millis(60),
+                0.015,
+            ),
+            SimRng::new(2),
+        );
+        let mut sched = ContentAware;
+        let large = sched.assign(&oos_req(2_000_000), &paths, SimTime::ZERO);
+        assert_eq!(large.path, 1, "large OOS chunk steered to the secondary");
+        assert_eq!(large.reliability, Reliability::BestEffort);
+        let small = sched.assign(&oos_req(20_000), &paths, SimTime::ZERO);
+        assert_ne!(
+            (small.path, small.reliability),
+            (1, Reliability::BestEffort),
+            "small chunk must not ride best-effort on the borderline path"
+        );
+    }
+
+    fn outage_on_wifi() -> Vec<PathQueue> {
+        let script = crate::fault::FaultScript::none().link_down(
+            0,
+            SimTime::from_secs(2),
+            SimTime::from_secs(7),
+        );
+        wifi_lte_clean()
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let f = script.compile_for(i);
+                q.with_faults(f)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resilient_submission_fails_over_to_surviving_path() {
+        let mut s = MultipathSession::new(outage_on_wifi(), ContentAware);
+        let policy = RecoveryPolicy::default();
+        // FoV chunk submitted mid-outage: the premium (wifi) attempt dies
+        // after a detection RTT, the retry lands on LTE and delivers.
+        let r = s.submit_resilient(fov_req(400_000), SimTime::from_secs(3), &policy);
+        assert_eq!(r.completion.outcome, TransferOutcome::Delivered);
+        assert_eq!(r.path, 1, "failover to the surviving path");
+        assert_eq!(r.attempts, 2, "one retry was enough");
+        assert!(!r.abandoned);
+        // Both attempts are on the log: the failed wifi try, then LTE.
+        assert_eq!(s.log.len(), 2);
+        assert_eq!(s.log[0].0.outcome, TransferOutcome::Failed);
+        assert_eq!(s.log[0].1, 0);
+        // The retry went out after the backoff.
+        assert!(s.log[1].0.submitted >= s.log[0].0.finished + policy.backoff);
+        assert_eq!(s.bytes_failed(), 400_000);
+    }
+
+    #[test]
+    fn content_aware_abandons_oos_retries() {
+        let mut s = MultipathSession::new(outage_on_wifi(), ContentAware);
+        // Force the OOS chunk onto the dead premium path by making the
+        // secondary useless for it: saturate LTE first.
+        s.submit(fov_req(30_000_000), SimTime::from_millis(1)); // wifi, pre-outage
+        let policy = RecoveryPolicy::default();
+        let r = s.submit_resilient(oos_req(400_000), SimTime::from_secs(3), &policy);
+        if r.completion.outcome == TransferOutcome::Failed {
+            assert!(r.abandoned, "content-aware gives up on OOS rather than retry");
+            assert_eq!(r.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn agnostic_recovery_retries_everything() {
+        let mut s = MultipathSession::new(outage_on_wifi(), EarliestCompletion);
+        let policy = RecoveryPolicy::default();
+        let r = s.submit_resilient(oos_req(400_000), SimTime::from_secs(6), &policy);
+        // EarliestCompletion sends to idle LTE or dead wifi; either way
+        // the default reassign keeps retrying, so the chunk lands.
+        assert_eq!(r.completion.outcome, TransferOutcome::Delivered);
+        assert!(!r.abandoned);
+    }
+
+    #[test]
+    fn timeout_aborts_a_stalled_transfer() {
+        // Path 0 collapses to 1% bandwidth (no outage — the engine would
+        // deliver, eventually); the client's deadline-based timeout must
+        // cut the attempt and fail over to path 1.
+        let script = crate::fault::FaultScript::none().degrade(
+            0,
+            SimTime::ZERO,
+            SimTime::from_secs(120),
+            0.01,
+            0.0,
+        );
+        let paths: Vec<PathQueue> = wifi_lte_clean()
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| q.with_faults(script.compile_for(i)))
+            .collect();
+        let mut s = MultipathSession::new(paths, SinglePathFirstTry);
+        // Patience generous enough that the healthy path's slow-start
+        // ramp fits; only the collapsed path gets cut off.
+        let policy = RecoveryPolicy {
+            timeout: SimDuration::from_secs(2),
+            ..RecoveryPolicy::default()
+        };
+        let req = ChunkRequest {
+            bytes: 500_000,
+            priority: ChunkPriority::FOV,
+            deadline: SimTime::from_secs(2),
+        };
+        let r = s.submit_resilient(req, SimTime::ZERO, &policy);
+        assert_eq!(r.completion.outcome, TransferOutcome::Delivered);
+        assert_eq!(r.path, 1, "timed out on the collapsed path, failed over");
+        assert_eq!(r.attempts, 2);
+        // The abort reversed the stalled attempt's delivered-bytes credit.
+        assert_eq!(s.paths()[0].bytes_delivered, 0);
+        assert_eq!(s.paths()[0].bytes_failed, 500_000);
+        // The timeout fired at the deadline (it exceeds the 800ms floor).
+        assert_eq!(s.log[0].0.finished, SimTime::from_secs(2));
+    }
+
+    /// Pins the first attempt to path 0 so the timeout test exercises a
+    /// deterministic stall; recovery uses the default failover.
+    struct SinglePathFirstTry;
+
+    impl MultipathScheduler for SinglePathFirstTry {
+        fn name(&self) -> &'static str {
+            "single-path-first-try"
+        }
+        fn assign(&mut self, _: &ChunkRequest, _: &[PathQueue], _: SimTime) -> Assignment {
+            Assignment { path: 0, reliability: Reliability::Reliable }
+        }
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        // Both paths down forever: every retry fails, and the session
+        // must stop after max_retries + 1 attempts with a Failed result.
+        let script = crate::fault::FaultScript::none()
+            .link_down(0, SimTime::ZERO, SimTime::from_secs(600))
+            .link_down(1, SimTime::ZERO, SimTime::from_secs(600));
+        let paths: Vec<PathQueue> = wifi_lte_clean()
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| q.with_faults(script.compile_for(i)))
+            .collect();
+        let mut s = MultipathSession::new(paths, EarliestCompletion);
+        let policy = RecoveryPolicy { max_retries: 3, ..RecoveryPolicy::default() };
+        let r = s.submit_resilient(fov_req(400_000), SimTime::from_secs(1), &policy);
+        assert_eq!(r.completion.outcome, TransferOutcome::Failed);
+        assert_eq!(r.attempts, 4, "initial try + 3 retries");
+        assert!(!r.abandoned, "budget exhaustion is not abandonment");
+        assert_eq!(s.log.len(), 4);
+    }
 }

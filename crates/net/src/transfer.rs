@@ -6,6 +6,7 @@
 //! scheduler exploits by keeping OOS bulk off the path that urgent FoV
 //! chunks need.
 
+use crate::fault::PathFaults;
 use crate::path::PathModel;
 use crate::priority::Reliability;
 use serde::{Deserialize, Serialize};
@@ -22,6 +23,9 @@ pub enum TransferOutcome {
     Delivered,
     /// Best-effort transfer lost too many packets and was discarded.
     Dropped,
+    /// The transfer was interrupted — the path went down mid-flight (or
+    /// was already down at start), or the client aborted it on timeout.
+    Failed,
 }
 
 /// A completed transfer record.
@@ -31,7 +35,9 @@ pub struct Completion {
     pub id: TransferId,
     /// When the request was submitted.
     pub submitted: SimTime,
-    /// When the last byte arrived (or the drop was detected).
+    /// When bytes actually started moving (after any FIFO queue wait).
+    pub start: SimTime,
+    /// When the last byte arrived (or the drop/failure was detected).
     pub finished: SimTime,
     /// Bytes requested.
     pub bytes: u64,
@@ -40,18 +46,32 @@ pub struct Completion {
 }
 
 impl Completion {
-    /// Achieved goodput in bits/second (0 for drops).
+    /// Achieved goodput in bits/second (0 unless delivered), measured
+    /// over the transfer's *active* interval `finished − start`. FIFO
+    /// queue wait before `start` is head-of-line blocking, not link
+    /// speed — including it would deflate the sample fed to the
+    /// bandwidth estimator and drag VRA decisions down.
     pub fn goodput_bps(&self) -> f64 {
-        if self.outcome == TransferOutcome::Dropped {
+        if self.outcome != TransferOutcome::Delivered {
             return 0.0;
         }
-        let secs = self.finished.saturating_since(self.submitted).as_secs_f64();
+        let secs = self.finished.saturating_since(self.start).as_secs_f64();
         if secs <= 0.0 {
             0.0
         } else {
             self.bytes as f64 * 8.0 / secs
         }
     }
+}
+
+/// One transfer still in flight (its `finished` stamp lies in the
+/// future), kept so `flush`/`abort` can reverse its accounting.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    id: TransferId,
+    bytes: u64,
+    finished: SimTime,
+    outcome: TransferOutcome,
 }
 
 /// FIFO transfer queue over one path.
@@ -62,10 +82,18 @@ pub struct PathQueue {
     busy_until: SimTime,
     next_id: u64,
     rng: SimRng,
+    /// Fault timeline the engine honours (empty by default).
+    faults: PathFaults,
+    /// Transfers whose resolved `finished` stamp we have not yet passed,
+    /// oldest first — the work `flush`/`abort` can still cancel.
+    inflight: Vec<InFlight>,
     /// Bytes delivered so far (for accounting).
     pub bytes_delivered: u64,
     /// Bytes submitted that were dropped (best-effort losses).
     pub bytes_dropped: u64,
+    /// Bytes submitted that failed (outage interruptions and client
+    /// aborts).
+    pub bytes_failed: u64,
 }
 
 impl PathQueue {
@@ -76,9 +104,25 @@ impl PathQueue {
             busy_until: SimTime::ZERO,
             next_id: 0,
             rng,
+            faults: PathFaults::none(),
+            inflight: Vec::new(),
             bytes_delivered: 0,
             bytes_dropped: 0,
+            bytes_failed: 0,
         }
+    }
+
+    /// Attach a fault timeline (builder style). An empty timeline is
+    /// exactly equivalent to never calling this: no fault check consumes
+    /// RNG, so seed-determinism is unaffected.
+    pub fn with_faults(mut self, faults: PathFaults) -> PathQueue {
+        self.faults = faults;
+        self
+    }
+
+    /// The attached fault timeline (empty by default).
+    pub fn faults(&self) -> &PathFaults {
+        &self.faults
     }
 
     /// The wrapped path.
@@ -107,38 +151,124 @@ impl PathQueue {
     /// When the queue is busy the new transfer pipelines over the warm
     /// persistent connection (no per-request RTT); from idle it pays the
     /// full request latency and slow-start ramp.
+    ///
+    /// Fault handling (all checks precede the best-effort RNG roll, so a
+    /// run with an empty timeline consumes exactly the same RNG stream as
+    /// a run built without faults):
+    /// - path down at start → `Failed` one RTT after start (the client
+    ///   learns of the dead link from its unanswered request);
+    /// - an outage opening mid-flight → `Failed` one RTT after the outage
+    ///   starts (the stalled connection times out);
+    /// - active degradations scale bandwidth share and add packet loss.
     pub fn submit(&mut self, bytes: u64, now: SimTime, reliability: Reliability) -> Completion {
+        self.prune(now);
         let start = self.available_at(now);
-        let duration = if start > now {
-            self.path.transfer_time_warm(bytes, start, 1.0)
-        } else {
-            self.path.transfer_time(bytes, start, 1.0)
-        };
-        let finished = start + duration;
-        self.busy_until = finished;
         let id = TransferId(self.next_id);
         self.next_id += 1;
+
+        if self.faults.is_down(start) {
+            return self.fail(id, bytes, now, start, start + self.path.rtt);
+        }
+
+        let share = self.faults.bandwidth_factor_at(start);
+        let duration = if start > now {
+            self.path.transfer_time_warm(bytes, start, share)
+        } else {
+            self.path.transfer_time(bytes, start, share)
+        };
+        let finished = start + duration;
+        if let Some(outage_start) = self.faults.first_outage_start_within(start, finished) {
+            return self.fail(id, bytes, now, start, outage_start + self.path.rtt);
+        }
+
         let outcome = match reliability {
             Reliability::Reliable => TransferOutcome::Delivered,
             Reliability::BestEffort => {
-                if self.path.best_effort_survives(bytes, &mut self.rng) {
+                let loss = (self.path.loss + self.faults.extra_loss_at(start)).min(0.99);
+                if self.path.best_effort_survives_with_loss(bytes, loss, &mut self.rng) {
                     TransferOutcome::Delivered
                 } else {
                     TransferOutcome::Dropped
                 }
             }
         };
+        self.busy_until = finished;
         match outcome {
             TransferOutcome::Delivered => self.bytes_delivered += bytes,
             TransferOutcome::Dropped => self.bytes_dropped += bytes,
+            TransferOutcome::Failed => unreachable!("fault checks handle Failed"),
         }
-        Completion { id, submitted: now, finished, bytes, outcome }
+        self.inflight.push(InFlight { id, bytes, finished, outcome });
+        Completion { id, submitted: now, start, finished, bytes, outcome }
+    }
+
+    /// Record an outage-interrupted transfer: the path is occupied (and
+    /// useless) until the failure is detected at `finished`.
+    fn fail(
+        &mut self,
+        id: TransferId,
+        bytes: u64,
+        submitted: SimTime,
+        start: SimTime,
+        finished: SimTime,
+    ) -> Completion {
+        let outcome = TransferOutcome::Failed;
+        self.busy_until = self.busy_until.max(finished);
+        self.bytes_failed += bytes;
+        self.inflight.push(InFlight { id, bytes, finished, outcome });
+        Completion { id, submitted, start, finished, bytes, outcome }
+    }
+
+    /// Forget in-flight records whose resolution time has passed — their
+    /// accounting is final.
+    fn prune(&mut self, now: SimTime) {
+        self.inflight.retain(|t| t.finished > now);
+    }
+
+    /// Cancel a single in-flight transfer (e.g. on a client-side timeout):
+    /// its accounting is reversed, the bytes are charged to
+    /// [`bytes_failed`](Self::bytes_failed), and the path frees up at
+    /// `at` unless other queued work extends past it. Returns `false` if
+    /// the transfer already resolved (its completion stands).
+    pub fn abort(&mut self, id: TransferId, at: SimTime) -> bool {
+        self.prune(at);
+        let Some(pos) = self.inflight.iter().position(|t| t.id == id) else {
+            return false;
+        };
+        let t = self.inflight.remove(pos);
+        match t.outcome {
+            TransferOutcome::Delivered => self.bytes_delivered -= t.bytes,
+            TransferOutcome::Dropped => self.bytes_dropped -= t.bytes,
+            TransferOutcome::Failed => self.bytes_failed -= t.bytes,
+        }
+        self.bytes_failed += t.bytes;
+        let tail = self
+            .inflight
+            .iter()
+            .map(|r| r.finished)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.busy_until = self.busy_until.min(at.max(tail));
+        true
     }
 
     /// Drop all queued work (e.g. on a VRA rescheduling decision): the
-    /// path frees immediately at `now`.
-    pub fn flush(&mut self, now: SimTime) {
+    /// path frees immediately at `now`. The accounting of every cancelled
+    /// in-flight transfer is reversed — bytes that never finished arriving
+    /// are not goodput — and the cancelled byte count is returned.
+    pub fn flush(&mut self, now: SimTime) -> u64 {
+        self.prune(now);
+        let mut cancelled = 0;
+        for t in self.inflight.drain(..) {
+            cancelled += t.bytes;
+            match t.outcome {
+                TransferOutcome::Delivered => self.bytes_delivered -= t.bytes,
+                TransferOutcome::Dropped => self.bytes_dropped -= t.bytes,
+                TransferOutcome::Failed => self.bytes_failed -= t.bytes,
+            }
+        }
         self.busy_until = self.busy_until.min(now);
+        cancelled
     }
 }
 
@@ -233,5 +363,137 @@ mod tests {
         let a = q.submit(1, SimTime::ZERO, Reliability::Reliable);
         let b = q.submit(1, SimTime::ZERO, Reliability::Reliable);
         assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn goodput_excludes_queue_wait() {
+        // Two back-to-back 1 MB submissions on a 1 MB/s path: the second
+        // waits ~1 s in the FIFO before its bytes move. Its goodput must
+        // reflect the link (~8 Mb/s), not the wait-inflated ~4 Mb/s the
+        // old submitted-based divisor produced.
+        let mut q = queue(8e6);
+        let a = q.submit(1_000_000, SimTime::ZERO, Reliability::Reliable);
+        let b = q.submit(1_000_000, SimTime::ZERO, Reliability::Reliable);
+        assert_eq!(b.submitted, SimTime::ZERO);
+        assert_eq!(b.start, a.finished, "second starts when the first ends");
+        let ga = a.goodput_bps();
+        let gb = b.goodput_bps();
+        assert!(gb > 6e6, "queue wait must not deflate goodput, got {gb}");
+        // The warm second transfer skips the request RTT, so it is at
+        // least as fast as the cold first one.
+        assert!(gb >= ga, "warm {gb} vs cold {ga}");
+    }
+
+    #[test]
+    fn flush_reverses_inflight_accounting() {
+        let mut q = queue(8e6);
+        q.submit(10_000_000, SimTime::ZERO, Reliability::Reliable); // ~10s
+        assert_eq!(q.bytes_delivered, 10_000_000);
+        let cancelled = q.flush(SimTime::from_secs(1));
+        assert_eq!(cancelled, 10_000_000, "in-flight bytes were cancelled");
+        assert_eq!(q.bytes_delivered, 0, "cancelled bytes are not goodput");
+    }
+
+    #[test]
+    fn flush_spares_finished_transfers() {
+        let mut q = queue(8e6);
+        let c = q.submit(1_000_000, SimTime::ZERO, Reliability::Reliable); // ~1s
+        let cancelled = q.flush(c.finished + SimDuration::from_millis(1));
+        assert_eq!(cancelled, 0, "nothing in flight to cancel");
+        assert_eq!(q.bytes_delivered, 1_000_000, "finished transfer stands");
+    }
+
+    #[test]
+    fn down_path_fails_fast() {
+        let faults = crate::fault::FaultScript::none()
+            .link_down(0, SimTime::from_secs(2), SimTime::from_secs(7))
+            .compile_for(0);
+        let mut q = queue(8e6).with_faults(faults);
+        let c = q.submit(1_000_000, SimTime::from_secs(3), Reliability::Reliable);
+        assert_eq!(c.outcome, TransferOutcome::Failed);
+        let rtt = SimDuration::from_millis(10);
+        assert_eq!(c.finished, SimTime::from_secs(3) + rtt, "detected one RTT in");
+        assert_eq!(q.bytes_failed, 1_000_000);
+        assert_eq!(q.bytes_delivered, 0);
+    }
+
+    #[test]
+    fn outage_interrupts_inflight_transfer() {
+        // ~10s transfer from t=0; the link dies at t=4 — the transfer must
+        // fail shortly after the outage starts, not silently deliver at
+        // t=10 as if nothing happened.
+        let faults = crate::fault::FaultScript::none()
+            .link_down(0, SimTime::from_secs(4), SimTime::from_secs(6))
+            .compile_for(0);
+        let mut q = queue(8e6).with_faults(faults);
+        let c = q.submit(10_000_000, SimTime::ZERO, Reliability::Reliable);
+        assert_eq!(c.outcome, TransferOutcome::Failed);
+        let rtt = SimDuration::from_millis(10);
+        assert_eq!(c.finished, SimTime::from_secs(4) + rtt);
+        assert_eq!(q.bytes_failed, 10_000_000);
+        // The path is tied up until the failure is detected, then free —
+        // but still inside the outage, so a resubmit fails fast again.
+        let again = q.submit(8_000, SimTime::from_secs(5), Reliability::Reliable);
+        assert_eq!(again.outcome, TransferOutcome::Failed);
+        // After the outage clears, transfers go through.
+        let after = q.submit(8_000, SimTime::from_secs(6), Reliability::Reliable);
+        assert_eq!(after.outcome, TransferOutcome::Delivered);
+    }
+
+    #[test]
+    fn degradation_slows_transfers() {
+        let faults = crate::fault::FaultScript::none()
+            .degrade(
+                0,
+                SimTime::ZERO,
+                SimTime::from_secs(60),
+                0.25,
+                0.0,
+            )
+            .compile_for(0);
+        let mut clean = queue(8e6);
+        let mut degraded = queue(8e6).with_faults(faults);
+        let a = clean.submit(2_000_000, SimTime::ZERO, Reliability::Reliable);
+        let b = degraded.submit(2_000_000, SimTime::ZERO, Reliability::Reliable);
+        let ratio = b.finished.saturating_since(b.start).as_secs_f64()
+            / a.finished.saturating_since(a.start).as_secs_f64();
+        assert!(ratio > 2.0, "quarter bandwidth should take much longer, ratio {ratio}");
+        assert_eq!(b.outcome, TransferOutcome::Delivered);
+    }
+
+    #[test]
+    fn abort_cancels_and_frees_the_path() {
+        let mut q = queue(8e6);
+        let c = q.submit(10_000_000, SimTime::ZERO, Reliability::Reliable); // ~10s
+        assert!(q.abort(c.id, SimTime::from_secs(1)));
+        assert_eq!(q.bytes_delivered, 0, "aborted bytes are not goodput");
+        assert_eq!(q.bytes_failed, 10_000_000, "aborted bytes charged as failed");
+        let next = q.submit(8_000, SimTime::from_secs(1), Reliability::Reliable);
+        assert!(next.finished.as_secs_f64() < 1.1, "path freed by the abort");
+        // Aborting a transfer that already resolved is a no-op.
+        assert!(!q.abort(next.id, SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn empty_fault_timeline_preserves_rng_stream() {
+        // A queue with an explicit empty timeline must make exactly the
+        // same best-effort calls (and thus RNG draws) as one without.
+        let lossy = || {
+            PathModel::new(
+                "lossy",
+                BandwidthTrace::constant(8e6),
+                SimDuration::from_millis(10),
+                0.03,
+            )
+        };
+        let mut bare = PathQueue::new(lossy(), SimRng::new(9));
+        let mut scripted =
+            PathQueue::new(lossy(), SimRng::new(9)).with_faults(crate::fault::PathFaults::none());
+        for i in 0..40 {
+            let t = SimTime::from_secs(i);
+            let a = bare.submit(200_000, t, Reliability::BestEffort);
+            let b = scripted.submit(200_000, t, Reliability::BestEffort);
+            assert_eq!(a, b, "submission {i} diverged");
+        }
     }
 }

@@ -39,7 +39,8 @@ pub enum PlayerEvent {
         quality: Quality,
         /// Delivery priority used.
         priority: ChunkPriority,
-        /// Whether the transfer was dropped (best-effort loss).
+        /// Whether the transfer failed to deliver (best-effort loss or
+        /// path failure).
         dropped: bool,
     },
     /// Playback stalled waiting for a chunk.
@@ -81,6 +82,10 @@ pub enum PlayerEvent {
         viewport_utility: f64,
         /// Blank screen fraction.
         blank: f64,
+        /// Screen fraction rescued by spatial fall-back (stale or
+        /// lower-layer content shown where the chunk's own tile is
+        /// missing).
+        degraded: f64,
     },
 }
 
@@ -182,6 +187,7 @@ mod tests {
                 chunk: ChunkTime(3),
                 viewport_utility: 1.5,
                 blank: 0.0,
+                degraded: 0.0,
             },
         ];
         for e in events {

@@ -20,11 +20,16 @@ pub struct QoeWeights {
     pub switch: f64,
     /// Penalty per unit of blank-screen fraction (unfetched tile shown).
     pub blank: f64,
+    /// Penalty per unit of degraded-screen fraction — screen area covered
+    /// by spatial fall-back (stale or lower-layer content shown instead
+    /// of the missing tile). Much cheaper than blank: a frozen frame in
+    /// the periphery beats a black hole in the viewport.
+    pub degraded: f64,
 }
 
 impl Default for QoeWeights {
     fn default() -> Self {
-        QoeWeights { quality: 1.0, stall: 4.0, switch: 0.5, blank: 6.0 }
+        QoeWeights { quality: 1.0, stall: 4.0, switch: 0.5, blank: 6.0, degraded: 2.0 }
     }
 }
 
@@ -35,9 +40,13 @@ pub struct ChunkRecord {
     pub index: u32,
     /// Screen-share-weighted mean utility of the displayed viewport.
     pub viewport_utility: f64,
-    /// Fraction of the screen with no buffered tile (displayed blank /
-    /// frozen).
+    /// Fraction of the screen with no buffered tile and no fall-back
+    /// content (displayed black).
     pub blank_fraction: f64,
+    /// Fraction of the screen rescued by spatial fall-back: no tile for
+    /// this chunk, but stale/low-layer content from the previous chunk
+    /// was shown instead of blank.
+    pub degraded_fraction: f64,
     /// Quality level of the FoV plan for this chunk.
     pub fov_quality: u8,
     /// Stall incurred waiting for this chunk.
@@ -58,6 +67,8 @@ pub struct QoeReport {
     pub mean_viewport_utility: f64,
     /// Mean blank fraction.
     pub mean_blank_fraction: f64,
+    /// Mean degraded (fall-back-rescued) fraction.
+    pub mean_degraded_fraction: f64,
     /// Total stall time.
     pub stall_time: SimDuration,
     /// Number of stall events.
@@ -83,6 +94,7 @@ impl QoeReport {
                 chunks: 0,
                 mean_viewport_utility: 0.0,
                 mean_blank_fraction: 0.0,
+                mean_degraded_fraction: 0.0,
                 stall_time: SimDuration::ZERO,
                 stall_count: 0,
                 startup_delay,
@@ -94,6 +106,7 @@ impl QoeReport {
         }
         let mean_utility = records.iter().map(|r| r.viewport_utility).sum::<f64>() / n;
         let mean_blank = records.iter().map(|r| r.blank_fraction).sum::<f64>() / n;
+        let mean_degraded = records.iter().map(|r| r.degraded_fraction).sum::<f64>() / n;
         let stall_time = records
             .iter()
             .fold(SimDuration::ZERO, |acc, r| acc + r.stall);
@@ -107,11 +120,13 @@ impl QoeReport {
         let score = weights.quality * mean_utility
             - weights.stall * stall_time.as_secs_f64() / n
             - weights.switch * switches as f64 / n
-            - weights.blank * mean_blank;
+            - weights.blank * mean_blank
+            - weights.degraded * mean_degraded;
         QoeReport {
             chunks: records.len() as u32,
             mean_viewport_utility: mean_utility,
             mean_blank_fraction: mean_blank,
+            mean_degraded_fraction: mean_degraded,
             stall_time,
             stall_count,
             startup_delay,
@@ -141,6 +156,7 @@ mod tests {
             index: i,
             viewport_utility: util,
             blank_fraction: 0.0,
+            degraded_fraction: 0.0,
             fov_quality: q,
             stall: SimDuration::from_millis(stall_ms),
             bytes_fetched: 1000,
@@ -205,5 +221,23 @@ mod tests {
             QoeReport::from_records(&[clean], SimDuration::ZERO, &w).score
                 > QoeReport::from_records(&[blank], SimDuration::ZERO, &w).score
         );
+    }
+
+    #[test]
+    fn degraded_beats_blank() {
+        // The same missing screen area scores better when rescued by
+        // spatial fall-back than when shown blank — that credit is the
+        // whole point of graceful degradation.
+        let mut blank = record(0, 2.0, 1, 0);
+        blank.blank_fraction = 0.3;
+        let mut degraded = record(0, 2.0, 1, 0);
+        degraded.degraded_fraction = 0.3;
+        let clean = record(0, 2.0, 1, 0);
+        let w = QoeWeights::default();
+        let s_blank = QoeReport::from_records(&[blank], SimDuration::ZERO, &w).score;
+        let s_degraded = QoeReport::from_records(&[degraded], SimDuration::ZERO, &w).score;
+        let s_clean = QoeReport::from_records(&[clean], SimDuration::ZERO, &w).score;
+        assert!(s_degraded > s_blank, "fall-back must score above blank");
+        assert!(s_clean > s_degraded, "but below a fully fetched frame");
     }
 }

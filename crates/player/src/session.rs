@@ -13,8 +13,9 @@ use crate::events::{EventLog, PlayerEvent};
 use crate::qoe::{ChunkRecord, QoeReport, QoeWeights};
 use sperke_hmp::{Forecaster, HeadTrace};
 use sperke_net::{
-    BandwidthEstimator, ChunkPriority, ChunkRequest, EstimatorKind, MultipathScheduler,
-    MultipathSession, PathQueue, SpatialPriority, TransferOutcome,
+    BandwidthEstimator, ChunkPriority, ChunkRequest, Completion, EstimatorKind,
+    MultipathScheduler, MultipathSession, PathQueue, RecoveryPolicy, SpatialPriority,
+    TransferOutcome,
 };
 use sperke_sim::trace::{Subsystem, TraceEvent, TraceLevel, TraceSink};
 use sperke_sim::{SimDuration, SimTime};
@@ -22,7 +23,7 @@ use sperke_vra::{
     decide_upgrade, plan_fov_agnostic, upgrade_candidates, Abr, FetchPlan, PlanInput, SperkeConfig,
     SperkeVra, UpgradeConfig, UpgradeDecision,
 };
-use sperke_video::{CellId, ChunkForm, Quality, Scheme, VideoModel};
+use sperke_video::{CellId, ChunkForm, ChunkTime, Quality, Scheme, VideoModel};
 
 /// Which planner drives fetching.
 #[derive(Debug, Clone)]
@@ -59,6 +60,17 @@ pub struct PlayerConfig {
     /// received by their deadlines are skipped" (§3.1.2, footnote) —
     /// the playback timeline never stalls; late chunks display blank.
     pub realtime: bool,
+    /// Transfer recovery: when set, every fetch uses deadline-based
+    /// timeouts with bounded retry and cross-path failover
+    /// ([`MultipathSession::submit_resilient`]). When `None` the client
+    /// is naive — a failed transfer (outage, dead path) simply never
+    /// arrives.
+    pub resilience: Option<RecoveryPolicy>,
+    /// Spatial fall-back rendering: when a viewport cell is missing at
+    /// display time but the previous chunk's tile is still buffered,
+    /// show that stale content instead of blank. The rescued area is
+    /// scored as `degraded_fraction` (cheaper than blank in QoE).
+    pub fallback_enabled: bool,
     /// Trace sink shared with every subsystem the session drives (the
     /// network layer, the bandwidth estimator and the VRA planner all
     /// emit into it). Disabled by default; emission is then a no-op.
@@ -77,6 +89,8 @@ impl Default for PlayerConfig {
             upgrade_lead: SimDuration::from_millis(600),
             max_buffer: SimDuration::from_secs(2),
             realtime: false,
+            resilience: None,
+            fallback_enabled: false,
             trace: TraceSink::disabled(),
         }
     }
@@ -269,7 +283,8 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                 priority: fetch.priority,
                 deadline: est_deadline,
             };
-            let (completion, _path) = net.submit(req, now);
+            let (completion, _path) =
+                submit_chunk(&mut net, req, now, config.resilience.as_ref());
             chunk_bytes += fetch.bytes;
             if let Some(l) = log.as_deref_mut() {
                 l.push(PlayerEvent::FetchCompleted {
@@ -278,7 +293,7 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                     chunk: t,
                     quality: fetch.chunk.quality,
                     priority: fetch.priority,
-                    dropped: completion.outcome == TransferOutcome::Dropped,
+                    dropped: completion.outcome != TransferOutcome::Delivered,
                 });
             }
             match completion.outcome {
@@ -303,20 +318,31 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                             priority: ChunkPriority::CRITICAL,
                             deadline: est_deadline,
                         };
-                        let (retry_done, _) = net.submit(retry, now);
+                        let (retry_done, _) =
+                            submit_chunk(&mut net, retry, now, config.resilience.as_ref());
                         chunk_bytes += fetch.bytes;
-                        batch_delivered += fetch.bytes;
-                        batch_end = batch_end.max(retry_done.finished);
-                        buffer.insert(
-                            CellId::new(fetch.chunk.tile, fetch.chunk.time),
-                            fetch.chunk.quality,
-                            fetch.form,
-                            fetch.bytes,
-                        );
-                        fov_done = fov_done.max(retry_done.finished);
+                        // Even a reliable refetch can fail under an
+                        // outage; only delivered bytes reach the buffer.
+                        if retry_done.outcome == TransferOutcome::Delivered {
+                            batch_delivered += fetch.bytes;
+                            batch_end = batch_end.max(retry_done.finished);
+                            buffer.insert(
+                                CellId::new(fetch.chunk.tile, fetch.chunk.time),
+                                fetch.chunk.quality,
+                                fetch.form,
+                                fetch.bytes,
+                            );
+                            fov_done = fov_done.max(retry_done.finished);
+                        }
                     }
                     // Dropped OOS chunks are simply absent; their cost
                     // stays in chunk_bytes and becomes waste.
+                }
+                TransferOutcome::Failed => {
+                    // The path died under the transfer (and, in resilient
+                    // mode, every permitted retry failed too). The tile
+                    // is simply missing; display-time fall-back decides
+                    // what the viewer sees.
                 }
             }
         }
@@ -424,7 +450,8 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                                 priority: ChunkPriority::CRITICAL,
                                 deadline: display_time,
                             };
-                            let (completion, _) = net.submit(req, at);
+                            let (completion, _) =
+                                submit_chunk(&mut net, req, at, config.resilience.as_ref());
                             upgrade_bytes += delta_bytes;
                             if !(completion.outcome == TransferOutcome::Delivered
                                 && completion.finished <= display_time)
@@ -508,6 +535,7 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                 index: t.0,
                 viewport_utility: 0.0,
                 blank_fraction: 1.0,
+                degraded_fraction: 0.0,
                 fov_quality: plan.fov_quality.0,
                 stall: SimDuration::ZERO,
                 bytes_fetched: chunk_bytes + upgrade_bytes,
@@ -525,6 +553,7 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
         let visible = viewport.visible_tiles(video.grid(), 16);
         let mut utility = 0.0;
         let mut blank = 0.0;
+        let mut degraded = 0.0;
         let mut useful_bytes = 0u64;
         for &(tile, coverage) in &visible {
             let cell = CellId::new(tile, t);
@@ -538,7 +567,21 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                     useful_bytes +=
                         video.cell_sizes(tile, t).initial_cost(scheme, bc.quality);
                 }
-                None => blank += coverage,
+                None => {
+                    // Spatial fall-back: the previous chunk's tile is
+                    // still buffered (eviction lags one chunk behind for
+                    // exactly this reason), so the renderer can hold its
+                    // last frame instead of going black. Stale pixels
+                    // earn no utility, but cost far less QoE than a hole.
+                    let rescued = config.fallback_enabled
+                        && t.0 > 0
+                        && buffer.get(CellId::new(tile, ChunkTime(t.0 - 1))).is_some();
+                    if rescued {
+                        degraded += coverage;
+                    } else {
+                        blank += coverage;
+                    }
+                }
             }
         }
         if let Some(l) = log.as_deref_mut() {
@@ -547,15 +590,24 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                 chunk: t,
                 viewport_utility: utility,
                 blank,
+                degraded,
             });
         }
         if sink.is_enabled() {
             if blank > 0.0 {
                 sink.emit(TraceEvent::BlankFrame { at: display_time, chunk: t.0, fraction: blank });
             }
+            if degraded > 0.0 {
+                sink.emit(TraceEvent::FallbackFrame {
+                    at: display_time,
+                    chunk: t.0,
+                    fraction: degraded,
+                });
+            }
             sink.metrics(|m| {
                 m.counter("player.bytes_fetched").add(chunk_bytes + upgrade_bytes);
                 m.histogram("player.blank_fraction").record(blank);
+                m.histogram("player.degraded_fraction").record(degraded);
                 m.histogram("player.viewport_utility").record(utility);
             });
         }
@@ -565,6 +617,7 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
             index: t.0,
             viewport_utility: utility,
             blank_fraction: blank,
+            degraded_fraction: degraded,
             fov_quality: plan.fov_quality.0,
             stall,
             bytes_fetched: total_bytes,
@@ -573,6 +626,10 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
         last_quality = plan.fov_quality;
         buffer.evict_before(t);
     }
+
+    // Release the network layer's still-deferred trace events (transfers
+    // resolving after the last submission).
+    net.finish_trace();
 
     let qoe = QoeReport::from_records(&records, startup_delay, &config.weights);
     let path_bytes = net.paths().iter().map(|p| p.bytes_delivered).collect();
@@ -585,11 +642,28 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
     }
 }
 
+/// Submit one chunk through the session, resiliently when a
+/// [`RecoveryPolicy`] is configured, naively otherwise.
+fn submit_chunk<S: MultipathScheduler>(
+    net: &mut MultipathSession<S>,
+    req: ChunkRequest,
+    now: SimTime,
+    resilience: Option<&RecoveryPolicy>,
+) -> (Completion, usize) {
+    match resilience {
+        Some(policy) => {
+            let r = net.submit_resilient(req, now, policy);
+            (r.completion, r.path)
+        }
+        None => net.submit(req, now),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sperke_hmp::{AttentionModel, Behavior, FusedForecaster, TraceGenerator, ViewingContext};
-    use sperke_net::{BandwidthTrace, PathModel, SinglePath};
+    use sperke_net::{BandwidthTrace, ContentAware, FaultScript, PathModel, SinglePath};
     use sperke_sim::SimRng;
     use sperke_vra::RateBased;
     use sperke_video::VideoModelBuilder;
@@ -821,6 +895,111 @@ mod tests {
         assert_eq!(plain.qoe, r.qoe);
         // NDJSON export yields one line per event.
         assert_eq!(log.to_ndjson().lines().count(), log.len());
+    }
+
+    #[test]
+    fn spatial_fallback_turns_blank_into_degraded() {
+        let v = video(15);
+        let tr = trace(15, 3);
+        let run_with = |fallback: bool| {
+            let paths = vec![PathQueue::new(
+                PathModel::new(
+                    "lab",
+                    BandwidthTrace::constant(25e6),
+                    SimDuration::from_millis(20),
+                    0.0,
+                ),
+                SimRng::new(7),
+            )
+            .with_faults(
+                FaultScript::none()
+                    .link_down(0, SimTime::from_secs(4), SimTime::from_secs(8))
+                    .compile_for(0),
+            )];
+            run_session(
+                &v,
+                &tr,
+                paths,
+                SinglePath(0),
+                RateBased::default(),
+                &FusedForecaster::motion_only(),
+                &PlayerConfig { fallback_enabled: fallback, ..Default::default() },
+            )
+        };
+        let hard = run_with(false);
+        let soft = run_with(true);
+        assert!(hard.qoe.mean_blank_fraction > 0.0, "the outage must bite");
+        assert_eq!(hard.qoe.mean_degraded_fraction, 0.0);
+        assert!(
+            soft.qoe.mean_degraded_fraction > 0.0,
+            "fall-back rescues some screen area"
+        );
+        assert!(
+            soft.qoe.mean_blank_fraction < hard.qoe.mean_blank_fraction,
+            "soft {} vs hard {}",
+            soft.qoe.mean_blank_fraction,
+            hard.qoe.mean_blank_fraction
+        );
+        assert!(soft.qoe.score > hard.qoe.score, "degraded is cheaper than blank");
+    }
+
+    #[test]
+    fn resilient_recovery_fails_over_during_an_outage() {
+        let v = video(15);
+        let tr = trace(15, 3);
+        let run_with = |resilience: Option<RecoveryPolicy>| {
+            let faults = FaultScript::none().link_down(
+                0,
+                SimTime::from_secs(4),
+                SimTime::from_secs(9),
+            );
+            let paths = vec![
+                PathQueue::new(
+                    PathModel::new(
+                        "wifi",
+                        BandwidthTrace::constant(40e6),
+                        SimDuration::from_millis(15),
+                        0.0,
+                    ),
+                    SimRng::new(7),
+                )
+                .with_faults(faults.compile_for(0)),
+                PathQueue::new(
+                    PathModel::new(
+                        "lte",
+                        BandwidthTrace::constant(10e6),
+                        SimDuration::from_millis(60),
+                        0.0,
+                    ),
+                    SimRng::new(8),
+                ),
+            ];
+            run_session(
+                &v,
+                &tr,
+                paths,
+                ContentAware,
+                RateBased::default(),
+                &FusedForecaster::motion_only(),
+                &PlayerConfig { resilience, ..Default::default() },
+            )
+        };
+        let naive = run_with(None);
+        let resilient = run_with(Some(RecoveryPolicy::default()));
+        assert!(
+            naive.qoe.mean_blank_fraction > 0.05,
+            "naive mode blanks during the outage: {}",
+            naive.qoe.mean_blank_fraction
+        );
+        assert!(
+            resilient.qoe.mean_blank_fraction < naive.qoe.mean_blank_fraction,
+            "failover recovers tiles: resilient {} vs naive {}",
+            resilient.qoe.mean_blank_fraction,
+            naive.qoe.mean_blank_fraction
+        );
+        assert!(resilient.qoe.score > naive.qoe.score);
+        // The surviving path carried the failover traffic.
+        assert!(resilient.path_bytes[1] > naive.path_bytes[1]);
     }
 
     #[test]

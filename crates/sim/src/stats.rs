@@ -58,6 +58,25 @@ pub fn median(xs: &[f64]) -> f64 {
     percentile(xs, 50.0)
 }
 
+/// Standard normal CDF `Φ(z)` via the Abramowitz & Stegun 7.1.26 erf
+/// approximation (absolute error < 1.5e-7) — accurate enough for the
+/// survival-probability gating done by the schedulers, with no libm
+/// dependency beyond `exp`.
+pub fn normal_cdf(z: f64) -> f64 {
+    if z.is_nan() {
+        return f64::NAN;
+    }
+    let x = z / std::f64::consts::SQRT_2;
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = sign * (1.0 - poly * (-x * x).exp());
+    0.5 * (1.0 + erf)
+}
+
 /// Simple ordinary-least-squares fit `y = a + b x`; returns `(a, b)`.
 ///
 /// Returns `(mean(y), 0.0)` when `x` has no variance or fewer than two points.
@@ -173,5 +192,19 @@ mod tests {
     #[should_panic]
     fn ewma_rejects_bad_alpha() {
         Ewma::new(0.0);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.158_655_254).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+        // Symmetry: Φ(z) + Φ(-z) = 1.
+        for z in [0.3, 0.7, 1.5, 2.5] {
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-9);
+        }
     }
 }

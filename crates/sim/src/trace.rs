@@ -193,6 +193,18 @@ pub enum TraceEvent {
         want: u8,
     },
 
+    /// A tile's chunk missed its deadline and the player rendered the
+    /// previously buffered (base/low-layer) frame instead of blank —
+    /// the paper's spatial fall-back applied on the display side.
+    FallbackFrame {
+        /// Display time.
+        at: SimTime,
+        /// The chunk displayed.
+        chunk: u32,
+        /// Degraded (fallen-back) fraction of the viewport, in `[0, 1]`.
+        fraction: f64,
+    },
+
     // --- Net ------------------------------------------------------------
     /// The multipath scheduler assigned a chunk request to a path; this
     /// also marks the transfer's start (submission time).
@@ -229,6 +241,45 @@ pub enum TraceEvent {
         goodput_bps: f64,
         /// The estimator's updated estimate, bits/second.
         estimate_bps: f64,
+    },
+    /// A path entered a scripted outage (fault injection).
+    PathDown {
+        /// When the link went down.
+        at: SimTime,
+        /// The affected path index.
+        path: u32,
+    },
+    /// A path recovered from a scripted outage.
+    PathUp {
+        /// When the link came back.
+        at: SimTime,
+        /// The recovered path index.
+        path: u32,
+    },
+    /// A transfer was interrupted by an outage or abandoned by the
+    /// client's deadline-based timeout.
+    TransferTimedOut {
+        /// When the client detected the failure.
+        at: SimTime,
+        /// Path the attempt ran on.
+        path: u32,
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// Which attempt failed (1 = the first try).
+        attempt: u32,
+    },
+    /// The recovery layer scheduled a retry after exponential backoff.
+    RetryScheduled {
+        /// Decision time (the moment the failed attempt was detected).
+        at: SimTime,
+        /// Path of the failed attempt being retried.
+        path: u32,
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// The upcoming attempt number.
+        attempt: u32,
+        /// Backoff delay before the retry, in milliseconds.
+        delay_ms: u64,
     },
 
     // --- Pipeline -------------------------------------------------------
@@ -271,12 +322,17 @@ impl TraceEvent {
             | TraceEvent::StallStarted { at, .. }
             | TraceEvent::StallEnded { at, .. }
             | TraceEvent::BlankFrame { at, .. }
+            | TraceEvent::FallbackFrame { at, .. }
             | TraceEvent::AbrDecision { at, .. }
             | TraceEvent::UpgradeGranted { at, .. }
             | TraceEvent::UpgradeRejected { at, .. }
             | TraceEvent::PathAssigned { at, .. }
             | TraceEvent::TransferFinished { at, .. }
             | TraceEvent::BandwidthUpdated { at, .. }
+            | TraceEvent::PathDown { at, .. }
+            | TraceEvent::PathUp { at, .. }
+            | TraceEvent::TransferTimedOut { at, .. }
+            | TraceEvent::RetryScheduled { at, .. }
             | TraceEvent::DecodeAdmitted { at, .. }
             | TraceEvent::CacheHit { at, .. }
             | TraceEvent::CacheEvicted { at, .. } => at,
@@ -289,13 +345,18 @@ impl TraceEvent {
             TraceEvent::BufferLevel { .. }
             | TraceEvent::StallStarted { .. }
             | TraceEvent::StallEnded { .. }
-            | TraceEvent::BlankFrame { .. } => Subsystem::Player,
+            | TraceEvent::BlankFrame { .. }
+            | TraceEvent::FallbackFrame { .. } => Subsystem::Player,
             TraceEvent::AbrDecision { .. }
             | TraceEvent::UpgradeGranted { .. }
             | TraceEvent::UpgradeRejected { .. } => Subsystem::Vra,
             TraceEvent::PathAssigned { .. }
             | TraceEvent::TransferFinished { .. }
-            | TraceEvent::BandwidthUpdated { .. } => Subsystem::Net,
+            | TraceEvent::BandwidthUpdated { .. }
+            | TraceEvent::PathDown { .. }
+            | TraceEvent::PathUp { .. }
+            | TraceEvent::TransferTimedOut { .. }
+            | TraceEvent::RetryScheduled { .. } => Subsystem::Net,
             TraceEvent::DecodeAdmitted { .. }
             | TraceEvent::CacheHit { .. }
             | TraceEvent::CacheEvicted { .. } => Subsystem::Pipeline,
@@ -308,13 +369,18 @@ impl TraceEvent {
             TraceEvent::StallStarted { .. }
             | TraceEvent::StallEnded { .. }
             | TraceEvent::BlankFrame { .. }
-            | TraceEvent::UpgradeGranted { .. } => TraceLevel::Events,
+            | TraceEvent::FallbackFrame { .. }
+            | TraceEvent::UpgradeGranted { .. }
+            | TraceEvent::PathDown { .. }
+            | TraceEvent::PathUp { .. }
+            | TraceEvent::TransferTimedOut { .. } => TraceLevel::Events,
             TraceEvent::BufferLevel { .. }
             | TraceEvent::AbrDecision { .. }
             | TraceEvent::UpgradeRejected { .. }
             | TraceEvent::PathAssigned { .. }
             | TraceEvent::TransferFinished { .. }
-            | TraceEvent::BandwidthUpdated { .. } => TraceLevel::Decisions,
+            | TraceEvent::BandwidthUpdated { .. }
+            | TraceEvent::RetryScheduled { .. } => TraceLevel::Decisions,
             TraceEvent::DecodeAdmitted { .. }
             | TraceEvent::CacheHit { .. }
             | TraceEvent::CacheEvicted { .. } => TraceLevel::Verbose,
@@ -633,6 +699,33 @@ impl Trace {
     /// identical runs produce byte-identical output.
     pub fn to_jsonl(&self) -> String {
         self.events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("trace event serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// The recorded events sorted by timestamp, ties broken by emission
+    /// order (a stable sort), so the result is deterministic.
+    ///
+    /// The live buffer preserves *emission* order, which is the causal
+    /// order decisions were made in but is not globally time-sorted: a
+    /// handful of events are stamped with the future time they take
+    /// effect (`UpgradeGranted` at its completion, deferred net events
+    /// drained out of submission order when the upgrade pass runs ahead
+    /// of the fetch clock). This view restores a globally nondecreasing
+    /// timeline for analysis tools that require one.
+    pub fn events_ordered(&self) -> Vec<&TraceEvent> {
+        let mut out: Vec<&TraceEvent> = self.events.iter().collect();
+        out.sort_by_key(|e| e.at());
+        out
+    }
+
+    /// Export as newline-delimited JSON sorted by timestamp (stable, see
+    /// [`Trace::events_ordered`]): guaranteed nondecreasing `at` fields,
+    /// byte-identical across identical runs.
+    pub fn to_jsonl_ordered(&self) -> String {
+        self.events_ordered()
             .iter()
             .map(|e| serde_json::to_string(e).expect("trace event serializes"))
             .collect::<Vec<_>>()

@@ -29,10 +29,10 @@ fn golden_run() -> RunReport {
         .run_report()
 }
 
-const GOLDEN_DIGEST: u64 = 0x533ff88215373387;
-const GOLDEN_EVENTS: usize = 503;
-const GOLDEN_SCORE_BITS: u64 = 0xbfde2aaaaaaaaaaa; // score = -0.47135416666666663
-const GOLDEN_BYTES_FETCHED: u64 = 6742682;
+const GOLDEN_DIGEST: u64 = 0x3dd518a6e1298240;
+const GOLDEN_EVENTS: usize = 604;
+const GOLDEN_SCORE_BITS: u64 = 0x3f89555555555580; // score = 0.01236979166666674
+const GOLDEN_BYTES_FETCHED: u64 = 8970186;
 const GOLDEN_STALL_COUNT: u32 = 0;
 
 #[test]

@@ -3,8 +3,13 @@
 //! time-series, and the seeded RNG's stream splitting.
 
 use proptest::prelude::*;
+use sperke_net::{
+    BandwidthTrace, ChunkPriority, ChunkRequest, ContentAware, FaultScript, MultipathSession,
+    PathModel, PathQueue, RecoveryPolicy,
+};
 use sperke_sim::metrics::TimeSeries;
-use sperke_sim::{EventQueue, SimRng, SimTime};
+use sperke_sim::trace::{Subsystem, TraceLevel, TraceSink};
+use sperke_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -118,5 +123,95 @@ proptest! {
         let mut b = parent.split(label_b);
         let other: Vec<u64> = (0..16).map(|_| b.next_u64_raw()).collect();
         prop_assert_ne!(&baseline, &other, "distinct labels produced identical streams");
+    }
+
+    /// The deferred-emission guarantee: for ANY fault script, net-layer
+    /// trace events come out in nondecreasing time order as long as
+    /// submission clocks are nondecreasing — in naive and resilient mode
+    /// alike. And the ordered export is globally sorted, losing nothing.
+    #[test]
+    fn net_trace_is_monotone_under_random_faults(
+        seed: u64,
+        resilient: bool,
+        sizes in proptest::collection::vec(10_000u64..2_000_000, 1..16),
+        gaps_ms in proptest::collection::vec(0u64..1200, 16),
+        outage_from_ms in 0u64..8000,
+        outage_len_ms in 100u64..5000,
+        factor in 0.05f64..1.0,
+    ) {
+        let script = FaultScript::none()
+            .link_down(
+                0,
+                SimTime::from_millis(outage_from_ms),
+                SimTime::from_millis(outage_from_ms + outage_len_ms),
+            )
+            .degrade(
+                1,
+                SimTime::from_millis(outage_from_ms / 2),
+                SimTime::from_millis(outage_from_ms / 2 + outage_len_ms),
+                factor,
+                0.05,
+            );
+        let paths = vec![
+            PathQueue::new(
+                PathModel::new(
+                    "wifi",
+                    BandwidthTrace::constant(25e6),
+                    SimDuration::from_millis(15),
+                    0.001,
+                ),
+                SimRng::new(seed),
+            )
+            .with_faults(script.compile_for(0)),
+            PathQueue::new(
+                PathModel::new(
+                    "lte",
+                    BandwidthTrace::constant(8e6),
+                    SimDuration::from_millis(60),
+                    0.002,
+                ),
+                SimRng::new(seed ^ 1),
+            )
+            .with_faults(script.compile_for(1)),
+        ];
+        let sink = TraceSink::with_level(TraceLevel::Decisions);
+        let mut session = MultipathSession::new(paths, ContentAware);
+        session.set_trace(sink.clone());
+        let policy = RecoveryPolicy::default();
+        let priorities = [ChunkPriority::CRITICAL, ChunkPriority::FOV, ChunkPriority::OOS];
+        let mut now = SimTime::ZERO;
+        for (i, &bytes) in sizes.iter().enumerate() {
+            now += SimDuration::from_millis(gaps_ms[i % gaps_ms.len()]);
+            let req = ChunkRequest {
+                bytes,
+                priority: priorities[i % 3],
+                deadline: now + SimDuration::from_secs(2),
+            };
+            if resilient {
+                session.submit_resilient(req, now, &policy);
+            } else {
+                session.submit(req, now);
+            }
+        }
+        session.finish_trace();
+        let trace = sink.snapshot();
+
+        let mut last = SimTime::ZERO;
+        for e in trace.for_subsystem(Subsystem::Net) {
+            prop_assert!(
+                e.at() >= last,
+                "net event went backwards: {:?} then {:?}",
+                last,
+                e.at()
+            );
+            last = e.at();
+        }
+
+        let ordered = trace.events_ordered();
+        prop_assert_eq!(ordered.len(), trace.len(), "ordering must lose nothing");
+        for w in ordered.windows(2) {
+            prop_assert!(w[0].at() <= w[1].at());
+        }
+        prop_assert_eq!(trace.to_jsonl_ordered().lines().count(), trace.len());
     }
 }
