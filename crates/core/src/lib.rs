@@ -34,11 +34,14 @@
 
 pub mod builder;
 pub mod fleet;
+pub mod sweep;
 
 pub use builder::{AbrChoice, RunReport, SchedulerChoice, Sperke};
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use sperke_net::{FaultScript, FaultSpec, PathFaults, RecoveryPolicy};
+pub use sperke_sim::sweep::{SweepPlan, SweepReport, SweepSummary};
 pub use sperke_sim::trace::{Trace, TraceEvent, TraceLevel};
+pub use sweep::{run_fleet_sweep, FleetGrid, FleetSweepPoint, SperkeSweep, SperkeSweepPoint};
 
 // Re-export the subsystem crates under stable names so downstream users
 // depend on one crate.

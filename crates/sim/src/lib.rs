@@ -42,6 +42,7 @@ pub mod queue;
 pub mod rng;
 pub mod runner;
 pub mod stats;
+pub mod sweep;
 pub mod time;
 pub mod trace;
 
@@ -50,6 +51,7 @@ pub use metrics::{Counter, Histogram, TimeSeries};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use runner::{RunOutcome, Scheduler, Simulation, World};
+pub use sweep::{run_sweep, PointOutcome, SweepPlan, SweepPoint, SweepReport, SweepSummary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     fnv1a64, MetricsRegistry, Subsystem, Trace, TraceConfig, TraceEvent, TraceLevel, TraceSink,
@@ -108,6 +110,71 @@ mod proptests {
             let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+
+        /// FIFO tie-break among same-instant events survives interleaved
+        /// push/cancel sequences: the surviving events of one instant pop
+        /// in their original insertion order.
+        #[test]
+        fn queue_fifo_survives_interleaved_cancels(
+            ops in proptest::collection::vec((0u64..4, any::<bool>()), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut ids = Vec::new();        // (EventId, time, payload)
+            let mut cancelled = Vec::new();
+            for (i, &(t, cancel_one)) in ops.iter().enumerate() {
+                let time = SimTime::from_secs(t);
+                let id = q.push(time, i);
+                ids.push((id, t, i));
+                // Interleave: sometimes cancel an arbitrary live event
+                // (deterministically picked) right after a push.
+                if cancel_one && !ids.is_empty() {
+                    let pick = (i * 7 + 3) % ids.len();
+                    let (cid, _, payload) = ids[pick];
+                    if !cancelled.contains(&payload) && q.cancel(cid) {
+                        cancelled.push(payload);
+                    }
+                }
+            }
+            // Expected: surviving events sorted by time, ties in insertion order.
+            let mut expect: Vec<(u64, usize)> = ids
+                .iter()
+                .filter(|(_, _, p)| !cancelled.contains(p))
+                .map(|&(_, t, p)| (t, p))
+                .collect();
+            expect.sort_by_key(|&(t, p)| (t, p)); // insertion index == payload
+            let mut got = Vec::new();
+            while let Some((t, p)) = q.pop() {
+                got.push((t.as_nanos() / 1_000_000_000, p));
+            }
+            prop_assert_eq!(got, expect);
+        }
+
+        /// A cancelled EventId never fires, no matter where in the
+        /// push/pop sequence the cancellation lands.
+        #[test]
+        fn queue_cancelled_ids_never_fire(
+            times in proptest::collection::vec(0u64..5, 2..100),
+            cancel_stride in 2usize..5,
+        ) {
+            let mut q = EventQueue::new();
+            let mut cancelled = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                let id = q.push(SimTime::from_secs(t), i);
+                if i % cancel_stride == 0 {
+                    prop_assert!(q.cancel(id), "fresh id cancels");
+                    prop_assert!(!q.cancel(id), "double-cancel is rejected");
+                    cancelled.push(i);
+                }
+            }
+            let survivors = times.len() - cancelled.len();
+            prop_assert_eq!(q.len(), survivors);
+            let mut fired = 0usize;
+            while let Some((_, p)) = q.pop() {
+                prop_assert!(!cancelled.contains(&p), "cancelled event {} fired", p);
+                fired += 1;
+            }
+            prop_assert_eq!(fired, survivors);
         }
 
         /// SimRng::below is always within range.

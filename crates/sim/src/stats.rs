@@ -34,6 +34,18 @@ pub fn harmonic_mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// `(min, max)` of a slice; `(0.0, 0.0)` for an empty slice instead of
+/// the `(inf, -inf)` a bare fold would produce. Keeps sweep/replicate
+/// summaries finite on empty grids and single-point plans.
+pub fn minmax(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (min, max)
+}
+
 /// Linear-interpolated percentile, `p` in `[0, 100]`. `0.0` for an empty slice.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
@@ -148,6 +160,13 @@ mod tests {
         assert_eq!(harmonic_mean(&[]), 0.0);
         assert!((harmonic_mean(&[1.0, 2.0, 4.0]) - 12.0 / 7.0).abs() < 1e-12);
         assert!((harmonic_mean(&[1.0, 0.0, -3.0, 2.0, 4.0]) - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_is_empty_safe() {
+        assert_eq!(minmax(&[]), (0.0, 0.0));
+        assert_eq!(minmax(&[4.0]), (4.0, 4.0));
+        assert_eq!(minmax(&[3.0, -1.0, 7.0]), (-1.0, 7.0));
     }
 
     #[test]

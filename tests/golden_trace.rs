@@ -1,9 +1,10 @@
-//! Golden-trace regression test: one fully-featured seed-77 session is
-//! pinned down to its exact trace digest and QoE numbers. Any change to
-//! the simulation's event ordering, RNG consumption, or trace encoding
-//! shows up here first.
+//! Golden-trace regression tests: one fully-featured seed-77 session
+//! and one fleet parameter sweep are pinned down to their exact digests
+//! and QoE numbers. Any change to the simulation's event ordering, RNG
+//! consumption, trace encoding, or sweep merge shows up here first.
 //!
-//! Regenerating the goldens after an *intentional* behaviour change:
+//! Regenerating ALL goldens in this file (session + sweep) after an
+//! *intentional* behaviour change is one command:
 //!
 //! ```text
 //! cargo test --test golden_trace -- --ignored --nocapture
@@ -11,9 +12,13 @@
 //!
 //! then paste the printed constants over the `GOLDEN_*` values below.
 
-use sperke_core::{RunReport, SchedulerChoice, Sperke, TraceLevel};
+use sperke_core::{
+    run_fleet_sweep, FleetConfig, FleetGrid, FleetSweepPoint, RunReport, SchedulerChoice, Sperke,
+    SweepReport, TraceLevel,
+};
 use sperke_hmp::Behavior;
 use sperke_sim::SimDuration;
+use sperke_video::VideoModelBuilder;
 
 /// The exact configuration the goldens were captured from. Must stay in
 /// lockstep with `whole_stack_is_seed_deterministic` in end_to_end.rs.
@@ -55,9 +60,45 @@ fn seed_77_matches_golden_trace() {
     assert_eq!(report.session.qoe.stall_count, GOLDEN_STALL_COUNT);
 }
 
-/// Prints fresh golden constants. Run with
-/// `cargo test --test golden_trace -- --ignored --nocapture` and paste
-/// the output over the `GOLDEN_*` constants above.
+/// The exact sweep the sweep goldens were captured from: a 2×2×1 fleet
+/// grid (egress × scheme × seed), merged from three worker threads to
+/// keep the worker-blindness of the merge under golden coverage too.
+fn golden_sweep() -> SweepReport<FleetSweepPoint> {
+    let video = VideoModelBuilder::new(29)
+        .duration(SimDuration::from_secs(6))
+        .build();
+    let grid = FleetGrid::new(FleetConfig { viewers: 3, ..Default::default() })
+        .egress_axis(vec![60e6, 200e6])
+        .scheme_axis(vec![true, false])
+        .seed_axis(vec![7]);
+    run_fleet_sweep(&video, &grid, 3)
+}
+
+const GOLDEN_SWEEP_DIGEST: u64 = 0x5a2aa78d9b54173d;
+const GOLDEN_SWEEP_POINTS: usize = 4;
+const GOLDEN_SWEEP_POINT0_DIGEST: u64 = 0x1fe86f8c537f7d15;
+
+#[test]
+fn fleet_sweep_matches_golden_digest() {
+    let report = golden_sweep();
+    assert_eq!(report.len(), GOLDEN_SWEEP_POINTS);
+    assert_eq!(
+        report.digest(),
+        GOLDEN_SWEEP_DIGEST,
+        "sweep report drifted — if the behaviour change is intentional, \
+         regenerate with `cargo test --test golden_trace -- --ignored --nocapture`"
+    );
+    assert_eq!(
+        report.points()[0].trace_digest,
+        GOLDEN_SWEEP_POINT0_DIGEST,
+        "per-point digest drifted"
+    );
+    assert!(report.panicked().is_empty(), "golden grid never panics");
+}
+
+/// Prints fresh golden constants for BOTH goldens (session and sweep).
+/// Run with `cargo test --test golden_trace -- --ignored --nocapture`
+/// and paste the output over the `GOLDEN_*` constants above.
 #[test]
 #[ignore = "regeneration helper, not a check"]
 fn regenerate_golden_constants() {
@@ -76,5 +117,12 @@ fn regenerate_golden_constants() {
     println!(
         "const GOLDEN_STALL_COUNT: u32 = {};",
         report.session.qoe.stall_count
+    );
+    let sweep = golden_sweep();
+    println!("const GOLDEN_SWEEP_DIGEST: u64 = {:#018x};", sweep.digest());
+    println!("const GOLDEN_SWEEP_POINTS: usize = {};", sweep.len());
+    println!(
+        "const GOLDEN_SWEEP_POINT0_DIGEST: u64 = {:#018x};",
+        sweep.points()[0].trace_digest
     );
 }
