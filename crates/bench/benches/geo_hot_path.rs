@@ -1,0 +1,100 @@
+//! PR4 hot-path geometry benchmarks: the visibility pipeline end to
+//! end — uncached ray casting, the allocation-free scratch API, cache
+//! hits and misses, and a realistic gaze-replay workload where the
+//! memoization actually earns its keep.
+//!
+//! `examples/perf_baseline.rs` measures the same quantities without
+//! criterion and writes `BENCH_PR4.json`; this bench is the
+//! interactive/regression view of the same hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sperke_geo::{Orientation, TileGrid, Viewport, VisibilityCache, VisibilityScratch};
+use sperke_hmp::{AttentionModel, Behavior, TraceGenerator, ViewingContext};
+use sperke_sim::{SimDuration, SimTime};
+
+fn gaze_panel(n: usize) -> Vec<Viewport> {
+    // A realistic revisit-heavy sequence: a generated head trace sampled
+    // on the same instants a player's display loop would query.
+    let trace = TraceGenerator::new(
+        AttentionModel::generic(7),
+        Behavior::Explorer,
+        ViewingContext::default(),
+    )
+    .generate(SimDuration::from_secs(20), 7);
+    // Four passes over 50 distinct instants: the revisit pattern of a
+    // session whose subsystems (display eval, crowd ingest, forecaster)
+    // each re-query the same gazes.
+    (0..n)
+        .map(|i| {
+            let t = SimTime::from_millis((i as u64 * 100) % 5_000);
+            Viewport::headset(trace.at(t))
+        })
+        .collect()
+}
+
+fn bench_visible_tiles(c: &mut Criterion) {
+    let grid = TileGrid::new(4, 6);
+    let vp = Viewport::headset(Orientation::from_degrees(37.0, 12.0, 3.0));
+
+    c.bench_function("hot/visible_tiles_uncached", |b| {
+        b.iter(|| std::hint::black_box(vp.visible_tiles(&grid, 16)))
+    });
+
+    c.bench_function("hot/visible_tiles_scratch", |b| {
+        let mut scratch = VisibilityScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            vp.visible_tiles_into(&grid, 16, &mut scratch, &mut out);
+            std::hint::black_box(out.len())
+        })
+    });
+
+    c.bench_function("hot/visible_tiles_cache_hit", |b| {
+        let cache = VisibilityCache::new(16);
+        cache.visible_tiles(&vp, &grid, 16);
+        b.iter(|| std::hint::black_box(cache.visible_tiles(&vp, &grid, 16)))
+    });
+
+    c.bench_function("hot/visible_tiles_cache_miss", |b| {
+        let cache = VisibilityCache::new(16);
+        b.iter(|| {
+            cache.clear();
+            std::hint::black_box(cache.visible_tiles(&vp, &grid, 16))
+        })
+    });
+}
+
+fn bench_gaze_replay(c: &mut Criterion) {
+    // 200 display evaluations off one head trace: the shape of a real
+    // session's visibility workload (12 Hz gaze revisits, 24 tiles).
+    let grid = TileGrid::new(4, 6);
+    let panel = gaze_panel(200);
+
+    c.bench_function("hot/gaze_replay_200_uncached", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for vp in &panel {
+                total += vp.visible_tiles(&grid, 16).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+
+    c.bench_function("hot/gaze_replay_200_cached", |b| {
+        b.iter(|| {
+            let cache = VisibilityCache::default();
+            let mut total = 0usize;
+            for vp in &panel {
+                total += cache.visible_tiles(vp, &grid, 16).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    name = geo_hot_path;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_visible_tiles, bench_gaze_replay
+);
+criterion_main!(geo_hot_path);

@@ -3,7 +3,7 @@
 //! forecaster, and the multipath scheduler.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use sperke_geo::{Orientation, TileGrid, Viewport};
+use sperke_geo::{Orientation, TileGrid, Viewport, VisibilityCache, VisibilityScratch};
 use sperke_hmp::FusedForecaster;
 use sperke_net::{
     ChunkPriority, ChunkRequest, ContentAware, MultipathScheduler, PathModel, PathQueue,
@@ -22,6 +22,35 @@ fn bench_geometry(c: &mut Criterion) {
     c.bench_function("geo/visible_tiles_16x16", |b| {
         let vp = Viewport::headset(o);
         b.iter(|| std::hint::black_box(vp.visible_tiles(&grid, 16)))
+    });
+    c.bench_function("geo/visible_tiles_16x16_scratch", |b| {
+        let vp = Viewport::headset(o);
+        let mut scratch = VisibilityScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            vp.visible_tiles_into(&grid, 16, &mut scratch, &mut out);
+            std::hint::black_box(out.len())
+        })
+    });
+    c.bench_function("geo/visible_tiles_16x16_cached_hit", |b| {
+        let vp = Viewport::headset(o);
+        let cache = VisibilityCache::new(16);
+        cache.visible_tiles(&vp, &grid, 16); // warm the single entry
+        b.iter(|| std::hint::black_box(cache.visible_tiles(&vp, &grid, 16)))
+    });
+    c.bench_function("geo/visible_tiles_16x16_cached_miss", |b| {
+        // Cache overhead on a guaranteed miss: cleared before each query.
+        let vp = Viewport::headset(o);
+        let cache = VisibilityCache::new(16);
+        b.iter(|| {
+            cache.clear();
+            std::hint::black_box(cache.visible_tiles(&vp, &grid, 16))
+        })
+    });
+    c.bench_function("geo/tile_coverage_24", |b| {
+        let vp = Viewport::headset(o);
+        let tile = grid.tile_of_direction(o.direction());
+        b.iter(|| std::hint::black_box(vp.tile_coverage(&grid, std::hint::black_box(tile), 24)))
     });
 }
 

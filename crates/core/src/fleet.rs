@@ -10,7 +10,7 @@
 //! display points in exact time order.
 
 use serde::{Deserialize, Serialize};
-use sperke_geo::Viewport;
+use sperke_geo::{Viewport, VisibilityCache};
 use sperke_hmp::{generate_ensemble, AttentionModel, FusedForecaster, HeadTrace};
 use sperke_net::{ChunkPriority, MuxLink, SpatialPriority, StreamId, TemporalPriority};
 use sperke_sim::{RunOutcome, Scheduler, SimDuration, SimTime, Simulation, World};
@@ -85,6 +85,8 @@ struct FleetWorld<'a> {
     buffers: Vec<HashMap<CellId, Quality>>,
     /// Viewer playback offsets (staggered joins).
     start_offset: Vec<SimDuration>,
+    /// Memoized exact visibility (display-point evaluation hot path).
+    vis: VisibilityCache,
     // Accounting.
     egress_bytes: u64,
     utility_acc: f64,
@@ -184,10 +186,10 @@ impl World<FleetEvent> for FleetWorld<'_> {
                     + self.video.chunk_duration() / 2;
                 let gaze = self.traces[viewer].at(video_time);
                 let visible =
-                    Viewport::headset(gaze).visible_tiles(self.video.grid(), 12);
+                    self.vis.visible_tiles(&Viewport::headset(gaze), self.video.grid(), 12);
                 let mut util = 0.0;
                 let mut blank = 0.0;
-                for &(tile, coverage) in &visible {
+                for &(tile, coverage) in visible.iter() {
                     match self.buffers[viewer].get(&CellId::new(tile, t)) {
                         Some(&q) => util += coverage * self.video.ladder().utility(q),
                         None => blank += coverage,
@@ -201,8 +203,22 @@ impl World<FleetEvent> for FleetWorld<'_> {
     }
 }
 
-/// Run the fleet experiment.
+/// Run the fleet experiment with a default per-run visibility cache.
 pub fn run_fleet(video: &VideoModel, config: &FleetConfig) -> FleetReport {
+    run_fleet_with_cache(video, config, VisibilityCache::default())
+}
+
+/// Run the fleet experiment sharing the given visibility cache.
+///
+/// The cache only memoizes exact `visible_tiles` results, so the report
+/// is bit-identical whichever cache handle is passed — including
+/// [`VisibilityCache::disabled`], which recomputes every query and
+/// serves as the uncached baseline in `perf_baseline`.
+pub fn run_fleet_with_cache(
+    video: &VideoModel,
+    config: &FleetConfig,
+    cache: VisibilityCache,
+) -> FleetReport {
     assert!(config.viewers > 0);
     let attention = AttentionModel::generic(config.seed);
     let traces = generate_ensemble(
@@ -222,6 +238,7 @@ pub fn run_fleet(video: &VideoModel, config: &FleetConfig) -> FleetReport {
         start_offset: (0..config.viewers)
             .map(|v| SimDuration::from_millis(137 * v as u64))
             .collect(),
+        vis: cache,
         egress_bytes: 0,
         utility_acc: 0.0,
         blank_acc: 0.0,
@@ -357,6 +374,15 @@ mod tests {
         let v = video();
         let cfg = FleetConfig { viewers: 6, ..Default::default() };
         assert_eq!(run_fleet(&v, &cfg), run_fleet(&v, &cfg));
+    }
+
+    #[test]
+    fn cache_choice_never_changes_the_report() {
+        let v = video();
+        let cfg = FleetConfig { viewers: 5, ..Default::default() };
+        let cached = run_fleet_with_cache(&v, &cfg, VisibilityCache::new(128));
+        let uncached = run_fleet_with_cache(&v, &cfg, VisibilityCache::disabled());
+        assert_eq!(cached, uncached);
     }
 
     #[test]

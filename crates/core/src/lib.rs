@@ -37,7 +37,7 @@ pub mod fleet;
 pub mod sweep;
 
 pub use builder::{AbrChoice, RunReport, SchedulerChoice, Sperke};
-pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use fleet::{run_fleet, run_fleet_with_cache, FleetConfig, FleetReport};
 pub use sperke_net::{FaultScript, FaultSpec, PathFaults, RecoveryPolicy};
 pub use sperke_sim::sweep::{SweepPlan, SweepReport, SweepSummary};
 pub use sperke_sim::trace::{Trace, TraceEvent, TraceLevel};

@@ -6,7 +6,8 @@
 //! * [`FleetGrid`] → [`run_fleet_sweep`]: a Table-2-style grid over the
 //!   fleet experiment — server egress (bandwidth axis) × delivery
 //!   scheme (FoV-guided vs full panorama) × seeds — each point one
-//!   deterministic [`run_fleet`] run.
+//!   deterministic [`run_fleet`](crate::fleet::run_fleet) run (through
+//!   a per-worker visibility memo).
 //! * [`Sperke::sweep`]: replicate a single-session experiment across a
 //!   seed panel, capturing each run's QoE and trace digest.
 //!
@@ -15,8 +16,9 @@
 //! changes wall-clock time, never a byte of the report.
 
 use crate::builder::Sperke;
-use crate::fleet::{run_fleet, FleetConfig, FleetReport};
+use crate::fleet::{run_fleet_with_cache, FleetConfig, FleetReport};
 use serde::{Deserialize, Serialize};
+use sperke_geo::{VisibilityCache, DEFAULT_VIS_CACHE_CAPACITY};
 use sperke_player::QoeReport;
 use sperke_sim::sweep::{run_sweep, SweepPlan, SweepReport};
 use sperke_sim::SEED_PANEL;
@@ -106,10 +108,21 @@ pub fn run_fleet_sweep(
     grid: &FleetGrid,
     threads: usize,
 ) -> SweepReport<FleetSweepPoint> {
+    // One visibility memo per worker thread, shared across that worker's
+    // points: grid points differing only in egress/scheme replay the
+    // same gaze traces, so cross-point queries hit. The cache handle is
+    // deliberately !Send (see `sperke_geo::viscache`), hence
+    // thread-local rather than shared; per-worker caches change only the
+    // hit pattern, never a result bit, so the merged report stays
+    // byte-identical for any worker count.
+    thread_local! {
+        static WORKER_VIS: VisibilityCache =
+            VisibilityCache::new(4 * DEFAULT_VIS_CACHE_CAPACITY);
+    }
     let plan = grid.plan();
     run_sweep(&plan, threads, |_index, config| FleetSweepPoint {
         config: *config,
-        report: run_fleet(video, config),
+        report: WORKER_VIS.with(|vis| run_fleet_with_cache(video, config, vis.clone())),
     })
 }
 

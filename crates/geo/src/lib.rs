@@ -27,13 +27,16 @@ pub mod sampling;
 pub mod tiling;
 pub mod vector;
 pub mod viewport;
+pub mod viscache;
 
 pub use cube_tiling::CubeTileGrid;
 pub use orientation::{Orientation, Quat};
 pub use projection::{CubeFace, CubeMap, Equirect, OffsetCubeMap, PixelBudget, Uv};
+pub use sampling::UnitDirections;
 pub use tiling::{TileGrid, TileId, TileRect};
 pub use vector::Vec3;
-pub use viewport::Viewport;
+pub use viewport::{Viewport, VisibilityScratch};
+pub use viscache::{VisCacheStats, VisibilityCache, DEFAULT_VIS_CACHE_CAPACITY};
 
 #[cfg(test)]
 mod proptests {

@@ -32,6 +32,10 @@ pub fn fibonacci_orientations(n: usize) -> Vec<Orientation> {
 
 /// The nearest direction in `candidates` to `dir` (index), by
 /// great-circle distance. Panics on empty candidates.
+///
+/// For repeated queries against the same candidate set, build a
+/// [`UnitDirections`] once instead — this one-shot form normalizes every
+/// candidate per call.
 pub fn nearest(candidates: &[Vec3], dir: Vec3) -> usize {
     assert!(!candidates.is_empty());
     let d = dir.normalized();
@@ -45,18 +49,77 @@ pub fn nearest(candidates: &[Vec3], dir: Vec3) -> usize {
     best.1
 }
 
+/// A candidate set pre-normalized for repeated nearest-direction
+/// queries: the per-candidate `normalized()` that [`nearest`] performs
+/// on every call is hoisted to construction, done exactly once.
+///
+/// Candidates from [`fibonacci_sphere`] are already unit-length (within
+/// 1e-12, asserted here), so construction is effectively a copy; the
+/// stored values are the same bits `nearest` would compute per query,
+/// which keeps query results bit-identical to the one-shot form.
+#[derive(Debug, Clone)]
+pub struct UnitDirections {
+    units: Vec<Vec3>,
+}
+
+impl UnitDirections {
+    /// Normalize `candidates` once up front. Panics on an empty set.
+    pub fn new(candidates: &[Vec3]) -> UnitDirections {
+        assert!(!candidates.is_empty());
+        debug_assert!(
+            candidates.iter().all(|c| (c.norm() - 1.0).abs() < 1e-6),
+            "candidate sets are expected to be (near-)unit directions"
+        );
+        UnitDirections { units: candidates.iter().map(|c| c.normalized()).collect() }
+    }
+
+    /// The pre-normalized directions, in candidate order.
+    pub fn as_slice(&self) -> &[Vec3] {
+        &self.units
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Never true (construction rejects empty sets).
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// The index of the candidate nearest to `dir` by great-circle
+    /// distance. Identical to [`nearest`] on the original set.
+    pub fn nearest(&self, dir: Vec3) -> usize {
+        let d = dir.normalized();
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for (i, &u) in self.units.iter().enumerate() {
+            let dot = u.dot(d);
+            if dot > best.0 {
+                best = (dot, i);
+            }
+        }
+        best.1
+    }
+}
+
 /// The maximum over the sphere of the distance to the nearest candidate
 /// (covering radius), estimated on a `steps × 2·steps` lat/long grid.
+///
+/// The candidates are normalized once up front ([`UnitDirections`])
+/// instead of once per grid point per candidate; results are
+/// bit-identical to the naive formulation.
 pub fn covering_radius(candidates: &[Vec3], steps: usize) -> f64 {
     assert!(!candidates.is_empty() && steps >= 4);
+    let units = UnitDirections::new(candidates);
     let mut worst = 0.0f64;
     for iy in 0..steps {
         let pitch = -PI / 2.0 + (iy as f64 + 0.5) / steps as f64 * PI;
         for ix in 0..(2 * steps) {
             let yaw = -PI + (ix as f64 + 0.5) / (2 * steps) as f64 * TAU;
             let dir = Orientation::new(yaw, pitch, 0.0).direction();
-            let i = nearest(candidates, dir);
-            worst = worst.max(candidates[i].normalized().angle_to(dir));
+            let i = units.nearest(dir);
+            worst = worst.max(units.as_slice()[i].angle_to(dir));
         }
     }
     worst
@@ -116,5 +179,27 @@ mod tests {
     #[should_panic]
     fn empty_candidates_rejected() {
         nearest(&[], Vec3::X);
+    }
+
+    #[test]
+    fn unit_directions_match_one_shot_nearest() {
+        let candidates = fibonacci_sphere(88);
+        let units = UnitDirections::new(&candidates);
+        assert_eq!(units.len(), 88);
+        for i in 0..40 {
+            let dir = Orientation::new(
+                -PI + TAU * (i as f64 + 0.3) / 40.0,
+                -1.3 + 2.6 * ((i * 7 % 40) as f64) / 40.0,
+                0.0,
+            )
+            .direction();
+            assert_eq!(units.nearest(dir), nearest(&candidates, dir), "query {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unit_directions_reject_empty() {
+        UnitDirections::new(&[]);
     }
 }

@@ -68,28 +68,66 @@ impl Viewport {
     /// (perspective-correct); fractions sum to 1.
     ///
     /// The returned list is ordered by decreasing coverage.
+    ///
+    /// Allocates the result and a counts buffer; steady-state callers
+    /// should prefer [`Viewport::visible_tiles_into`] (zero allocation)
+    /// or a [`crate::viscache::VisibilityCache`] (memoized).
     pub fn visible_tiles(&self, grid: &TileGrid, samples: u32) -> Vec<(TileId, f64)> {
+        let mut out = Vec::new();
+        self.visible_tiles_into(grid, samples, &mut VisibilityScratch::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Viewport::visible_tiles`]: the ray-grid
+    /// hit counts go into `scratch` (reused across calls) and the result
+    /// replaces the contents of `out`. Once `scratch` and `out` have
+    /// grown to the working size, repeated queries do zero heap
+    /// allocation.
+    ///
+    /// Per-call invariants — the orientation basis, the tangents of the
+    /// half-FoVs, and the per-row screen coordinate `sy` — are hoisted
+    /// out of the inner loop. The per-sample arithmetic is kept
+    /// operation-for-operation identical to [`Viewport::ray`] followed
+    /// by [`TileGrid::tile_of_direction`], so results are bit-identical
+    /// to the naive formulation (golden traces depend on this).
+    pub fn visible_tiles_into(
+        &self,
+        grid: &TileGrid,
+        samples: u32,
+        scratch: &mut VisibilityScratch,
+        out: &mut Vec<(TileId, f64)>,
+    ) {
         assert!(samples >= 2, "need at least a 2x2 sample grid");
-        let mut counts = vec![0u32; grid.tile_count()];
+        let counts = &mut scratch.counts;
+        counts.clear();
+        counts.resize(grid.tile_count(), 0);
         let n = samples;
+        // Hoisted invariants: `ray` recomputes these for every sample.
+        let (f, l, u) = self.orientation.basis();
+        let tan_h = (self.hfov / 2.0).tan();
+        let tan_v = (self.vfov / 2.0).tan();
         for iy in 0..n {
+            // Sample cell centres, not edges, to avoid double-counting corners.
+            let sy = (iy as f64 + 0.5) / n as f64 * 2.0 - 1.0;
+            // `u * y` is constant along a row; `(f + l*x) + u*y` keeps
+            // the addition order of `ray`.
+            let uy = u * (tan_v * sy);
             for ix in 0..n {
-                // Sample cell centres, not edges, to avoid double-counting corners.
                 let sx = (ix as f64 + 0.5) / n as f64 * 2.0 - 1.0;
-                let sy = (iy as f64 + 0.5) / n as f64 * 2.0 - 1.0;
-                let dir = self.ray(sx, sy);
+                let dir = (f + l * (tan_h * sx) + uy).normalized();
                 counts[grid.tile_of_direction(dir).index()] += 1;
             }
         }
         let total = (n * n) as f64;
-        let mut out: Vec<(TileId, f64)> = counts
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, c)| c > 0)
-            .map(|(i, c)| (TileId(i as u16), c as f64 / total))
-            .collect();
+        out.clear();
+        out.extend(
+            counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (TileId(i as u16), c as f64 / total)),
+        );
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
-        out
     }
 
     /// Just the set of visible tile ids (sorted by id), using the default
@@ -105,12 +143,52 @@ impl Viewport {
     }
 
     /// Fraction of the screen covered by `tile` (0 when off screen).
+    ///
+    /// Counts hits on the one queried tile directly instead of building
+    /// (and sorting) the full visible list just to extract a single
+    /// entry. The sampling arithmetic is identical to
+    /// [`Viewport::visible_tiles`], so the returned fraction matches it
+    /// bit for bit.
     pub fn tile_coverage(&self, grid: &TileGrid, tile: TileId, samples: u32) -> f64 {
-        self.visible_tiles(grid, samples)
-            .into_iter()
-            .find(|&(t, _)| t == tile)
-            .map(|(_, f)| f)
-            .unwrap_or(0.0)
+        assert!(samples >= 2, "need at least a 2x2 sample grid");
+        let n = samples;
+        let (f, l, u) = self.orientation.basis();
+        let tan_h = (self.hfov / 2.0).tan();
+        let tan_v = (self.vfov / 2.0).tan();
+        let mut hits = 0u32;
+        for iy in 0..n {
+            let sy = (iy as f64 + 0.5) / n as f64 * 2.0 - 1.0;
+            let uy = u * (tan_v * sy);
+            for ix in 0..n {
+                let sx = (ix as f64 + 0.5) / n as f64 * 2.0 - 1.0;
+                let dir = (f + l * (tan_h * sx) + uy).normalized();
+                if grid.tile_of_direction(dir) == tile {
+                    hits += 1;
+                }
+            }
+        }
+        if hits == 0 {
+            0.0
+        } else {
+            hits as f64 / (n * n) as f64
+        }
+    }
+}
+
+/// Reusable buffers for [`Viewport::visible_tiles_into`]: holds the
+/// per-tile ray-hit counts between queries so the steady state does no
+/// heap allocation. One scratch serves any grid shape (the buffer is
+/// resized, not reallocated, once it has reached the largest tile count
+/// seen).
+#[derive(Debug, Clone, Default)]
+pub struct VisibilityScratch {
+    counts: Vec<u32>,
+}
+
+impl VisibilityScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> VisibilityScratch {
+        VisibilityScratch::default()
     }
 }
 
@@ -203,5 +281,51 @@ mod tests {
     #[should_panic]
     fn zero_fov_rejected() {
         Viewport::new(Orientation::FRONT, 0.0, 1.0);
+    }
+
+    #[test]
+    fn scratch_api_matches_allocating_api_bitwise() {
+        let grid = TileGrid::new(4, 6);
+        let mut scratch = VisibilityScratch::new();
+        let mut out = Vec::new();
+        for (i, &(yaw, pitch, roll)) in [
+            (0.0, 0.0, 0.0),
+            (77.0, 13.0, 0.0),
+            (-130.0, -40.0, 12.0),
+            (179.0, 60.0, -25.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let vp = Viewport::headset(Orientation::from_degrees(yaw, pitch, roll));
+            let samples = 8 + 4 * i as u32;
+            vp.visible_tiles_into(&grid, samples, &mut scratch, &mut out);
+            let fresh = vp.visible_tiles(&grid, samples);
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "coverage must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_coverage_matches_visible_tiles_bitwise() {
+        let grid = TileGrid::new(4, 6);
+        let vp = Viewport::headset(Orientation::from_degrees(42.0, -17.0, 8.0));
+        let vis = vp.visible_tiles(&grid, 24);
+        for tile in grid.tiles() {
+            let direct = vp.tile_coverage(&grid, tile, 24);
+            let from_list = vis
+                .iter()
+                .find(|&&(t, _)| t == tile)
+                .map(|&(_, f)| f)
+                .unwrap_or(0.0);
+            assert_eq!(
+                direct.to_bits(),
+                from_list.to_bits(),
+                "tile {tile} coverage drifted: direct {direct} vs list {from_list}"
+            );
+        }
     }
 }

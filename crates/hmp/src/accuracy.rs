@@ -9,7 +9,7 @@ use crate::fusion::FusedForecaster;
 use crate::predictor::Predictor;
 use crate::trace::HeadTrace;
 use serde::{Deserialize, Serialize};
-use sperke_geo::{TileGrid, Viewport};
+use sperke_geo::{TileGrid, Viewport, VisibilityCache};
 use sperke_sim::stats;
 use sperke_sim::{SimDuration, SimTime};
 use sperke_video::ChunkTime;
@@ -43,6 +43,9 @@ pub fn evaluate_predictor(
     let mut errors = Vec::new();
     let mut hits = 0usize;
     let mut total = 0usize;
+    // Predictors emit recurring orientations (still gazes, grid-snapped
+    // fits), so the per-step viewport query memoizes well.
+    let vis = VisibilityCache::default();
 
     let start = SimTime::from_secs(1); // warm-up for history
     let end_f = trace.duration().as_secs_f64() - horizon.as_secs_f64();
@@ -53,7 +56,7 @@ pub fn evaluate_predictor(
         let actual = trace.at(t + horizon);
         errors.push(predicted.angular_distance(&actual).to_degrees());
 
-        let predicted_tiles = Viewport::headset(predicted).visible_tile_set(grid);
+        let predicted_tiles = vis.visible_tile_set(&Viewport::headset(predicted), grid);
         let actual_tile = grid.tile_of_direction(actual.direction());
         if predicted_tiles.contains(&actual_tile) {
             hits += 1;

@@ -35,7 +35,7 @@ pub use context::{Mobility, Pose, ViewingContext, WatchMode};
 pub use fusion::{Forecaster, FusedForecaster, FusionConfig, TileForecast};
 pub use oracle::OracleForecaster;
 pub use generate::{generate_ensemble, AttentionModel, Behavior, Hotspot, TraceGenerator};
-pub use popularity::{visible_in_window, Heatmap};
+pub use popularity::{visible_in_window, visible_in_window_cached, Heatmap};
 pub use dataset::{SessionRecord, StudyDataset, UserProfile};
 pub use engagement::{estimate_engagement, Engagement, EngagementConfig};
 pub use predictor::{

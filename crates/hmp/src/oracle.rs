@@ -8,7 +8,7 @@
 
 use crate::fusion::{Forecaster, TileForecast};
 use crate::trace::HeadTrace;
-use sperke_geo::{Orientation, TileGrid, TileId, Viewport};
+use sperke_geo::{Orientation, TileGrid, TileId, Viewport, VisibilityCache};
 use sperke_sim::{SimDuration, SimTime};
 use sperke_video::ChunkTime;
 
@@ -25,6 +25,8 @@ pub struct OracleForecaster {
     /// (the tile set is the union of viewports over the window, since a
     /// chunk is displayed for its whole duration, not an instant).
     pub window: SimDuration,
+    /// Memoized visibility (adjacent chunks revisit sample instants).
+    vis: VisibilityCache,
 }
 
 impl OracleForecaster {
@@ -35,7 +37,14 @@ impl OracleForecaster {
             trace,
             outside_probability: 0.0,
             window: SimDuration::from_secs(1),
+            vis: VisibilityCache::default(),
         }
+    }
+
+    /// Same oracle, but with `outside_probability` for out-of-sight
+    /// tiles (keeps OOS chunk selection exercised).
+    pub fn with_outside_probability(trace: HeadTrace, p: f64) -> OracleForecaster {
+        OracleForecaster { outside_probability: p, ..OracleForecaster::new(trace) }
     }
 }
 
@@ -51,7 +60,7 @@ impl Forecaster for OracleForecaster {
         let mut visible: Vec<TileId> = Vec::new();
         for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let gaze = self.trace.at(target_time + self.window.mul_f64(frac));
-            for t in Viewport::headset(gaze).visible_tile_set(grid) {
+            for t in self.vis.visible_tile_set(&Viewport::headset(gaze), grid) {
                 if !visible.contains(&t) {
                     visible.push(t);
                 }
@@ -118,11 +127,7 @@ mod tests {
     #[test]
     fn outside_probability_is_configurable() {
         let tr = HeadTrace::from_fn(SimDuration::from_secs(5), |_| Orientation::FRONT);
-        let oracle = OracleForecaster {
-            trace: tr,
-            outside_probability: 0.1,
-            window: SimDuration::from_secs(1),
-        };
+        let oracle = OracleForecaster::with_outside_probability(tr, 0.1);
         let grid = TileGrid::new(4, 6);
         let history = vec![(SimTime::ZERO, Orientation::FRONT)];
         let fc = oracle.forecast(&grid, &history, SimTime::ZERO, SimTime::from_secs(2), ChunkTime(2));

@@ -11,7 +11,7 @@
 
 use crate::trace::HeadTrace;
 use serde::{Deserialize, Serialize};
-use sperke_geo::{TileGrid, TileId, Viewport};
+use sperke_geo::{TileGrid, TileId, Viewport, VisibilityCache};
 use sperke_sim::{SimDuration, SimTime};
 use sperke_video::ChunkTime;
 
@@ -48,9 +48,14 @@ impl Heatmap {
         traces: &[HeadTrace],
     ) -> Heatmap {
         let mut map = Heatmap::empty(grid, chunk_duration, chunks);
+        // One memo across the whole ensemble: window boundaries are
+        // shared between adjacent chunks and hotspots make viewers
+        // revisit the same gazes, so the build is hit-heavy.
+        let vis = VisibilityCache::default();
         for trace in traces {
             for t in 0..chunks {
-                let tiles = visible_in_window(grid, chunk_duration, ChunkTime(t), trace);
+                let tiles =
+                    visible_in_window_cached(grid, chunk_duration, ChunkTime(t), trace, &vis);
                 map.record(ChunkTime(t), &tiles);
             }
         }
@@ -163,12 +168,25 @@ pub fn visible_in_window(
     t: ChunkTime,
     trace: &HeadTrace,
 ) -> Vec<TileId> {
+    visible_in_window_cached(grid, chunk_duration, t, trace, &VisibilityCache::disabled())
+}
+
+/// [`visible_in_window`] through a visibility memo. Results are
+/// bit-identical whichever cache handle is passed; callers that sweep
+/// many chunks or traces should share one cache across calls.
+pub fn visible_in_window_cached(
+    grid: TileGrid,
+    chunk_duration: SimDuration,
+    t: ChunkTime,
+    trace: &HeadTrace,
+    vis: &VisibilityCache,
+) -> Vec<TileId> {
     let start = SimTime::ZERO + chunk_duration * t.0 as u64;
     let mut tiles = Vec::new();
     for frac in [0.0, 0.5, 1.0] {
         let at = start + chunk_duration.mul_f64(frac);
         let vp = Viewport::headset(trace.at(at));
-        for tile in vp.visible_tile_set(&grid) {
+        for tile in vis.visible_tile_set(&vp, &grid) {
             if !tiles.contains(&tile) {
                 tiles.push(tile);
             }

@@ -14,7 +14,7 @@
 //! `v + L_hi` — by which point the crowd's gaze at `v` is long known.
 
 use serde::{Deserialize, Serialize};
-use sperke_geo::{TileGrid, TileId, Viewport};
+use sperke_geo::{TileGrid, TileId, Viewport, VisibilityCache};
 use sperke_hmp::{FusedForecaster, HeadTrace, Heatmap};
 use sperke_sim::{SimDuration, SimTime};
 use sperke_video::ChunkTime;
@@ -41,6 +41,8 @@ pub struct CrowdAggregator {
     reports: Vec<(SimTime, ChunkTime, Vec<TileId>)>,
     /// Extra delay for a gaze report to reach the server.
     pub report_delay: SimDuration,
+    /// Memoized visibility for ingest (many viewers share gazes).
+    vis: VisibilityCache,
 }
 
 impl CrowdAggregator {
@@ -51,6 +53,7 @@ impl CrowdAggregator {
             chunk_duration,
             reports: Vec::new(),
             report_delay: SimDuration::from_millis(200),
+            vis: VisibilityCache::default(),
         }
     }
 
@@ -62,7 +65,7 @@ impl CrowdAggregator {
             // their gaze report reaches the server report_delay later.
             let wall = video_time + viewer.latency + self.report_delay;
             let gaze = viewer.trace.at(video_time + self.chunk_duration / 2);
-            let tiles = Viewport::headset(gaze).visible_tile_set(&self.grid);
+            let tiles = self.vis.visible_tile_set(&Viewport::headset(gaze), &self.grid);
             self.reports.push((wall, ChunkTime(c), tiles));
         }
     }

@@ -84,6 +84,9 @@ pub fn run_fov_live(
     let mut blank_acc = 0.0;
     let mut util_acc = 0.0;
     let mut evaluated = 0u32;
+    // Display-point visibility memo; the gaze sequence revisits
+    // orientations, and a hit is bit-identical to recomputation.
+    let vis = sperke_geo::VisibilityCache::default();
 
     for c in 1..chunks {
         let t = ChunkTime(c);
@@ -125,10 +128,10 @@ pub fn run_fov_live(
         // Display: viewport at the chunk's midpoint.
         let gaze = viewer.trace.at(video_time + cd / 2);
         let visible =
-            sperke_geo::Viewport::headset(gaze).visible_tiles(video.grid(), 16);
+            vis.visible_tiles(&sperke_geo::Viewport::headset(gaze), video.grid(), 16);
         let mut blank = 0.0;
         let mut util = 0.0;
-        for &(tile, coverage) in &visible {
+        for &(tile, coverage) in visible.iter() {
             match buffered.get(&CellId::new(tile, t)) {
                 Some(&q) => util += coverage * video.ladder().utility(q),
                 None => blank += coverage,

@@ -13,7 +13,7 @@ use crate::cache::{DecodedFrameCache, FrameKey};
 use crate::device::{DeviceProfile, SourceVideo};
 use crate::scheduler::DecoderPool;
 use serde::{Deserialize, Serialize};
-use sperke_geo::{TileGrid, TileId, Viewport};
+use sperke_geo::{TileGrid, TileId, Viewport, VisibilityCache};
 use sperke_hmp::HeadTrace;
 use sperke_sim::trace::{TraceEvent, TraceSink};
 use sperke_sim::{SimDuration, SimTime};
@@ -115,6 +115,9 @@ pub fn simulate_render_traced(
     };
     let mut pool = DecoderPool::new(decoders);
     let mut cache = DecodedFrameCache::new(cache_capacity);
+    // The render and prefetch passes query the same orientation every
+    // frame, so the visibility memo hits on the second query onward.
+    let vis = VisibilityCache::default();
     let decode_time = device.decode_time(video.tile_mp(grid.tile_count()));
     let frame_period = SimDuration::from_secs_f64(1.0 / video.fps);
 
@@ -134,7 +137,9 @@ pub fn simulate_render_traced(
         let orientation = trace.at(now);
         let needed: Vec<TileId> = match mode {
             RenderMode::UnoptimizedAll | RenderMode::OptimizedAll => grid.tiles().collect(),
-            RenderMode::OptimizedFov => Viewport::headset(orientation).visible_tile_set(grid),
+            RenderMode::OptimizedFov => {
+                vis.visible_tile_set(&Viewport::headset(orientation), grid)
+            }
         };
 
         // Decode whatever the current frame still misses; even cached
@@ -179,7 +184,7 @@ pub fn simulate_render_traced(
                 // from re-checks every rendered frame).
                 let prefetch_tiles: Vec<TileId> = match mode {
                     RenderMode::OptimizedFov => {
-                        Viewport::headset(orientation).visible_tile_set(grid)
+                        vis.visible_tile_set(&Viewport::headset(orientation), grid)
                     }
                     _ => grid.tiles().collect(),
                 };
@@ -225,10 +230,13 @@ pub fn simulate_render_traced(
     let elapsed = now.saturating_since(SimTime::ZERO);
     if sink.is_enabled() {
         let stats = cache.stats();
+        let vstats = vis.stats();
         sink.metrics(|m| {
             m.counter("pipeline.frames").add(frames);
             m.counter("pipeline.cache_hits").add(stats.hits);
             m.counter("pipeline.cache_misses").add(stats.misses);
+            m.counter("vis_cache_hit").add(vstats.hits);
+            m.counter("vis_cache_miss").add(vstats.misses);
             m.histogram("pipeline.fps").record(frames as f64 / elapsed.as_secs_f64());
         });
     }

@@ -11,6 +11,7 @@
 use crate::buffer::CellBuffer;
 use crate::events::{EventLog, PlayerEvent};
 use crate::qoe::{ChunkRecord, QoeReport, QoeWeights};
+use sperke_geo::VisibilityCache;
 use sperke_hmp::{Forecaster, HeadTrace};
 use sperke_net::{
     BandwidthEstimator, ChunkPriority, ChunkRequest, Completion, EstimatorKind,
@@ -75,6 +76,12 @@ pub struct PlayerConfig {
     /// network layer, the bandwidth estimator and the VRA planner all
     /// emit into it). Disabled by default; emission is then a no-op.
     pub trace: TraceSink,
+    /// Memoized tile-visibility queries for the display-evaluation hot
+    /// path. Cached results are bit-identical to recomputation, so this
+    /// never changes a session's outcome — only its speed. Clones of
+    /// the config share one cache (`Rc` handle); sweeps build their
+    /// configs per worker thread, keeping caches per-thread.
+    pub vis_cache: VisibilityCache,
 }
 
 impl Default for PlayerConfig {
@@ -92,6 +99,7 @@ impl Default for PlayerConfig {
             resilience: None,
             fallback_enabled: false,
             trace: TraceSink::disabled(),
+            vis_cache: VisibilityCache::default(),
         }
     }
 }
@@ -163,6 +171,9 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
 ) -> SessionResult {
     let cd = video.chunk_duration();
     let sink = config.trace.clone();
+    // The cache may be shared across runs (config clones share the Rc
+    // handle); snapshot so this session reports only its own traffic.
+    let vis_stats_at_start = config.vis_cache.stats();
     let mut net = MultipathSession::new(paths, scheduler);
     net.set_trace(sink.clone());
     let mut estimator = BandwidthEstimator::new(config.estimator);
@@ -550,12 +561,12 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
         let gaze_trace_time = display_time.saturating_since(ps) + cd / 2;
         let gaze = trace.at(SimTime::ZERO + gaze_trace_time);
         let viewport = sperke_geo::Viewport::headset(gaze);
-        let visible = viewport.visible_tiles(video.grid(), 16);
+        let visible = config.vis_cache.visible_tiles(&viewport, video.grid(), 16);
         let mut utility = 0.0;
         let mut blank = 0.0;
         let mut degraded = 0.0;
         let mut useful_bytes = 0u64;
-        for &(tile, coverage) in &visible {
+        for &(tile, coverage) in visible.iter() {
             let cell = CellId::new(tile, t);
             match buffer.get(cell) {
                 Some(bc) => {
@@ -630,6 +641,14 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
     // Release the network layer's still-deferred trace events (transfers
     // resolving after the last submission).
     net.finish_trace();
+
+    if sink.is_enabled() {
+        let vis = config.vis_cache.stats();
+        sink.metrics(|m| {
+            m.counter("vis_cache_hit").add(vis.hits - vis_stats_at_start.hits);
+            m.counter("vis_cache_miss").add(vis.misses - vis_stats_at_start.misses);
+        });
+    }
 
     let qoe = QoeReport::from_records(&records, startup_delay, &config.weights);
     let path_bytes = net.paths().iter().map(|p| p.bytes_delivered).collect();

@@ -1,0 +1,111 @@
+//! PR4 tracked perf baseline: measures the visibility hot path with and
+//! without the memo cache, fleet-step throughput, and parallel-sweep
+//! throughput, then writes the numbers to `BENCH_PR4.json`.
+//!
+//! ```sh
+//! cargo run --release --example perf_baseline
+//! ```
+//!
+//! The run hard-fails (non-zero exit) if a cache hit is not at least
+//! 3× faster than an uncached query, or if the cached and uncached
+//! fleet runs disagree — so CI can use it as a perf smoke test.
+
+use sperke_core::{run_fleet_sweep, run_fleet_with_cache, FleetConfig, FleetGrid};
+use sperke_geo::{Orientation, TileGrid, Viewport, VisibilityCache};
+use sperke_sim::SimDuration;
+use sperke_video::VideoModelBuilder;
+use std::time::Instant;
+
+/// Median of per-op nanoseconds over `rounds` timed batches of `batch`
+/// calls each.
+fn median_ns(rounds: usize, batch: u32, mut op: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let grid = TileGrid::new(4, 6);
+    let vp = Viewport::headset(Orientation::from_degrees(37.0, 12.0, 3.0));
+
+    // --- Micro: one visible_tiles query, uncached vs cache hit. ---
+    let uncached_ns = median_ns(31, 200, || {
+        std::hint::black_box(vp.visible_tiles(&grid, 16));
+    });
+    let cache = VisibilityCache::new(16);
+    cache.visible_tiles(&vp, &grid, 16); // warm the entry
+    let cached_ns = median_ns(31, 200, || {
+        std::hint::black_box(cache.visible_tiles(&vp, &grid, 16));
+    });
+    let speedup = uncached_ns / cached_ns;
+    println!("visible_tiles(4x6, 16 samples)");
+    println!("  uncached : {uncached_ns:>10.1} ns/op");
+    println!("  cache hit: {cached_ns:>10.1} ns/op   ({speedup:.1}x)");
+
+    // --- Fleet-step throughput: whole experiment, cache off vs on. ---
+    let video = VideoModelBuilder::new(29)
+        .duration(SimDuration::from_secs(6))
+        .build();
+    let config = FleetConfig { viewers: 8, ..Default::default() };
+    let time_fleet = |cache: fn() -> VisibilityCache| {
+        // Warm-up run, then median of three timed runs.
+        let report = run_fleet_with_cache(&video, &config, cache());
+        let mut secs: Vec<f64> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(run_fleet_with_cache(&video, &config, cache()));
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (report, secs[1])
+    };
+    let (report_off, fleet_off_s) = time_fleet(VisibilityCache::disabled);
+    let (report_on, fleet_on_s) = time_fleet(VisibilityCache::default);
+    assert_eq!(report_off, report_on, "cache must not change the fleet report");
+    let steps = config.viewers as f64 * video.chunk_count() as f64;
+    let fleet_gain_pct = (fleet_off_s / fleet_on_s - 1.0) * 100.0;
+    println!("fleet step throughput ({} viewers x {} chunks)", config.viewers, video.chunk_count());
+    println!("  uncached : {:>10.0} steps/s", steps / fleet_off_s);
+    println!("  cached   : {:>10.0} steps/s   ({fleet_gain_pct:+.1}%)", steps / fleet_on_s);
+
+    // --- Sweep throughput: the PR3 harness over the PR4 hot path. ---
+    let sweep_grid = FleetGrid::new(FleetConfig { viewers: 3, ..Default::default() })
+        .egress_axis(vec![60e6, 200e6])
+        .scheme_axis(vec![true, false]);
+    let points = sweep_grid.points().len() as f64;
+    let start = Instant::now();
+    let sweep = run_fleet_sweep(&video, &sweep_grid, 0);
+    let sweep_s = start.elapsed().as_secs_f64();
+    assert_eq!(sweep.len(), points as usize);
+    println!("fleet sweep   : {:>10.1} points/s ({points} points)", points / sweep_s);
+
+    // --- Persist. ---
+    let json = format!(
+        "{{\n  \"visible_tiles_uncached_ns\": {uncached_ns:.1},\n  \
+         \"visible_tiles_cached_ns\": {cached_ns:.1},\n  \
+         \"cached_speedup\": {speedup:.1},\n  \
+         \"fleet_uncached_steps_per_s\": {:.0},\n  \
+         \"fleet_cached_steps_per_s\": {:.0},\n  \
+         \"fleet_throughput_gain_pct\": {fleet_gain_pct:.1},\n  \
+         \"sweep_points_per_s\": {:.1}\n}}\n",
+        steps / fleet_off_s,
+        steps / fleet_on_s,
+        points / sweep_s,
+    );
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    println!("\nwrote BENCH_PR4.json");
+
+    assert!(
+        speedup >= 3.0,
+        "perf smoke: cache hit must be at least 3x an uncached query, got {speedup:.1}x"
+    );
+}

@@ -1,0 +1,154 @@
+//! Property tests for the PR4 visibility cache and the allocation-free
+//! geometry APIs: over random orientations, grid shapes and sampling
+//! densities, every cached / scratch / direct formulation must agree
+//! **bitwise** — the golden trace digests depend on it.
+
+use proptest::prelude::*;
+use sperke_geo::{
+    Orientation, TileGrid, Viewport, VisibilityCache, VisibilityScratch,
+};
+use std::f64::consts::PI;
+
+fn bits(tiles: &[(sperke_geo::TileId, f64)]) -> Vec<(u16, u64)> {
+    tiles.iter().map(|&(t, f)| (t.0, f.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cache hit is bit-identical to a fresh uncached computation, for
+    /// any orientation, grid shape and sampling density.
+    #[test]
+    fn cached_matches_uncached_bitwise(
+        yaw in -PI..PI,
+        pitch in -1.4f64..1.4,
+        roll in -0.5f64..0.5,
+        rows in 1u16..8,
+        cols in 1u16..12,
+        samples in 4u32..24,
+    ) {
+        let grid = TileGrid::new(rows, cols);
+        let vp = Viewport::headset(Orientation::new(yaw, pitch, roll));
+        let cache = VisibilityCache::new(8);
+        let uncached = vp.visible_tiles(&grid, samples);
+        let miss = cache.visible_tiles(&vp, &grid, samples);
+        let hit = cache.visible_tiles(&vp, &grid, samples);
+        prop_assert_eq!(bits(&uncached), bits(&miss));
+        prop_assert_eq!(bits(&miss), bits(&hit));
+        let s = cache.stats();
+        prop_assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    /// LRU eviction under a tiny capacity never changes any result:
+    /// recomputation after eviction produces the same bits the first
+    /// computation did, across an arbitrary revisit-heavy query schedule.
+    #[test]
+    fn lru_eviction_never_changes_results(
+        gazes in proptest::collection::vec((-PI..PI, -1.2f64..1.2), 4..16),
+        schedule in proptest::collection::vec(0usize..16, 8..64),
+        capacity in 1usize..4,
+    ) {
+        let grid = TileGrid::new(4, 6);
+        let views: Vec<Viewport> = gazes
+            .iter()
+            .map(|&(y, p)| Viewport::headset(Orientation::new(y, p, 0.0)))
+            .collect();
+        // Ground truth, computed once, uncached.
+        let truth: Vec<Vec<(u16, u64)>> =
+            views.iter().map(|v| bits(&v.visible_tiles(&grid, 12))).collect();
+        let cache = VisibilityCache::new(capacity);
+        for &pick in &schedule {
+            let i = pick % views.len();
+            let got = cache.visible_tiles(&views[i], &grid, 12);
+            prop_assert_eq!(&bits(&got), &truth[i], "query {} drifted", i);
+        }
+        let s = cache.stats();
+        prop_assert!(s.len <= capacity, "LRU bound violated: {} > {}", s.len, capacity);
+        prop_assert_eq!(s.hits + s.misses, schedule.len() as u64);
+    }
+
+    /// The scratch (allocation-free) API is bit-identical to the
+    /// allocating API, including when the scratch buffer is reused
+    /// across grids of different shapes.
+    #[test]
+    fn scratch_reuse_across_shapes_is_bitwise_identical(
+        yaw in -PI..PI,
+        pitch in -1.4f64..1.4,
+        rows_a in 1u16..8, cols_a in 1u16..12,
+        rows_b in 1u16..8, cols_b in 1u16..12,
+    ) {
+        let vp = Viewport::headset(Orientation::new(yaw, pitch, 0.0));
+        let mut scratch = VisibilityScratch::new();
+        let mut out = Vec::new();
+        for (rows, cols) in [(rows_a, cols_a), (rows_b, cols_b)] {
+            let grid = TileGrid::new(rows, cols);
+            vp.visible_tiles_into(&grid, 16, &mut scratch, &mut out);
+            prop_assert_eq!(bits(&out), bits(&vp.visible_tiles(&grid, 16)));
+        }
+    }
+
+    /// The direct single-tile `tile_coverage` equals the fraction the
+    /// full sorted `visible_tiles` list reports for that tile (or zero
+    /// when absent), bitwise.
+    #[test]
+    fn tile_coverage_agrees_with_full_list(
+        yaw in -PI..PI,
+        pitch in -1.4f64..1.4,
+        rows in 1u16..8,
+        cols in 1u16..12,
+        tile_pick in 0usize..96,
+        samples in 4u32..24,
+    ) {
+        let grid = TileGrid::new(rows, cols);
+        let vp = Viewport::headset(Orientation::new(yaw, pitch, 0.0));
+        let tile = sperke_geo::TileId((tile_pick % grid.tile_count()) as u16);
+        let full = vp.visible_tiles(&grid, samples);
+        let expected = full
+            .iter()
+            .find(|&&(t, _)| t == tile)
+            .map(|&(_, f)| f)
+            .unwrap_or(0.0);
+        let direct = vp.tile_coverage(&grid, tile, samples);
+        prop_assert_eq!(direct.to_bits(), expected.to_bits());
+    }
+
+    /// The pre-normalized candidate set answers nearest-direction
+    /// queries identically to the one-shot form.
+    #[test]
+    fn unit_directions_match_one_shot(
+        n in 2usize..96,
+        yaw in -PI..PI,
+        pitch in -1.5f64..1.5,
+    ) {
+        let candidates = sperke_geo::sampling::fibonacci_sphere(n);
+        let units = sperke_geo::UnitDirections::new(&candidates);
+        let dir = Orientation::new(yaw, pitch, 0.0).direction();
+        prop_assert_eq!(
+            units.nearest(dir),
+            sperke_geo::sampling::nearest(&candidates, dir)
+        );
+    }
+}
+
+/// A disabled cache and an enabled cache drive the exact same call path
+/// to the exact same bits — the uncached-baseline contract the
+/// perf-baseline comparison rests on.
+#[test]
+fn disabled_and_enabled_handles_agree() {
+    let grid = TileGrid::new(4, 6);
+    let on = VisibilityCache::new(32);
+    let off = VisibilityCache::disabled();
+    for i in 0..40 {
+        let vp = Viewport::headset(Orientation::from_degrees(
+            -180.0 + 9.0 * i as f64,
+            -60.0 + 3.0 * i as f64,
+            0.0,
+        ));
+        let a = on.visible_tiles(&vp, &grid, 16);
+        let b = off.visible_tiles(&vp, &grid, 16);
+        assert_eq!(bits(&a), bits(&b), "gaze {i}");
+        assert_eq!(on.visible_tile_set(&vp, &grid), off.visible_tile_set(&vp, &grid));
+    }
+    assert_eq!(off.stats().misses, 0, "disabled handle counts nothing");
+    assert!(on.stats().misses > 0);
+}
