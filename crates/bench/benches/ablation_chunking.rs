@@ -26,7 +26,10 @@ fn inflated_ladder(factor: f64) -> Ladder {
 }
 
 fn main() {
-    header("ablation", "chunk duration: keyframe overhead vs HMP adaptiveness");
+    header(
+        "ablation",
+        "chunk duration: keyframe overhead vs HMP adaptiveness",
+    );
     let seg = SegmenterModel::default();
     cols(
         "chunk duration",

@@ -12,7 +12,10 @@ use sperke_vra::{OosConfig, SperkeConfig};
 
 fn run(behavior: Behavior, oos: OosConfig) -> sperke_player::QoeReport {
     let player = PlayerConfig {
-        planner: PlannerKind::Sperke(SperkeConfig { oos, ..Default::default() }),
+        planner: PlannerKind::Sperke(SperkeConfig {
+            oos,
+            ..Default::default()
+        }),
         ..Default::default()
     };
     Sperke::builder(67)
@@ -31,21 +34,44 @@ fn main() {
         &["MB", "blank%", "wasteFrac", "score"],
     );
     let policies = [
-        ("none (min_p=1.0)", OosConfig { min_probability: 1.1, ..Default::default() }),
-        ("slim (min_p=0.35)", OosConfig { min_probability: 0.35, ..Default::default() }),
+        (
+            "none (min_p=1.0)",
+            OosConfig {
+                min_probability: 1.1,
+                ..Default::default()
+            },
+        ),
+        (
+            "slim (min_p=0.35)",
+            OosConfig {
+                min_probability: 0.35,
+                ..Default::default()
+            },
+        ),
         ("default (min_p=0.05)", OosConfig::default()),
         (
             "compensated 2x",
-            OosConfig { min_probability: 0.05, accuracy_compensation: 2.0, ..Default::default() },
+            OosConfig {
+                min_probability: 0.05,
+                accuracy_compensation: 2.0,
+                ..Default::default()
+            },
         ),
         (
             "deep band (2 levels)",
-            OosConfig { min_probability: 0.05, max_levels_below_fov: 2, ..Default::default() },
+            OosConfig {
+                min_probability: 0.05,
+                max_levels_below_fov: 2,
+                ..Default::default()
+            },
         ),
     ];
     let mut blank_none = [0.0f64; 2];
     let mut blank_default = [0.0f64; 2];
-    for (bi, behavior) in [Behavior::Still, Behavior::Explorer].into_iter().enumerate() {
+    for (bi, behavior) in [Behavior::Still, Behavior::Explorer]
+        .into_iter()
+        .enumerate()
+    {
         for (name, oos) in &policies {
             let q = run(behavior, *oos);
             row(

@@ -11,7 +11,10 @@ use sperke_pipeline::{
 use sperke_sim::SimDuration;
 
 fn main() {
-    header("E12 / §3.5 ablation", "decoder parallelism and frame-cache ablations");
+    header(
+        "E12 / §3.5 ablation",
+        "decoder parallelism and frame-cache ablations",
+    );
     let grid = TileGrid::sperke_prototype();
     let video = SourceVideo::two_k();
     let trace = HeadTrace::from_fn(SimDuration::from_secs(12), |t| {
@@ -20,7 +23,10 @@ fn main() {
     let duration = SimDuration::from_secs(8);
 
     // --- Decoder sweep (optimized-all mode).
-    cols("decoders (all tiles, cached)", &["fps", "decUtil", "stall_s"]);
+    cols(
+        "decoders (all tiles, cached)",
+        &["fps", "decUtil", "stall_s"],
+    );
     let mut fps_curve = Vec::new();
     for &n in &[1usize, 2, 4, 8, 16] {
         let device = DeviceProfile::galaxy_s7().with_decoders(n);
@@ -53,7 +59,10 @@ fn main() {
             &grid,
             &trace,
             RenderMode::OptimizedFov,
-            &PipelineConfig { cache_capacity: cap, ..Default::default() },
+            &PipelineConfig {
+                cache_capacity: cap,
+                ..Default::default()
+            },
             duration,
         );
         row(&format!("{cap}"), &[s.fps, s.cache_hit_rate]);
@@ -80,7 +89,10 @@ fn main() {
     // --- Energy per Figure-5 configuration (§3.5's "limited
     // computation and energy resources").
     println!();
-    cols("mode energy (10 MB downloaded)", &["watts", "battHrs", "J/frame"]);
+    cols(
+        "mode energy (10 MB downloaded)",
+        &["watts", "battHrs", "J/frame"],
+    );
     let eprofile = EnergyProfile::galaxy_s7();
     for mode in RenderMode::ALL {
         let s = simulate_render(
@@ -92,7 +104,15 @@ fn main() {
             &PipelineConfig::default(),
             duration,
         );
-        let e = energy_of_mode(&eprofile, &s, mode, grid.tile_count(), 4, video.fps, 10_000_000);
+        let e = energy_of_mode(
+            &eprofile,
+            &s,
+            mode,
+            grid.tile_count(),
+            4,
+            video.fps,
+            10_000_000,
+        );
         row(
             mode.label(),
             &[e.mean_watts, e.battery_hours, e.total_j / s.frames as f64],
@@ -101,7 +121,10 @@ fn main() {
     note("FoV-only rendering also wins on energy: fewer tiles decoded and drawn");
     note("per second at a higher frame rate.");
 
-    assert!(fps_curve[3] > fps_curve[0] * 1.5, "parallelism must pay off");
+    assert!(
+        fps_curve[3] > fps_curve[0] * 1.5,
+        "parallelism must pay off"
+    );
     assert!(
         (fps_curve[4] - fps_curve[3]).abs() < fps_curve[3] * 0.2,
         "beyond 8 decoders the render loop binds"

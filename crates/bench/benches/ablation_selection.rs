@@ -9,9 +9,17 @@ use sperke_player::{PlannerKind, PlayerConfig};
 use sperke_sim::SimDuration;
 use sperke_vra::{SelectionPolicy, SperkeConfig};
 
-fn run(selection: SelectionPolicy, behavior: Behavior, bw: f64, crowd: usize) -> sperke_player::QoeReport {
+fn run(
+    selection: SelectionPolicy,
+    behavior: Behavior,
+    bw: f64,
+    crowd: usize,
+) -> sperke_player::QoeReport {
     let player = PlayerConfig {
-        planner: PlannerKind::Sperke(SperkeConfig { selection, ..Default::default() }),
+        planner: PlannerKind::Sperke(SperkeConfig {
+            selection,
+            ..Default::default()
+        }),
         ..Default::default()
     };
     let mut b = Sperke::builder(47)
@@ -26,14 +34,22 @@ fn run(selection: SelectionPolicy, behavior: Behavior, bw: f64, crowd: usize) ->
 }
 
 fn main() {
-    header("ablation", "banded FoV/OOS selection vs stochastic knapsack (§3.2)");
+    header(
+        "ablation",
+        "banded FoV/OOS selection vs stochastic knapsack (§3.2)",
+    );
     cols(
         "behavior / bw / policy",
         &["vpUtil", "blank%", "wasteFrac", "score"],
     );
     let policies = [
         ("banded", SelectionPolicy::Banded),
-        ("knapsack", SelectionPolicy::Stochastic { min_probability: 0.05 }),
+        (
+            "knapsack",
+            SelectionPolicy::Stochastic {
+                min_probability: 0.05,
+            },
+        ),
     ];
     let mut pairs = Vec::new();
     for behavior in [Behavior::Focused, Behavior::Explorer] {

@@ -14,7 +14,10 @@ use sperke_vra::{EncodingPolicy, SperkeConfig};
 
 fn run(overhead: f64, enc: EncodingPolicy, behavior: Behavior) -> QoeReport {
     let player = PlayerConfig {
-        planner: PlannerKind::Sperke(SperkeConfig { encoding: enc, ..Default::default() }),
+        planner: PlannerKind::Sperke(SperkeConfig {
+            encoding: enc,
+            ..Default::default()
+        }),
         ..Default::default()
     };
     Sperke::builder(41)
@@ -31,15 +34,28 @@ fn main() {
     header("E11 / §3.1 ablation", "encoding policy x SVC overhead");
 
     // --- Policy comparison at the canonical 10 % overhead.
-    cols("behavior / encoding @10%", &["MBfetched", "wasteFrac", "vpUtil", "score"]);
+    cols(
+        "behavior / encoding @10%",
+        &["MBfetched", "wasteFrac", "vpUtil", "score"],
+    );
     let mut still_avc_mb = 0.0;
     let mut still_svc_mb = 0.0;
     for behavior in [Behavior::Still, Behavior::Explorer] {
         for (name, enc) in [
             ("avc-only", EncodingPolicy::AvcOnly),
             ("svc-only", EncodingPolicy::SvcOnly),
-            ("hybrid(0.85)", EncodingPolicy::Hybrid { svc_when_uncertain_below: 0.85 }),
-            ("hybrid(0.5)", EncodingPolicy::Hybrid { svc_when_uncertain_below: 0.5 }),
+            (
+                "hybrid(0.85)",
+                EncodingPolicy::Hybrid {
+                    svc_when_uncertain_below: 0.85,
+                },
+            ),
+            (
+                "hybrid(0.5)",
+                EncodingPolicy::Hybrid {
+                    svc_when_uncertain_below: 0.5,
+                },
+            ),
         ] {
             let q = run(0.10, enc, behavior);
             row(
@@ -62,12 +78,17 @@ fn main() {
 
     // --- Overhead sweep for SVC-only vs hybrid (Explorer).
     println!();
-    cols("SVC overhead (explorer)", &["svcMB", "hybridMB", "svcScore", "hybScore"]);
+    cols(
+        "SVC overhead (explorer)",
+        &["svcMB", "hybridMB", "svcScore", "hybScore"],
+    );
     for &ov in &[0.0f64, 0.05, 0.10, 0.20, 0.30] {
         let svc = run(ov, EncodingPolicy::SvcOnly, Behavior::Explorer);
         let hyb = run(
             ov,
-            EncodingPolicy::Hybrid { svc_when_uncertain_below: 0.85 },
+            EncodingPolicy::Hybrid {
+                svc_when_uncertain_below: 0.85,
+            },
             Behavior::Explorer,
         );
         row(
@@ -84,7 +105,10 @@ fn main() {
     note("curve by fetching confident cells as AVC; for a Still viewer AVC-only");
     note("fetches the fewest bytes (upgrades never pay for the overhead).");
 
-    assert!(still_avc_mb <= still_svc_mb, "still viewer: AVC must not fetch more");
+    assert!(
+        still_avc_mb <= still_svc_mb,
+        "still viewer: AVC must not fetch more"
+    );
     let svc_00 = run(0.0, EncodingPolicy::SvcOnly, Behavior::Explorer).bytes_fetched;
     let svc_30 = run(0.30, EncodingPolicy::SvcOnly, Behavior::Explorer).bytes_fetched;
     assert!(svc_30 > svc_00, "overhead must cost bytes");

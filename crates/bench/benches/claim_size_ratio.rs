@@ -6,7 +6,10 @@ use sperke_bench::{cols, header, note, row};
 use sperke_geo::PixelBudget;
 
 fn main() {
-    header("E9 / §1 claim", "panorama vs conventional video size at matched perceived quality");
+    header(
+        "E9 / §1 claim",
+        "panorama vs conventional video size at matched perceived quality",
+    );
     cols("viewport", &["ratio", "paper"]);
     let mut headset_ratio = 0.0;
     let mut all = Vec::new();

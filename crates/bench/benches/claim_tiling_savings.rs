@@ -14,7 +14,10 @@ use sperke_video::{Quality, VideoModelBuilder};
 use sperke_vra::{FixedQuality, OosConfig, SperkeConfig};
 
 fn main() {
-    header("E4 / §2 claim", "bandwidth savings of tiling vs FoV-agnostic (matched quality)");
+    header(
+        "E4 / §2 claim",
+        "bandwidth savings of tiling vs FoV-agnostic (matched quality)",
+    );
     cols(
         "grid / oos margin",
         &["guidedMB", "agnosMB", "saving%", "blank%"],
@@ -66,12 +69,15 @@ fn main() {
             )
         };
         let guided = run(PlannerKind::Sperke(SperkeConfig {
-            oos: OosConfig { min_probability: min_prob, ..Default::default() },
+            oos: OosConfig {
+                min_probability: min_prob,
+                ..Default::default()
+            },
             ..Default::default()
         }));
         let agnostic = run(PlannerKind::FovAgnostic);
-        let saving = 100.0
-            * (1.0 - guided.qoe.bytes_fetched as f64 / agnostic.qoe.bytes_fetched as f64);
+        let saving =
+            100.0 * (1.0 - guided.qoe.bytes_fetched as f64 / agnostic.qoe.bytes_fetched as f64);
         row(
             label,
             &[

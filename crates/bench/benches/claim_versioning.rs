@@ -60,6 +60,9 @@ fn main() {
     let o = Orientation::from_degrees(33.0, -12.0, 0.0);
     let v = store.best_version(&o);
     assert!(store.in_hq_region(v, o.direction()));
-    assert!(oculus_ratio > 5.0, "88 versions must dwarf tiling, got {oculus_ratio:.1}x");
+    assert!(
+        oculus_ratio > 5.0,
+        "88 versions must dwarf tiling, got {oculus_ratio:.1}x"
+    );
     println!("shape check: PASS");
 }

@@ -20,7 +20,10 @@ fn main() {
 
     // --- Part 1: the byte accounting of one cell.
     let sizes = CellSizes::new(vec![125_000, 250_000, 500_000, 1_000_000], 0.10);
-    cols("upgrade (have -> want)", &["avcCost", "svcCost", "avcWaste", "svcWaste"]);
+    cols(
+        "upgrade (have -> want)",
+        &["avcCost", "svcCost", "avcWaste", "svcWaste"],
+    );
     for (have, want) in [(0u8, 1u8), (0, 2), (1, 3), (2, 3)] {
         let (h, w) = (Quality(have), Quality(want));
         row(
@@ -45,7 +48,12 @@ fn main() {
         for (name, enc) in [
             ("avc", EncodingPolicy::AvcOnly),
             ("svc", EncodingPolicy::SvcOnly),
-            ("hybrid", EncodingPolicy::Hybrid { svc_when_uncertain_below: 0.85 }),
+            (
+                "hybrid",
+                EncodingPolicy::Hybrid {
+                    svc_when_uncertain_below: 0.85,
+                },
+            ),
         ] {
             let player = PlayerConfig {
                 planner: sperke_player::PlannerKind::Sperke(SperkeConfig {

@@ -10,7 +10,10 @@ use sperke_sim::SimDuration;
 const PAPER_FPS: [f64; 3] = [11.0, 53.0, 120.0];
 
 fn main() {
-    header("E2 / Figure 5", "player FPS: 2K video, 2x4 tiles, 8 decoders (SGS7)");
+    header(
+        "E2 / Figure 5",
+        "player FPS: 2K video, 2x4 tiles, 8 decoders (SGS7)",
+    );
     let device = DeviceProfile::galaxy_s7();
     let grid = TileGrid::sperke_prototype();
     // A viewer panning gently, as in a handheld demo.
@@ -41,6 +44,9 @@ fn main() {
     note("decoded-frame cache, then FoV-only rendering) must each be a large jump.");
 
     let fps: Vec<f64> = results.iter().map(|(_, s)| s.fps).collect();
-    assert!(fps[0] * 3.0 < fps[1] && fps[1] * 1.5 < fps[2], "shape broke");
+    assert!(
+        fps[0] * 3.0 < fps[1] && fps[1] * 1.5 < fps[2],
+        "shape broke"
+    );
     println!("shape check: PASS");
 }

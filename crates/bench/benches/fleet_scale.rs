@@ -8,7 +8,10 @@ use sperke_sim::SimDuration;
 use sperke_video::VideoModelBuilder;
 
 fn main() {
-    header("fleet", "server egress at scale: FoV-guided vs full panorama");
+    header(
+        "fleet",
+        "server egress at scale: FoV-guided vs full panorama",
+    );
     let video = VideoModelBuilder::new(61)
         .duration(SimDuration::from_secs(20))
         .build();
@@ -21,9 +24,7 @@ fn main() {
         // Matched quality: agnostic gets the budget that affords Q2
         // panorama-wide; guided reaches comparable viewport quality
         // from a 10 Mbps budget.
-        for (label, guided, budget) in
-            [("guided", true, 10e6), ("agnostic", false, 18e6)]
-        {
+        for (label, guided, budget) in [("guided", true, 10e6), ("agnostic", false, 18e6)] {
             let r = run_fleet(
                 &video,
                 &FleetConfig {
@@ -58,7 +59,10 @@ fn main() {
     // Congestion story: at an egress sized for the guided fleet, the
     // agnostic fleet collapses.
     println!();
-    cols("50 viewers @ 400 Mbps egress", &["vpUtil", "blank%", "late%"]);
+    cols(
+        "50 viewers @ 400 Mbps egress",
+        &["vpUtil", "blank%", "late%"],
+    );
     for (label, guided, budget) in [("guided", true, 10e6), ("agnostic", false, 18e6)] {
         let r = run_fleet(
             &video,

@@ -57,9 +57,13 @@ fn main() {
     let fused = FusedForecaster::motion_only()
         .with_heatmap(map)
         .with_speed_bound(wanderer.speed_percentile(95.0).max(0.1));
-    let ctx_fused = fused
-        .clone()
-        .with_context(ViewingContext { pose: Pose::Sitting, ..Default::default() }, 0.0);
+    let ctx_fused = fused.clone().with_context(
+        ViewingContext {
+            pose: Pose::Sitting,
+            ..Default::default()
+        },
+        0.0,
+    );
     cols("forecaster (explorer, 2s)", &["top6Hit", "pOnTarget"]);
     for (name, f) in [
         ("motion-only", &motion),

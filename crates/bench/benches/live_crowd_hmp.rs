@@ -11,7 +11,10 @@ use sperke_live::{evaluate_crowd_hmp, CrowdAggregator, LiveViewer};
 use sperke_sim::SimDuration;
 
 fn main() {
-    header("E8 / §3.4.2", "crowd-sourced HMP for high-latency viewers (top-6 tile hit rate)");
+    header(
+        "E8 / §3.4.2",
+        "crowd-sourced HMP for high-latency viewers (top-6 tile hit rate)",
+    );
     let grid = TileGrid::new(4, 6);
     let cd = SimDuration::from_secs(1);
     let chunks = 28u32;
@@ -48,10 +51,7 @@ fn main() {
             rep_acc += with.mean_reports_available;
         }
         let n = seeds.len() as f64;
-        row(
-            &format!("{lead_s}"),
-            &[m_acc / n, c_acc / n, rep_acc / n],
-        );
+        row(&format!("{lead_s}"), &[m_acc / n, c_acc / n, rep_acc / n]);
         gains.push(c_acc / n - m_acc / n);
     }
     note("the crowd prior matters most at long fetch leads, where motion");

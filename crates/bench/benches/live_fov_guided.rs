@@ -37,24 +37,31 @@ fn run_one(seed: u64, lead_s: u64, use_crowd: bool) -> sperke_live::FovLiveRepor
         &video,
         &high,
         &crowd,
-        &FovLiveConfig { fetch_lead: SimDuration::from_secs(lead_s), ..Default::default() },
+        &FovLiveConfig {
+            fetch_lead: SimDuration::from_secs(lead_s),
+            ..Default::default()
+        },
     )
 }
 
 fn main() {
-    header("§3.4.2 integration", "FoV-guided live viewing with crowd-sourced HMP");
-    let seeds = [5u64, 11, 23, 31];
-    cols(
-        "fetch lead / prior",
-        &["saving%", "blank%", "vpUtil"],
+    header(
+        "§3.4.2 integration",
+        "FoV-guided live viewing with crowd-sourced HMP",
     );
+    let seeds = [5u64, 11, 23, 31];
+    cols("fetch lead / prior", &["saving%", "blank%", "vpUtil"]);
     let mut crowd_blank_by_lead = Vec::new();
     let mut motion_blank_by_lead = Vec::new();
     for &lead in &[1u64, 2, 4, 6] {
         for use_crowd in [false, true] {
             let saving = replicate(&seeds, |s| run_one(s, lead, use_crowd).savings * 100.0);
-            let blank = replicate(&seeds, |s| run_one(s, lead, use_crowd).blank_fraction * 100.0);
-            let util = replicate(&seeds, |s| run_one(s, lead, use_crowd).mean_viewport_utility);
+            let blank = replicate(&seeds, |s| {
+                run_one(s, lead, use_crowd).blank_fraction * 100.0
+            });
+            let util = replicate(&seeds, |s| {
+                run_one(s, lead, use_crowd).mean_viewport_utility
+            });
             row(
                 &format!("{lead}s / {}", if use_crowd { "crowd" } else { "motion" }),
                 &[saving.mean, blank.mean, util.mean],

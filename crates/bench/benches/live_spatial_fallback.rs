@@ -7,7 +7,10 @@ use sperke_live::{plan_upload, viewer_experience, InterestProfile, UploadStrateg
 use sperke_sim::{SimDuration, SimTime};
 
 fn main() {
-    header("E7 / §3.4.2", "spatial fall-back vs quality-only live upload adaptation");
+    header(
+        "E7 / §3.4.2",
+        "spatial fall-back vs quality-only live upload adaptation",
+    );
     let full_rate = 4e6;
     let min_span = 60f64.to_radians();
     let duration = SimDuration::from_secs(25);
@@ -19,15 +22,18 @@ fn main() {
     ] {
         println!();
         note(content);
-        cols(
-            "uplink budget",
-            &["qOnly", "spatial", "spanDeg", "cover%"],
-        );
+        cols("uplink budget", &["qOnly", "spatial", "spanDeg", "cover%"]);
         let traces = generate_ensemble(&att, 10, duration, 19);
         let interest = InterestProfile::from_traces(&traces, SimTime::from_secs(10));
         for &frac in &[1.0f64, 0.6, 0.4, 0.25] {
             let available = full_rate * frac;
-            let q = plan_upload(UploadStrategy::QualityOnly, full_rate, available, &interest, min_span);
+            let q = plan_upload(
+                UploadStrategy::QualityOnly,
+                full_rate,
+                available,
+                &interest,
+                min_span,
+            );
             let s = plan_upload(
                 UploadStrategy::SpatialFallback,
                 full_rate,
@@ -56,8 +62,20 @@ fn main() {
     let att = AttentionModel::stage(3);
     let traces = generate_ensemble(&att, 10, duration, 19);
     let interest = InterestProfile::from_traces(&traces, SimTime::from_secs(10));
-    let q = plan_upload(UploadStrategy::QualityOnly, full_rate, full_rate * 0.4, &interest, min_span);
-    let s = plan_upload(UploadStrategy::SpatialFallback, full_rate, full_rate * 0.4, &interest, min_span);
+    let q = plan_upload(
+        UploadStrategy::QualityOnly,
+        full_rate,
+        full_rate * 0.4,
+        &interest,
+        min_span,
+    );
+    let s = plan_upload(
+        UploadStrategy::SpatialFallback,
+        full_rate,
+        full_rate * 0.4,
+        &interest,
+        min_span,
+    );
     assert!(
         viewer_experience(&s, &traces, duration).mean_quality
             > viewer_experience(&q, &traces, duration).mean_quality

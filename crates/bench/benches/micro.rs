@@ -81,7 +81,10 @@ fn bench_forecast(c: &mut Criterion) {
     let history: Vec<(SimTime, Orientation)> = (0..50)
         .map(|i| {
             let t = i as f64 * 0.02;
-            (SimTime::from_secs_f64(t), Orientation::new(0.3 * t, 0.05, 0.0))
+            (
+                SimTime::from_secs_f64(t),
+                Orientation::new(0.3 * t, 0.05, 0.0),
+            )
         })
         .collect();
     let now = history.last().unwrap().0;

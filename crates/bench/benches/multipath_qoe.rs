@@ -35,10 +35,16 @@ fn main() {
         ("content-aware", SchedulerChoice::ContentAware),
     ];
 
-    for &(loss, loss_label) in &[(0.002f64, "clean LTE (0.2% loss)"), (0.02, "lossy LTE (2% loss)")] {
+    for &(loss, loss_label) in &[
+        (0.002f64, "clean LTE (0.2% loss)"),
+        (0.02, "lossy LTE (2% loss)"),
+    ] {
         println!();
         note(loss_label);
-        cols("scheduler", &["vpUtil", "stalls", "blank%", "score", "lteMB"]);
+        cols(
+            "scheduler",
+            &["vpUtil", "stalls", "blank%", "score", "lteMB"],
+        );
         let mut scores = Vec::new();
         for (name, sched) in schedulers {
             let r = Sperke::builder(17)

@@ -13,14 +13,20 @@ use sperke_video::VideoModelBuilder;
 use std::time::Instant;
 
 fn main() {
-    header("sweep", "parallel sweep harness: serial vs worker-pool wall clock");
+    header(
+        "sweep",
+        "parallel sweep harness: serial vs worker-pool wall clock",
+    );
     let video = VideoModelBuilder::new(61)
         .duration(SimDuration::from_secs(15))
         .build();
-    let grid = FleetGrid::new(FleetConfig { viewers: 10, ..Default::default() })
-        .egress_axis(vec![40e6, 80e6, 160e6, 320e6])
-        .scheme_axis(vec![true, false])
-        .seed_axis(vec![7, 23]);
+    let grid = FleetGrid::new(FleetConfig {
+        viewers: 10,
+        ..Default::default()
+    })
+    .egress_axis(vec![40e6, 80e6, 160e6, 320e6])
+    .scheme_axis(vec![true, false])
+    .seed_axis(vec![7, 23]);
     assert_eq!(grid.points().len(), 16, "the 16-point acceptance grid");
 
     // Warm-up run (page in code and video tables) before timing.

@@ -16,16 +16,27 @@ const PAPER: [[f64; 3]; 5] = [
 ];
 
 fn main() {
-    header("E1 / Table 2", "E2E latency of live 360 broadcast (seconds)");
+    header(
+        "E1 / Table 2",
+        "E2E latency of live 360 broadcast (seconds)",
+    );
     let cfg = LiveRunConfig::default();
     let grid = table2(&cfg);
-    cols("Up BW / Down BW", &["FB", "Peri", "YT", "FB*", "Peri*", "YT*"]);
+    cols(
+        "Up BW / Down BW",
+        &["FB", "Peri", "YT", "FB*", "Peri*", "YT*"],
+    );
     for (i, (up, down, vals)) in grid.iter().enumerate() {
         let label = format!("{up} / {down}");
         row(
             &label,
             &[
-                vals[0], vals[1], vals[2], PAPER[i][0], PAPER[i][1], PAPER[i][2],
+                vals[0],
+                vals[1],
+                vals[2],
+                PAPER[i][0],
+                PAPER[i][1],
+                PAPER[i][2],
             ],
         );
     }
@@ -37,7 +48,10 @@ fn main() {
     // an adaptive broadcaster (quality scales to the link; no skips).
     println!();
     cols("0.5Mbps up + upload VRA", &["FB", "Peri", "YT"]);
-    let cond = NetworkCondition { up_cap_bps: Some(0.5e6), down_cap_bps: None };
+    let cond = NetworkCondition {
+        up_cap_bps: Some(0.5e6),
+        down_cap_bps: None,
+    };
     let vals: Vec<f64> = PlatformProfile::all()
         .iter()
         .map(|p| run_live_with_upload_vra(p, cond, &cfg, true).mean_latency_s)
@@ -48,9 +62,15 @@ fn main() {
 
     // Machine-readable shape checks (also asserted in the test suite).
     let base = &grid[0].2;
-    assert!(base[0] < base[1] && base[1] < base[2], "base ordering broke");
+    assert!(
+        base[0] < base[1] && base[1] < base[2],
+        "base ordering broke"
+    );
     let starved_down = &grid[4].2;
-    assert!(starved_down[1] > starved_down[2], "Periscope must degrade worst");
+    assert!(
+        starved_down[1] > starved_down[2],
+        "Periscope must degrade worst"
+    );
     let starved_up = &grid[3].2;
     for (i, v) in vals.iter().enumerate() {
         assert!(

@@ -13,7 +13,10 @@ use sperke_net::{BandwidthTrace, PathModel};
 use sperke_sim::{SimDuration, SimRng};
 
 fn main() {
-    header("E10 / §3.1.2", "inner ABR comparison on fluctuating bandwidth");
+    header(
+        "E10 / §3.1.2",
+        "inner ABR comparison on fluctuating bandwidth",
+    );
     cols(
         "abr / link",
         &["vpUtil", "stall_s", "switches", "blank%", "score"],

@@ -2,6 +2,7 @@
 //! video, a viewer, a network and the Sperke algorithms into a runnable
 //! streaming experiment.
 
+use sperke_geo::VisibilityCache;
 use sperke_hmp::{
     generate_ensemble, AttentionModel, Behavior, FusedForecaster, HeadTrace, Heatmap,
     OracleForecaster, TraceGenerator, ViewingContext,
@@ -10,7 +11,6 @@ use sperke_net::{
     BandwidthTrace, ContentAware, EarliestCompletion, FaultScript, MinRtt, PathModel, PathQueue,
     RecoveryPolicy, SinglePath,
 };
-use sperke_geo::VisibilityCache;
 use sperke_player::{run_session, PlannerKind, PlayerConfig, SessionResult};
 use sperke_sim::trace::{Trace, TraceLevel, TraceSink};
 use sperke_sim::{SimDuration, SimRng};
@@ -310,8 +310,10 @@ impl Sperke {
 
     /// Materialize the viewer's head trace.
     pub fn build_trace(&self) -> HeadTrace {
-        TraceGenerator::new(self.attention.clone(), self.behavior, self.context)
-            .generate(self.duration + SimDuration::from_secs(5), self.seed ^ 0x7ACE)
+        TraceGenerator::new(self.attention.clone(), self.behavior, self.context).generate(
+            self.duration + SimDuration::from_secs(5),
+            self.seed ^ 0x7ACE,
+        )
     }
 
     /// Materialize the HMP forecaster (with crowd prior / speed bound /
@@ -403,7 +405,10 @@ impl Sperke {
             let forecaster = self.build_forecaster();
             with_sched!(&forecaster)
         };
-        RunReport { session, trace: sink.snapshot() }
+        RunReport {
+            session,
+            trace: sink.snapshot(),
+        }
     }
 }
 
@@ -478,7 +483,10 @@ mod tests {
             oracle.qoe.mean_blank_fraction,
             real.qoe.mean_blank_fraction
         );
-        assert!(oracle.qoe.mean_blank_fraction < 0.02, "perfect HMP ~never blanks");
+        assert!(
+            oracle.qoe.mean_blank_fraction < 0.02,
+            "perfect HMP ~never blanks"
+        );
     }
 
     #[test]
@@ -494,7 +502,11 @@ mod tests {
         let a = mk();
         let b = mk();
         assert!(!a.trace.is_empty(), "tracing captures events");
-        assert_eq!(a.to_jsonl(), b.to_jsonl(), "same seed, byte-identical JSONL");
+        assert_eq!(
+            a.to_jsonl(),
+            b.to_jsonl(),
+            "same seed, byte-identical JSONL"
+        );
         assert_eq!(a.trace_digest(), b.trace_digest());
         assert_eq!(a.session.qoe, b.session.qoe);
     }
@@ -603,7 +615,11 @@ mod tests {
         };
         let cached = base().with_vis_cache(64).run_report();
         let uncached = base().without_vis_cache().run_report();
-        assert_eq!(cached.to_jsonl(), uncached.to_jsonl(), "events byte-identical");
+        assert_eq!(
+            cached.to_jsonl(),
+            uncached.to_jsonl(),
+            "events byte-identical"
+        );
         assert_eq!(cached.trace_digest(), uncached.trace_digest());
         assert_eq!(
             cached.session.qoe.score.to_bits(),
@@ -618,7 +634,10 @@ mod tests {
         let m = cached.trace.metrics();
         assert!(m.counter_value("vis_cache_miss").unwrap_or(0) > 0);
         assert!(m.counter_value("vis_cache_hit").is_some());
-        assert_eq!(uncached.trace.metrics().counter_value("vis_cache_miss"), Some(0));
+        assert_eq!(
+            uncached.trace.metrics().counter_value("vis_cache_miss"),
+            Some(0)
+        );
     }
 
     #[test]

@@ -108,9 +108,7 @@ impl FleetWorld<'_> {
     }
 
     fn display_wall(&self, viewer: usize, chunk: u32) -> SimTime {
-        SimTime::ZERO
-            + self.start_offset[viewer]
-            + self.video.chunk_duration() * (chunk + 1) as u64
+        SimTime::ZERO + self.start_offset[viewer] + self.video.chunk_duration() * (chunk + 1) as u64
     }
 }
 
@@ -154,7 +152,11 @@ impl World<FleetEvent> for FleetWorld<'_> {
                             q = cand;
                         }
                     }
-                    self.video.grid().tiles().map(|tile| (tile, q, 1.0)).collect()
+                    self.video
+                        .grid()
+                        .tiles()
+                        .map(|tile| (tile, q, 1.0))
+                        .collect()
                 };
                 for (tile, q, p) in selections {
                     let bytes = self.video.avc_bytes(ChunkId::new(q, tile, t));
@@ -186,7 +188,8 @@ impl World<FleetEvent> for FleetWorld<'_> {
                     + self.video.chunk_duration() / 2;
                 let gaze = self.traces[viewer].at(video_time);
                 let visible =
-                    self.vis.visible_tiles(&Viewport::headset(gaze), self.video.grid(), 12);
+                    self.vis
+                        .visible_tiles(&Viewport::headset(gaze), self.video.grid(), 12);
                 let mut util = 0.0;
                 let mut blank = 0.0;
                 for &(tile, coverage) in visible.iter() {
@@ -257,8 +260,20 @@ pub fn run_fleet_with_cache(
                     .as_nanos()
                     .saturating_sub(config.fetch_lead.as_nanos()),
             );
-            sim.schedule(decide, FleetEvent::Decide { viewer: v, chunk: c });
-            sim.schedule(display, FleetEvent::Display { viewer: v, chunk: c });
+            sim.schedule(
+                decide,
+                FleetEvent::Decide {
+                    viewer: v,
+                    chunk: c,
+                },
+            );
+            sim.schedule(
+                display,
+                FleetEvent::Display {
+                    viewer: v,
+                    chunk: c,
+                },
+            );
         }
     }
     let horizon = SimTime::ZERO
@@ -268,9 +283,8 @@ pub fn run_fleet_with_cache(
     let outcome = sim.run(&mut world, horizon);
     debug_assert_ne!(outcome, RunOutcome::BudgetExhausted);
 
-    let session_secs = (video.duration()
-        + SimDuration::from_millis(137 * config.viewers as u64))
-    .as_secs_f64();
+    let session_secs =
+        (video.duration() + SimDuration::from_millis(137 * config.viewers as u64)).as_secs_f64();
     let n = world.displays.max(1) as f64;
     FleetReport {
         viewers: config.viewers,
@@ -342,11 +356,19 @@ mod tests {
         let v = video();
         let ample = run_fleet(
             &v,
-            &FleetConfig { viewers: 12, egress_bps: 500e6, ..Default::default() },
+            &FleetConfig {
+                viewers: 12,
+                egress_bps: 500e6,
+                ..Default::default()
+            },
         );
         let tight = run_fleet(
             &v,
-            &FleetConfig { viewers: 12, egress_bps: 25e6, ..Default::default() },
+            &FleetConfig {
+                viewers: 12,
+                egress_bps: 25e6,
+                ..Default::default()
+            },
         );
         assert!(tight.late_stream_fraction > ample.late_stream_fraction);
         assert!(tight.mean_blank_fraction > ample.mean_blank_fraction);
@@ -357,9 +379,25 @@ mod tests {
         // At an egress that chokes full-panorama delivery, FoV-guided
         // viewers still see most of their viewport.
         let v = video();
-        let cfg = FleetConfig { viewers: 15, egress_bps: 60e6, ..Default::default() };
-        let guided = run_fleet(&v, &FleetConfig { fov_guided: true, ..cfg });
-        let agnostic = run_fleet(&v, &FleetConfig { fov_guided: false, ..cfg });
+        let cfg = FleetConfig {
+            viewers: 15,
+            egress_bps: 60e6,
+            ..Default::default()
+        };
+        let guided = run_fleet(
+            &v,
+            &FleetConfig {
+                fov_guided: true,
+                ..cfg
+            },
+        );
+        let agnostic = run_fleet(
+            &v,
+            &FleetConfig {
+                fov_guided: false,
+                ..cfg
+            },
+        );
         assert!(
             guided.mean_blank_fraction < agnostic.mean_blank_fraction + 0.05,
             "guided {:.3} vs agnostic {:.3}",
@@ -372,14 +410,20 @@ mod tests {
     #[test]
     fn deterministic() {
         let v = video();
-        let cfg = FleetConfig { viewers: 6, ..Default::default() };
+        let cfg = FleetConfig {
+            viewers: 6,
+            ..Default::default()
+        };
         assert_eq!(run_fleet(&v, &cfg), run_fleet(&v, &cfg));
     }
 
     #[test]
     fn cache_choice_never_changes_the_report() {
         let v = video();
-        let cfg = FleetConfig { viewers: 5, ..Default::default() };
+        let cfg = FleetConfig {
+            viewers: 5,
+            ..Default::default()
+        };
         let cached = run_fleet_with_cache(&v, &cfg, VisibilityCache::new(128));
         let uncached = run_fleet_with_cache(&v, &cfg, VisibilityCache::disabled());
         assert_eq!(cached, uncached);
@@ -388,8 +432,20 @@ mod tests {
     #[test]
     fn scales_with_viewer_count() {
         let v = video();
-        let small = run_fleet(&v, &FleetConfig { viewers: 4, ..Default::default() });
-        let large = run_fleet(&v, &FleetConfig { viewers: 16, ..Default::default() });
+        let small = run_fleet(
+            &v,
+            &FleetConfig {
+                viewers: 4,
+                ..Default::default()
+            },
+        );
+        let large = run_fleet(
+            &v,
+            &FleetConfig {
+                viewers: 16,
+                ..Default::default()
+            },
+        );
         assert!(large.egress_bytes > small.egress_bytes * 3);
         assert_eq!(small.viewers, 4);
         assert_eq!(large.viewers, 16);

@@ -33,11 +33,16 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod edge;
 pub mod fleet;
 pub mod sweep;
 
 pub use builder::{AbrChoice, RunReport, SchedulerChoice, Sperke};
+pub use edge::{
+    run_edge_fleet, run_edge_sweep, EdgeBuilder, EdgeGrid, EdgeRunReport, EdgeSweepPoint,
+};
 pub use fleet::{run_fleet, run_fleet_with_cache, FleetConfig, FleetReport};
+pub use sperke_edge::{EdgeClientSpec, EdgeConfig, EdgeHarness, EdgeReport, TileCache};
 pub use sperke_net::{FaultScript, FaultSpec, PathFaults, RecoveryPolicy};
 pub use sperke_sim::sweep::{SweepPlan, SweepReport, SweepSummary};
 pub use sperke_sim::trace::{Trace, TraceEvent, TraceLevel};

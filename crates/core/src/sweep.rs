@@ -74,11 +74,17 @@ impl FleetGrid {
     /// The grid's points in sweep order (egress-major, then scheme,
     /// then seed). An empty axis yields an empty — still valid — plan.
     pub fn points(&self) -> Vec<FleetConfig> {
-        let mut out = Vec::with_capacity(self.egress_bps.len() * self.fov_guided.len() * self.seeds.len());
+        let mut out =
+            Vec::with_capacity(self.egress_bps.len() * self.fov_guided.len() * self.seeds.len());
         for &egress_bps in &self.egress_bps {
             for &fov_guided in &self.fov_guided {
                 for &seed in &self.seeds {
-                    out.push(FleetConfig { egress_bps, fov_guided, seed, ..self.base });
+                    out.push(FleetConfig {
+                        egress_bps,
+                        fov_guided,
+                        seed,
+                        ..self.base
+                    });
                 }
             }
         }
@@ -171,7 +177,11 @@ impl Sperke {
     where
         F: Fn(u64) -> Sperke + Sync,
     {
-        SperkeSweep { build, seeds: SEED_PANEL.to_vec(), threads: 0 }
+        SperkeSweep {
+            build,
+            seeds: SEED_PANEL.to_vec(),
+            threads: 0,
+        }
     }
 }
 
@@ -198,7 +208,11 @@ where
         run_sweep(&plan, self.threads, |_index, &seed| {
             let report = (self.build)(seed).run_report();
             let trace_digest = report.trace_digest();
-            SperkeSweepPoint { seed, qoe: report.session.qoe, trace_digest }
+            SperkeSweepPoint {
+                seed,
+                qoe: report.session.qoe,
+                trace_digest,
+            }
         })
     }
 }
@@ -216,10 +230,13 @@ mod tests {
     }
 
     fn small_grid() -> FleetGrid {
-        FleetGrid::new(FleetConfig { viewers: 3, ..Default::default() })
-            .egress_axis(vec![40e6, 200e6])
-            .scheme_axis(vec![true, false])
-            .seed_axis(vec![7])
+        FleetGrid::new(FleetConfig {
+            viewers: 3,
+            ..Default::default()
+        })
+        .egress_axis(vec![40e6, 200e6])
+        .scheme_axis(vec![true, false])
+        .seed_axis(vec![7])
     }
 
     #[test]
@@ -270,7 +287,11 @@ mod tests {
         let points: Vec<&SperkeSweepPoint> = report.ok_results().collect();
         assert_eq!(points[0].seed, 5);
         assert_eq!(points[1].seed, 9);
-        assert_eq!(points[0].qoe, build(5).run().qoe, "sweep point == direct run");
+        assert_eq!(
+            points[0].qoe,
+            build(5).run().qoe,
+            "sweep point == direct run"
+        );
         // Same sweep on one thread: byte-identical.
         let serial = Sperke::sweep(build).seeds(&[5, 9]).threads(1).run();
         assert_eq!(serial.to_jsonl(), report.to_jsonl());

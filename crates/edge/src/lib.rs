@@ -1,0 +1,43 @@
+//! # sperke-edge — the multi-client edge delivery model
+//!
+//! A deterministic edge server multiplexing N concurrent FoV-guided
+//! player sessions over one shared egress link:
+//!
+//! * [`TileCache`] — a bounded, deterministic LRU over tile-chunk SVC
+//!   layers keyed `(chunk, tile, layer)`, with exact byte accounting;
+//! * [`run_edge`] / [`run_edge_full`] — the discrete-event edge world:
+//!   weighted round-robin egress fairness, admission control with a
+//!   hard client cap, graceful SVC-layer degradation under egress
+//!   pressure, a serialized origin backhaul with fault-scripted
+//!   outages and retry/backoff recovery, and crowd-driven cache
+//!   pre-warming from attached clients' head traces;
+//! * [`EdgeReport`] — the aggregate outcome, a pure function of
+//!   `(config, clients, faults)`.
+//!
+//! ```
+//! use sperke_edge::{run_edge, EdgeConfig};
+//! use sperke_sim::SimDuration;
+//! use sperke_video::VideoModelBuilder;
+//!
+//! let video = VideoModelBuilder::new(1)
+//!     .duration(SimDuration::from_secs(8))
+//!     .build();
+//! let report = run_edge(&video, &EdgeConfig { clients: 6, ..Default::default() });
+//! assert_eq!(report.admitted, 6);
+//! // Origin traffic balances cache accounting exactly.
+//! assert_eq!(
+//!     report.origin_demand_bytes(),
+//!     report.cache.miss_bytes + report.cache.prefetch_bytes
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod server;
+
+pub use cache::{CacheKey, TileCache, TileCacheStats};
+pub use server::{
+    default_clients, run_edge, run_edge_full, run_edge_traced, EdgeClientSpec, EdgeConfig,
+    EdgeHarness, EdgeReport,
+};

@@ -1,0 +1,1043 @@
+//! The edge-server world: N concurrent player sessions, one shared
+//! egress, one shared cache, one origin backhaul.
+//!
+//! §2's per-viewer savings compound at the edge: concurrent viewers of
+//! the same panorama overwhelmingly watch the same tiles (that is the
+//! premise of crowd-driven HMP, §3.4.2), so an edge node that caches
+//! tile-chunk layers serves most requests without touching the origin.
+//! This module models that node as a deterministic discrete-event
+//! world:
+//!
+//! * every client is a FoV-guided player (motion-only HMP + stochastic
+//!   SVC selection, as in `sperke-core`'s fleet) arriving at its own
+//!   offset;
+//! * admission control caps concurrent clients at
+//!   [`EdgeConfig::max_clients`] — beyond it, clients are rejected and
+//!   traced, never silently dropped;
+//! * the egress is a [`WrrLink`]: weighted round-robin between clients,
+//!   so one viewer's deep queue cannot starve the others;
+//! * misses go to the origin over a serialized backhaul that can fail
+//!   per a [`FaultScript`] and recovers under the same
+//!   [`RecoveryPolicy`] machinery as the multipath layer;
+//! * under egress pressure the planner degrades gracefully, shedding
+//!   SVC enhancement layers before base layers (§3.1.1's rationale for
+//!   scalable coding);
+//! * a crowd prefetcher feeds attached clients' head traces into the
+//!   live [`CrowdAggregator`] and pre-warms the cache with the tiles
+//!   the crowd is about to watch.
+//!
+//! The whole run is a pure function of `(config, clients, faults,
+//! seed)`: reports compare bit-for-bit and traces digest identically
+//! whatever order clients were supplied in (they are canonicalised
+//! first) and whatever visibility-cache handle is passed.
+
+use crate::cache::{CacheKey, TileCache, TileCacheStats};
+use serde::{Deserialize, Serialize};
+use sperke_geo::{TileId, Viewport, VisibilityCache};
+use sperke_hmp::{generate_ensemble, AttentionModel, FusedForecaster, HeadTrace};
+use sperke_live::{CrowdAggregator, LiveViewer};
+use sperke_net::{FaultScript, PathFaults, RecoveryPolicy, StreamId, WrrLink};
+use sperke_player::QoeWeights;
+use sperke_sim::{
+    MetricsRegistry, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, TraceEvent,
+    TraceSink, World,
+};
+use sperke_video::{CellId, ChunkTime, Layer, Quality, Scheme, VideoModel};
+use sperke_vra::select_stochastic;
+use std::collections::HashMap;
+
+/// Edge experiment parameters. Everything that shapes the run is here
+/// (plus the optional [`EdgeHarness`]); the report is a pure function
+/// of this struct, the video and the client set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeConfig {
+    /// Clients that try to attach.
+    pub clients: usize,
+    /// Admission cap: concurrent clients the edge will serve.
+    pub max_clients: usize,
+    /// Arrival spacing for the default client population.
+    pub arrival_spacing: SimDuration,
+    /// Shared egress capacity towards clients, bits/second.
+    pub egress_bps: f64,
+    /// Origin backhaul capacity, bits/second (serialized FIFO).
+    pub origin_bps: f64,
+    /// Origin round-trip added to every backhaul fetch.
+    pub origin_rtt: SimDuration,
+    /// Tile cache capacity in bytes; 0 disables caching (the
+    /// independent-sessions baseline).
+    pub cache_bytes: u64,
+    /// Per-client planning budget, bits/second.
+    pub per_client_budget_bps: f64,
+    /// How far before display a client plans a chunk.
+    pub fetch_lead: SimDuration,
+    /// Enable crowd-driven cache pre-warming.
+    pub prefetch: bool,
+    /// Tiles per chunk the prefetcher pulls (top-k of the crowd map).
+    pub prefetch_k: usize,
+    /// Highest SVC layer index the prefetcher pulls (inclusive).
+    pub prefetch_layers: u8,
+    /// Egress backlog above which decides shed enhancement layers.
+    pub degrade_backlog: SimDuration,
+    /// Seed for the client population's head movement.
+    pub seed: u64,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            clients: 16,
+            max_clients: 64,
+            arrival_spacing: SimDuration::from_millis(250),
+            egress_bps: 400e6,
+            origin_bps: 80e6,
+            origin_rtt: SimDuration::from_millis(30),
+            cache_bytes: 256 << 20,
+            per_client_budget_bps: 8e6,
+            fetch_lead: SimDuration::from_secs(2),
+            prefetch: true,
+            prefetch_k: 6,
+            prefetch_layers: 1,
+            degrade_backlog: SimDuration::from_millis(600),
+            seed: 7,
+        }
+    }
+}
+
+/// One client attaching to the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeClientSpec {
+    /// When the client attaches (wall clock; also its playback offset).
+    pub arrival: SimDuration,
+    /// Seed selecting its head-movement trace.
+    pub seed: u64,
+    /// Egress scheduling weight (≥ 1).
+    pub weight: u32,
+    /// Its planning budget, bits/second.
+    pub budget_bps: f64,
+}
+
+impl EdgeClientSpec {
+    /// The canonical total order: arrival, then seed, weight and budget
+    /// bits. Runs sort client sets by this key, so the trace and report
+    /// are invariant to the order clients were supplied in.
+    fn canonical_key(&self) -> (u64, u64, u32, u64) {
+        (
+            self.arrival.as_nanos(),
+            self.seed,
+            self.weight,
+            self.budget_bps.to_bits(),
+        )
+    }
+}
+
+/// The default client population for a config: evenly spaced arrivals,
+/// per-client seeds, a mild weight skew (every fourth client is a
+/// premium subscriber at weight 2).
+pub fn default_clients(config: &EdgeConfig) -> Vec<EdgeClientSpec> {
+    (0..config.clients)
+        .map(|i| EdgeClientSpec {
+            arrival: config.arrival_spacing * i as u64,
+            seed: config.seed.wrapping_add(i as u64),
+            weight: if i % 4 == 3 { 2 } else { 1 },
+            budget_bps: config.per_client_budget_bps,
+        })
+        .collect()
+}
+
+/// Non-serializable run dependencies: trace sink, fault script,
+/// recovery policy and the shared visibility cache. Kept out of
+/// [`EdgeConfig`] so configs stay plain data for sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeHarness {
+    /// Event sink (disabled by default).
+    pub trace: TraceSink,
+    /// Origin backhaul faults (path 0 of the script).
+    pub faults: FaultScript,
+    /// Retry policy for failed origin fetches.
+    pub recovery: RecoveryPolicy,
+    /// Visibility cache handle (memoization only; never changes bytes).
+    pub vis: VisibilityCache,
+}
+
+/// Aggregate outcome of an edge run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeReport {
+    /// Clients that tried to attach.
+    pub clients: usize,
+    /// Clients admitted (≤ `max_clients`, always).
+    pub admitted: usize,
+    /// Clients rejected by admission control.
+    pub rejected: usize,
+    /// Bytes delivered to clients over the shared egress.
+    pub egress_bytes: u64,
+    /// Bytes successfully fetched from the origin (demand + prefetch).
+    pub origin_bytes: u64,
+    /// Bytes of origin fetches abandoned after exhausting retries.
+    pub origin_failed_bytes: u64,
+    /// Origin retry attempts scheduled.
+    pub origin_retries: u64,
+    /// Cache counters (hits, misses, evictions, prefetches).
+    pub cache: TileCacheStats,
+    /// Mean viewport utility across displays.
+    pub mean_viewport_utility: f64,
+    /// Mean blank viewport fraction across displays.
+    pub mean_blank_fraction: f64,
+    /// Decides that shed layers under egress pressure.
+    pub degraded_decides: u64,
+    /// Displays that showed less than the planned quality.
+    pub degraded_displays: u64,
+    /// Fraction of delivered streams that finished after their display.
+    pub late_stream_fraction: f64,
+    /// Composite QoE score under the player's default weights.
+    pub qoe_score: f64,
+}
+
+impl EdgeReport {
+    /// All bytes the edge pulled (or tried to pull) upstream — the
+    /// number a CDN operator pays for. Balances exactly against cache
+    /// accounting: `miss_bytes + prefetch_bytes`.
+    pub fn origin_demand_bytes(&self) -> u64 {
+        self.origin_bytes + self.origin_failed_bytes
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EdgeEvent {
+    /// A client attaches (admitted or rejected).
+    Arrive { client: u32 },
+    /// Client `c` plans chunk `chunk`'s layers.
+    Decide { client: u32, chunk: u32 },
+    /// Client `c` displays chunk `chunk`.
+    Display { client: u32, chunk: u32 },
+    /// An origin fetch for one cache key completes.
+    OriginArrived { chunk: u32, tile: u16, layer: u8 },
+    /// A failed origin fetch retries.
+    OriginRetry {
+        chunk: u32,
+        tile: u16,
+        layer: u8,
+        attempt: u32,
+    },
+    /// The crowd prefetcher considers chunk `chunk`.
+    Prefetch { chunk: u32 },
+}
+
+struct ClientState {
+    spec: EdgeClientSpec,
+    head: HeadTrace,
+    admitted: bool,
+    /// WRR queue id; only admitted clients hold one.
+    link_id: Option<u32>,
+    /// Delivered SVC layers per cell, as a bitmask (bit i = layer i).
+    delivered: HashMap<CellId, u32>,
+    /// Planned quality per cell (display-time degradation check).
+    planned: HashMap<CellId, u8>,
+}
+
+struct Inflight {
+    bytes: u64,
+    /// Admitted clients waiting on this fetch, with their deadlines.
+    waiters: Vec<(u32, SimTime)>,
+}
+
+struct PendingStream {
+    client: u32,
+    cell: CellId,
+    layer: u8,
+    deadline: SimTime,
+}
+
+struct EdgeWorld<'a> {
+    video: &'a VideoModel,
+    config: EdgeConfig,
+    clients: Vec<ClientState>,
+    egress: WrrLink,
+    cache: TileCache,
+    inflight: HashMap<CacheKey, Inflight>,
+    origin_busy_until: SimTime,
+    faults: PathFaults,
+    recovery: RecoveryPolicy,
+    crowd: CrowdAggregator,
+    vis: VisibilityCache,
+    trace: TraceSink,
+    pending: HashMap<StreamId, PendingStream>,
+    // Accounting.
+    origin_bytes: u64,
+    origin_failed_bytes: u64,
+    origin_retries: u64,
+    egress_bytes: u64,
+    streams_total: u64,
+    streams_late: u64,
+    utility_acc: f64,
+    blank_acc: f64,
+    displays: u64,
+    degraded_decides: u64,
+    degraded_displays: u64,
+}
+
+impl EdgeWorld<'_> {
+    fn key_of(cell: CellId, layer: u8) -> CacheKey {
+        CacheKey {
+            chunk: cell.time.0,
+            tile: cell.tile.0,
+            layer,
+        }
+    }
+
+    fn layer_bytes(&self, cell: CellId, layer: u8) -> u64 {
+        self.video
+            .cell_sizes(cell.tile, cell.time)
+            .svc_layer(Layer(layer))
+    }
+
+    fn display_wall(&self, client: u32, chunk: u32) -> SimTime {
+        SimTime::ZERO
+            + self.clients[client as usize].spec.arrival
+            + self.video.chunk_duration() * (chunk + 1) as u64
+    }
+
+    /// Pull completed egress streams into client buffers.
+    fn drain_egress(&mut self, now: SimTime) {
+        for done in self.egress.run_until(now) {
+            if let Some(p) = self.pending.remove(&done.id) {
+                *self.clients[p.client as usize]
+                    .delivered
+                    .entry(p.cell)
+                    .or_insert(0) |= 1u32 << p.layer;
+                self.egress_bytes += done.bytes;
+                if done.finished > p.deadline {
+                    self.streams_late += 1;
+                }
+            }
+        }
+    }
+
+    fn submit_egress(&mut self, client: u32, cell: CellId, layer: u8, bytes: u64, now: SimTime) {
+        let Some(link_id) = self.clients[client as usize].link_id else {
+            return;
+        };
+        let id = self.egress.submit(link_id, bytes, now);
+        let deadline = self.display_wall(client, cell.time.0);
+        self.pending.insert(
+            id,
+            PendingStream {
+                client,
+                cell,
+                layer,
+                deadline,
+            },
+        );
+        self.streams_total += 1;
+    }
+
+    /// One client's request for one SVC layer: served from cache,
+    /// coalesced onto an in-flight fetch, or fetched from the origin.
+    fn request_layer(
+        &mut self,
+        client: u32,
+        cell: CellId,
+        layer: u8,
+        now: SimTime,
+        sched: &mut Scheduler<'_, EdgeEvent>,
+    ) {
+        let key = Self::key_of(cell, layer);
+        let bytes = self.layer_bytes(cell, layer);
+        let deadline = self.display_wall(client, cell.time.0);
+        if let Some(fl) = self.inflight.get_mut(&key) {
+            // A fetch for this layer is already on the wire: share it.
+            fl.waiters.push((client, deadline));
+            self.cache.record_coalesced_hit(bytes);
+            self.trace.emit(TraceEvent::EdgeCacheHit {
+                at: now,
+                tile: key.tile,
+                chunk: key.chunk,
+                layer,
+                bytes,
+            });
+        } else if self.cache.lookup(key, bytes) {
+            self.trace.emit(TraceEvent::EdgeCacheHit {
+                at: now,
+                tile: key.tile,
+                chunk: key.chunk,
+                layer,
+                bytes,
+            });
+            self.submit_egress(client, cell, layer, bytes, now);
+        } else {
+            self.trace.emit(TraceEvent::EdgeCacheMiss {
+                at: now,
+                tile: key.tile,
+                chunk: key.chunk,
+                layer,
+                bytes,
+            });
+            self.inflight.insert(
+                key,
+                Inflight {
+                    bytes,
+                    waiters: vec![(client, deadline)],
+                },
+            );
+            self.start_origin_fetch(key, bytes, 1, now, sched);
+        }
+    }
+
+    /// Submit one origin fetch attempt. A backhaul outage at submit time
+    /// fails the attempt; retries follow the recovery policy's backoff
+    /// until the budget runs out, after which the fetch is abandoned.
+    fn start_origin_fetch(
+        &mut self,
+        key: CacheKey,
+        bytes: u64,
+        attempt: u32,
+        now: SimTime,
+        sched: &mut Scheduler<'_, EdgeEvent>,
+    ) {
+        if self.faults.is_down(now) {
+            self.trace.emit(TraceEvent::TransferTimedOut {
+                at: now,
+                path: 0,
+                bytes,
+                attempt,
+            });
+            if attempt <= self.recovery.max_retries {
+                let delay = self.recovery.delay_after(attempt);
+                self.trace.emit(TraceEvent::RetryScheduled {
+                    at: now,
+                    path: 0,
+                    bytes,
+                    attempt: attempt + 1,
+                    delay_ms: delay.as_nanos() / 1_000_000,
+                });
+                self.origin_retries += 1;
+                sched.at(
+                    now + delay,
+                    EdgeEvent::OriginRetry {
+                        chunk: key.chunk,
+                        tile: key.tile,
+                        layer: key.layer,
+                        attempt: attempt + 1,
+                    },
+                );
+            } else {
+                // Out of retries: the waiters display what they have.
+                self.inflight.remove(&key);
+                self.origin_failed_bytes += bytes;
+            }
+            return;
+        }
+        let start = now.max(self.origin_busy_until);
+        let xfer = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.config.origin_bps);
+        self.origin_busy_until = start + xfer;
+        sched.at(
+            start + xfer + self.config.origin_rtt,
+            EdgeEvent::OriginArrived {
+                chunk: key.chunk,
+                tile: key.tile,
+                layer: key.layer,
+            },
+        );
+    }
+
+    /// How many egress quality levels to shed under the current backlog
+    /// (0 = none). One level per multiple of `degrade_backlog` queued.
+    fn pressure_steps(&self) -> u8 {
+        let limit = self.config.degrade_backlog.as_secs_f64();
+        if limit <= 0.0 {
+            return 0;
+        }
+        let over = self.egress.backlog().as_secs_f64() / limit;
+        if over < 1.0 {
+            0
+        } else {
+            (over as u8).min(8)
+        }
+    }
+
+    fn handle_decide(&mut self, client: u32, chunk: u32, sched: &mut Scheduler<'_, EdgeEvent>) {
+        if !self.clients[client as usize].admitted {
+            return;
+        }
+        let now = sched.now();
+        let t = ChunkTime(chunk);
+        let video_time = self.video.chunk_start(t);
+        let spec = self.clients[client as usize].spec;
+        let own_now = SimTime::from_nanos(now.as_nanos().saturating_sub(spec.arrival.as_nanos()));
+        let budget = (spec.budget_bps * self.video.chunk_duration().as_secs_f64() / 8.0) as u64;
+        let history = self.clients[client as usize].head.history(own_now, 50);
+        let forecast = FusedForecaster::motion_only().forecast(
+            self.video.grid(),
+            &history,
+            own_now,
+            video_time,
+            t,
+        );
+        let choices = select_stochastic(
+            self.video,
+            &forecast,
+            t,
+            budget,
+            Scheme::svc_default(),
+            0.05,
+        );
+
+        // Graceful degradation: shed enhancement layers (never the base)
+        // when the shared egress is backlogged.
+        let shed = self.pressure_steps();
+        if shed > 0 {
+            self.degraded_decides += 1;
+            self.trace.emit(TraceEvent::ClientThrottled {
+                at: now,
+                client,
+                admitted: true,
+            });
+        }
+        for choice in choices {
+            let q = Quality(choice.quality.0.saturating_sub(shed));
+            let cell = CellId::new(choice.tile, t);
+            let planned = self.clients[client as usize]
+                .planned
+                .entry(cell)
+                .or_insert(0);
+            *planned = (*planned).max(choice.quality.0);
+            for layer in 0..=q.0 {
+                self.request_layer(client, cell, layer, now, sched);
+            }
+        }
+    }
+
+    fn handle_display(&mut self, client: u32, chunk: u32) {
+        if !self.clients[client as usize].admitted {
+            return;
+        }
+        let t = ChunkTime(chunk);
+        let video_time = self.video.chunk_start(t) + self.video.chunk_duration() / 2;
+        let gaze = self.clients[client as usize].head.at(video_time);
+        let visible = self
+            .vis
+            .visible_tiles(&Viewport::headset(gaze), self.video.grid(), 12);
+        let mut util = 0.0;
+        let mut blank = 0.0;
+        let mut degraded = false;
+        for &(tile, coverage) in visible.iter() {
+            let cell = CellId::new(tile, t);
+            let state = &self.clients[client as usize];
+            let mask = state.delivered.get(&cell).copied().unwrap_or(0);
+            // SVC: quality q plays only when layers 0..=q all arrived.
+            let contiguous = mask.trailing_ones() as u8;
+            if contiguous == 0 {
+                blank += coverage;
+            } else {
+                let shown = Quality(contiguous - 1);
+                util += coverage * self.video.ladder().utility(shown);
+                if let Some(&planned) = state.planned.get(&cell) {
+                    if shown.0 < planned {
+                        degraded = true;
+                    }
+                }
+            }
+        }
+        self.utility_acc += util;
+        self.blank_acc += blank;
+        self.displays += 1;
+        if degraded {
+            self.degraded_displays += 1;
+        }
+    }
+
+    fn handle_prefetch(&mut self, chunk: u32, sched: &mut Scheduler<'_, EdgeEvent>) {
+        let now = sched.now();
+        let t = ChunkTime(chunk);
+        for tile in self.crowd.predicted_tiles(now, t, self.config.prefetch_k) {
+            for layer in 0..=self.config.prefetch_layers {
+                let cell = CellId::new(tile, t);
+                let key = Self::key_of(cell, layer);
+                if self.cache.is_disabled()
+                    || self.cache.contains(key)
+                    || self.inflight.contains_key(&key)
+                {
+                    continue;
+                }
+                let bytes = self.layer_bytes(cell, layer);
+                self.cache.record_prefetch(bytes);
+                self.trace.emit(TraceEvent::EdgePrefetch {
+                    at: now,
+                    tile: key.tile,
+                    chunk: key.chunk,
+                    layer,
+                    bytes,
+                });
+                self.inflight.insert(
+                    key,
+                    Inflight {
+                        bytes,
+                        waiters: Vec::new(),
+                    },
+                );
+                self.start_origin_fetch(key, bytes, 1, now, sched);
+            }
+        }
+    }
+}
+
+impl World<EdgeEvent> for EdgeWorld<'_> {
+    fn handle(&mut self, event: EdgeEvent, sched: &mut Scheduler<'_, EdgeEvent>) {
+        let now = sched.now();
+        self.drain_egress(now);
+        match event {
+            EdgeEvent::Arrive { client } => {
+                if self.clients[client as usize].admitted {
+                    self.trace
+                        .emit(TraceEvent::ClientAdmitted { at: now, client });
+                } else {
+                    self.trace.emit(TraceEvent::ClientThrottled {
+                        at: now,
+                        client,
+                        admitted: false,
+                    });
+                }
+            }
+            EdgeEvent::Decide { client, chunk } => self.handle_decide(client, chunk, sched),
+            EdgeEvent::Display { client, chunk } => self.handle_display(client, chunk),
+            EdgeEvent::OriginArrived { chunk, tile, layer } => {
+                let key = CacheKey { chunk, tile, layer };
+                if let Some(fl) = self.inflight.remove(&key) {
+                    self.origin_bytes += fl.bytes;
+                    self.cache.insert(key, fl.bytes);
+                    let cell = CellId::new(TileId(tile), ChunkTime(chunk));
+                    for (client, _) in fl.waiters {
+                        self.submit_egress(client, cell, layer, fl.bytes, now);
+                    }
+                }
+            }
+            EdgeEvent::OriginRetry {
+                chunk,
+                tile,
+                layer,
+                attempt,
+            } => {
+                let key = CacheKey { chunk, tile, layer };
+                if let Some(bytes) = self.inflight.get(&key).map(|fl| fl.bytes) {
+                    self.start_origin_fetch(key, bytes, attempt, now, sched);
+                }
+            }
+            EdgeEvent::Prefetch { chunk } => {
+                if self.config.prefetch {
+                    self.handle_prefetch(chunk, sched);
+                }
+            }
+        }
+    }
+}
+
+/// Run the edge world: default client population, no faults, no trace.
+pub fn run_edge(video: &VideoModel, config: &EdgeConfig) -> EdgeReport {
+    run_edge_full(
+        video,
+        config,
+        &default_clients(config),
+        &EdgeHarness::default(),
+        None,
+    )
+}
+
+/// Run with the default population, recording events into `sink`.
+pub fn run_edge_traced(video: &VideoModel, config: &EdgeConfig, sink: TraceSink) -> EdgeReport {
+    let harness = EdgeHarness {
+        trace: sink,
+        ..Default::default()
+    };
+    run_edge_full(video, config, &default_clients(config), &harness, None)
+}
+
+/// The fully general entry point: explicit client set, harness (trace,
+/// faults, recovery, visibility cache) and optional metrics registry.
+///
+/// Clients are canonicalised (sorted by arrival, then seed/weight/
+/// budget) before anything else, so the returned report and every
+/// emitted trace byte are invariant to the order of `clients`.
+pub fn run_edge_full(
+    video: &VideoModel,
+    config: &EdgeConfig,
+    clients: &[EdgeClientSpec],
+    harness: &EdgeHarness,
+    metrics: Option<&mut MetricsRegistry>,
+) -> EdgeReport {
+    assert!(!clients.is_empty(), "at least one client required");
+    let mut specs = clients.to_vec();
+    specs.sort_by_key(EdgeClientSpec::canonical_key);
+
+    let chunks = video.chunk_count();
+    let session = video.duration() + SimDuration::from_secs(5);
+    let mut egress = WrrLink::new(config.egress_bps);
+    let mut crowd = CrowdAggregator::new(*video.grid(), video.chunk_duration());
+    let states: Vec<ClientState> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let admitted = i < config.max_clients;
+            // One deterministic head trace per spec seed; the ensemble
+            // generator's behaviour mix keys off the index we pass.
+            let head = generate_ensemble(
+                &AttentionModel::generic(config.seed),
+                (spec.seed % 5 + 1) as usize,
+                session,
+                spec.seed,
+            )
+            .pop()
+            .expect("ensemble non-empty");
+            let link_id = admitted.then(|| egress.add_client(spec.weight));
+            if admitted {
+                // Attached clients report their gaze to the crowd model;
+                // their latency is their arrival offset, so reports only
+                // become visible once they have actually watched.
+                crowd.ingest(
+                    &LiveViewer {
+                        trace: head.clone(),
+                        latency: spec.arrival,
+                    },
+                    chunks,
+                );
+            }
+            ClientState {
+                spec: *spec,
+                head,
+                admitted,
+                link_id,
+                delivered: HashMap::new(),
+                planned: HashMap::new(),
+            }
+        })
+        .collect();
+
+    let admitted = states.iter().filter(|c| c.admitted).count();
+    let rejected = states.len() - admitted;
+    let first_arrival = specs.first().expect("non-empty").arrival;
+    let last_arrival = specs.last().expect("non-empty").arrival;
+
+    let mut world = EdgeWorld {
+        video,
+        config: *config,
+        clients: states,
+        egress,
+        cache: TileCache::new(config.cache_bytes),
+        inflight: HashMap::new(),
+        origin_busy_until: SimTime::ZERO,
+        faults: harness.faults.compile_for(0),
+        recovery: harness.recovery,
+        crowd,
+        vis: harness.vis.clone(),
+        trace: harness.trace.clone(),
+        pending: HashMap::new(),
+        origin_bytes: 0,
+        origin_failed_bytes: 0,
+        origin_retries: 0,
+        egress_bytes: 0,
+        streams_total: 0,
+        streams_late: 0,
+        utility_acc: 0.0,
+        blank_acc: 0.0,
+        displays: 0,
+        degraded_decides: 0,
+        degraded_displays: 0,
+    };
+
+    let mut sim = Simulation::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let client = i as u32;
+        sim.schedule(SimTime::ZERO + spec.arrival, EdgeEvent::Arrive { client });
+        if i >= config.max_clients {
+            continue;
+        }
+        for c in 0..chunks {
+            let display = world.display_wall(client, c);
+            let decide = SimTime::from_nanos(
+                display
+                    .as_nanos()
+                    .saturating_sub(config.fetch_lead.as_nanos()),
+            );
+            sim.schedule(decide, EdgeEvent::Decide { client, chunk: c });
+            sim.schedule(display, EdgeEvent::Display { client, chunk: c });
+        }
+    }
+    if config.prefetch {
+        // Chunk c's first crowd report lands once the earliest-attached
+        // client has watched it and the report has propagated.
+        let report_lag = first_arrival + SimDuration::from_millis(250) + video.chunk_duration();
+        for c in 0..chunks {
+            sim.schedule(
+                video.chunk_start(ChunkTime(c)) + report_lag,
+                EdgeEvent::Prefetch { chunk: c },
+            );
+        }
+    }
+
+    let horizon = SimTime::ZERO + video.duration() + last_arrival + SimDuration::from_secs(120);
+    let outcome = sim.run(&mut world, horizon);
+    debug_assert_ne!(outcome, RunOutcome::BudgetExhausted);
+
+    // Settle the egress so every submitted stream is accounted, then
+    // write off fetches the horizon cut short (keeps the byte balance
+    // exact: misses + prefetches == origin ok + failed).
+    let final_completions = world.egress.drain();
+    for done in final_completions {
+        if let Some(p) = world.pending.remove(&done.id) {
+            world.egress_bytes += done.bytes;
+            if done.finished > p.deadline {
+                world.streams_late += 1;
+            }
+        }
+    }
+    for (_, fl) in world.inflight.drain() {
+        world.origin_failed_bytes += fl.bytes;
+    }
+
+    let stats = world.cache.stats();
+    if let Some(registry) = metrics {
+        registry.counter("edge.cache.hits").add(stats.hits);
+        registry.counter("edge.cache.misses").add(stats.misses);
+        registry
+            .counter("edge.cache.hit_bytes")
+            .add(stats.hit_bytes);
+        registry
+            .counter("edge.cache.miss_bytes")
+            .add(stats.miss_bytes);
+        registry
+            .counter("edge.cache.evictions")
+            .add(stats.evictions);
+        registry
+            .counter("edge.cache.prefetch_bytes")
+            .add(stats.prefetch_bytes);
+        registry
+            .counter("edge.origin.bytes")
+            .add(world.origin_bytes);
+        registry
+            .counter("edge.origin.failed_bytes")
+            .add(world.origin_failed_bytes);
+        registry
+            .counter("edge.origin.retries")
+            .add(world.origin_retries);
+        registry
+            .counter("edge.egress.bytes")
+            .add(world.egress_bytes);
+        registry
+            .counter("edge.clients.admitted")
+            .add(admitted as u64);
+        registry
+            .counter("edge.clients.rejected")
+            .add(rejected as u64);
+    }
+
+    let n = world.displays.max(1) as f64;
+    let mean_viewport_utility = world.utility_acc / n;
+    let mean_blank_fraction = world.blank_acc / n;
+    let degraded_fraction = world.degraded_displays as f64 / n;
+    let w = QoeWeights::default();
+    EdgeReport {
+        clients: specs.len(),
+        admitted,
+        rejected,
+        egress_bytes: world.egress_bytes,
+        origin_bytes: world.origin_bytes,
+        origin_failed_bytes: world.origin_failed_bytes,
+        origin_retries: world.origin_retries,
+        cache: stats,
+        mean_viewport_utility,
+        mean_blank_fraction,
+        degraded_decides: world.degraded_decides,
+        degraded_displays: world.degraded_displays,
+        late_stream_fraction: if world.streams_total == 0 {
+            0.0
+        } else {
+            world.streams_late as f64 / world.streams_total as f64
+        },
+        qoe_score: w.quality * mean_viewport_utility
+            - w.blank * mean_blank_fraction
+            - w.degraded * degraded_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sperke_sim::{TraceConfig, TraceLevel};
+    use sperke_video::VideoModelBuilder;
+
+    fn video() -> VideoModel {
+        VideoModelBuilder::new(3)
+            .duration(SimDuration::from_secs(12))
+            .build()
+    }
+
+    fn small(clients: usize) -> EdgeConfig {
+        EdgeConfig {
+            clients,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_report() {
+        let v = video();
+        let cfg = small(8);
+        assert_eq!(run_edge(&v, &cfg), run_edge(&v, &cfg));
+    }
+
+    #[test]
+    fn byte_balance_holds() {
+        let v = video();
+        let r = run_edge(&v, &small(10));
+        assert_eq!(
+            r.origin_demand_bytes(),
+            r.cache.miss_bytes + r.cache.prefetch_bytes,
+            "origin traffic must balance cache accounting"
+        );
+        assert!(r.cache.hits > 0, "shared viewing must produce hits");
+    }
+
+    #[test]
+    fn admission_control_caps_and_traces() {
+        let v = video();
+        let cfg = EdgeConfig {
+            clients: 12,
+            max_clients: 5,
+            ..Default::default()
+        };
+        let sink = TraceSink::new(TraceConfig::new(TraceLevel::Events));
+        let r = run_edge_traced(&v, &cfg, sink.clone());
+        assert_eq!(r.admitted, 5);
+        assert_eq!(r.rejected, 7);
+        let trace = sink.snapshot();
+        let admitted = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ClientAdmitted { .. }))
+            .count();
+        let rejected = trace
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::ClientThrottled {
+                        admitted: false,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(admitted, 5);
+        assert_eq!(rejected, 7);
+    }
+
+    #[test]
+    fn shared_cache_slashes_origin_traffic() {
+        let v = video();
+        let cached = run_edge(&v, &small(12));
+        let uncached = run_edge(
+            &v,
+            &EdgeConfig {
+                cache_bytes: 0,
+                prefetch: false,
+                ..small(12)
+            },
+        );
+        assert!(
+            cached.origin_demand_bytes() * 2 < uncached.origin_demand_bytes(),
+            "cached {} vs uncached {}",
+            cached.origin_demand_bytes(),
+            uncached.origin_demand_bytes()
+        );
+    }
+
+    #[test]
+    fn client_order_does_not_change_the_report() {
+        let v = video();
+        let cfg = small(9);
+        let mut clients = default_clients(&cfg);
+        let forward = run_edge_full(&v, &cfg, &clients, &EdgeHarness::default(), None);
+        clients.reverse();
+        let reversed = run_edge_full(&v, &cfg, &clients, &EdgeHarness::default(), None);
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn tight_egress_degrades_instead_of_collapsing() {
+        let v = video();
+        let ample = run_edge(
+            &v,
+            &EdgeConfig {
+                egress_bps: 400e6,
+                ..small(12)
+            },
+        );
+        let tight = run_edge(
+            &v,
+            &EdgeConfig {
+                egress_bps: 18e6,
+                ..small(12)
+            },
+        );
+        assert_eq!(ample.degraded_decides, 0, "no pressure on a wide link");
+        assert!(tight.degraded_decides > 0, "tight link must shed layers");
+        assert!(tight.mean_viewport_utility < ample.mean_viewport_utility);
+    }
+
+    #[test]
+    fn origin_outage_triggers_retries() {
+        let v = video();
+        let harness = EdgeHarness {
+            faults: FaultScript::none().link_down(0, SimTime::from_secs(2), SimTime::from_secs(4)),
+            ..Default::default()
+        };
+        let cfg = small(8);
+        let r = run_edge_full(&v, &cfg, &default_clients(&cfg), &harness, None);
+        assert!(r.origin_retries > 0, "outage must schedule retries");
+        assert_eq!(
+            r.origin_demand_bytes(),
+            r.cache.miss_bytes + r.cache.prefetch_bytes,
+            "balance must survive faults"
+        );
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_report() {
+        let v = video();
+        let cfg = small(6);
+        let mut reg = MetricsRegistry::new();
+        let r = run_edge_full(
+            &v,
+            &cfg,
+            &default_clients(&cfg),
+            &EdgeHarness::default(),
+            Some(&mut reg),
+        );
+        assert_eq!(reg.counter_value("edge.cache.hits"), Some(r.cache.hits));
+        assert_eq!(reg.counter_value("edge.origin.bytes"), Some(r.origin_bytes));
+        assert_eq!(
+            reg.counter_value("edge.clients.admitted"),
+            Some(r.admitted as u64)
+        );
+    }
+
+    #[test]
+    fn prefetch_prewarms_the_cache() {
+        let v = video();
+        let on = run_edge(
+            &v,
+            &EdgeConfig {
+                prefetch: true,
+                ..small(14)
+            },
+        );
+        let off = run_edge(
+            &v,
+            &EdgeConfig {
+                prefetch: false,
+                ..small(14)
+            },
+        );
+        assert!(on.cache.prefetches > 0, "crowd model must drive prefetches");
+        assert_eq!(off.cache.prefetches, 0);
+    }
+}

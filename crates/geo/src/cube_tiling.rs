@@ -2,7 +2,7 @@
 //!
 //! Equirectangular tiling (the [`TileGrid`](crate::tiling::TileGrid)
 //! default) wastes resolution at the poles; §2's related work cites
-//! "novel tile segmentation scheme[s] for omnidirectional video" \[33\]
+//! "novel tile segmentation scheme\[s\] for omnidirectional video" \[33\]
 //! that segment on cube faces instead, where every tile covers a
 //! comparable solid angle. [`CubeTileGrid`] splits each of the six cube
 //! faces into `k × k` tiles.
@@ -56,7 +56,10 @@ impl CubeTileGrid {
     pub fn id_at(&self, face: CubeFace, row: u16, col: u16) -> TileId {
         assert!(row < self.per_edge && col < self.per_edge);
         let k = self.per_edge as usize;
-        let f = CubeFace::ALL.iter().position(|&g| g == face).expect("known face");
+        let f = CubeFace::ALL
+            .iter()
+            .position(|&g| g == face)
+            .expect("known face");
         TileId((f * k * k + row as usize * k + col as usize) as u16)
     }
 
@@ -75,7 +78,10 @@ impl CubeTileGrid {
         let k = self.per_edge as f64;
         CubeMap::unproject(
             face,
-            Uv { u: (col as f64 + 0.5) / k, v: (row as f64 + 0.5) / k },
+            Uv {
+                u: (col as f64 + 0.5) / k,
+                v: (row as f64 + 0.5) / k,
+            },
         )
     }
 
@@ -179,13 +185,19 @@ mod tests {
         let equi = TileGrid::new(4, 6); // 24 tiles
         let cube_spread = cube.solid_angle_spread(16);
         let equi_angles: Vec<f64> = equi.tiles().map(|t| equi.rect(t).solid_angle()).collect();
-        let equi_spread = equi_angles.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        let equi_spread = equi_angles
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
             / equi_angles.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(
             cube_spread < equi_spread / 1.5,
             "cube spread {cube_spread:.2} vs equirect {equi_spread:.2}"
         );
-        assert!(cube_spread < 2.5, "cube tiles near-uniform: {cube_spread:.2}");
+        assert!(
+            cube_spread < 2.5,
+            "cube tiles near-uniform: {cube_spread:.2}"
+        );
     }
 
     #[test]
@@ -207,7 +219,9 @@ mod tests {
             let vp = Viewport::headset(o);
             let gaze_tile = g.tile_of_direction(o.direction());
             assert!(
-                g.visible_tiles(&vp, 16).iter().any(|&(t, _)| t == gaze_tile),
+                g.visible_tiles(&vp, 16)
+                    .iter()
+                    .any(|&(t, _)| t == gaze_tile),
                 "yaw {yaw}"
             );
         }

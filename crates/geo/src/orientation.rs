@@ -25,7 +25,11 @@ pub struct Orientation {
 
 impl Orientation {
     /// Facing the panorama front (+X), level, no roll.
-    pub const FRONT: Orientation = Orientation { yaw: 0.0, pitch: 0.0, roll: 0.0 };
+    pub const FRONT: Orientation = Orientation {
+        yaw: 0.0,
+        pitch: 0.0,
+        roll: 0.0,
+    };
 
     /// Construct, normalizing yaw to `[-π, π)` and clamping pitch.
     pub fn new(yaw: f64, pitch: f64, roll: f64) -> Orientation {
@@ -65,7 +69,7 @@ impl Orientation {
         // Un-rolled left/up.
         let left0 = Vec3::new(-self.yaw.sin(), self.yaw.cos(), 0.0);
         let up0 = f.cross(left0).normalized(); // forward × left = up (X × Y = Z)
-        // Apply roll: rotate left/up around the forward axis.
+                                               // Apply roll: rotate left/up around the forward axis.
         let (s, c) = self.roll.sin_cos();
         let left = left0 * c + up0 * s;
         let up = up0 * c - left0 * s;
@@ -108,13 +112,23 @@ pub struct Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Rotation of `angle` radians about `axis`.
     pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
         let a = axis.normalized();
         let (s, c) = (angle / 2.0).sin_cos();
-        Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+        Quat {
+            w: c,
+            x: a.x * s,
+            y: a.y * s,
+            z: a.z * s,
+        }
     }
 
     /// Quaternion for an [`Orientation`] (yaw about Z, then pitch about
@@ -143,7 +157,12 @@ impl Quat {
 
     /// Conjugate (inverse for unit quaternions).
     pub fn conj(self) -> Quat {
-        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quat {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Normalize to unit length.
@@ -152,13 +171,23 @@ impl Quat {
         if n < 1e-12 {
             Quat::IDENTITY
         } else {
-            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+            Quat {
+                w: self.w / n,
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
         }
     }
 
     /// Rotate a vector.
     pub fn rotate(self, v: Vec3) -> Vec3 {
-        let qv = Quat { w: 0.0, x: v.x, y: v.y, z: v.z };
+        let qv = Quat {
+            w: 0.0,
+            x: v.x,
+            y: v.y,
+            z: v.z,
+        };
         let r = self.mul(qv).mul(self.conj());
         Vec3::new(r.x, r.y, r.z)
     }
@@ -254,7 +283,10 @@ mod tests {
             let q = Quat::from_orientation(&o);
             let dir = q.rotate(Vec3::X);
             let want = o.direction();
-            assert!((dir - want).norm() < 1e-9, "mismatch at {yaw},{pitch},{roll}");
+            assert!(
+                (dir - want).norm() < 1e-9,
+                "mismatch at {yaw},{pitch},{roll}"
+            );
         }
     }
 

@@ -156,7 +156,10 @@ impl OffsetCubeMap {
     /// Construct; panics outside the valid offset range.
     pub fn new(focus: Vec3, offset: f64) -> OffsetCubeMap {
         assert!((0.0..1.0).contains(&offset), "offset must be in [0,1)");
-        OffsetCubeMap { focus: focus.normalized(), offset }
+        OffsetCubeMap {
+            focus: focus.normalized(),
+            offset,
+        }
     }
 
     /// Oculus's published configuration (~0.7 toward the focus).

@@ -27,7 +27,10 @@ pub fn fibonacci_sphere(n: usize) -> Vec<Vec3> {
 
 /// Like [`fibonacci_sphere`], as orientations (roll 0).
 pub fn fibonacci_orientations(n: usize) -> Vec<Orientation> {
-    fibonacci_sphere(n).into_iter().map(Orientation::looking_at).collect()
+    fibonacci_sphere(n)
+        .into_iter()
+        .map(Orientation::looking_at)
+        .collect()
 }
 
 /// The nearest direction in `candidates` to `dir` (index), by
@@ -70,7 +73,9 @@ impl UnitDirections {
             candidates.iter().all(|c| (c.norm() - 1.0).abs() < 1e-6),
             "candidate sets are expected to be (near-)unit directions"
         );
-        UnitDirections { units: candidates.iter().map(|c| c.normalized()).collect() }
+        UnitDirections {
+            units: candidates.iter().map(|c| c.normalized()).collect(),
+        }
     }
 
     /// The pre-normalized directions, in candidate order.
@@ -154,7 +159,10 @@ mod tests {
     fn nearest_finds_the_obvious_candidate() {
         let candidates = vec![Vec3::X, Vec3::Y, Vec3::Z];
         assert_eq!(nearest(&candidates, Vec3::new(0.9, 0.1, 0.0)), 0);
-        assert_eq!(nearest(&candidates, Vec3::new(0.0, 0.0, -1.0).lerp(Vec3::Z, 0.9)), 2);
+        assert_eq!(
+            nearest(&candidates, Vec3::new(0.0, 0.0, -1.0).lerp(Vec3::Z, 0.9)),
+            2
+        );
     }
 
     #[test]

@@ -151,7 +151,11 @@ impl TileGrid {
         let r = self.rect(id);
         let yaw = (r.yaw_min + r.yaw_max) / 2.0;
         let pitch = (r.pitch_min + r.pitch_max) / 2.0;
-        Vec3::new(pitch.cos() * yaw.cos(), pitch.cos() * yaw.sin(), pitch.sin())
+        Vec3::new(
+            pitch.cos() * yaw.cos(),
+            pitch.cos() * yaw.sin(),
+            pitch.sin(),
+        )
     }
 
     /// Great-circle distance from a direction to a tile's centre, radians.
@@ -260,7 +264,11 @@ mod tests {
         let g = TileGrid::new(1, 8);
         let west = g.id_at(0, 0);
         let east = g.id_at(0, 7);
-        assert_eq!(g.grid_distance(west, east), 1, "columns 0 and 7 are adjacent");
+        assert_eq!(
+            g.grid_distance(west, east),
+            1,
+            "columns 0 and 7 are adjacent"
+        );
         assert_eq!(g.grid_distance(west, g.id_at(0, 4)), 4);
         assert_eq!(g.grid_distance(west, west), 0);
     }

@@ -33,9 +33,19 @@ impl Viewport {
 
     /// Construct with explicit FoV extents (radians).
     pub fn new(orientation: Orientation, hfov: f64, vfov: f64) -> Viewport {
-        assert!(hfov > 0.0 && hfov < std::f64::consts::TAU, "hfov out of range");
-        assert!(vfov > 0.0 && vfov < std::f64::consts::PI, "vfov out of range");
-        Viewport { orientation, hfov, vfov }
+        assert!(
+            hfov > 0.0 && hfov < std::f64::consts::TAU,
+            "hfov out of range"
+        );
+        assert!(
+            vfov > 0.0 && vfov < std::f64::consts::PI,
+            "vfov out of range"
+        );
+        Viewport {
+            orientation,
+            hfov,
+            vfov,
+        }
     }
 
     /// Whether a world direction falls inside the FoV frustum.
@@ -202,7 +212,10 @@ mod tests {
         let vp = Viewport::headset(Orientation::FRONT);
         assert!(vp.contains(Vec3::X));
         assert!(!vp.contains(-Vec3::X));
-        assert!(!vp.contains(Vec3::Z), "straight up is outside a 90-degree vfov");
+        assert!(
+            !vp.contains(Vec3::Z),
+            "straight up is outside a 90-degree vfov"
+        );
     }
 
     #[test]
@@ -229,7 +242,10 @@ mod tests {
     fn rays_stay_inside_fov() {
         let vp = Viewport::headset(Orientation::from_degrees(30.0, -10.0, 15.0));
         for &(sx, sy) in &[(-0.99, -0.99), (0.99, 0.99), (-0.99, 0.99), (0.5, -0.5)] {
-            assert!(vp.contains(vp.ray(sx, sy)), "ray ({sx},{sy}) escaped the FoV");
+            assert!(
+                vp.contains(vp.ray(sx, sy)),
+                "ray ({sx},{sy}) escaped the FoV"
+            );
         }
     }
 
@@ -253,7 +269,10 @@ mod tests {
         for t in [grid.id_at(0, 2), grid.id_at(1, 2)] {
             assert!(tiles.contains(&t), "expected {t} visible, got {tiles:?}");
         }
-        assert!(tiles.len() < grid.tile_count(), "FoV must not cover everything");
+        assert!(
+            tiles.len() < grid.tile_count(),
+            "FoV must not cover everything"
+        );
     }
 
     #[test]
@@ -304,7 +323,11 @@ mod tests {
             assert_eq!(out.len(), fresh.len());
             for (a, b) in out.iter().zip(&fresh) {
                 assert_eq!(a.0, b.0);
-                assert_eq!(a.1.to_bits(), b.1.to_bits(), "coverage must be bit-identical");
+                assert_eq!(
+                    a.1.to_bits(),
+                    b.1.to_bits(),
+                    "coverage must be bit-identical"
+                );
             }
         }
     }

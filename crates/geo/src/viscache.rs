@@ -126,7 +126,10 @@ impl Default for VisibilityCache {
 impl VisibilityCache {
     /// A cache bounded to `capacity` entries (LRU eviction).
     pub fn new(capacity: usize) -> VisibilityCache {
-        assert!(capacity > 0, "capacity must be positive; use disabled() to turn caching off");
+        assert!(
+            capacity > 0,
+            "capacity must be positive; use disabled() to turn caching off"
+        );
         VisibilityCache {
             inner: Some(Rc::new(RefCell::new(CacheInner {
                 capacity,
@@ -193,9 +196,13 @@ impl VisibilityCache {
                 inner.evictions += 1;
             }
         }
-        inner
-            .entries
-            .insert(key, Entry { tiles: Rc::clone(&tiles), last_used: tick });
+        inner.entries.insert(
+            key,
+            Entry {
+                tiles: Rc::clone(&tiles),
+                last_used: tick,
+            },
+        );
         tiles
     }
 
@@ -258,7 +265,10 @@ mod tests {
             assert_eq!(a.0, b.0);
             assert_eq!(a.1.to_bits(), b.1.to_bits());
         }
-        assert!(Rc::ptr_eq(&miss, &hit), "a hit shares the stored allocation");
+        assert!(
+            Rc::ptr_eq(&miss, &hit),
+            "a hit shares the stored allocation"
+        );
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
     }
@@ -272,7 +282,11 @@ mod tests {
         let a = cache.visible_tiles(&v, &grid_a, 16);
         let b = cache.visible_tiles(&v, &grid_b, 16);
         let c = cache.visible_tiles(&v, &grid_a, 12);
-        assert_eq!(cache.stats().misses, 3, "grid shape and density are part of the key");
+        assert_eq!(
+            cache.stats().misses,
+            3,
+            "grid shape and density are part of the key"
+        );
         assert_ne!(a.len(), 0);
         assert_ne!(b.len(), 0);
         assert_ne!(c.len(), 0);

@@ -68,7 +68,11 @@ pub fn evaluate_predictor(
     HmpReport {
         mean_error_deg: stats::mean(&errors),
         p95_error_deg: stats::percentile(&errors, 95.0),
-        tile_hit_rate: if total > 0 { hits as f64 / total as f64 } else { 0.0 },
+        tile_hit_rate: if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        },
         evaluations: total,
     }
 }
@@ -119,7 +123,11 @@ pub fn evaluate_forecaster(
     }
 
     ForecastReport {
-        topk_hit_rate: if total > 0 { hits as f64 / total as f64 } else { 0.0 },
+        topk_hit_rate: if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        },
         mean_prob_on_target: stats::mean(&probs),
         evaluations: total,
     }

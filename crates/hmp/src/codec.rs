@@ -114,7 +114,12 @@ mod tests {
         assert_eq!(back.len(), tr.len());
         assert_eq!(back.sample_hz(), tr.sample_hz());
         for (a, b) in tr.samples().iter().zip(back.samples()) {
-            assert!((a.yaw - b.yaw).abs() <= 2.0 * QUANT_ERROR, "yaw {} vs {}", a.yaw, b.yaw);
+            assert!(
+                (a.yaw - b.yaw).abs() <= 2.0 * QUANT_ERROR,
+                "yaw {} vs {}",
+                a.yaw,
+                b.yaw
+            );
             assert!((a.pitch - b.pitch).abs() <= 2.0 * QUANT_ERROR);
         }
     }

@@ -66,9 +66,9 @@ impl ViewingContext {
     /// `[-limit, +limit]` are treated as (near-)unreachable.
     pub fn yaw_half_range(&self) -> f64 {
         match self.pose {
-            Pose::Standing => PI,                     // full turn possible
-            Pose::Sitting => 120f64.to_radians(),     // torso twist
-            Pose::Lying => 90f64.to_radians(),        // paper's couch example
+            Pose::Standing => PI,                 // full turn possible
+            Pose::Sitting => 120f64.to_radians(), // torso twist
+            Pose::Lying => 90f64.to_radians(),    // paper's couch example
         }
     }
 
@@ -98,21 +98,33 @@ mod tests {
 
     #[test]
     fn lying_cannot_look_behind() {
-        let ctx = ViewingContext { pose: Pose::Lying, ..Default::default() };
-        assert!(!ctx.yaw_reachable(PI), "180° behind is unreachable lying down");
+        let ctx = ViewingContext {
+            pose: Pose::Lying,
+            ..Default::default()
+        };
+        assert!(
+            !ctx.yaw_reachable(PI),
+            "180° behind is unreachable lying down"
+        );
         assert!(ctx.yaw_reachable(80f64.to_radians()));
     }
 
     #[test]
     fn standing_reaches_everything() {
-        let ctx = ViewingContext { pose: Pose::Standing, ..Default::default() };
+        let ctx = ViewingContext {
+            pose: Pose::Standing,
+            ..Default::default()
+        };
         assert!(ctx.yaw_reachable(PI));
         assert!(ctx.yaw_reachable(-PI));
     }
 
     #[test]
     fn yaw_reachable_wraps_input() {
-        let ctx = ViewingContext { pose: Pose::Sitting, ..Default::default() };
+        let ctx = ViewingContext {
+            pose: Pose::Sitting,
+            ..Default::default()
+        };
         // 350° offset wraps to -10°, well within a sitting range.
         assert!(ctx.yaw_reachable(350f64.to_radians()));
     }
@@ -120,8 +132,14 @@ mod tests {
     #[test]
     fn speed_factors_ordered() {
         let headset = ViewingContext::default();
-        let phone = ViewingContext { mode: WatchMode::BareSmartphone, ..Default::default() };
-        let walking = ViewingContext { mobility: Mobility::Mobile, ..Default::default() };
+        let phone = ViewingContext {
+            mode: WatchMode::BareSmartphone,
+            ..Default::default()
+        };
+        let walking = ViewingContext {
+            mobility: Mobility::Mobile,
+            ..Default::default()
+        };
         assert!(phone.speed_factor() < headset.speed_factor());
         assert!(walking.speed_factor() < headset.speed_factor());
     }

@@ -102,7 +102,10 @@ impl StudyDataset {
 
     /// Sessions of one video.
     pub fn for_video(&self, video_id: u64) -> Vec<&SessionRecord> {
-        self.sessions.iter().filter(|s| s.video_id == video_id).collect()
+        self.sessions
+            .iter()
+            .filter(|s| s.video_id == video_id)
+            .collect()
     }
 
     /// §3.2 question 1: the cross-user heatmap for a video.
@@ -130,10 +133,14 @@ impl StudyDataset {
         grouped
             .into_iter()
             .map(|(user, sessions)| {
-                let speeds95: Vec<f64> =
-                    sessions.iter().map(|s| s.trace.speed_percentile(95.0)).collect();
-                let speeds50: Vec<f64> =
-                    sessions.iter().map(|s| s.trace.speed_percentile(50.0)).collect();
+                let speeds95: Vec<f64> = sessions
+                    .iter()
+                    .map(|s| s.trace.speed_percentile(95.0))
+                    .collect();
+                let speeds50: Vec<f64> = sessions
+                    .iter()
+                    .map(|s| s.trace.speed_percentile(50.0))
+                    .collect();
                 let ratings: Vec<f64> = sessions
                     .iter()
                     .filter_map(|s| s.rating.map(|r| r as f64))
@@ -165,7 +172,10 @@ impl StudyDataset {
     /// Aggregate head-data upload rate across concurrent sessions, bps —
     /// supports the paper's "our system can easily scale" estimate.
     pub fn aggregate_bitrate_bps(&self) -> f64 {
-        self.sessions.iter().map(|s| s.head_data_bitrate_bps()).sum()
+        self.sessions
+            .iter()
+            .map(|s| s.head_data_bitrate_bps())
+            .sum()
     }
 
     /// Serialize to newline-delimited JSON (one session per line).
@@ -206,14 +216,23 @@ mod tests {
         .generate(SimDuration::from_secs(10), user * 31 + video);
         trace.user_id = user;
         trace.video_id = video;
-        SessionRecord { video_id: video, user_id: user, rating, trace }
+        SessionRecord {
+            video_id: video,
+            user_id: user,
+            rating,
+            trace,
+        }
     }
 
     fn corpus() -> StudyDataset {
         let mut ds = StudyDataset::new();
         for user in 0..4u64 {
             for video in 0..3u64 {
-                let behavior = if user == 0 { Behavior::Still } else { Behavior::Explorer };
+                let behavior = if user == 0 {
+                    Behavior::Still
+                } else {
+                    Behavior::Explorer
+                };
                 ds.add(session(video, user, behavior, Some((user + 1) as u8)));
             }
         }
@@ -257,7 +276,10 @@ mod tests {
     fn context_histogram_counts() {
         let mut ds = corpus();
         let mut lying = session(0, 9, Behavior::Still, None);
-        lying.trace.context = ViewingContext { pose: Pose::Lying, ..Default::default() };
+        lying.trace.context = ViewingContext {
+            pose: Pose::Lying,
+            ..Default::default()
+        };
         ds.add(lying);
         let hist = ds.context_histogram();
         let total: u32 = hist.values().sum();
@@ -289,6 +311,9 @@ mod tests {
     fn ndjson_skips_blank_lines() {
         let ds = corpus();
         let text = format!("\n{}\n\n", ds.to_ndjson());
-        assert_eq!(StudyDataset::from_ndjson(&text).expect("parses").len(), ds.len());
+        assert_eq!(
+            StudyDataset::from_ndjson(&text).expect("parses").len(),
+            ds.len()
+        );
     }
 }

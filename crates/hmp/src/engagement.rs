@@ -45,7 +45,10 @@ pub struct EngagementConfig {
 
 impl Default for EngagementConfig {
     fn default() -> Self {
-        EngagementConfig { calm_speed: 0.1, scan_speed: 1.2 }
+        EngagementConfig {
+            calm_speed: 0.1,
+            scan_speed: 1.2,
+        }
     }
 }
 
@@ -76,7 +79,11 @@ pub fn estimate_engagement(
     }
     let mean_speed = speeds.iter().sum::<f64>() / speeds.len() as f64;
     // Reversal fraction: sign changes of the yaw rate among decisive samples.
-    let decisive: Vec<f64> = yaw_rates.iter().copied().filter(|r| r.abs() > 0.05).collect();
+    let decisive: Vec<f64> = yaw_rates
+        .iter()
+        .copied()
+        .filter(|r| r.abs() > 0.05)
+        .collect();
     let reversals = decisive
         .windows(2)
         .filter(|w| w[0].signum() != w[1].signum())
@@ -97,8 +104,8 @@ pub fn estimate_engagement(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generate::{AttentionModel, Behavior, TraceGenerator};
     use crate::context::ViewingContext;
+    use crate::generate::{AttentionModel, Behavior, TraceGenerator};
     use sperke_sim::SimDuration;
 
     fn history_of(behavior: Behavior, seed: u64) -> Vec<(SimTime, Orientation)> {
@@ -113,7 +120,10 @@ mod tests {
 
     #[test]
     fn still_viewer_scores_engaged() {
-        let e = estimate_engagement(&history_of(Behavior::Still, 3), &EngagementConfig::default());
+        let e = estimate_engagement(
+            &history_of(Behavior::Still, 3),
+            &EngagementConfig::default(),
+        );
         assert!(e.0 > 0.6, "still viewer engagement {}", e.0);
     }
 
@@ -146,9 +156,7 @@ mod tests {
 
     #[test]
     fn saccade_probability_rises_with_disengagement() {
-        assert!(
-            Engagement(0.1).saccade_probability() > Engagement(0.9).saccade_probability()
-        );
+        assert!(Engagement(0.1).saccade_probability() > Engagement(0.9).saccade_probability());
         for e in [0.0, 0.3, 0.7, 1.0] {
             let p = Engagement(e).saccade_probability();
             assert!((0.0..=1.0).contains(&p));

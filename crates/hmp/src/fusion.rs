@@ -155,7 +155,10 @@ impl FusedForecaster {
             motion: DampedRegression::default(),
             heatmap: None,
             speed_bound: None,
-            context: ViewingContext { pose: crate::context::Pose::Standing, ..Default::default() },
+            context: ViewingContext {
+                pose: crate::context::Pose::Standing,
+                ..Default::default()
+            },
             front_yaw: 0.0,
             config: FusionConfig::default(),
         }
@@ -247,8 +250,7 @@ impl Forecaster for FusedForecaster {
             for tile in grid.tiles() {
                 let d = grid.distance_to_tile(current.direction(), tile);
                 if d > reach {
-                    probs[tile.index()] =
-                        probs[tile.index()].min(self.config.prune_floor);
+                    probs[tile.index()] = probs[tile.index()].min(self.config.prune_floor);
                 }
             }
         }
@@ -316,7 +318,13 @@ mod tests {
         let f = FusedForecaster::motion_only();
         let h = still_history(0.0);
         let now = h.last().unwrap().0;
-        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_millis(500), ChunkTime(0));
+        let fc = f.forecast(
+            &grid,
+            &h,
+            now,
+            now + SimDuration::from_millis(500),
+            ChunkTime(0),
+        );
         let front = grid.tile_of_direction(Vec3::X);
         let behind = grid.tile_of_direction(-Vec3::X);
         assert!(fc.prob(front) > 0.95);
@@ -330,8 +338,20 @@ mod tests {
         let h = still_history(0.0);
         let now = h.last().unwrap().0;
         let behind = grid.tile_of_direction(-Vec3::X);
-        let near = f.forecast(&grid, &h, now, now + SimDuration::from_millis(200), ChunkTime(0));
-        let far = f.forecast(&grid, &h, now, now + SimDuration::from_secs(3), ChunkTime(0));
+        let near = f.forecast(
+            &grid,
+            &h,
+            now,
+            now + SimDuration::from_millis(200),
+            ChunkTime(0),
+        );
+        let far = f.forecast(
+            &grid,
+            &h,
+            now,
+            now + SimDuration::from_secs(3),
+            ChunkTime(0),
+        );
         assert!(far.prob(behind) > near.prob(behind));
     }
 
@@ -372,8 +392,12 @@ mod tests {
         let now = h.last().unwrap().0;
         let target = now + SimDuration::from_secs(3);
         let behind = grid.tile_of_direction(-Vec3::X);
-        let pw = with.forecast(&grid, &h, now, target, ChunkTime(3)).prob(behind);
-        let po = without.forecast(&grid, &h, now, target, ChunkTime(3)).prob(behind);
+        let pw = with
+            .forecast(&grid, &h, now, target, ChunkTime(3))
+            .prob(behind);
+        let po = without
+            .forecast(&grid, &h, now, target, ChunkTime(3))
+            .prob(behind);
         assert!(pw > po, "prior must lift the popular tile: {pw} vs {po}");
         assert!(pw > 0.5);
     }
@@ -385,7 +409,13 @@ mod tests {
         let h = still_history(0.0);
         let now = h.last().unwrap().0;
         // Long horizon would otherwise blur probability everywhere.
-        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_secs(4), ChunkTime(0));
+        let fc = f.forecast(
+            &grid,
+            &h,
+            now,
+            now + SimDuration::from_secs(4),
+            ChunkTime(0),
+        );
         let behind = grid.tile_of_direction(-Vec3::X);
         assert!(fc.prob(behind) <= 0.05 + 1e-12);
     }
@@ -393,11 +423,20 @@ mod tests {
     #[test]
     fn lying_context_prunes_rear_tiles() {
         let grid = TileGrid::new(4, 6);
-        let ctx = ViewingContext { pose: Pose::Lying, ..Default::default() };
+        let ctx = ViewingContext {
+            pose: Pose::Lying,
+            ..Default::default()
+        };
         let f = FusedForecaster::motion_only().with_context(ctx, 0.0);
         let h = still_history(0.0);
         let now = h.last().unwrap().0;
-        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_secs(3), ChunkTime(0));
+        let fc = f.forecast(
+            &grid,
+            &h,
+            now,
+            now + SimDuration::from_secs(3),
+            ChunkTime(0),
+        );
         let behind = grid.tile_of_direction(-Vec3::X);
         let front = grid.tile_of_direction(Vec3::X);
         assert!(fc.prob(behind) <= 0.05 + 1e-12);
@@ -416,7 +455,13 @@ mod tests {
             })
             .collect();
         let now = h.last().unwrap().0;
-        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_secs(1), ChunkTime(1));
+        let fc = f.forecast(
+            &grid,
+            &h,
+            now,
+            now + SimDuration::from_secs(1),
+            ChunkTime(1),
+        );
         let current_tile = grid.tile_of_direction(h.last().unwrap().1.direction());
         // Expected gaze after damped 1s of 1 rad/s ≈ +0.7 rad ahead.
         let ahead_tile = grid.tile_of_angles(h.last().unwrap().1.yaw + 0.7, 0.0);
@@ -432,11 +477,20 @@ mod tests {
         let f = FusedForecaster::motion_only();
         let h = still_history(40.0);
         let now = h.last().unwrap().0;
-        let fc = f.forecast(&grid, &h, now, now + SimDuration::from_millis(300), ChunkTime(0));
+        let fc = f.forecast(
+            &grid,
+            &h,
+            now,
+            now + SimDuration::from_millis(300),
+            ChunkTime(0),
+        );
         let ranked = fc.ranked();
         assert_eq!(ranked.len(), grid.tile_count());
         assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
-        assert_eq!(fc.top_k(3), ranked[..3].iter().map(|&(t, _)| t).collect::<Vec<_>>());
+        assert_eq!(
+            fc.top_k(3),
+            ranked[..3].iter().map(|&(t, _)| t).collect::<Vec<_>>()
+        );
         let above = fc.above(0.5);
         assert!(above.iter().all(|&t| fc.prob(t) >= 0.5));
     }
@@ -449,18 +503,20 @@ mod tests {
         let traces = generate_ensemble(&att, 10, SimDuration::from_secs(10), 7);
         let grid = TileGrid::new(4, 6);
         let map = Heatmap::build(grid, SimDuration::from_secs(1), 10, &traces);
-        let stage_tile =
-            grid.tile_of_direction(att.hotspots()[0].position(5.0).direction());
+        let stage_tile = grid.tile_of_direction(att.hotspots()[0].position(5.0).direction());
         // User currently looks 140° away from the stage.
         let stage_yaw = att.hotspots()[0].yaw0;
         let h = still_history(stage_yaw.to_degrees() + 140.0);
         let now = h.last().unwrap().0;
         let target = now + SimDuration::from_secs(3);
-        let with = FusedForecaster::motion_only()
-            .with_heatmap(map)
-            .forecast(&grid, &h, now, target, ChunkTime(5));
-        let without =
-            FusedForecaster::motion_only().forecast(&grid, &h, now, target, ChunkTime(5));
+        let with = FusedForecaster::motion_only().with_heatmap(map).forecast(
+            &grid,
+            &h,
+            now,
+            target,
+            ChunkTime(5),
+        );
+        let without = FusedForecaster::motion_only().forecast(&grid, &h, now, target, ChunkTime(5));
         assert!(with.prob(stage_tile) > without.prob(stage_tile));
     }
 }

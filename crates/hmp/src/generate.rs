@@ -59,7 +59,10 @@ impl AttentionModel {
     /// Build from explicit hotspots.
     pub fn new(hotspots: Vec<Hotspot>) -> AttentionModel {
         assert!(!hotspots.is_empty(), "need at least one hotspot");
-        assert!(hotspots.iter().all(|h| h.weight > 0.0), "weights must be positive");
+        assert!(
+            hotspots.iter().all(|h| h.weight > 0.0),
+            "weights must be positive"
+        );
         AttentionModel { hotspots }
     }
 
@@ -122,7 +125,13 @@ impl AttentionModel {
                 pitch_amp: 0.03,
                 weight: 8.0,
             },
-            Hotspot { yaw0: 2.8, pitch0: 0.0, yaw_rate: 0.0, pitch_amp: 0.02, weight: 0.5 },
+            Hotspot {
+                yaw0: 2.8,
+                pitch0: 0.0,
+                yaw_rate: 0.0,
+                pitch_amp: 0.02,
+                weight: 0.5,
+            },
         ])
     }
 
@@ -154,8 +163,12 @@ pub enum Behavior {
 
 impl Behavior {
     /// All behaviour classes.
-    pub const ALL: [Behavior; 4] =
-        [Behavior::Focused, Behavior::Explorer, Behavior::Follower, Behavior::Still];
+    pub const ALL: [Behavior; 4] = [
+        Behavior::Focused,
+        Behavior::Explorer,
+        Behavior::Follower,
+        Behavior::Still,
+    ];
 
     /// Poisson rate of target switches, per second.
     fn switch_rate(self) -> f64 {
@@ -223,7 +236,11 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Construct a generator.
     pub fn new(attention: AttentionModel, behavior: Behavior, context: ViewingContext) -> Self {
-        TraceGenerator { attention, behavior, context }
+        TraceGenerator {
+            attention,
+            behavior,
+            context,
+        }
     }
 
     /// Generate a trace of `duration`, deterministic in `seed`.
@@ -286,7 +303,8 @@ impl TraceGenerator {
 
             // OU noise (mean-reverting jitter).
             let theta = 5.0;
-            noise_yaw += -theta * noise_yaw * dt + b.noise() * rng.gaussian() * dt.sqrt() * theta.sqrt();
+            noise_yaw +=
+                -theta * noise_yaw * dt + b.noise() * rng.gaussian() * dt.sqrt() * theta.sqrt();
             noise_pitch +=
                 -theta * noise_pitch * dt + b.noise() * rng.gaussian() * dt.sqrt() * theta.sqrt();
 
@@ -385,7 +403,10 @@ mod tests {
         let tr = TraceGenerator::new(
             att.clone(),
             Behavior::Follower,
-            ViewingContext { pose: Pose::Standing, ..Default::default() },
+            ViewingContext {
+                pose: Pose::Standing,
+                ..Default::default()
+            },
         )
         .generate(SimDuration::from_secs(20), 5);
         // At t=15 the dominant hotspot has swept far from yaw 0; the
@@ -403,11 +424,12 @@ mod tests {
     #[test]
     fn lying_viewer_never_looks_behind() {
         let att = AttentionModel::generic(7);
-        let ctx = ViewingContext { pose: Pose::Lying, ..Default::default() };
-        let tr = TraceGenerator::new(att, Behavior::Explorer, ctx).generate(
-            SimDuration::from_secs(60),
-            11,
-        );
+        let ctx = ViewingContext {
+            pose: Pose::Lying,
+            ..Default::default()
+        };
+        let tr = TraceGenerator::new(att, Behavior::Explorer, ctx)
+            .generate(SimDuration::from_secs(60), 11);
         for o in tr.samples() {
             assert!(
                 o.yaw.abs() < 100f64.to_radians(),
@@ -439,7 +461,10 @@ mod tests {
     fn ensemble_user_ids_assigned() {
         let att = AttentionModel::generic(1);
         let traces = generate_ensemble(&att, 3, SimDuration::from_secs(2), 1);
-        assert_eq!(traces.iter().map(|t| t.user_id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            traces.iter().map(|t| t.user_id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

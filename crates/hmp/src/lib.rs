@@ -32,15 +32,14 @@ pub mod trace;
 pub use accuracy::{evaluate_forecaster, evaluate_predictor, ForecastReport, HmpReport};
 pub use codec::{decode as decode_trace, encode as encode_trace, DecodeError, QUANT_ERROR};
 pub use context::{Mobility, Pose, ViewingContext, WatchMode};
-pub use fusion::{Forecaster, FusedForecaster, FusionConfig, TileForecast};
-pub use oracle::OracleForecaster;
-pub use generate::{generate_ensemble, AttentionModel, Behavior, Hotspot, TraceGenerator};
-pub use popularity::{visible_in_window, visible_in_window_cached, Heatmap};
 pub use dataset::{SessionRecord, StudyDataset, UserProfile};
 pub use engagement::{estimate_engagement, Engagement, EngagementConfig};
+pub use fusion::{Forecaster, FusedForecaster, FusionConfig, TileForecast};
+pub use generate::{generate_ensemble, AttentionModel, Behavior, Hotspot, TraceGenerator};
+pub use oracle::OracleForecaster;
+pub use popularity::{visible_in_window, visible_in_window_cached, Heatmap};
 pub use predictor::{
-    AlphaBeta, DampedRegression, DeadReckoning, Ensemble, LinearRegression, Persistence,
-    Predictor,
+    AlphaBeta, DampedRegression, DeadReckoning, Ensemble, LinearRegression, Persistence, Predictor,
 };
 pub use trace::{HeadTrace, DEFAULT_SAMPLE_HZ};
 

@@ -44,7 +44,10 @@ impl OracleForecaster {
     /// Same oracle, but with `outside_probability` for out-of-sight
     /// tiles (keeps OOS chunk selection exercised).
     pub fn with_outside_probability(trace: HeadTrace, p: f64) -> OracleForecaster {
-        OracleForecaster { outside_probability: p, ..OracleForecaster::new(trace) }
+        OracleForecaster {
+            outside_probability: p,
+            ..OracleForecaster::new(trace)
+        }
     }
 }
 
@@ -116,7 +119,13 @@ mod tests {
         let oracle = OracleForecaster::new(tr);
         let grid = TileGrid::new(4, 6);
         let history = vec![(SimTime::ZERO, Orientation::FRONT)];
-        let fc = oracle.forecast(&grid, &history, SimTime::ZERO, SimTime::from_secs(2), ChunkTime(2));
+        let fc = oracle.forecast(
+            &grid,
+            &history,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            ChunkTime(2),
+        );
         let behind = grid.tile_of_direction(-sperke_geo::Vec3::X);
         assert_eq!(fc.prob(behind), 0.0);
         // And only a minority of tiles carry probability.
@@ -130,7 +139,13 @@ mod tests {
         let oracle = OracleForecaster::with_outside_probability(tr, 0.1);
         let grid = TileGrid::new(4, 6);
         let history = vec![(SimTime::ZERO, Orientation::FRONT)];
-        let fc = oracle.forecast(&grid, &history, SimTime::ZERO, SimTime::from_secs(2), ChunkTime(2));
+        let fc = oracle.forecast(
+            &grid,
+            &history,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            ChunkTime(2),
+        );
         let behind = grid.tile_of_direction(-sperke_geo::Vec3::X);
         assert!((fc.prob(behind) - 0.1).abs() < 1e-12);
     }

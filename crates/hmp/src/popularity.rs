@@ -122,6 +122,17 @@ impl Heatmap {
         self.ranked_tiles(t)[0].0
     }
 
+    /// The `k` most-viewed tiles for chunk `t`, best first (ties by id,
+    /// so the cut is deterministic) — the prefetch working set an edge
+    /// server pre-warms for a crowd.
+    pub fn top_k(&self, t: ChunkTime, k: usize) -> Vec<TileId> {
+        self.ranked_tiles(t)
+            .into_iter()
+            .take(k)
+            .map(|(tile, _)| tile)
+            .collect()
+    }
+
     /// Shannon entropy (bits) of the normalized tile distribution at `t`:
     /// low entropy = consensus (good for long-horizon prediction),
     /// high entropy = viewers scattered.
@@ -148,7 +159,11 @@ impl Heatmap {
     /// Merge another heatmap's observations into this one (same shape).
     pub fn merge(&mut self, other: &Heatmap) {
         assert_eq!(self.grid, other.grid, "grids must match");
-        assert_eq!(self.counts.len(), other.counts.len(), "chunk counts must match");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "chunk counts must match"
+        );
         for (mine, theirs) in self.viewers.iter_mut().zip(&other.viewers) {
             *mine += theirs;
         }

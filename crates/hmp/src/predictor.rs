@@ -72,7 +72,11 @@ impl Predictor for LinearRegression {
         let (ya, yb) = linear_fit(&xs, &yaws);
         let (pa, pb) = linear_fit(&xs, &pitches);
         let h = horizon.as_secs_f64();
-        Orientation::new(ya + yb * h, pa + pb * h, tail.last().expect("non-empty").1.roll)
+        Orientation::new(
+            ya + yb * h,
+            pa + pb * h,
+            tail.last().expect("non-empty").1.roll,
+        )
     }
 }
 
@@ -116,7 +120,10 @@ pub struct DampedRegression {
 
 impl Default for DampedRegression {
     fn default() -> Self {
-        DampedRegression { window: 25, half_life: 0.7 }
+        DampedRegression {
+            window: 25,
+            half_life: 0.7,
+        }
     }
 }
 
@@ -126,7 +133,9 @@ impl Predictor for DampedRegression {
     }
 
     fn predict(&self, history: &[(SimTime, Orientation)], horizon: SimDuration) -> Orientation {
-        let lr = LinearRegression { window: self.window };
+        let lr = LinearRegression {
+            window: self.window,
+        };
         let now = history.last().expect("non-empty").1;
         let raw = lr.predict(history, horizon);
         // Damp the *displacement* rather than the endpoint: integrate an
@@ -155,7 +164,10 @@ pub struct AlphaBeta {
 
 impl Default for AlphaBeta {
     fn default() -> Self {
-        AlphaBeta { alpha: 0.5, beta: 0.1 }
+        AlphaBeta {
+            alpha: 0.5,
+            beta: 0.1,
+        }
     }
 }
 
@@ -258,7 +270,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let t = i as f64 * 0.02;
-                (SimTime::from_secs_f64(t), Orientation::new(rate * t, 0.1 * t, 0.0))
+                (
+                    SimTime::from_secs_f64(t),
+                    Orientation::new(rate * t, 0.1 * t, 0.0),
+                )
             })
             .collect()
     }
@@ -350,7 +365,10 @@ mod tests {
         let h: Vec<(SimTime, Orientation)> = (0..50)
             .map(|i| {
                 let t = i as f64 * 0.02;
-                (SimTime::from_secs_f64(t), Orientation::new(3.0 + 0.5 * t, 0.0, 0.0))
+                (
+                    SimTime::from_secs_f64(t),
+                    Orientation::new(3.0 + 0.5 * t, 0.0, 0.0),
+                )
             })
             .collect();
         let p = AlphaBeta::default().predict(&h, SimDuration::from_millis(200));

@@ -126,8 +126,8 @@ impl HeadTrace {
     /// The trailing window of samples ending at `time`, at most
     /// `max_len` entries (newest last). Used as predictor input.
     pub fn history(&self, time: SimTime, max_len: usize) -> Vec<(SimTime, Orientation)> {
-        let end_idx = ((time.as_secs_f64() * self.sample_hz).floor() as usize)
-            .min(self.samples.len() - 1);
+        let end_idx =
+            ((time.as_secs_f64() * self.sample_hz).floor() as usize).min(self.samples.len() - 1);
         let start = end_idx.saturating_sub(max_len.saturating_sub(1));
         (start..=end_idx)
             .map(|i| {
@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn at_clamps_past_ends() {
         let tr = linear_trace();
-        assert_eq!(tr.at(SimTime::from_secs(99)).yaw, tr.samples().last().unwrap().yaw);
+        assert_eq!(
+            tr.at(SimTime::from_secs(99)).yaw,
+            tr.samples().last().unwrap().yaw
+        );
         assert_eq!(tr.at(SimTime::ZERO), tr.samples()[0]);
     }
 
@@ -213,7 +216,10 @@ mod tests {
         let tr = linear_trace();
         let h = tr.history(SimTime::from_secs(1), 10);
         assert_eq!(h.len(), 10);
-        assert!(h.windows(2).all(|w| w[0].0 < w[1].0), "ordered oldest-first");
+        assert!(
+            h.windows(2).all(|w| w[0].0 < w[1].0),
+            "ordered oldest-first"
+        );
         assert!((h.last().unwrap().0.as_secs_f64() - 1.0).abs() < 1e-9);
     }
 

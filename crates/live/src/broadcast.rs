@@ -28,11 +28,46 @@ impl NetworkCondition {
     /// The five rows of Table 2, with the paper's labels.
     pub fn table2_rows() -> Vec<(&'static str, &'static str, NetworkCondition)> {
         vec![
-            ("No limit", "No limit", NetworkCondition { up_cap_bps: None, down_cap_bps: None }),
-            ("2Mbps", "No limit", NetworkCondition { up_cap_bps: Some(2e6), down_cap_bps: None }),
-            ("No limit", "2Mbps", NetworkCondition { up_cap_bps: None, down_cap_bps: Some(2e6) }),
-            ("0.5Mbps", "No limit", NetworkCondition { up_cap_bps: Some(0.5e6), down_cap_bps: None }),
-            ("No limit", "0.5Mbps", NetworkCondition { up_cap_bps: None, down_cap_bps: Some(0.5e6) }),
+            (
+                "No limit",
+                "No limit",
+                NetworkCondition {
+                    up_cap_bps: None,
+                    down_cap_bps: None,
+                },
+            ),
+            (
+                "2Mbps",
+                "No limit",
+                NetworkCondition {
+                    up_cap_bps: Some(2e6),
+                    down_cap_bps: None,
+                },
+            ),
+            (
+                "No limit",
+                "2Mbps",
+                NetworkCondition {
+                    up_cap_bps: None,
+                    down_cap_bps: Some(2e6),
+                },
+            ),
+            (
+                "0.5Mbps",
+                "No limit",
+                NetworkCondition {
+                    up_cap_bps: Some(0.5e6),
+                    down_cap_bps: None,
+                },
+            ),
+            (
+                "No limit",
+                "0.5Mbps",
+                NetworkCondition {
+                    up_cap_bps: None,
+                    down_cap_bps: Some(0.5e6),
+                },
+            ),
         ]
     }
 }
@@ -117,7 +152,12 @@ pub fn run_live_with_upload_vra(
         rng.split(1),
     );
     let mut downlink = PathQueue::new(
-        PathModel::new("downlink", BandwidthTrace::constant(down_bps), config.rtt, 0.0),
+        PathModel::new(
+            "downlink",
+            BandwidthTrace::constant(down_bps),
+            config.rtt,
+            0.0,
+        ),
         rng.split(2),
     );
     let mut estimator = BandwidthEstimator::festive();
@@ -173,7 +213,11 @@ pub fn run_live_with_upload_vra(
     let mut viewer_quality = if platform.viewer_adapts {
         // Live players typically open mid-ladder; FB's ladder bottom is
         // 720p anyway.
-        Quality((platform.ladder.levels() as u8 - 1).min(platform.ladder.top().0).saturating_sub(1))
+        Quality(
+            (platform.ladder.levels() as u8 - 1)
+                .min(platform.ladder.top().0)
+                .saturating_sub(1),
+        )
     } else {
         platform.ladder.top()
     };
@@ -191,11 +235,13 @@ pub fn run_live_with_upload_vra(
                 viewer_quality = platform.ladder.highest_below(est);
             }
         }
-        let bytes =
-            (platform.ladder.bitrate(viewer_quality) * d.as_secs_f64() / 8.0) as u64;
+        let bytes = (platform.ladder.bitrate(viewer_quality) * d.as_secs_f64() / 8.0) as u64;
         let completion = downlink.submit(bytes, discovered, Reliability::Reliable);
         // Batch goodput over discovery→completion (pipelined queue).
-        let secs = completion.finished.saturating_since(discovered).as_secs_f64();
+        let secs = completion
+            .finished
+            .saturating_since(discovered)
+            .as_secs_f64();
         if secs > 0.0 {
             estimator.record(bytes as f64 * 8.0 / secs);
         }
@@ -272,7 +318,10 @@ mod tests {
     use super::*;
 
     fn unlimited() -> NetworkCondition {
-        NetworkCondition { up_cap_bps: None, down_cap_bps: None }
+        NetworkCondition {
+            up_cap_bps: None,
+            down_cap_bps: None,
+        }
     }
 
     #[test]
@@ -311,11 +360,17 @@ mod tests {
         let base = run_live(&PlatformProfile::facebook(), unlimited(), &cfg);
         let starved = run_live(
             &PlatformProfile::facebook(),
-            NetworkCondition { up_cap_bps: Some(0.5e6), down_cap_bps: None },
+            NetworkCondition {
+                up_cap_bps: Some(0.5e6),
+                down_cap_bps: None,
+            },
             &cfg,
         );
         assert!(starved.mean_latency_s > base.mean_latency_s + 2.0);
-        assert!(starved.upload_skips > 0, "0.5 Mbps uplink must skip segments");
+        assert!(
+            starved.upload_skips > 0,
+            "0.5 Mbps uplink must skip segments"
+        );
     }
 
     #[test]
@@ -325,7 +380,10 @@ mod tests {
             let base = run_live(&p, unlimited(), &cfg);
             let starved = run_live(
                 &p,
-                NetworkCondition { up_cap_bps: None, down_cap_bps: Some(0.5e6) },
+                NetworkCondition {
+                    up_cap_bps: None,
+                    down_cap_bps: Some(0.5e6),
+                },
                 &cfg,
             );
             assert!(
@@ -344,7 +402,10 @@ mod tests {
         let yt_base = run_live(&PlatformProfile::youtube(), unlimited(), &cfg);
         let yt_starved = run_live(
             &PlatformProfile::youtube(),
-            NetworkCondition { up_cap_bps: None, down_cap_bps: Some(0.5e6) },
+            NetworkCondition {
+                up_cap_bps: None,
+                down_cap_bps: Some(0.5e6),
+            },
             &cfg,
         );
         assert!(yt_starved.mean_quality < yt_base.mean_quality);
@@ -355,12 +416,18 @@ mod tests {
         // Table 2, row "No limit / 0.5Mbps": Periscope (61.8) worse than
         // FB (45.4) and YT (38.6).
         let cfg = LiveRunConfig::default();
-        let cond = NetworkCondition { up_cap_bps: None, down_cap_bps: Some(0.5e6) };
+        let cond = NetworkCondition {
+            up_cap_bps: None,
+            down_cap_bps: Some(0.5e6),
+        };
         let fb = run_live(&PlatformProfile::facebook(), cond, &cfg).mean_latency_s;
         let ps = run_live(&PlatformProfile::periscope(), cond, &cfg).mean_latency_s;
         let yt = run_live(&PlatformProfile::youtube(), cond, &cfg).mean_latency_s;
         assert!(ps > yt, "periscope {ps:.1} should exceed youtube {yt:.1}");
-        assert!(fb > yt, "facebook {fb:.1} should exceed youtube {yt:.1} (no low rungs)");
+        assert!(
+            fb > yt,
+            "facebook {fb:.1} should exceed youtube {yt:.1} (no low rungs)"
+        );
     }
 
     #[test]
@@ -368,7 +435,10 @@ mod tests {
         // §3.4.2 direction 1: the adaptive broadcaster trades encoded
         // quality for latency instead of skipping and backlogging.
         let cfg = LiveRunConfig::default();
-        let cond = NetworkCondition { up_cap_bps: Some(0.5e6), down_cap_bps: None };
+        let cond = NetworkCondition {
+            up_cap_bps: Some(0.5e6),
+            down_cap_bps: None,
+        };
         let p = PlatformProfile::facebook();
         let fixed = run_live(&p, cond, &cfg);
         let adaptive = run_live_with_upload_vra(&p, cond, &cfg, true);
@@ -389,7 +459,10 @@ mod tests {
     #[test]
     fn upload_vra_is_noop_on_good_uplinks() {
         let cfg = LiveRunConfig::default();
-        let cond = NetworkCondition { up_cap_bps: None, down_cap_bps: None };
+        let cond = NetworkCondition {
+            up_cap_bps: None,
+            down_cap_bps: None,
+        };
         let p = PlatformProfile::facebook();
         let fixed = run_live(&p, cond, &cfg);
         let adaptive = run_live_with_upload_vra(&p, cond, &cfg, true);
@@ -411,7 +484,11 @@ mod tests {
             sperke.mean_latency_s,
             fb.mean_latency_s
         );
-        assert!(sperke.mean_latency_s < 6.0, "got {:.1}s", sperke.mean_latency_s);
+        assert!(
+            sperke.mean_latency_s < 6.0,
+            "got {:.1}s",
+            sperke.mean_latency_s
+        );
 
         // Ablation: the same platform without passthrough pays the
         // re-encode delay.
@@ -424,7 +501,10 @@ mod tests {
     #[test]
     fn run_is_deterministic() {
         let cfg = LiveRunConfig::default();
-        let cond = NetworkCondition { up_cap_bps: Some(2e6), down_cap_bps: None };
+        let cond = NetworkCondition {
+            up_cap_bps: Some(2e6),
+            down_cap_bps: None,
+        };
         let a = run_live(&PlatformProfile::periscope(), cond, &cfg);
         let b = run_live(&PlatformProfile::periscope(), cond, &cfg);
         assert_eq!(a, b);

@@ -65,7 +65,9 @@ impl CrowdAggregator {
             // their gaze report reaches the server report_delay later.
             let wall = video_time + viewer.latency + self.report_delay;
             let gaze = viewer.trace.at(video_time + self.chunk_duration / 2);
-            let tiles = self.vis.visible_tile_set(&Viewport::headset(gaze), &self.grid);
+            let tiles = self
+                .vis
+                .visible_tile_set(&Viewport::headset(gaze), &self.grid);
             self.reports.push((wall, ChunkTime(c), tiles));
         }
     }
@@ -85,6 +87,18 @@ impl CrowdAggregator {
     /// Number of ingested reports.
     pub fn report_count(&self) -> usize {
         self.reports.len()
+    }
+
+    /// The `k` tiles the crowd most watched for chunk `chunk`, judged
+    /// only from reports causally available at wall time `now` (best
+    /// first, ties by tile id). Empty when no report for the chunk has
+    /// arrived yet — an edge prefetcher then has nothing to act on.
+    pub fn predicted_tiles(&self, now: SimTime, chunk: ChunkTime, k: usize) -> Vec<TileId> {
+        let map = self.heatmap_at(now, chunk.0 + 1);
+        if map.viewer_count(chunk) == 0 {
+            return Vec::new();
+        }
+        map.top_k(chunk, k)
     }
 }
 
@@ -124,7 +138,9 @@ pub fn evaluate_crowd_hmp(
         let video_time = SimTime::ZERO + chunk_duration * c as u64;
         let display_wall = video_time + viewer.latency;
         let decide_wall = SimTime::from_nanos(
-            display_wall.as_nanos().saturating_sub(fetch_lead.as_nanos()),
+            display_wall
+                .as_nanos()
+                .saturating_sub(fetch_lead.as_nanos()),
         );
         // The viewer's own gaze history: what they were *watching* at
         // decide time, i.e. video time decide_wall - latency.
@@ -152,8 +168,16 @@ pub fn evaluate_crowd_hmp(
         total += 1;
     }
     CrowdHmpReport {
-        topk_hit_rate: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
-        mean_reports_available: if total == 0 { 0.0 } else { reports_avail / total as f64 },
+        topk_hit_rate: if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        },
+        mean_reports_available: if total == 0 {
+            0.0
+        } else {
+            reports_avail / total as f64
+        },
         evaluations: total,
     }
 }
@@ -234,7 +258,10 @@ mod tests {
             let with = evaluate_crowd_hmp(&grid, cd, &agg, &high, 28, lead, 6, true);
             let without = evaluate_crowd_hmp(&grid, cd, &agg, &high, 28, lead, 6, false);
             best_gain = best_gain.max(with.topk_hit_rate - without.topk_hit_rate);
-            assert!(with.mean_reports_available > 6.0, "crowd data must be available");
+            assert!(
+                with.mean_reports_available > 6.0,
+                "crowd data must be available"
+            );
         }
         assert!(
             best_gain > 0.0,

@@ -31,7 +31,10 @@ pub struct Horizon {
 impl Horizon {
     /// The full 360° panorama.
     pub fn full() -> Horizon {
-        Horizon { center: 0.0, span: TAU }
+        Horizon {
+            center: 0.0,
+            span: TAU,
+        }
     }
 
     /// Whether a yaw falls inside the horizon.
@@ -62,7 +65,9 @@ impl InterestProfile {
 
     /// An empty (uniform) profile.
     pub fn new() -> InterestProfile {
-        InterestProfile { bins: vec![0.0; Self::BINS] }
+        InterestProfile {
+            bins: vec![0.0; Self::BINS],
+        }
     }
 
     /// Record one gaze yaw observation.
@@ -129,7 +134,10 @@ impl InterestProfile {
             if mass >= target {
                 let span = ((2 * radius + 1) as f64 * TAU / Self::BINS as f64).min(TAU);
                 if span < best.span {
-                    best = Horizon { center: Self::bin_center(c), span };
+                    best = Horizon {
+                        center: Self::bin_center(c),
+                        span,
+                    };
                 }
             }
         }
@@ -210,7 +218,11 @@ pub fn plan_upload(
             }
             let bitrate = full_bitrate_bps * horizon.coverage();
             if bitrate <= available {
-                UploadPlan { horizon, quality_scale: 1.0, bitrate_bps: bitrate }
+                UploadPlan {
+                    horizon,
+                    quality_scale: 1.0,
+                    bitrate_bps: bitrate,
+                }
             } else {
                 // Even the minimum span doesn't fit: shave quality too.
                 UploadPlan {
@@ -245,7 +257,11 @@ pub fn viewer_experience(
             t += step;
         }
     }
-    let coverage_hit = if total == 0 { 0.0 } else { in_region as f64 / total as f64 };
+    let coverage_hit = if total == 0 {
+        0.0
+    } else {
+        in_region as f64 / total as f64
+    };
     ExperienceReport {
         mean_quality: plan.quality_scale * coverage_hit,
         gaze_coverage: coverage_hit,
@@ -277,7 +293,10 @@ mod tests {
 
     #[test]
     fn horizon_contains_wraps() {
-        let h = Horizon { center: 3.0, span: 1.0 };
+        let h = Horizon {
+            center: 3.0,
+            span: 1.0,
+        };
         assert!(h.contains(3.3));
         assert!(h.contains(-2.9), "arc wraps past π");
         assert!(!h.contains(0.0));
@@ -289,7 +308,11 @@ mod tests {
         let traces = stage_traces();
         let profile = InterestProfile::from_traces(&traces, SimTime::from_secs(10));
         let h = profile.horizon_for(0.85, 60f64.to_radians());
-        assert!(h.span < TAU * 0.7, "stage interest is concentrated, span {}", h.span);
+        assert!(
+            h.span < TAU * 0.7,
+            "stage interest is concentrated, span {}",
+            h.span
+        );
         // The stage is near yaw 0 for this attention seed.
         assert!(angle_dist(h.center, 0.0) < 1.0, "center {}", h.center);
     }
@@ -351,8 +374,13 @@ mod tests {
         let profile = InterestProfile::from_traces(&traces, SimTime::from_secs(10));
         let available = 1.6e6; // 40 % of the 4 Mbps full rate
         let q_plan = plan_upload(UploadStrategy::QualityOnly, 4e6, available, &profile, 1.0);
-        let s_plan =
-            plan_upload(UploadStrategy::SpatialFallback, 4e6, available, &profile, 1.0);
+        let s_plan = plan_upload(
+            UploadStrategy::SpatialFallback,
+            4e6,
+            available,
+            &profile,
+            1.0,
+        );
         let dur = SimDuration::from_secs(20);
         let q = viewer_experience(&q_plan, &traces, dur);
         let s = viewer_experience(&s_plan, &traces, dur);
@@ -379,8 +407,13 @@ mod tests {
         let profile = InterestProfile::from_traces(&traces, SimTime::from_secs(10));
         let available = 1.6e6;
         let q_plan = plan_upload(UploadStrategy::QualityOnly, 4e6, available, &profile, 1.0);
-        let s_plan =
-            plan_upload(UploadStrategy::SpatialFallback, 4e6, available, &profile, 1.0);
+        let s_plan = plan_upload(
+            UploadStrategy::SpatialFallback,
+            4e6,
+            available,
+            &profile,
+            1.0,
+        );
         let dur = SimDuration::from_secs(20);
         let q = viewer_experience(&q_plan, &traces, dur);
         let s = viewer_experience(&s_plan, &traces, dur);
@@ -403,7 +436,10 @@ mod tests {
             &p,
             120f64.to_radians(),
         );
-        assert!(plan.quality_scale < 1.0, "min span can't fit 0.1 Mbps at full quality");
+        assert!(
+            plan.quality_scale < 1.0,
+            "min span can't fit 0.1 Mbps at full quality"
+        );
         assert!(plan.bitrate_bps <= 0.1e6 + 1.0);
     }
 }

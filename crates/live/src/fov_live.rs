@@ -77,8 +77,7 @@ pub fn run_fov_live(
 ) -> FovLiveReport {
     let cd = video.chunk_duration();
     let chunks = video.chunk_count();
-    let budget =
-        (config.downlink_bps * config.budget_share * cd.as_secs_f64() / 8.0) as u64;
+    let budget = (config.downlink_bps * config.budget_share * cd.as_secs_f64() / 8.0) as u64;
 
     let mut bytes_fetched = 0u64;
     let mut blank_acc = 0.0;
@@ -107,8 +106,7 @@ pub fn run_fov_live(
         let history = viewer.trace.history(own_video_now, 50);
         let heatmap = crowd.heatmap_at(decide_wall, chunks);
         let forecaster = FusedForecaster::motion_only().with_heatmap(heatmap);
-        let forecast =
-            forecaster.forecast(video.grid(), &history, own_video_now, video_time, t);
+        let forecast = forecaster.forecast(video.grid(), &history, own_video_now, video_time, t);
 
         let choices = select_stochastic(
             video,
@@ -127,8 +125,7 @@ pub fn run_fov_live(
         }
         // Display: viewport at the chunk's midpoint.
         let gaze = viewer.trace.at(video_time + cd / 2);
-        let visible =
-            vis.visible_tiles(&sperke_geo::Viewport::headset(gaze), video.grid(), 16);
+        let visible = vis.visible_tiles(&sperke_geo::Viewport::headset(gaze), video.grid(), 16);
         let mut blank = 0.0;
         let mut util = 0.0;
         for &(tile, coverage) in visible.iter() {
@@ -245,13 +242,19 @@ mod tests {
             &video,
             &high,
             &crowd,
-            &FovLiveConfig { downlink_bps: 4e6, ..Default::default() },
+            &FovLiveConfig {
+                downlink_bps: 4e6,
+                ..Default::default()
+            },
         );
         let rich = run_fov_live(
             &video,
             &high,
             &crowd,
-            &FovLiveConfig { downlink_bps: 20e6, ..Default::default() },
+            &FovLiveConfig {
+                downlink_bps: 20e6,
+                ..Default::default()
+            },
         );
         assert!(rich.mean_viewport_utility > lean.mean_viewport_utility);
         assert!(rich.bytes_fetched > lean.bytes_fetched);

@@ -26,9 +26,9 @@ pub use broadcast::{
     run_live, run_live_with_upload_vra, table2, LiveRunConfig, LiveRunResult, NetworkCondition,
 };
 pub use crowd::{evaluate_crowd_hmp, CrowdAggregator, CrowdHmpReport, LiveViewer};
-pub use fov_live::{run_fov_live, FovLiveConfig, FovLiveReport};
 pub use fallback::{
     plan_upload, viewer_experience, ExperienceReport, Horizon, InterestProfile, UploadPlan,
     UploadStrategy,
 };
+pub use fov_live::{run_fov_live, FovLiveConfig, FovLiveReport};
 pub use platform::{DownloadProtocol, PlatformProfile};

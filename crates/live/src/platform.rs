@@ -61,7 +61,11 @@ pub struct PlatformProfile {
 }
 
 fn rung(name: &str, mbps: f64, height: u32) -> Rung {
-    Rung { name: name.into(), bitrate_bps: mbps * 1e6, height }
+    Rung {
+        name: name.into(),
+        bitrate_bps: mbps * 1e6,
+        height,
+    }
 }
 
 impl PlatformProfile {
@@ -74,7 +78,9 @@ impl PlatformProfile {
             encoder_delay: SimDuration::from_millis(500),
             upload_buffer_segments: 0,
             reencode_delay: SimDuration::from_millis(1500),
-            download: DownloadProtocol::DashPull { mpd_poll: SimDuration::from_secs(1) },
+            download: DownloadProtocol::DashPull {
+                mpd_poll: SimDuration::from_secs(1),
+            },
             ladder: Ladder::new(vec![rung("720p", 1.8, 720), rung("1080p", 4.0, 1080)]),
             upload_bitrate_bps: 4.0e6,
             viewer_adapts: true,
@@ -110,7 +116,9 @@ impl PlatformProfile {
             encoder_delay: SimDuration::from_millis(800),
             upload_buffer_segments: 0,
             reencode_delay: SimDuration::from_secs(3),
-            download: DownloadProtocol::DashPull { mpd_poll: SimDuration::from_secs(2) },
+            download: DownloadProtocol::DashPull {
+                mpd_poll: SimDuration::from_secs(2),
+            },
             ladder: Ladder::new(vec![
                 rung("144p", 0.15, 144),
                 rung("240p", 0.3, 240),
@@ -136,7 +144,9 @@ impl PlatformProfile {
             encoder_delay: SimDuration::from_millis(400),
             upload_buffer_segments: 2,
             reencode_delay: SimDuration::from_secs(2), // ignored: SVC passthrough
-            download: DownloadProtocol::DashPull { mpd_poll: SimDuration::from_millis(500) },
+            download: DownloadProtocol::DashPull {
+                mpd_poll: SimDuration::from_millis(500),
+            },
             ladder: Ladder::new(vec![
                 rung("360p", 0.66, 360),  // base layer
                 rung("720p", 2.4, 720),   // +enhancement 1 (10% SVC overhead)

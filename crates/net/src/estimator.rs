@@ -43,7 +43,12 @@ impl BandwidthEstimator {
         if let EstimatorKind::Harmonic { window } = kind {
             assert!(window > 0, "window must be positive");
         }
-        BandwidthEstimator { kind, samples: Vec::new(), ewma: None, trace: TraceSink::disabled() }
+        BandwidthEstimator {
+            kind,
+            samples: Vec::new(),
+            ewma: None,
+            trace: TraceSink::disabled(),
+        }
     }
 
     /// Record estimator updates into `sink` (used by
@@ -68,7 +73,8 @@ impl BandwidthEstimator {
                 goodput_bps,
                 estimate_bps: self.estimate().unwrap_or(0.0),
             });
-            self.trace.metrics(|m| m.histogram("net.goodput_bps").record(goodput_bps));
+            self.trace
+                .metrics(|m| m.histogram("net.goodput_bps").record(goodput_bps));
         }
     }
 
@@ -146,7 +152,10 @@ mod tests {
         e.record(1e6);
         e.record(4e6);
         e.record(4e6);
-        assert!((e.estimate().unwrap() - 4e6).abs() < 1.0, "old samples evicted");
+        assert!(
+            (e.estimate().unwrap() - 4e6).abs() < 1.0,
+            "old samples evicted"
+        );
     }
 
     #[test]

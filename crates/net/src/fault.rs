@@ -107,9 +107,17 @@ impl FaultScript {
             bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
             "bandwidth_factor must be in (0, 1]"
         );
-        assert!((0.0..1.0).contains(&extra_loss), "extra_loss must be in [0, 1)");
-        self.specs
-            .push(FaultSpec::Degrade { path, from, until, bandwidth_factor, extra_loss });
+        assert!(
+            (0.0..1.0).contains(&extra_loss),
+            "extra_loss must be in [0, 1)"
+        );
+        self.specs.push(FaultSpec::Degrade {
+            path,
+            from,
+            until,
+            bandwidth_factor,
+            extra_loss,
+        });
         self
     }
 
@@ -195,7 +203,11 @@ impl FaultScript {
             .specs
             .iter()
             .filter_map(|s| match *s {
-                FaultSpec::LinkDown { path: p, from, until } if p == path => Some((from, until)),
+                FaultSpec::LinkDown {
+                    path: p,
+                    from,
+                    until,
+                } if p == path => Some((from, until)),
                 _ => None,
             })
             .collect();
@@ -212,15 +224,25 @@ impl FaultScript {
             .specs
             .iter()
             .filter_map(|s| match *s {
-                FaultSpec::Degrade { path: p, from, until, bandwidth_factor, extra_loss }
-                    if p == path =>
-                {
-                    Some(Degradation { from, until, bandwidth_factor, extra_loss })
-                }
+                FaultSpec::Degrade {
+                    path: p,
+                    from,
+                    until,
+                    bandwidth_factor,
+                    extra_loss,
+                } if p == path => Some(Degradation {
+                    from,
+                    until,
+                    bandwidth_factor,
+                    extra_loss,
+                }),
                 _ => None,
             })
             .collect();
-        PathFaults { outages: merged, degradations }
+        PathFaults {
+            outages: merged,
+            degradations,
+        }
     }
 }
 
@@ -384,7 +406,10 @@ mod tests {
         };
         assert_eq!(mk(7), mk(7), "same seed, same schedule");
         assert_ne!(mk(7), mk(8), "different seeds differ");
-        assert!(!mk(7).is_empty(), "a 120 s horizon with 20 s mean gap yields outages");
+        assert!(
+            !mk(7).is_empty(),
+            "a 120 s horizon with 20 s mean gap yields outages"
+        );
         // Outages stay within a generous bound of the horizon and are
         // well-formed per path.
         for path in 0..2 {
@@ -407,7 +432,10 @@ mod tests {
             0.05,
         );
         let f = script.compile_for(0);
-        assert!(f.outages().is_empty(), "bursts are degradations, not outages");
+        assert!(
+            f.outages().is_empty(),
+            "bursts are degradations, not outages"
+        );
         let bursty = script
             .specs()
             .iter()

@@ -34,6 +34,7 @@ pub mod path;
 pub mod priority;
 pub mod shaper;
 pub mod transfer;
+pub mod wrr;
 
 pub use bandwidth::BandwidthTrace;
 pub use estimator::{BandwidthEstimator, EstimatorKind};
@@ -47,6 +48,7 @@ pub use path::PathModel;
 pub use priority::{ChunkPriority, Reliability, SpatialPriority, TemporalPriority};
 pub use shaper::TokenBucket;
 pub use transfer::{Completion, PathQueue, TransferId, TransferOutcome};
+pub use wrr::{WrrCompletion, WrrLink};
 
 #[cfg(test)]
 mod proptests {

@@ -75,7 +75,10 @@ pub fn failover_assignment(
         .filter(|&i| i != avoid)
         .min_by_key(|&i| paths[i].estimate_completion(req.bytes, now))
         .unwrap_or(avoid);
-    Assignment { path, reliability: Reliability::Reliable }
+    Assignment {
+        path,
+        reliability: Reliability::Reliable,
+    }
 }
 
 /// Bounded-retry parameters for [`MultipathSession::submit_resilient`].
@@ -108,7 +111,8 @@ impl Default for RecoveryPolicy {
 impl RecoveryPolicy {
     /// The backoff delay applied after failed attempt `attempt` (1-based).
     pub fn delay_after(&self, attempt: u32) -> SimDuration {
-        self.backoff.mul_f64(self.backoff_factor.powi(attempt.saturating_sub(1) as i32))
+        self.backoff
+            .mul_f64(self.backoff_factor.powi(attempt.saturating_sub(1) as i32))
     }
 }
 
@@ -139,7 +143,10 @@ impl MultipathScheduler for SinglePath {
 
     fn assign(&mut self, _req: &ChunkRequest, paths: &[PathQueue], _now: SimTime) -> Assignment {
         assert!(self.0 < paths.len());
-        Assignment { path: self.0, reliability: Reliability::Reliable }
+        Assignment {
+            path: self.0,
+            reliability: Reliability::Reliable,
+        }
     }
 }
 
@@ -169,7 +176,10 @@ impl MultipathScheduler for MinRtt {
                 .min_by_key(|&i| (paths[i].available_at(now), paths[i].path().rtt))
                 .expect("non-empty")
         };
-        Assignment { path, reliability: Reliability::Reliable }
+        Assignment {
+            path,
+            reliability: Reliability::Reliable,
+        }
     }
 }
 
@@ -188,7 +198,10 @@ impl MultipathScheduler for EarliestCompletion {
         let path = (0..paths.len())
             .min_by_key(|&i| paths[i].estimate_completion(req.bytes, now))
             .expect("non-empty");
-        Assignment { path, reliability: Reliability::Reliable }
+        Assignment {
+            path,
+            reliability: Reliability::Reliable,
+        }
     }
 }
 
@@ -209,7 +222,10 @@ impl MultipathScheduler for ContentAware {
     fn assign(&mut self, req: &ChunkRequest, paths: &[PathQueue], now: SimTime) -> Assignment {
         assert!(!paths.is_empty());
         if paths.len() == 1 {
-            return Assignment { path: 0, reliability: req.priority.reliability() };
+            return Assignment {
+                path: 0,
+                reliability: req.priority.reliability(),
+            };
         }
         // Rank paths by completion estimate for this chunk.
         let mut order: Vec<usize> = (0..paths.len()).collect();
@@ -243,7 +259,10 @@ impl MultipathScheduler for ContentAware {
                     .min_by_key(|&i| paths[i].estimate_completion(req.bytes, now))
                     .unwrap_or(best);
                 if best_effort_ok(&paths[alt], req.bytes) {
-                    return Assignment { path: alt, reliability: Reliability::BestEffort };
+                    return Assignment {
+                        path: alt,
+                        reliability: Reliability::BestEffort,
+                    };
                 }
                 best
             }
@@ -369,8 +388,20 @@ impl<S: MultipathScheduler> MultipathSession<S> {
         let mut transitions: Vec<(SimTime, TraceEvent)> = Vec::new();
         for (i, p) in paths.iter().enumerate() {
             for &(from, until) in p.faults().outages() {
-                transitions.push((from, TraceEvent::PathDown { at: from, path: i as u32 }));
-                transitions.push((until, TraceEvent::PathUp { at: until, path: i as u32 }));
+                transitions.push((
+                    from,
+                    TraceEvent::PathDown {
+                        at: from,
+                        path: i as u32,
+                    },
+                ));
+                transitions.push((
+                    until,
+                    TraceEvent::PathUp {
+                        at: until,
+                        path: i as u32,
+                    },
+                ));
             }
         }
         transitions.sort_by_key(|&(t, _)| t);
@@ -493,8 +524,7 @@ impl<S: MultipathScheduler> MultipathSession<S> {
     pub fn submit(&mut self, req: ChunkRequest, now: SimTime) -> (Completion, usize) {
         self.advance_clock(now);
         let assignment = self.scheduler.assign(&req, &self.paths, now);
-        let completion =
-            self.paths[assignment.path].submit(req.bytes, now, assignment.reliability);
+        let completion = self.paths[assignment.path].submit(req.bytes, now, assignment.reliability);
         self.log.push((completion, assignment.path));
         self.defer_attempt_events(&req, assignment, now);
         self.defer(TraceEvent::TransferFinished {
@@ -590,8 +620,13 @@ impl<S: MultipathScheduler> MultipathSession<S> {
             self.log.push((failed, assignment.path));
             self.count_bytes(TransferOutcome::Failed, req.bytes);
             let next = if retries_left {
-                self.scheduler
-                    .reassign(&req, &self.paths, assignment.path, attempt, failed.finished)
+                self.scheduler.reassign(
+                    &req,
+                    &self.paths,
+                    assignment.path,
+                    attempt,
+                    failed.finished,
+                )
             } else {
                 None
             };
@@ -687,11 +722,19 @@ mod tests {
     }
 
     fn fov_req(bytes: u64) -> ChunkRequest {
-        ChunkRequest { bytes, priority: ChunkPriority::FOV, deadline: SimTime::from_secs(10) }
+        ChunkRequest {
+            bytes,
+            priority: ChunkPriority::FOV,
+            deadline: SimTime::from_secs(10),
+        }
     }
 
     fn oos_req(bytes: u64) -> ChunkRequest {
-        ChunkRequest { bytes, priority: ChunkPriority::OOS, deadline: SimTime::from_secs(10) }
+        ChunkRequest {
+            bytes,
+            priority: ChunkPriority::OOS,
+            deadline: SimTime::from_secs(10),
+        }
     }
 
     #[test]
@@ -723,7 +766,7 @@ mod tests {
         let mut s = MultipathSession::new(wifi_lte_clean(), EarliestCompletion);
         // Fill wifi with a big transfer.
         s.submit(fov_req(20_000_000), SimTime::ZERO); // ~6.4s on wifi
-        // A new large chunk completes sooner on idle LTE than queued wifi.
+                                                      // A new large chunk completes sooner on idle LTE than queued wifi.
         let (c, p) = s.submit(fov_req(2_000_000), SimTime::ZERO);
         assert_eq!(p, 1);
         assert!(c.finished.as_secs_f64() < 6.0);
@@ -878,7 +921,10 @@ mod tests {
         let policy = RecoveryPolicy::default();
         let r = s.submit_resilient(oos_req(400_000), SimTime::from_secs(3), &policy);
         if r.completion.outcome == TransferOutcome::Failed {
-            assert!(r.abandoned, "content-aware gives up on OOS rather than retry");
+            assert!(
+                r.abandoned,
+                "content-aware gives up on OOS rather than retry"
+            );
             assert_eq!(r.attempts, 1);
         }
     }
@@ -943,7 +989,10 @@ mod tests {
             "single-path-first-try"
         }
         fn assign(&mut self, _: &ChunkRequest, _: &[PathQueue], _: SimTime) -> Assignment {
-            Assignment { path: 0, reliability: Reliability::Reliable }
+            Assignment {
+                path: 0,
+                reliability: Reliability::Reliable,
+            }
         }
     }
 
@@ -960,7 +1009,10 @@ mod tests {
             .map(|(i, q)| q.with_faults(script.compile_for(i)))
             .collect();
         let mut s = MultipathSession::new(paths, EarliestCompletion);
-        let policy = RecoveryPolicy { max_retries: 3, ..RecoveryPolicy::default() };
+        let policy = RecoveryPolicy {
+            max_retries: 3,
+            ..RecoveryPolicy::default()
+        };
         let r = s.submit_resilient(fov_req(400_000), SimTime::from_secs(1), &policy);
         assert_eq!(r.completion.outcome, TransferOutcome::Failed);
         assert_eq!(r.attempts, 4, "initial try + 3 retries");

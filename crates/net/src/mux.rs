@@ -235,11 +235,7 @@ mod tests {
         // an OOS bulk transfer is in flight must not wait for it.
         let mut link = MuxLink::new(8e6);
         let bulk = link.submit(8 * MBIT, SimTime::ZERO, ChunkPriority::OOS); // 8 Mbit
-        let urgent = link.submit(
-            MBIT,
-            SimTime::from_millis(100),
-            ChunkPriority::CRITICAL,
-        );
+        let urgent = link.submit(MBIT, SimTime::from_millis(100), ChunkPriority::CRITICAL);
         let done = link.drain();
         let u = done.iter().find(|c| c.id == urgent).unwrap();
         let b = done.iter().find(|c| c.id == bulk).unwrap();
@@ -270,11 +266,7 @@ mod tests {
             for &w in weights {
                 link.submit_weighted(MBIT, SimTime::ZERO, w);
             }
-            link.drain()
-                .into_iter()
-                .map(|c| c.finished)
-                .max()
-                .unwrap()
+            link.drain().into_iter().map(|c| c.finished).max().unwrap()
         };
         let fair = total_work(&[1.0, 1.0, 1.0, 1.0]);
         let skewed = total_work(&[8.0, 1.0, 2.0, 0.5]);

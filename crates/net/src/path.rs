@@ -38,7 +38,12 @@ impl PathModel {
     ) -> PathModel {
         assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
         assert!(!rtt.is_zero(), "rtt must be positive");
-        PathModel { name: name.into(), bandwidth, rtt, loss }
+        PathModel {
+            name: name.into(),
+            bandwidth,
+            rtt,
+            loss,
+        }
     }
 
     /// A typical home WiFi path: 25 Mbps, 15 ms RTT, 0.1 % loss.
@@ -191,9 +196,14 @@ mod tests {
         // 1.22 * 11680 / (0.1 * 0.1) = ~1.42 Mbps
         let cap = p.loss_cap_bps();
         assert!((cap - 1.22 * MSS_BITS / 0.01).abs() / cap < 1e-9);
-        assert!(PathModel::new("y", BandwidthTrace::constant(1e6), SimDuration::from_millis(10), 0.0)
-            .loss_cap_bps()
-            .is_infinite());
+        assert!(PathModel::new(
+            "y",
+            BandwidthTrace::constant(1e6),
+            SimDuration::from_millis(10),
+            0.0
+        )
+        .loss_cap_bps()
+        .is_infinite());
     }
 
     #[test]
@@ -203,7 +213,10 @@ mod tests {
         let large = p.transfer_time(1_000_000, SimTime::ZERO, 1.0);
         assert!(large > small);
         // 1 MB at 25 Mbps ≈ 0.32 s plus latencies.
-        assert!(large.as_secs_f64() > 0.32 && large.as_secs_f64() < 0.5, "{large}");
+        assert!(
+            large.as_secs_f64() > 0.32 && large.as_secs_f64() < 0.5,
+            "{large}"
+        );
     }
 
     #[test]
@@ -249,11 +262,25 @@ mod tests {
     #[test]
     fn best_effort_survival_depends_on_loss() {
         let mut rng = SimRng::new(3);
-        let clean = PathModel::new("c", BandwidthTrace::constant(1e6), SimDuration::from_millis(10), 0.001);
-        let dirty = PathModel::new("d", BandwidthTrace::constant(1e6), SimDuration::from_millis(10), 0.08);
+        let clean = PathModel::new(
+            "c",
+            BandwidthTrace::constant(1e6),
+            SimDuration::from_millis(10),
+            0.001,
+        );
+        let dirty = PathModel::new(
+            "d",
+            BandwidthTrace::constant(1e6),
+            SimDuration::from_millis(10),
+            0.08,
+        );
         let n = 500;
-        let clean_ok = (0..n).filter(|_| clean.best_effort_survives(500_000, &mut rng)).count();
-        let dirty_ok = (0..n).filter(|_| dirty.best_effort_survives(500_000, &mut rng)).count();
+        let clean_ok = (0..n)
+            .filter(|_| clean.best_effort_survives(500_000, &mut rng))
+            .count();
+        let dirty_ok = (0..n)
+            .filter(|_| dirty.best_effort_survives(500_000, &mut rng))
+            .count();
         assert!(clean_ok > n * 9 / 10, "clean {clean_ok}/{n}");
         assert!(dirty_ok < n / 10, "dirty {dirty_ok}/{n}");
     }
@@ -261,14 +288,24 @@ mod tests {
     #[test]
     fn zero_loss_always_survives() {
         let mut rng = SimRng::new(1);
-        let p = PathModel::new("p", BandwidthTrace::constant(1e6), SimDuration::from_millis(10), 0.0);
+        let p = PathModel::new(
+            "p",
+            BandwidthTrace::constant(1e6),
+            SimDuration::from_millis(10),
+            0.0,
+        );
         assert!(p.best_effort_survives(u64::MAX / 2, &mut rng));
     }
 
     #[test]
     #[should_panic]
     fn full_loss_rejected() {
-        PathModel::new("bad", BandwidthTrace::constant(1e6), SimDuration::from_millis(1), 1.0);
+        PathModel::new(
+            "bad",
+            BandwidthTrace::constant(1e6),
+            SimDuration::from_millis(1),
+            1.0,
+        );
     }
 
     #[test]
@@ -284,7 +321,9 @@ mod tests {
             );
             let mut rng = SimRng::new(42);
             let n = 2000;
-            let ok = (0..n).filter(|_| p.best_effort_survives(bytes, &mut rng)).count();
+            let ok = (0..n)
+                .filter(|_| p.best_effort_survives(bytes, &mut rng))
+                .count();
             let empirical = ok as f64 / n as f64;
             let analytic = p.best_effort_survival_prob(bytes);
             assert!(
@@ -308,7 +347,10 @@ mod tests {
         let small = p.best_effort_survival_prob(20_000);
         let large = p.best_effort_survival_prob(2_000_000);
         assert!(small < 0.8, "small chunk near the budget is risky: {small}");
-        assert!(large > 0.9, "large chunk concentrates under the budget: {large}");
+        assert!(
+            large > 0.9,
+            "large chunk concentrates under the budget: {large}"
+        );
         // Above the budget, everything dies regardless of size.
         let dead = PathModel::new(
             "dead",

@@ -37,7 +37,12 @@ impl TokenBucket {
     pub fn new(rate_bps: f64, burst_bytes: f64) -> TokenBucket {
         assert!(rate_bps > 0.0, "rate must be positive");
         assert!(burst_bytes > 0.0, "burst must be positive");
-        TokenBucket { rate_bps, burst_bytes, tokens: burst_bytes, last: SimTime::ZERO }
+        TokenBucket {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes,
+            last: SimTime::ZERO,
+        }
     }
 
     /// A `tc`-style shaper: rate cap with a 50 ms burst allowance.
@@ -88,7 +93,7 @@ mod tests {
     #[test]
     fn small_objects_ride_the_burst() {
         let mut tb = TokenBucket::tc(0.5e6); // Table 2's worst row
-        // An MPD poll (2 kB) goes through instantly despite 0.5 Mbps.
+                                             // An MPD poll (2 kB) goes through instantly despite 0.5 Mbps.
         let done = tb.transmit(2_000, SimTime::ZERO);
         assert_eq!(done, SimTime::ZERO);
     }

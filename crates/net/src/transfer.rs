@@ -185,7 +185,10 @@ impl PathQueue {
             Reliability::Reliable => TransferOutcome::Delivered,
             Reliability::BestEffort => {
                 let loss = (self.path.loss + self.faults.extra_loss_at(start)).min(0.99);
-                if self.path.best_effort_survives_with_loss(bytes, loss, &mut self.rng) {
+                if self
+                    .path
+                    .best_effort_survives_with_loss(bytes, loss, &mut self.rng)
+                {
                     TransferOutcome::Delivered
                 } else {
                     TransferOutcome::Dropped
@@ -198,8 +201,20 @@ impl PathQueue {
             TransferOutcome::Dropped => self.bytes_dropped += bytes,
             TransferOutcome::Failed => unreachable!("fault checks handle Failed"),
         }
-        self.inflight.push(InFlight { id, bytes, finished, outcome });
-        Completion { id, submitted: now, start, finished, bytes, outcome }
+        self.inflight.push(InFlight {
+            id,
+            bytes,
+            finished,
+            outcome,
+        });
+        Completion {
+            id,
+            submitted: now,
+            start,
+            finished,
+            bytes,
+            outcome,
+        }
     }
 
     /// Record an outage-interrupted transfer: the path is occupied (and
@@ -215,8 +230,20 @@ impl PathQueue {
         let outcome = TransferOutcome::Failed;
         self.busy_until = self.busy_until.max(finished);
         self.bytes_failed += bytes;
-        self.inflight.push(InFlight { id, bytes, finished, outcome });
-        Completion { id, submitted, start, finished, bytes, outcome }
+        self.inflight.push(InFlight {
+            id,
+            bytes,
+            finished,
+            outcome,
+        });
+        Completion {
+            id,
+            submitted,
+            start,
+            finished,
+            bytes,
+            outcome,
+        }
     }
 
     /// Forget in-flight records whose resolution time has passed — their
@@ -298,7 +325,10 @@ mod tests {
         assert!(b.finished > a.finished, "FIFO ordering");
         // Second starts when the first ends.
         let gap = b.finished - a.finished;
-        assert!(gap.as_secs_f64() > 0.9, "second transfer takes ~1s, gap {gap}");
+        assert!(
+            gap.as_secs_f64() > 0.9,
+            "second transfer takes ~1s, gap {gap}"
+        );
     }
 
     #[test]
@@ -412,7 +442,11 @@ mod tests {
         let c = q.submit(1_000_000, SimTime::from_secs(3), Reliability::Reliable);
         assert_eq!(c.outcome, TransferOutcome::Failed);
         let rtt = SimDuration::from_millis(10);
-        assert_eq!(c.finished, SimTime::from_secs(3) + rtt, "detected one RTT in");
+        assert_eq!(
+            c.finished,
+            SimTime::from_secs(3) + rtt,
+            "detected one RTT in"
+        );
         assert_eq!(q.bytes_failed, 1_000_000);
         assert_eq!(q.bytes_delivered, 0);
     }
@@ -443,13 +477,7 @@ mod tests {
     #[test]
     fn degradation_slows_transfers() {
         let faults = crate::fault::FaultScript::none()
-            .degrade(
-                0,
-                SimTime::ZERO,
-                SimTime::from_secs(60),
-                0.25,
-                0.0,
-            )
+            .degrade(0, SimTime::ZERO, SimTime::from_secs(60), 0.25, 0.0)
             .compile_for(0);
         let mut clean = queue(8e6);
         let mut degraded = queue(8e6).with_faults(faults);
@@ -457,7 +485,10 @@ mod tests {
         let b = degraded.submit(2_000_000, SimTime::ZERO, Reliability::Reliable);
         let ratio = b.finished.saturating_since(b.start).as_secs_f64()
             / a.finished.saturating_since(a.start).as_secs_f64();
-        assert!(ratio > 2.0, "quarter bandwidth should take much longer, ratio {ratio}");
+        assert!(
+            ratio > 2.0,
+            "quarter bandwidth should take much longer, ratio {ratio}"
+        );
         assert_eq!(b.outcome, TransferOutcome::Delivered);
     }
 
@@ -467,7 +498,10 @@ mod tests {
         let c = q.submit(10_000_000, SimTime::ZERO, Reliability::Reliable); // ~10s
         assert!(q.abort(c.id, SimTime::from_secs(1)));
         assert_eq!(q.bytes_delivered, 0, "aborted bytes are not goodput");
-        assert_eq!(q.bytes_failed, 10_000_000, "aborted bytes charged as failed");
+        assert_eq!(
+            q.bytes_failed, 10_000_000,
+            "aborted bytes charged as failed"
+        );
         let next = q.submit(8_000, SimTime::from_secs(1), Reliability::Reliable);
         assert!(next.finished.as_secs_f64() < 1.1, "path freed by the abort");
         // Aborting a transfer that already resolved is a no-op.

@@ -1,0 +1,344 @@
+//! Per-client weighted round-robin egress for a shared delivery point.
+//!
+//! [`MuxLink`](crate::mux::MuxLink) shares a link between *streams*:
+//! every in-flight stream gets a weight-proportional slice, so a client
+//! that opens ten streams takes ten slices. An edge server arbitrating
+//! many viewers needs the opposite isolation — fairness between
+//! *clients*, whatever their request depth. [`WrrLink`] gives each
+//! client one FIFO queue and serves only the queue heads, weighted
+//! round-robin: the fluid (processor-sharing) limit of a deficit
+//! round-robin scheduler, where at any instant each backlogged client
+//! receives `weight / Σ backlogged weights` of the capacity and its
+//! queued requests drain strictly in submission order.
+//!
+//! Completions are computed exactly by event-stepping between queue-head
+//! finishes, so the model is deterministic: identical submissions yield
+//! identical completion times, bit for bit.
+//!
+//! ```
+//! use sperke_net::WrrLink;
+//! use sperke_sim::SimTime;
+//!
+//! let mut link = WrrLink::new(8e6);
+//! let a = link.add_client(1);
+//! let b = link.add_client(1);
+//! link.submit(a, 125_000, SimTime::ZERO); // 1 Mbit each
+//! link.submit(b, 125_000, SimTime::ZERO);
+//! let done = link.drain();
+//! assert_eq!(done.len(), 2);
+//! // Equal weights: both finish together at 0.25 s.
+//! assert!(done.iter().all(|c| (c.finished.as_secs_f64() - 0.25).abs() < 1e-9));
+//! ```
+
+use crate::mux::StreamId;
+use serde::{Deserialize, Serialize};
+use sperke_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A stream queued or in flight on a [`WrrLink`].
+#[derive(Debug, Clone)]
+struct WrrStream {
+    id: StreamId,
+    bytes: u64,
+    remaining_bits: f64,
+    submitted: SimTime,
+}
+
+/// One client's FIFO queue and scheduling weight.
+#[derive(Debug, Clone)]
+struct ClientQueue {
+    weight: f64,
+    queue: VecDeque<WrrStream>,
+}
+
+/// A completed client stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WrrCompletion {
+    /// The client the stream belonged to.
+    pub client: u32,
+    /// The stream.
+    pub id: StreamId,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+    /// Bytes carried.
+    pub bytes: u64,
+}
+
+/// A constant-rate link shared between clients with weighted
+/// round-robin fairness (fluid model; see the module docs).
+#[derive(Debug, Clone)]
+pub struct WrrLink {
+    rate_bps: f64,
+    now: SimTime,
+    clients: Vec<ClientQueue>,
+    next_id: u64,
+    completions: Vec<WrrCompletion>,
+    delivered_bytes: u64,
+}
+
+impl WrrLink {
+    /// A link of the given constant capacity, bits/second.
+    pub fn new(rate_bps: f64) -> WrrLink {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        WrrLink {
+            rate_bps,
+            now: SimTime::ZERO,
+            clients: Vec::new(),
+            next_id: 0,
+            completions: Vec::new(),
+            delivered_bytes: 0,
+        }
+    }
+
+    /// Register a client with an integer scheduling weight (≥ 1);
+    /// returns its client id. Clients must be registered before any
+    /// submission on their behalf.
+    pub fn add_client(&mut self, weight: u32) -> u32 {
+        assert!(weight > 0, "weight must be positive");
+        self.clients.push(ClientQueue {
+            weight: weight as f64,
+            queue: VecDeque::new(),
+        });
+        (self.clients.len() - 1) as u32
+    }
+
+    /// Number of registered clients.
+    pub fn clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Queue a stream of `bytes` for `client` at `now`. Submissions must
+    /// be globally time-ordered (the discrete-event loop guarantees
+    /// this); within a client, streams drain strictly FIFO.
+    pub fn submit(&mut self, client: u32, bytes: u64, now: SimTime) -> StreamId {
+        assert!(now >= self.now, "submissions must be time-ordered");
+        self.advance(now);
+        let id = StreamId(self.next_id);
+        self.next_id += 1;
+        self.clients[client as usize].queue.push_back(WrrStream {
+            id,
+            bytes,
+            remaining_bits: bytes as f64 * 8.0,
+            submitted: now,
+        });
+        id
+    }
+
+    /// Bits still queued (all clients, including in-flight heads).
+    pub fn backlog_bits(&self) -> f64 {
+        self.clients
+            .iter()
+            .flat_map(|c| c.queue.iter())
+            .map(|s| s.remaining_bits)
+            .sum()
+    }
+
+    /// The backlog expressed as time-to-drain at full link rate.
+    pub fn backlog(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.backlog_bits() / self.rate_bps)
+    }
+
+    /// Streams queued for one client (head included).
+    pub fn queued(&self, client: u32) -> usize {
+        self.clients[client as usize].queue.len()
+    }
+
+    /// Total bytes delivered so far.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Advance the fluid WRR state to `to`, retiring queue heads that
+    /// finish. Tie-break on simultaneous finishes is the lowest client
+    /// index (deterministic).
+    fn advance(&mut self, to: SimTime) {
+        loop {
+            if self.now >= to {
+                break;
+            }
+            let total_w: f64 = self
+                .clients
+                .iter()
+                .filter(|c| !c.queue.is_empty())
+                .map(|c| c.weight)
+                .sum();
+            if total_w == 0.0 {
+                break;
+            }
+            // The head that finishes first under the current sharing.
+            let (idx, dt) = self
+                .clients
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.queue.is_empty())
+                .map(|(i, c)| {
+                    let rate = self.rate_bps * c.weight / total_w;
+                    (i, c.queue[0].remaining_bits / rate)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty active set");
+            let window = (to - self.now).as_secs_f64();
+            if dt <= window {
+                let finish = self.now + SimDuration::from_secs_f64(dt);
+                for c in self.clients.iter_mut() {
+                    if let Some(head) = c.queue.front_mut() {
+                        let rate = self.rate_bps * c.weight / total_w;
+                        head.remaining_bits -= rate * dt;
+                    }
+                }
+                let done = self.clients[idx].queue.pop_front().expect("head exists");
+                self.delivered_bytes += done.bytes;
+                self.completions.push(WrrCompletion {
+                    client: idx as u32,
+                    id: done.id,
+                    submitted: done.submitted,
+                    finished: finish,
+                    bytes: done.bytes,
+                });
+                self.now = finish;
+            } else {
+                for c in self.clients.iter_mut() {
+                    if let Some(head) = c.queue.front_mut() {
+                        let rate = self.rate_bps * c.weight / total_w;
+                        head.remaining_bits -= rate * window;
+                    }
+                }
+                self.now = to;
+            }
+        }
+        self.now = self.now.max(to);
+    }
+
+    /// Drive the link until `to`, then drain completions so far, ordered
+    /// by finish time (ties by client id, deterministic).
+    pub fn run_until(&mut self, to: SimTime) -> Vec<WrrCompletion> {
+        self.advance(to);
+        let mut out = std::mem::take(&mut self.completions);
+        out.sort_by_key(|c| (c.finished, c.client));
+        out
+    }
+
+    /// Run until every queued stream completes; returns all outstanding
+    /// completions.
+    pub fn drain(&mut self) -> Vec<WrrCompletion> {
+        while self.clients.iter().any(|c| !c.queue.is_empty()) {
+            let t = self.now + SimDuration::from_secs(3600);
+            self.advance(t);
+        }
+        self.run_until(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBIT: u64 = 125_000;
+
+    #[test]
+    fn per_client_fifo_order_is_respected() {
+        let mut link = WrrLink::new(8e6);
+        let a = link.add_client(1);
+        let first = link.submit(a, MBIT, SimTime::ZERO);
+        let second = link.submit(a, MBIT, SimTime::ZERO);
+        let done = link.drain();
+        assert_eq!(done[0].id, first);
+        assert_eq!(done[1].id, second);
+        assert!(done[0].finished < done[1].finished);
+    }
+
+    #[test]
+    fn deep_queue_does_not_starve_other_clients() {
+        // Client A queues 8 streams, client B one; equal weights. B's
+        // lone stream shares the link 50/50 with A's *head* only, so it
+        // finishes long before A's backlog drains.
+        let mut link = WrrLink::new(8e6);
+        let a = link.add_client(1);
+        let b = link.add_client(1);
+        for _ in 0..8 {
+            link.submit(a, MBIT, SimTime::ZERO);
+        }
+        link.submit(b, MBIT, SimTime::ZERO);
+        let done = link.drain();
+        let b_done = done.iter().find(|c| c.client == b).unwrap().finished;
+        let a_last = done
+            .iter()
+            .filter(|c| c.client == a)
+            .map(|c| c.finished)
+            .max()
+            .unwrap();
+        assert!(
+            (b_done.as_secs_f64() - 0.25).abs() < 1e-9,
+            "B at 0.25 s, got {b_done}"
+        );
+        assert!(a_last.as_secs_f64() > 1.0, "A's 8 Mbit backlog takes > 1 s");
+    }
+
+    #[test]
+    fn weights_split_capacity_proportionally() {
+        let mut link = WrrLink::new(8e6);
+        let heavy = link.add_client(3);
+        let light = link.add_client(1);
+        link.submit(heavy, MBIT, SimTime::ZERO);
+        link.submit(light, MBIT, SimTime::ZERO);
+        let done = link.drain();
+        let h = done.iter().find(|c| c.client == heavy).unwrap();
+        let l = done.iter().find(|c| c.client == light).unwrap();
+        // Heavy at 6 Mbps: 1/6 s; light 2 Mbps for 1/6 s then full rate.
+        assert!((h.finished.as_secs_f64() - 1.0 / 6.0).abs() < 1e-9);
+        let expect_l = 1.0 / 6.0 + (2.0 / 3.0) / 8.0;
+        assert!((l.finished.as_secs_f64() - expect_l).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_is_conserved_across_weightings() {
+        let makespan = |weights: &[u32]| {
+            let mut link = WrrLink::new(10e6);
+            for &w in weights {
+                let c = link.add_client(w);
+                link.submit(c, MBIT, SimTime::ZERO);
+            }
+            link.drain().into_iter().map(|c| c.finished).max().unwrap()
+        };
+        let fair = makespan(&[1, 1, 1, 1]);
+        let skewed = makespan(&[7, 1, 3, 2]);
+        assert!((fair.as_secs_f64() - skewed.as_secs_f64()).abs() < 1e-9);
+        assert!((fair.as_secs_f64() - 0.4).abs() < 1e-9, "4 Mbit at 10 Mbps");
+    }
+
+    #[test]
+    fn backlog_tracks_queued_bits() {
+        let mut link = WrrLink::new(8e6);
+        let a = link.add_client(1);
+        assert_eq!(link.backlog_bits(), 0.0);
+        link.submit(a, MBIT, SimTime::ZERO);
+        link.submit(a, MBIT, SimTime::ZERO);
+        assert!((link.backlog_bits() - 2e6).abs() < 1e-6);
+        assert!((link.backlog().as_secs_f64() - 0.25).abs() < 1e-9);
+        link.run_until(SimTime::from_millis(125));
+        assert!((link.backlog_bits() - 1e6).abs() < 1e-6, "half drained");
+        assert_eq!(link.delivered_bytes(), MBIT);
+    }
+
+    #[test]
+    fn run_until_reports_partial_progress() {
+        let mut link = WrrLink::new(8e6);
+        let a = link.add_client(1);
+        link.submit(a, MBIT, SimTime::ZERO);
+        link.submit(a, 100 * MBIT, SimTime::ZERO);
+        let early = link.run_until(SimTime::from_millis(300));
+        assert_eq!(early.len(), 1);
+        assert_eq!(link.queued(a), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_submission_rejected() {
+        let mut link = WrrLink::new(1e6);
+        let a = link.add_client(1);
+        link.submit(a, 1000, SimTime::from_secs(5));
+        link.submit(a, 1000, SimTime::from_secs(1));
+    }
+}

@@ -142,7 +142,10 @@ mod tests {
     use super::*;
 
     fn key(frame: u64, tile: u16) -> FrameKey {
-        FrameKey { frame, tile: TileId(tile) }
+        FrameKey {
+            frame,
+            tile: TileId(tile),
+        }
     }
 
     #[test]

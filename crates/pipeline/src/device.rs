@@ -88,12 +88,18 @@ pub struct SourceVideo {
 impl SourceVideo {
     /// The paper's 2K test clip at 30 fps.
     pub fn two_k() -> SourceVideo {
-        SourceVideo { megapixels: 2560.0 * 1440.0 / 1e6, fps: 30.0 }
+        SourceVideo {
+            megapixels: 2560.0 * 1440.0 / 1e6,
+            fps: 30.0,
+        }
     }
 
     /// A 4K clip at 30 fps.
     pub fn four_k() -> SourceVideo {
-        SourceVideo { megapixels: 3840.0 * 2160.0 / 1e6, fps: 30.0 }
+        SourceVideo {
+            megapixels: 3840.0 * 2160.0 / 1e6,
+            fps: 30.0,
+        }
     }
 
     /// Megapixels of one tile under an `n`-tile grid.
@@ -129,7 +135,9 @@ mod tests {
     #[test]
     fn s5_slower_than_s7() {
         let mp = SourceVideo::two_k().tile_mp(8);
-        assert!(DeviceProfile::galaxy_s5().decode_time(mp) > DeviceProfile::galaxy_s7().decode_time(mp));
+        assert!(
+            DeviceProfile::galaxy_s5().decode_time(mp) > DeviceProfile::galaxy_s7().decode_time(mp)
+        );
     }
 
     #[test]

@@ -114,9 +114,9 @@ mod tests {
     use super::*;
     use crate::render::{simulate_render, PipelineConfig, RenderMode};
     use crate::{DeviceProfile, SourceVideo};
-    use sperke_sim::SimDuration;
     use sperke_geo::TileGrid;
     use sperke_hmp::HeadTrace;
+    use sperke_sim::SimDuration;
 
     fn stats(mode: RenderMode) -> RenderStats {
         let trace = HeadTrace::from_fn(SimDuration::from_secs(10), |_| {
@@ -141,7 +141,11 @@ mod tests {
         let sum = e.decode_j + e.render_j + e.base_j + e.radio_j;
         assert!((sum - e.total_j).abs() < 1e-9);
         assert!(e.mean_watts > profile.base_watts);
-        assert!(e.battery_hours > 0.5 && e.battery_hours < 12.0, "{}", e.battery_hours);
+        assert!(
+            e.battery_hours > 0.5 && e.battery_hours < 12.0,
+            "{}",
+            e.battery_hours
+        );
     }
 
     #[test]
@@ -150,8 +154,24 @@ mod tests {
         let grid = TileGrid::sperke_prototype();
         let all = stats(RenderMode::OptimizedAll);
         let fov = stats(RenderMode::OptimizedFov);
-        let e_all = energy_of_mode(&profile, &all, RenderMode::OptimizedAll, grid.tile_count(), 4, 30.0, 0);
-        let e_fov = energy_of_mode(&profile, &fov, RenderMode::OptimizedFov, grid.tile_count(), 4, 30.0, 0);
+        let e_all = energy_of_mode(
+            &profile,
+            &all,
+            RenderMode::OptimizedAll,
+            grid.tile_count(),
+            4,
+            30.0,
+            0,
+        );
+        let e_fov = energy_of_mode(
+            &profile,
+            &fov,
+            RenderMode::OptimizedFov,
+            grid.tile_count(),
+            4,
+            30.0,
+            0,
+        );
         // FoV-only renders faster (more frames) but decodes/draws fewer
         // tiles; per unit time it must still be cheaper on decode.
         assert!(e_fov.decode_j < e_all.decode_j);
@@ -164,8 +184,24 @@ mod tests {
         let un = stats(RenderMode::UnoptimizedAll);
         let opt = stats(RenderMode::OptimizedAll);
         let grid = TileGrid::sperke_prototype();
-        let e_un = energy_of_mode(&profile, &un, RenderMode::UnoptimizedAll, grid.tile_count(), 4, 30.0, 0);
-        let e_opt = energy_of_mode(&profile, &opt, RenderMode::OptimizedAll, grid.tile_count(), 4, 30.0, 0);
+        let e_un = energy_of_mode(
+            &profile,
+            &un,
+            RenderMode::UnoptimizedAll,
+            grid.tile_count(),
+            4,
+            30.0,
+            0,
+        );
+        let e_opt = energy_of_mode(
+            &profile,
+            &opt,
+            RenderMode::OptimizedAll,
+            grid.tile_count(),
+            4,
+            30.0,
+            0,
+        );
         // Optimized decodes at the source rate (30 fps x 8 tiles =
         // 240/s); unoptimized re-decodes per rendered frame (11 fps x 8
         // = 88/s), so its decode power is actually lower — but it

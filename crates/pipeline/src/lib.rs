@@ -28,14 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
-pub mod energy;
 pub mod device;
+pub mod energy;
 pub mod render;
 pub mod scheduler;
 
 pub use cache::{CacheStats, DecodedFrameCache, FrameKey};
-pub use energy::{energy_of, energy_of_mode, EnergyProfile, EnergyReport};
 pub use device::{DeviceProfile, SourceVideo};
+pub use energy::{energy_of, energy_of_mode, EnergyProfile, EnergyReport};
 pub use render::{figure5, simulate_render, PipelineConfig, RenderMode, RenderStats};
 pub use scheduler::{DecodeCompletion, DecoderPool};
 

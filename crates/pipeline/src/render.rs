@@ -58,7 +58,10 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { cache_capacity: 64, prefetch_frames: 2 }
+        PipelineConfig {
+            cache_capacity: 64,
+            prefetch_frames: 2,
+        }
     }
 }
 
@@ -89,7 +92,16 @@ pub fn simulate_render(
     config: &PipelineConfig,
     duration: SimDuration,
 ) -> RenderStats {
-    simulate_render_traced(device, video, grid, trace, mode, config, duration, &TraceSink::disabled())
+    simulate_render_traced(
+        device,
+        video,
+        grid,
+        trace,
+        mode,
+        config,
+        duration,
+        &TraceSink::disabled(),
+    )
 }
 
 /// Like [`simulate_render`], additionally emitting decode-scheduler and
@@ -137,16 +149,17 @@ pub fn simulate_render_traced(
         let orientation = trace.at(now);
         let needed: Vec<TileId> = match mode {
             RenderMode::UnoptimizedAll | RenderMode::OptimizedAll => grid.tiles().collect(),
-            RenderMode::OptimizedFov => {
-                vis.visible_tile_set(&Viewport::headset(orientation), grid)
-            }
+            RenderMode::OptimizedFov => vis.visible_tile_set(&Viewport::headset(orientation), grid),
         };
 
         // Decode whatever the current frame still misses; even cached
         // (prefetched) tiles gate on their decode completion time.
         let mut ready_at = now;
         for &tile in &needed {
-            let key = FrameKey { frame: source_frame, tile };
+            let key = FrameKey {
+                frame: source_frame,
+                tile,
+            };
             if !cache.lookup(key) {
                 let completion = pool.submit(key, now, decode_time);
                 cache.insert(key);
@@ -162,7 +175,11 @@ pub fn simulate_render_traced(
                 }
             } else {
                 if sink.is_enabled() {
-                    sink.emit(TraceEvent::CacheHit { at: now, frame: key.frame, tile: key.tile.0 });
+                    sink.emit(TraceEvent::CacheHit {
+                        at: now,
+                        frame: key.frame,
+                        tile: key.tile.0,
+                    });
                 }
                 if let Some(&done) = decoded_at.get(&key) {
                     ready_at = ready_at.max(done);
@@ -237,7 +254,8 @@ pub fn simulate_render_traced(
             m.counter("pipeline.cache_misses").add(stats.misses);
             m.counter("vis_cache_hit").add(vstats.hits);
             m.counter("vis_cache_miss").add(vstats.misses);
-            m.histogram("pipeline.fps").record(frames as f64 / elapsed.as_secs_f64());
+            m.histogram("pipeline.fps")
+                .record(frames as f64 / elapsed.as_secs_f64());
         });
     }
     RenderStats {
@@ -370,7 +388,10 @@ mod tests {
         let four = fps_with(4);
         let eight = fps_with(8);
         let sixteen = fps_with(16);
-        assert!(four > one, "decoder parallelism helps: {one:.1} -> {four:.1}");
+        assert!(
+            four > one,
+            "decoder parallelism helps: {one:.1} -> {four:.1}"
+        );
         assert!(eight >= four * 0.99);
         // Past saturation, extra decoders don't help much.
         assert!(sixteen < eight * 1.2, "{eight:.1} -> {sixteen:.1}");

@@ -62,7 +62,12 @@ impl DecoderPool {
 
     /// Submit a decode job at `now`; it runs on the earliest-free
     /// decoder for `duration`.
-    pub fn submit(&mut self, key: FrameKey, now: SimTime, duration: SimDuration) -> DecodeCompletion {
+    pub fn submit(
+        &mut self,
+        key: FrameKey,
+        now: SimTime,
+        duration: SimDuration,
+    ) -> DecodeCompletion {
         let decoder = (0..self.busy_until.len())
             .min_by_key(|&i| (self.busy_until[i].max(now), i))
             .expect("non-empty pool");
@@ -71,7 +76,11 @@ impl DecoderPool {
         self.busy_until[decoder] = finished;
         self.busy_time[decoder] += duration;
         self.jobs += 1;
-        DecodeCompletion { key, decoder, finished }
+        DecodeCompletion {
+            key,
+            decoder,
+            finished,
+        }
     }
 
     /// Jobs processed so far.
@@ -105,7 +114,10 @@ mod tests {
     use sperke_geo::TileId;
 
     fn key(frame: u64, tile: u16) -> FrameKey {
-        FrameKey { frame, tile: TileId(tile) }
+        FrameKey {
+            frame,
+            tile: TileId(tile),
+        }
     }
 
     const MS10: SimDuration = SimDuration::from_millis(10);
@@ -140,7 +152,11 @@ mod tests {
         let mut pool = DecoderPool::new(2);
         assert_eq!(pool.next_free(SimTime::ZERO), SimTime::ZERO);
         pool.submit(key(0, 0), SimTime::ZERO, MS10);
-        assert_eq!(pool.next_free(SimTime::ZERO), SimTime::ZERO, "second decoder idle");
+        assert_eq!(
+            pool.next_free(SimTime::ZERO),
+            SimTime::ZERO,
+            "second decoder idle"
+        );
         pool.submit(key(0, 1), SimTime::ZERO, MS10);
         assert_eq!(pool.next_free(SimTime::ZERO), SimTime::from_millis(10));
     }

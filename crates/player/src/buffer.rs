@@ -40,7 +40,11 @@ impl CellBuffer {
                 }
                 c.bytes_spent += bytes;
             })
-            .or_insert(BufferedCell { quality, form, bytes_spent: bytes });
+            .or_insert(BufferedCell {
+                quality,
+                form,
+                bytes_spent: bytes,
+            });
     }
 
     /// Record a completed SVC delta upgrade.

@@ -26,7 +26,10 @@ pub struct DashClient {
 impl DashClient {
     /// Create a client over a path.
     pub fn new(path: PathQueue) -> DashClient {
-        DashClient { path, stats: ClientStats::default() }
+        DashClient {
+            path,
+            stats: ClientStats::default(),
+        }
     }
 
     /// Issue a request at `now`; the response's wire bytes ride the
@@ -57,7 +60,9 @@ impl DashClient {
     ) -> Option<(Mpd, Completion)> {
         let (resp, completion) = self.request(
             origin,
-            &Request::GetManifest { presentation: presentation.into() },
+            &Request::GetManifest {
+                presentation: presentation.into(),
+            },
             now,
         );
         match resp {
@@ -78,7 +83,11 @@ impl DashClient {
     ) -> Option<(u64, Completion)> {
         let (resp, completion) = self.request(
             origin,
-            &Request::GetSegment { presentation: presentation.into(), chunk, form },
+            &Request::GetSegment {
+                presentation: presentation.into(),
+                chunk,
+                form,
+            },
             now,
         );
         match resp {
@@ -101,10 +110,10 @@ impl DashClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sperke_geo::TileId;
     use sperke_net::{BandwidthTrace, PathModel};
     use sperke_sim::{SimDuration, SimRng};
     use sperke_video::{ChunkTime, Quality, Scheme, TiledStore, VideoModelBuilder};
-    use sperke_geo::TileId;
 
     fn setup() -> (DashOrigin, DashClient) {
         let video = VideoModelBuilder::new(5)
@@ -156,7 +165,10 @@ mod tests {
         let got = client.fetch_segment(&mut origin, "clip", missing, ChunkForm::Avc, SimTime::ZERO);
         assert!(got.is_none());
         assert_eq!(client.stats().errors, 1);
-        assert!(client.stats().bytes_down > before, "overhead bytes still flow");
+        assert!(
+            client.stats().bytes_down > before,
+            "overhead bytes still flow"
+        );
     }
 
     #[test]

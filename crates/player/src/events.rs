@@ -6,10 +6,10 @@
 //! prototype would log its pipeline (§3.5).
 
 use serde::{Deserialize, Serialize};
+use sperke_geo::TileId;
 use sperke_net::ChunkPriority;
 use sperke_sim::{SimDuration, SimTime};
 use sperke_video::{ChunkTime, Quality};
-use sperke_geo::TileId;
 
 /// One logged event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -181,7 +181,10 @@ mod tests {
                 chunk: ChunkTime(3),
                 duration: SimDuration::from_millis(300),
             },
-            PlayerEvent::Skipped { at: SimTime::from_secs(3), chunk: ChunkTime(3) },
+            PlayerEvent::Skipped {
+                at: SimTime::from_secs(3),
+                chunk: ChunkTime(3),
+            },
             PlayerEvent::Displayed {
                 at: SimTime::from_secs(4),
                 chunk: ChunkTime(3),
@@ -199,8 +202,14 @@ mod tests {
     #[test]
     fn log_collects_and_filters() {
         let mut log = EventLog::new();
-        log.push(PlayerEvent::Skipped { at: SimTime::ZERO, chunk: ChunkTime(0) });
-        log.push(PlayerEvent::Skipped { at: SimTime::from_secs(1), chunk: ChunkTime(1) });
+        log.push(PlayerEvent::Skipped {
+            at: SimTime::ZERO,
+            chunk: ChunkTime(0),
+        });
+        log.push(PlayerEvent::Skipped {
+            at: SimTime::from_secs(1),
+            chunk: ChunkTime(1),
+        });
         assert_eq!(log.len(), 2);
         assert_eq!(log.for_chunk(ChunkTime(1)).len(), 1);
         assert!(!log.is_empty());

@@ -17,7 +17,7 @@ pub mod qoe;
 pub mod session;
 
 pub use buffer::{BufferedCell, CellBuffer};
-pub use qoe::{ChunkRecord, QoeReport, QoeWeights};
 pub use client::{ClientStats, DashClient};
 pub use events::{EventLog, PlayerEvent};
+pub use qoe::{ChunkRecord, QoeReport, QoeWeights};
 pub use session::{run_session, run_session_logged, PlannerKind, PlayerConfig, SessionResult};

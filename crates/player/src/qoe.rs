@@ -29,7 +29,13 @@ pub struct QoeWeights {
 
 impl Default for QoeWeights {
     fn default() -> Self {
-        QoeWeights { quality: 1.0, stall: 4.0, switch: 0.5, blank: 6.0, degraded: 2.0 }
+        QoeWeights {
+            quality: 1.0,
+            stall: 4.0,
+            switch: 0.5,
+            blank: 6.0,
+            degraded: 2.0,
+        }
     }
 }
 
@@ -87,7 +93,11 @@ pub struct QoeReport {
 
 impl QoeReport {
     /// Aggregate per-chunk records into a report.
-    pub fn from_records(records: &[ChunkRecord], startup_delay: SimDuration, weights: &QoeWeights) -> QoeReport {
+    pub fn from_records(
+        records: &[ChunkRecord],
+        startup_delay: SimDuration,
+        weights: &QoeWeights,
+    ) -> QoeReport {
         let n = records.len() as f64;
         if records.is_empty() {
             return QoeReport {
@@ -179,7 +189,11 @@ mod tests {
             record(2, 2.0, 2, 0),
             record(3, 2.0, 1, 250),
         ];
-        let r = QoeReport::from_records(&records, SimDuration::from_millis(900), &QoeWeights::default());
+        let r = QoeReport::from_records(
+            &records,
+            SimDuration::from_millis(900),
+            &QoeWeights::default(),
+        );
         assert_eq!(r.chunks, 4);
         assert_eq!(r.quality_switches, 2);
         assert_eq!(r.stall_count, 2);

@@ -14,17 +14,16 @@ use crate::qoe::{ChunkRecord, QoeReport, QoeWeights};
 use sperke_geo::VisibilityCache;
 use sperke_hmp::{Forecaster, HeadTrace};
 use sperke_net::{
-    BandwidthEstimator, ChunkPriority, ChunkRequest, Completion, EstimatorKind,
-    MultipathScheduler, MultipathSession, PathQueue, RecoveryPolicy, SpatialPriority,
-    TransferOutcome,
+    BandwidthEstimator, ChunkPriority, ChunkRequest, Completion, EstimatorKind, MultipathScheduler,
+    MultipathSession, PathQueue, RecoveryPolicy, SpatialPriority, TransferOutcome,
 };
 use sperke_sim::trace::{Subsystem, TraceEvent, TraceLevel, TraceSink};
 use sperke_sim::{SimDuration, SimTime};
+use sperke_video::{CellId, ChunkForm, ChunkTime, Quality, Scheme, VideoModel};
 use sperke_vra::{
     decide_upgrade, plan_fov_agnostic, upgrade_candidates, Abr, FetchPlan, PlanInput, SperkeConfig,
     SperkeVra, UpgradeConfig, UpgradeDecision,
 };
-use sperke_video::{CellId, ChunkForm, ChunkTime, Quality, Scheme, VideoModel};
 
 /// Which planner drives fetching.
 #[derive(Debug, Clone)]
@@ -139,7 +138,9 @@ pub fn run_session<A: Abr, S: MultipathScheduler, F: Forecaster>(
     forecaster: &F,
     config: &PlayerConfig,
 ) -> SessionResult {
-    run_session_impl(video, trace, paths, scheduler, abr, forecaster, config, None)
+    run_session_impl(
+        video, trace, paths, scheduler, abr, forecaster, config, None,
+    )
 }
 
 /// Like [`run_session`], additionally recording every decision into
@@ -155,7 +156,16 @@ pub fn run_session_logged<A: Abr, S: MultipathScheduler, F: Forecaster>(
     config: &PlayerConfig,
     log: &mut EventLog,
 ) -> SessionResult {
-    run_session_impl(video, trace, paths, scheduler, abr, forecaster, config, Some(log))
+    run_session_impl(
+        video,
+        trace,
+        paths,
+        scheduler,
+        abr,
+        forecaster,
+        config,
+        Some(log),
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -206,9 +216,7 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
         // Prefetch throttle: idle until the chunk enters the window.
         let mut buffer_level = est_deadline.saturating_since(now);
         if buffer_level > config.max_buffer {
-            now = SimTime::from_nanos(
-                est_deadline.as_nanos() - config.max_buffer.as_nanos(),
-            );
+            now = SimTime::from_nanos(est_deadline.as_nanos() - config.max_buffer.as_nanos());
             buffer_level = config.max_buffer;
         }
 
@@ -294,8 +302,7 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                 priority: fetch.priority,
                 deadline: est_deadline,
             };
-            let (completion, _path) =
-                submit_chunk(&mut net, req, now, config.resilience.as_ref());
+            let (completion, _path) = submit_chunk(&mut net, req, now, config.resilience.as_ref());
             chunk_bytes += fetch.bytes;
             if let Some(l) = log.as_deref_mut() {
                 l.push(PlayerEvent::FetchCompleted {
@@ -384,7 +391,10 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                         // skipped and the timeline marches on.
                         skipped = true;
                         if let Some(l) = log.as_deref_mut() {
-                            l.push(PlayerEvent::Skipped { at: deadline, chunk: t });
+                            l.push(PlayerEvent::Skipped {
+                                at: deadline,
+                                chunk: t,
+                            });
                         }
                     } else {
                         stall = fov_done - deadline;
@@ -397,7 +407,10 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                             });
                         }
                         if sink.is_enabled() {
-                            sink.emit(TraceEvent::StallStarted { at: deadline, chunk: t.0 });
+                            sink.emit(TraceEvent::StallStarted {
+                                at: deadline,
+                                chunk: t.0,
+                            });
                             sink.emit(TraceEvent::StallEnded {
                                 at: fov_done,
                                 chunk: t.0,
@@ -414,7 +427,11 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
             }
         };
         let ps = playback_start.expect("set above");
-        now = if config.realtime { now.max(display_time) } else { fov_done };
+        now = if config.realtime {
+            now.max(display_time)
+        } else {
+            fov_done
+        };
 
         // --- Incremental-upgrade pass (§3.1.1 / §3.1.2 part three):
         // re-check the HMP close to the deadline and fetch deltas for
@@ -428,8 +445,7 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
             );
             let check_at = now.max(lead_target);
             let check_trace = check_at.saturating_since(ps);
-            let fresh_history =
-                trace.history(SimTime::ZERO + check_trace, config.history_samples);
+            let fresh_history = trace.history(SimTime::ZERO + check_trace, config.history_samples);
             let fresh = forecaster.forecast(
                 video.grid(),
                 &fresh_history,
@@ -442,9 +458,9 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
             for mut cand in candidates {
                 let form = buffer.get(cand.cell).map(|c| c.form);
                 let scheme = match form {
-                    Some(ChunkForm::SvcCumulative) | Some(ChunkForm::SvcLayer(_)) => {
-                        Scheme::Svc { overhead: video.svc_overhead() }
-                    }
+                    Some(ChunkForm::SvcCumulative) | Some(ChunkForm::SvcLayer(_)) => Scheme::Svc {
+                        overhead: video.svc_overhead(),
+                    },
                     _ => Scheme::Avc,
                 };
                 cand.deadline = display_time;
@@ -538,7 +554,8 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                 });
                 sink.metrics(|m| {
                     m.counter("player.skips").incr();
-                    m.counter("player.bytes_fetched").add(chunk_bytes + upgrade_bytes);
+                    m.counter("player.bytes_fetched")
+                        .add(chunk_bytes + upgrade_bytes);
                     m.histogram("player.blank_fraction").record(1.0);
                 });
             }
@@ -573,10 +590,11 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                     utility += coverage * video.ladder().utility(bc.quality);
                     let scheme = match bc.form {
                         ChunkForm::Avc => Scheme::Avc,
-                        _ => Scheme::Svc { overhead: video.svc_overhead() },
+                        _ => Scheme::Svc {
+                            overhead: video.svc_overhead(),
+                        },
                     };
-                    useful_bytes +=
-                        video.cell_sizes(tile, t).initial_cost(scheme, bc.quality);
+                    useful_bytes += video.cell_sizes(tile, t).initial_cost(scheme, bc.quality);
                 }
                 None => {
                     // Spatial fall-back: the previous chunk's tile is
@@ -606,7 +624,11 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
         }
         if sink.is_enabled() {
             if blank > 0.0 {
-                sink.emit(TraceEvent::BlankFrame { at: display_time, chunk: t.0, fraction: blank });
+                sink.emit(TraceEvent::BlankFrame {
+                    at: display_time,
+                    chunk: t.0,
+                    fraction: blank,
+                });
             }
             if degraded > 0.0 {
                 sink.emit(TraceEvent::FallbackFrame {
@@ -616,7 +638,8 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                 });
             }
             sink.metrics(|m| {
-                m.counter("player.bytes_fetched").add(chunk_bytes + upgrade_bytes);
+                m.counter("player.bytes_fetched")
+                    .add(chunk_bytes + upgrade_bytes);
                 m.histogram("player.blank_fraction").record(blank);
                 m.histogram("player.degraded_fraction").record(degraded);
                 m.histogram("player.viewport_utility").record(utility);
@@ -645,8 +668,10 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
     if sink.is_enabled() {
         let vis = config.vis_cache.stats();
         sink.metrics(|m| {
-            m.counter("vis_cache_hit").add(vis.hits - vis_stats_at_start.hits);
-            m.counter("vis_cache_miss").add(vis.misses - vis_stats_at_start.misses);
+            m.counter("vis_cache_hit")
+                .add(vis.hits - vis_stats_at_start.hits);
+            m.counter("vis_cache_miss")
+                .add(vis.misses - vis_stats_at_start.misses);
         });
     }
 
@@ -684,8 +709,8 @@ mod tests {
     use sperke_hmp::{AttentionModel, Behavior, FusedForecaster, TraceGenerator, ViewingContext};
     use sperke_net::{BandwidthTrace, ContentAware, FaultScript, PathModel, SinglePath};
     use sperke_sim::SimRng;
-    use sperke_vra::RateBased;
     use sperke_video::VideoModelBuilder;
+    use sperke_vra::RateBased;
 
     fn video(secs: u64) -> VideoModel {
         VideoModelBuilder::new(11)
@@ -733,7 +758,11 @@ mod tests {
         let r = run(&v, &tr, 100e6, PlayerConfig::default());
         assert_eq!(r.qoe.chunks, 15);
         assert_eq!(r.qoe.stall_count, 0, "no stalls at 100 Mbps");
-        assert!(r.qoe.mean_blank_fraction < 0.12, "blank {}", r.qoe.mean_blank_fraction);
+        assert!(
+            r.qoe.mean_blank_fraction < 0.12,
+            "blank {}",
+            r.qoe.mean_blank_fraction
+        );
         assert!(r.qoe.mean_viewport_utility > 0.5);
     }
 
@@ -767,7 +796,10 @@ mod tests {
                 SinglePath(0),
                 FixedQuality(sperke_video::Quality(2)),
                 &FusedForecaster::motion_only(),
-                &PlayerConfig { planner, ..Default::default() },
+                &PlayerConfig {
+                    planner,
+                    ..Default::default()
+                },
             )
         };
         let guided = run_fixed(PlannerKind::Sperke(SperkeConfig::default()));
@@ -815,7 +847,10 @@ mod tests {
             &v,
             &tr,
             30e6,
-            PlayerConfig { upgrades_enabled: false, ..Default::default() },
+            PlayerConfig {
+                upgrades_enabled: false,
+                ..Default::default()
+            },
         );
         assert_eq!(r.upgrades_applied, 0);
     }
@@ -830,7 +865,10 @@ mod tests {
             &v,
             &tr,
             1.0e6,
-            PlayerConfig { realtime: true, ..Default::default() },
+            PlayerConfig {
+                realtime: true,
+                ..Default::default()
+            },
         );
         assert_eq!(live.qoe.stall_count, 0, "live never stalls");
         assert!(vod.qoe.stall_count > 0, "VoD stalls on the same link");
@@ -849,7 +887,10 @@ mod tests {
             &v,
             &tr,
             60e6,
-            PlayerConfig { realtime: true, ..Default::default() },
+            PlayerConfig {
+                realtime: true,
+                ..Default::default()
+            },
         );
         assert_eq!(live.qoe.stall_count, 0);
         assert!(live.qoe.mean_blank_fraction < 0.15);
@@ -942,7 +983,10 @@ mod tests {
                 SinglePath(0),
                 RateBased::default(),
                 &FusedForecaster::motion_only(),
-                &PlayerConfig { fallback_enabled: fallback, ..Default::default() },
+                &PlayerConfig {
+                    fallback_enabled: fallback,
+                    ..Default::default()
+                },
             )
         };
         let hard = run_with(false);
@@ -959,7 +1003,10 @@ mod tests {
             soft.qoe.mean_blank_fraction,
             hard.qoe.mean_blank_fraction
         );
-        assert!(soft.qoe.score > hard.qoe.score, "degraded is cheaper than blank");
+        assert!(
+            soft.qoe.score > hard.qoe.score,
+            "degraded is cheaper than blank"
+        );
     }
 
     #[test]
@@ -967,11 +1014,8 @@ mod tests {
         let v = video(15);
         let tr = trace(15, 3);
         let run_with = |resilience: Option<RecoveryPolicy>| {
-            let faults = FaultScript::none().link_down(
-                0,
-                SimTime::from_secs(4),
-                SimTime::from_secs(9),
-            );
+            let faults =
+                FaultScript::none().link_down(0, SimTime::from_secs(4), SimTime::from_secs(9));
             let paths = vec![
                 PathQueue::new(
                     PathModel::new(
@@ -1000,7 +1044,10 @@ mod tests {
                 ContentAware,
                 RateBased::default(),
                 &FusedForecaster::motion_only(),
-                &PlayerConfig { resilience, ..Default::default() },
+                &PlayerConfig {
+                    resilience,
+                    ..Default::default()
+                },
             )
         };
         let naive = run_with(None);

@@ -31,7 +31,13 @@ impl Replicates {
         let stddev = stats::stddev(&values);
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Replicates { values, mean, stddev, min, max }
+        Replicates {
+            values,
+            mean,
+            stddev,
+            min,
+            max,
+        }
     }
 
     /// Coefficient of variation (stddev/mean); 0 when the mean is 0.

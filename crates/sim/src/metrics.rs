@@ -177,7 +177,10 @@ impl Histogram {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 

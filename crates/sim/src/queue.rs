@@ -79,7 +79,12 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.heap.push(Entry { time, seq, id, event });
+        self.heap.push(Entry {
+            time,
+            seq,
+            id,
+            event,
+        });
         id
     }
 

@@ -60,10 +60,7 @@ impl SimRng {
     /// Next raw 64-bit output.
     pub fn next_u64_raw(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -198,7 +195,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert!(same < 2);
     }
 
@@ -290,7 +289,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]

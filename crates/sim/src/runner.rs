@@ -181,8 +181,14 @@ mod tests {
         let mut sim = Simulation::new();
         sim.schedule(SimTime::from_secs(1), Ev::Tick(1));
         sim.schedule(SimTime::from_secs(2), Ev::Tick(2));
-        let mut w = Ticker { seen: vec![], respawn: false };
-        assert_eq!(sim.run(&mut w, SimTime::from_secs(100)), RunOutcome::Drained);
+        let mut w = Ticker {
+            seen: vec![],
+            respawn: false,
+        };
+        assert_eq!(
+            sim.run(&mut w, SimTime::from_secs(100)),
+            RunOutcome::Drained
+        );
         assert_eq!(w.seen.len(), 2);
         assert_eq!(sim.now(), SimTime::from_secs(2));
     }
@@ -191,7 +197,10 @@ mod tests {
     fn horizon_cuts_off_and_sets_clock() {
         let mut sim = Simulation::new();
         sim.schedule(SimTime::ZERO, Ev::Tick(0));
-        let mut w = Ticker { seen: vec![], respawn: true };
+        let mut w = Ticker {
+            seen: vec![],
+            respawn: true,
+        };
         assert_eq!(
             sim.run(&mut w, SimTime::from_secs(5)),
             RunOutcome::HorizonReached
@@ -208,8 +217,14 @@ mod tests {
         sim.schedule(SimTime::from_secs(1), Ev::Tick(1));
         sim.schedule(SimTime::from_secs(2), Ev::Stop);
         sim.schedule(SimTime::from_secs(3), Ev::Tick(3));
-        let mut w = Ticker { seen: vec![], respawn: false };
-        assert_eq!(sim.run(&mut w, SimTime::from_secs(100)), RunOutcome::Stopped);
+        let mut w = Ticker {
+            seen: vec![],
+            respawn: false,
+        };
+        assert_eq!(
+            sim.run(&mut w, SimTime::from_secs(100)),
+            RunOutcome::Stopped
+        );
         assert_eq!(w.seen, vec![(SimTime::from_secs(1), 1)]);
     }
 
@@ -218,11 +233,11 @@ mod tests {
         let mut sim = Simulation::new();
         sim.max_events = 10;
         sim.schedule(SimTime::ZERO, Ev::Tick(0));
-        let mut w = Ticker { seen: vec![], respawn: true };
-        assert_eq!(
-            sim.run(&mut w, SimTime::MAX),
-            RunOutcome::BudgetExhausted
-        );
+        let mut w = Ticker {
+            seen: vec![],
+            respawn: true,
+        };
+        assert_eq!(sim.run(&mut w, SimTime::MAX), RunOutcome::BudgetExhausted);
         assert_eq!(w.seen.len(), 10);
     }
 

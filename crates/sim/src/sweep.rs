@@ -99,13 +99,10 @@ impl<R> PointOutcome<R> {
 impl<R: Serialize> Serialize for PointOutcome<R> {
     fn to_content(&self) -> Content {
         match self {
-            PointOutcome::Ok(r) => {
-                Content::Map(vec![(String::from("Ok"), r.to_content())])
+            PointOutcome::Ok(r) => Content::Map(vec![(String::from("Ok"), r.to_content())]),
+            PointOutcome::Panicked(msg) => {
+                Content::Map(vec![(String::from("Panicked"), Content::Str(msg.clone()))])
             }
-            PointOutcome::Panicked(msg) => Content::Map(vec![(
-                String::from("Panicked"),
-                Content::Str(msg.clone()),
-            )]),
         }
     }
 }
@@ -127,7 +124,10 @@ impl<R: Serialize> Serialize for SweepPoint<R> {
     fn to_content(&self) -> Content {
         Content::Map(vec![
             (String::from("index"), Content::U64(self.index as u64)),
-            (String::from("trace_digest"), Content::U64(self.trace_digest)),
+            (
+                String::from("trace_digest"),
+                Content::U64(self.trace_digest),
+            ),
             (String::from("outcome"), self.outcome.to_content()),
         ])
     }
@@ -273,9 +273,13 @@ where
     F: Fn(usize, &P) -> R + Sync,
 {
     let n = plan.points.len();
-    let workers = if threads == 0 { default_threads() } else { threads }
-        .min(n)
-        .max(1);
+    let workers = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+    .min(n)
+    .max(1);
     let next = AtomicUsize::new(0);
     let merged: Mutex<Vec<(usize, PointOutcome<R>)>> = Mutex::new(Vec::with_capacity(n));
 
@@ -304,9 +308,16 @@ where
         points: collected
             .into_iter()
             .map(|(index, outcome)| {
-                let trace_digest =
-                    fnv1a64(serde_json::to_string(&outcome).expect("outcome serializes").as_bytes());
-                SweepPoint { index, outcome, trace_digest }
+                let trace_digest = fnv1a64(
+                    serde_json::to_string(&outcome)
+                        .expect("outcome serializes")
+                        .as_bytes(),
+                );
+                SweepPoint {
+                    index,
+                    outcome,
+                    trace_digest,
+                }
             })
             .collect(),
     }
@@ -348,7 +359,10 @@ mod tests {
         assert_eq!(report.to_jsonl(), "");
         let s = report.summary(|&x| x as f64);
         assert_eq!((s.points, s.ok, s.panicked), (0, 0, 0));
-        assert_eq!((s.mean, s.stddev, s.min, s.max, s.p50, s.p95), (0.0, 0.0, 0.0, 0.0, 0.0, 0.0));
+        assert_eq!(
+            (s.mean, s.stddev, s.min, s.max, s.p50, s.p95),
+            (0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        );
     }
 
     #[test]
@@ -370,7 +384,10 @@ mod tests {
         });
         assert_eq!(report.len(), 9);
         let panicked = report.panicked();
-        assert_eq!(panicked.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![2, 6]);
+        assert_eq!(
+            panicked.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![2, 6]
+        );
         assert!(panicked[0].1.contains("scripted failure at 2"));
         let ok: Vec<u64> = report.ok_results().copied().collect();
         assert_eq!(ok, vec![100, 101, 103, 104, 105, 107, 108]);
@@ -392,7 +409,14 @@ mod tests {
         for (a, b) in digests.iter().zip(digests.iter().skip(1)) {
             assert_ne!(a, b);
         }
-        assert_eq!(digests, square_sweep(7, 4).points().iter().map(|p| p.trace_digest).collect::<Vec<_>>());
+        assert_eq!(
+            digests,
+            square_sweep(7, 4)
+                .points()
+                .iter()
+                .map(|p| p.trace_digest)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

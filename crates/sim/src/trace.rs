@@ -64,16 +64,19 @@ pub enum Subsystem {
     Player,
     /// The decode/render pipeline (`sperke-pipeline`).
     Pipeline,
+    /// The multi-client edge server (`sperke-edge`).
+    Edge,
 }
 
 impl Subsystem {
     /// All subsystems, in declaration order.
-    pub const ALL: [Subsystem; 5] = [
+    pub const ALL: [Subsystem; 6] = [
         Subsystem::Sim,
         Subsystem::Net,
         Subsystem::Vra,
         Subsystem::Player,
         Subsystem::Pipeline,
+        Subsystem::Edge,
     ];
 
     /// Stable lowercase name.
@@ -84,6 +87,7 @@ impl Subsystem {
             Subsystem::Vra => "vra",
             Subsystem::Player => "player",
             Subsystem::Pipeline => "pipeline",
+            Subsystem::Edge => "edge",
         }
     }
 
@@ -94,6 +98,7 @@ impl Subsystem {
             Subsystem::Vra => 2,
             Subsystem::Player => 3,
             Subsystem::Pipeline => 4,
+            Subsystem::Edge => 5,
         }
     }
 }
@@ -312,6 +317,68 @@ pub enum TraceEvent {
         /// Number of entries evicted.
         count: u32,
     },
+
+    // --- Edge ---------------------------------------------------------
+    /// An edge server admitted a client session.
+    ClientAdmitted {
+        /// Admission time.
+        at: SimTime,
+        /// The admitted client's id.
+        client: u32,
+    },
+    /// An edge server throttled a client: turned away at the admission
+    /// cap (`admitted: false`) or degraded to lower SVC layers under
+    /// egress pressure (`admitted: true`).
+    ClientThrottled {
+        /// Throttle time.
+        at: SimTime,
+        /// The affected client's id.
+        client: u32,
+        /// Whether the client holds an admitted session.
+        admitted: bool,
+    },
+    /// A tile-chunk lookup was served from the edge's shared cache
+    /// (including hits on an entry already in flight from the origin).
+    EdgeCacheHit {
+        /// Lookup time.
+        at: SimTime,
+        /// The tile requested.
+        tile: u16,
+        /// The chunk time requested.
+        chunk: u32,
+        /// The SVC layer requested.
+        layer: u8,
+        /// The layer's size in bytes.
+        bytes: u64,
+    },
+    /// A tile-chunk lookup missed the edge cache and triggered an
+    /// origin fetch.
+    EdgeCacheMiss {
+        /// Lookup time.
+        at: SimTime,
+        /// The tile requested.
+        tile: u16,
+        /// The chunk time requested.
+        chunk: u32,
+        /// The SVC layer requested.
+        layer: u8,
+        /// The layer's size in bytes.
+        bytes: u64,
+    },
+    /// The edge pre-warmed its cache with a crowd-predicted tile before
+    /// any client asked for it.
+    EdgePrefetch {
+        /// Prefetch decision time.
+        at: SimTime,
+        /// The tile prefetched.
+        tile: u16,
+        /// The chunk time prefetched.
+        chunk: u32,
+        /// The SVC layer prefetched.
+        layer: u8,
+        /// The layer's size in bytes.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -335,7 +402,12 @@ impl TraceEvent {
             | TraceEvent::RetryScheduled { at, .. }
             | TraceEvent::DecodeAdmitted { at, .. }
             | TraceEvent::CacheHit { at, .. }
-            | TraceEvent::CacheEvicted { at, .. } => at,
+            | TraceEvent::CacheEvicted { at, .. }
+            | TraceEvent::ClientAdmitted { at, .. }
+            | TraceEvent::ClientThrottled { at, .. }
+            | TraceEvent::EdgeCacheHit { at, .. }
+            | TraceEvent::EdgeCacheMiss { at, .. }
+            | TraceEvent::EdgePrefetch { at, .. } => at,
         }
     }
 
@@ -360,6 +432,11 @@ impl TraceEvent {
             TraceEvent::DecodeAdmitted { .. }
             | TraceEvent::CacheHit { .. }
             | TraceEvent::CacheEvicted { .. } => Subsystem::Pipeline,
+            TraceEvent::ClientAdmitted { .. }
+            | TraceEvent::ClientThrottled { .. }
+            | TraceEvent::EdgeCacheHit { .. }
+            | TraceEvent::EdgeCacheMiss { .. }
+            | TraceEvent::EdgePrefetch { .. } => Subsystem::Edge,
         }
     }
 
@@ -373,7 +450,10 @@ impl TraceEvent {
             | TraceEvent::UpgradeGranted { .. }
             | TraceEvent::PathDown { .. }
             | TraceEvent::PathUp { .. }
-            | TraceEvent::TransferTimedOut { .. } => TraceLevel::Events,
+            | TraceEvent::TransferTimedOut { .. }
+            | TraceEvent::ClientAdmitted { .. }
+            | TraceEvent::ClientThrottled { .. } => TraceLevel::Events,
+            TraceEvent::EdgePrefetch { .. } => TraceLevel::Decisions,
             TraceEvent::BufferLevel { .. }
             | TraceEvent::AbrDecision { .. }
             | TraceEvent::UpgradeRejected { .. }
@@ -383,7 +463,9 @@ impl TraceEvent {
             | TraceEvent::RetryScheduled { .. } => TraceLevel::Decisions,
             TraceEvent::DecodeAdmitted { .. }
             | TraceEvent::CacheHit { .. }
-            | TraceEvent::CacheEvicted { .. } => TraceLevel::Verbose,
+            | TraceEvent::CacheEvicted { .. }
+            | TraceEvent::EdgeCacheHit { .. }
+            | TraceEvent::EdgeCacheMiss { .. } => TraceLevel::Verbose,
         }
     }
 }
@@ -393,7 +475,7 @@ impl TraceEvent {
 #[derive(Debug, Clone)]
 pub struct TraceConfig {
     level: TraceLevel,
-    overrides: [Option<TraceLevel>; 5],
+    overrides: [Option<TraceLevel>; 6],
     capacity: usize,
 }
 
@@ -401,7 +483,11 @@ impl TraceConfig {
     /// A config recording every subsystem at `level`, with the default
     /// ring capacity (65 536 events).
     pub fn new(level: TraceLevel) -> TraceConfig {
-        TraceConfig { level, overrides: [None; 5], capacity: 1 << 16 }
+        TraceConfig {
+            level,
+            overrides: [None; 6],
+            capacity: 1 << 16,
+        }
     }
 
     /// Bound the ring buffer to `capacity` events (oldest are dropped).
@@ -765,11 +851,18 @@ mod tests {
     use super::*;
 
     fn stall(at_secs: u64, chunk: u32) -> TraceEvent {
-        TraceEvent::StallStarted { at: SimTime::from_secs(at_secs), chunk }
+        TraceEvent::StallStarted {
+            at: SimTime::from_secs(at_secs),
+            chunk,
+        }
     }
 
     fn cache_hit(at_secs: u64) -> TraceEvent {
-        TraceEvent::CacheHit { at: SimTime::from_secs(at_secs), frame: 1, tile: 2 }
+        TraceEvent::CacheHit {
+            at: SimTime::from_secs(at_secs),
+            frame: 1,
+            tile: 2,
+        }
     }
 
     #[test]
@@ -804,8 +897,8 @@ mod tests {
 
     #[test]
     fn subsystem_overrides_apply() {
-        let config = TraceConfig::new(TraceLevel::Verbose)
-            .subsystem(Subsystem::Pipeline, TraceLevel::Off);
+        let config =
+            TraceConfig::new(TraceLevel::Verbose).subsystem(Subsystem::Pipeline, TraceLevel::Off);
         let sink = TraceSink::new(config);
         sink.emit(cache_hit(1)); // pipeline off
         sink.emit(stall(1, 0)); // player at verbose
@@ -823,7 +916,11 @@ mod tests {
         let trace = sink.snapshot();
         assert_eq!(trace.len(), 3);
         assert_eq!(trace.dropped(), 2);
-        assert_eq!(trace.events()[0].at(), SimTime::from_secs(2), "oldest dropped first");
+        assert_eq!(
+            trace.events()[0].at(),
+            SimTime::from_secs(2),
+            "oldest dropped first"
+        );
     }
 
     #[test]

@@ -228,7 +228,8 @@ impl VideoModel {
         assert!(self.ladder.contains(id.quality), "quality beyond ladder");
         assert!(id.time.0 < self.chunk_count(), "chunk time beyond video");
         let panorama_bits = self.ladder.bitrate(id.quality) * self.chunk_duration.as_secs_f64();
-        let bytes = panorama_bits / 8.0 * self.tile_weight(id.tile) * self.cell_jitter(id.tile, id.time);
+        let bytes =
+            panorama_bits / 8.0 * self.tile_weight(id.tile) * self.cell_jitter(id.tile, id.time);
         (bytes.round() as u64).max(1)
     }
 
@@ -251,7 +252,8 @@ impl VideoModel {
 
     /// Bytes of a chunk under the given encoding scheme (initial fetch).
     pub fn chunk_bytes(&self, id: ChunkId, scheme: Scheme) -> u64 {
-        self.cell_sizes(id.tile, id.time).initial_cost(scheme, id.quality)
+        self.cell_sizes(id.tile, id.time)
+            .initial_cost(scheme, id.quality)
     }
 
     /// Total bytes of the whole panorama at quality `q` for chunk `t`

@@ -53,7 +53,10 @@ impl CellSizes {
         for w in avc_bytes.windows(2) {
             assert!(w[1] > w[0], "AVC sizes must be strictly increasing");
         }
-        CellSizes { avc_bytes, overhead }
+        CellSizes {
+            avc_bytes,
+            overhead,
+        }
     }
 
     /// Number of quality levels.
@@ -165,8 +168,14 @@ mod tests {
     #[test]
     fn waste_is_zero_under_svc() {
         let c = cell();
-        assert_eq!(c.wasted_on_upgrade(Scheme::Avc, Quality(1), Quality(2)), 250);
-        assert_eq!(c.wasted_on_upgrade(Scheme::svc_default(), Quality(1), Quality(2)), 0);
+        assert_eq!(
+            c.wasted_on_upgrade(Scheme::Avc, Quality(1), Quality(2)),
+            250
+        );
+        assert_eq!(
+            c.wasted_on_upgrade(Scheme::svc_default(), Quality(1), Quality(2)),
+            0
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 use sperke_geo::TileId;
 
 /// A quality level `q` in the bitrate ladder; 0 is the lowest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Quality(pub u8);
 
 impl Quality {
@@ -55,7 +57,9 @@ impl Layer {
 
 /// Index of a chunk along the time axis; chunk `t` spans
 /// `[t * chunk_duration, (t+1) * chunk_duration)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ChunkTime(pub u32);
 
 impl ChunkTime {
@@ -85,7 +89,11 @@ pub struct ChunkId {
 impl ChunkId {
     /// Construct a chunk coordinate.
     pub fn new(quality: Quality, tile: TileId, time: ChunkTime) -> ChunkId {
-        ChunkId { quality, tile, time }
+        ChunkId {
+            quality,
+            tile,
+            time,
+        }
     }
 
     /// The same tile/time at a different quality.

@@ -41,30 +41,78 @@ impl Ladder {
     /// size observation (§3.4.1).
     pub fn youtube_live() -> Ladder {
         Ladder::new(vec![
-            Rung { name: "144p".into(), bitrate_bps: 0.5e6, height: 144 },
-            Rung { name: "240p".into(), bitrate_bps: 1.0e6, height: 240 },
-            Rung { name: "360p".into(), bitrate_bps: 2.0e6, height: 360 },
-            Rung { name: "480p".into(), bitrate_bps: 4.0e6, height: 480 },
-            Rung { name: "720p".into(), bitrate_bps: 8.0e6, height: 720 },
-            Rung { name: "1080p".into(), bitrate_bps: 16.0e6, height: 1080 },
+            Rung {
+                name: "144p".into(),
+                bitrate_bps: 0.5e6,
+                height: 144,
+            },
+            Rung {
+                name: "240p".into(),
+                bitrate_bps: 1.0e6,
+                height: 240,
+            },
+            Rung {
+                name: "360p".into(),
+                bitrate_bps: 2.0e6,
+                height: 360,
+            },
+            Rung {
+                name: "480p".into(),
+                bitrate_bps: 4.0e6,
+                height: 480,
+            },
+            Rung {
+                name: "720p".into(),
+                bitrate_bps: 8.0e6,
+                height: 720,
+            },
+            Rung {
+                name: "1080p".into(),
+                bitrate_bps: 16.0e6,
+                height: 1080,
+            },
         ])
     }
 
     /// Facebook live's two-level ladder (720p/1080p, §3.4.1).
     pub fn facebook_live() -> Ladder {
         Ladder::new(vec![
-            Rung { name: "720p".into(), bitrate_bps: 8.0e6, height: 720 },
-            Rung { name: "1080p".into(), bitrate_bps: 16.0e6, height: 1080 },
+            Rung {
+                name: "720p".into(),
+                bitrate_bps: 8.0e6,
+                height: 720,
+            },
+            Rung {
+                name: "1080p".into(),
+                bitrate_bps: 16.0e6,
+                height: 1080,
+            },
         ])
     }
 
     /// A four-level ladder for on-demand tiled streaming experiments.
     pub fn vod_default() -> Ladder {
         Ladder::new(vec![
-            Rung { name: "480p".into(), bitrate_bps: 4.0e6, height: 480 },
-            Rung { name: "720p".into(), bitrate_bps: 8.0e6, height: 720 },
-            Rung { name: "1080p".into(), bitrate_bps: 16.0e6, height: 1080 },
-            Rung { name: "2160p".into(), bitrate_bps: 32.0e6, height: 2160 },
+            Rung {
+                name: "480p".into(),
+                bitrate_bps: 4.0e6,
+                height: 480,
+            },
+            Rung {
+                name: "720p".into(),
+                bitrate_bps: 8.0e6,
+                height: 720,
+            },
+            Rung {
+                name: "1080p".into(),
+                bitrate_bps: 16.0e6,
+                height: 1080,
+            },
+            Rung {
+                name: "2160p".into(),
+                bitrate_bps: 32.0e6,
+                height: 2160,
+            },
         ])
     }
 
@@ -161,8 +209,16 @@ mod tests {
     #[should_panic]
     fn non_monotone_ladder_rejected() {
         Ladder::new(vec![
-            Rung { name: "a".into(), bitrate_bps: 2e6, height: 360 },
-            Rung { name: "b".into(), bitrate_bps: 1e6, height: 720 },
+            Rung {
+                name: "a".into(),
+                bitrate_bps: 2e6,
+                height: 360,
+            },
+            Rung {
+                name: "b".into(),
+                bitrate_bps: 1e6,
+                height: 720,
+            },
         ]);
     }
 

@@ -120,27 +120,55 @@ impl DashOrigin {
     }
 
     /// Host a video on demand: every chunk immediately available.
-    pub fn host_vod(&mut self, name: impl Into<String>, store: TiledStore, scheme: crate::encoding::Scheme) {
+    pub fn host_vod(
+        &mut self,
+        name: impl Into<String>,
+        store: TiledStore,
+        scheme: crate::encoding::Scheme,
+    ) {
         let name = name.into();
         let mpd = Mpd::vod(name.clone(), store.video(), scheme);
-        self.presentations
-            .insert(name, Presentation { store, mpd, live_edge: None });
+        self.presentations.insert(
+            name,
+            Presentation {
+                store,
+                mpd,
+                live_edge: None,
+            },
+        );
     }
 
     /// Host a live presentation: chunks become fetchable only after
     /// [`DashOrigin::publish`].
-    pub fn host_live(&mut self, name: impl Into<String>, store: TiledStore, scheme: crate::encoding::Scheme) {
+    pub fn host_live(
+        &mut self,
+        name: impl Into<String>,
+        store: TiledStore,
+        scheme: crate::encoding::Scheme,
+    ) {
         let name = name.into();
         let mpd = Mpd::live(name.clone(), store.video(), scheme);
-        self.presentations
-            .insert(name, Presentation { store, mpd, live_edge: Some(None) });
+        self.presentations.insert(
+            name,
+            Presentation {
+                store,
+                mpd,
+                live_edge: Some(None),
+            },
+        );
     }
 
     /// Publish a live chunk time (all its tiles at once, as an ingest
     /// pipeline would).
     pub fn publish(&mut self, name: &str, time: ChunkTime) {
-        let p = self.presentations.get_mut(name).expect("unknown presentation");
-        let edge = p.live_edge.as_mut().expect("publish() is for live presentations");
+        let p = self
+            .presentations
+            .get_mut(name)
+            .expect("unknown presentation");
+        let edge = p
+            .live_edge
+            .as_mut()
+            .expect("publish() is for live presentations");
         *edge = Some(edge.map_or(time, |e: ChunkTime| ChunkTime(e.0.max(time.0))));
         // Advertise one representative segment per tile in the manifest.
         let q = p.store.video().ladder().top();
@@ -148,7 +176,11 @@ impl DashOrigin {
             let chunk = ChunkId::new(q, tile, time);
             if let Some(bytes) = p.store.size_of(chunk, ChunkForm::Avc) {
                 p.mpd.publish(
-                    SegmentRef { chunk, bytes, url: format!("{name}/{}/{}", tile, time.0) },
+                    SegmentRef {
+                        chunk,
+                        bytes,
+                        url: format!("{name}/{}/{}", tile, time.0),
+                    },
                     self.live_window * p.store.video().grid().tile_count(),
                 );
             }
@@ -166,10 +198,17 @@ impl DashOrigin {
                 }
                 None => {
                     self.stats.errors += 1;
-                    Response::Error { status: 404, reason: format!("no presentation {presentation}") }
+                    Response::Error {
+                        status: 404,
+                        reason: format!("no presentation {presentation}"),
+                    }
                 }
             },
-            Request::GetSegment { presentation, chunk, form } => {
+            Request::GetSegment {
+                presentation,
+                chunk,
+                form,
+            } => {
                 let Some(p) = self.presentations.get_mut(presentation) else {
                     self.stats.errors += 1;
                     return Response::Error {
@@ -190,11 +229,18 @@ impl DashOrigin {
                 match p.store.serve(*chunk, *form) {
                     Some(bytes) => {
                         self.stats.payload_bytes += bytes;
-                        Response::Segment { chunk: *chunk, form: *form, bytes }
+                        Response::Segment {
+                            chunk: *chunk,
+                            form: *form,
+                            bytes,
+                        }
                     }
                     None => {
                         self.stats.errors += 1;
-                        Response::Error { status: 404, reason: format!("no such segment {chunk}") }
+                        Response::Error {
+                            status: 404,
+                            reason: format!("no such segment {chunk}"),
+                        }
                     }
                 }
             }
@@ -236,7 +282,9 @@ mod tests {
     #[test]
     fn vod_serves_manifest_and_segments() {
         let mut o = origin_vod();
-        let m = o.handle(&Request::GetManifest { presentation: "clip".into() });
+        let m = o.handle(&Request::GetManifest {
+            presentation: "clip".into(),
+        });
         assert!(matches!(m, Response::Manifest { .. }));
         let s = o.handle(&seg_req(2));
         let Response::Segment { bytes, .. } = s else {
@@ -252,7 +300,9 @@ mod tests {
     #[test]
     fn unknown_presentation_is_404() {
         let mut o = origin_vod();
-        let r = o.handle(&Request::GetManifest { presentation: "nope".into() });
+        let r = o.handle(&Request::GetManifest {
+            presentation: "nope".into(),
+        });
         assert!(matches!(r, Response::Error { status: 404, .. }));
         assert_eq!(o.stats().errors, 1);
     }
@@ -277,13 +327,21 @@ mod tests {
             form: ChunkForm::Avc,
         };
         // Before publication: 425.
-        assert!(matches!(o.handle(&req), Response::Error { status: 425, .. }));
+        assert!(matches!(
+            o.handle(&req),
+            Response::Error { status: 425, .. }
+        ));
         o.publish("live", ChunkTime(0));
-        assert!(matches!(o.handle(&req), Response::Error { status: 425, .. }));
+        assert!(matches!(
+            o.handle(&req),
+            Response::Error { status: 425, .. }
+        ));
         o.publish("live", ChunkTime(1));
         assert!(matches!(o.handle(&req), Response::Segment { .. }));
         // The manifest now lists recent segments and a live edge.
-        let Response::Manifest { mpd } = o.handle(&Request::GetManifest { presentation: "live".into() }) else {
+        let Response::Manifest { mpd } = o.handle(&Request::GetManifest {
+            presentation: "live".into(),
+        }) else {
             panic!("manifest expected");
         };
         assert_eq!(mpd.live_edge(), Some(ChunkTime(1)));
@@ -293,11 +351,15 @@ mod tests {
     fn wire_bytes_include_overhead() {
         let mut o = origin_vod();
         let seg = o.handle(&seg_req(0));
-        let Response::Segment { bytes, .. } = seg else { panic!() };
+        let Response::Segment { bytes, .. } = seg else {
+            panic!()
+        };
         assert_eq!(seg.wire_bytes(), bytes + HTTP_OVERHEAD_BYTES);
         let err = o.handle(&seg_req(999));
         assert_eq!(err.wire_bytes(), HTTP_OVERHEAD_BYTES);
-        let man = o.handle(&Request::GetManifest { presentation: "clip".into() });
+        let man = o.handle(&Request::GetManifest {
+            presentation: "clip".into(),
+        });
         assert!(man.wire_bytes() > HTTP_OVERHEAD_BYTES);
     }
 

@@ -25,7 +25,11 @@ pub struct SegmenterModel {
 
 impl Default for SegmenterModel {
     fn default() -> Self {
-        SegmenterModel { fps: 30.0, keyframe_cost_ratio: 10.0, natural_gop: 4.0 }
+        SegmenterModel {
+            fps: 30.0,
+            keyframe_cost_ratio: 10.0,
+            natural_gop: 4.0,
+        }
     }
 }
 
@@ -70,7 +74,10 @@ mod tests {
         let at = m.bitrate_factor(SimDuration::from_secs(4));
         assert!((at - 1.0).abs() < 1e-12);
         let beyond = m.bitrate_factor(SimDuration::from_secs(8));
-        assert!((beyond - 1.0).abs() < 1e-12, "chunking can't beat the natural GoP");
+        assert!(
+            (beyond - 1.0).abs() < 1e-12,
+            "chunking can't beat the natural GoP"
+        );
     }
 
     #[test]
@@ -107,7 +114,10 @@ mod tests {
         // But the marginal bitrate cost of going below 1 s is steep:
         let cost_ratio = m.bitrate_factor(SimDuration::from_millis(250))
             / m.bitrate_factor(SimDuration::from_secs(1));
-        assert!(cost_ratio > 1.5, "sub-second chunks pay >50% extra: {cost_ratio}");
+        assert!(
+            cost_ratio > 1.5,
+            "sub-second chunks pay >50% extra: {cost_ratio}"
+        );
     }
 
     #[test]

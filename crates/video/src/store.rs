@@ -43,12 +43,20 @@ pub struct TiledStore {
 impl TiledStore {
     /// A store offering only AVC representations.
     pub fn avc_only(video: VideoModel) -> TiledStore {
-        TiledStore { video, offers_svc: false, stats: StoreStats::default() }
+        TiledStore {
+            video,
+            offers_svc: false,
+            stats: StoreStats::default(),
+        }
     }
 
     /// A hybrid store offering both AVC and SVC forms (§3.1.2).
     pub fn hybrid(video: VideoModel) -> TiledStore {
-        TiledStore { video, offers_svc: true, stats: StoreStats::default() }
+        TiledStore {
+            video,
+            offers_svc: true,
+            stats: StoreStats::default(),
+        }
     }
 
     /// The underlying video model.
@@ -104,7 +112,12 @@ impl TiledStore {
     /// Bytes needed to upgrade an already-delivered chunk from `have` to
     /// `want` using the cheapest offered mechanism, together with the
     /// form the client should request.
-    pub fn upgrade_quote(&self, id: ChunkId, have: Quality, want: Quality) -> Option<(u64, Vec<ChunkForm>)> {
+    pub fn upgrade_quote(
+        &self,
+        id: ChunkId,
+        have: Quality,
+        want: Quality,
+    ) -> Option<(u64, Vec<ChunkForm>)> {
         if want <= have || !self.video.ladder().contains(want) {
             return None;
         }

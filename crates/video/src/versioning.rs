@@ -47,7 +47,13 @@ pub struct VersionedStore {
 
 impl VersionedStore {
     /// Build an Oculus-style store with `versions` versions.
-    pub fn new(video: VideoModel, versions: usize, hq: Quality, lq: Quality, hq_radius: f64) -> Self {
+    pub fn new(
+        video: VideoModel,
+        versions: usize,
+        hq: Quality,
+        lq: Quality,
+        hq_radius: f64,
+    ) -> Self {
         assert!(versions > 0, "need at least one version");
         assert!(video.ladder().contains(hq) && video.ladder().contains(lq));
         assert!(lq <= hq, "low quality must not exceed high quality");
@@ -104,8 +110,7 @@ impl VersionedStore {
             .grid()
             .tiles()
             .map(|tile| {
-                let q = if self.video.grid().tile_center(tile).angle_to(center) <= self.hq_radius
-                {
+                let q = if self.video.grid().tile_center(tile).angle_to(center) <= self.hq_radius {
                     self.hq
                 } else {
                     self.lq
@@ -235,12 +240,13 @@ mod tests {
 
     #[test]
     fn storage_scales_with_version_count() {
-        let mk = |n| {
-            VersionedStore::new(video(), n, Quality(3), Quality(0), 1.1).storage_bytes()
-        };
+        let mk = |n| VersionedStore::new(video(), n, Quality(3), Quality(0), 1.1).storage_bytes();
         let s8 = mk(8);
         let s88 = mk(88);
-        assert!(s88 > 9 * s8, "88 versions ≈ 11x the storage of 8: {s8} vs {s88}");
+        assert!(
+            s88 > 9 * s8,
+            "88 versions ≈ 11x the storage of 8: {s8} vs {s88}"
+        );
     }
 
     #[test]
@@ -258,7 +264,11 @@ mod tests {
     fn small_prediction_errors_keep_hq() {
         let s = VersionedStore::oculus(video());
         assert_eq!(s.quality_under_error(0.1), s.hq);
-        assert_eq!(s.quality_under_error(2.0), s.lq, "large errors fall off the region");
+        assert_eq!(
+            s.quality_under_error(2.0),
+            s.lq,
+            "large errors fall off the region"
+        );
     }
 
     #[test]

@@ -92,7 +92,11 @@ pub struct RateBased {
 
 impl Default for RateBased {
     fn default() -> Self {
-        RateBased { safety: 0.85, patience: 2, up_streak: 0 }
+        RateBased {
+            safety: 0.85,
+            patience: 2,
+            up_streak: 0,
+        }
     }
 }
 
@@ -179,7 +183,11 @@ pub struct Mpc {
 
 impl Default for Mpc {
     fn default() -> Self {
-        Mpc { lookahead: 5, switch_penalty: 0.5, stall_penalty: 8.0 }
+        Mpc {
+            lookahead: 5,
+            switch_penalty: 0.5,
+            stall_penalty: 8.0,
+        }
     }
 }
 
@@ -275,7 +283,13 @@ impl Abr for ExactMpc {
         };
         let horizon = self.lookahead.max(1);
         let forecast: Vec<f64> = (0..horizon)
-            .map(|i| ctx.bandwidth_forecast.get(i).copied().unwrap_or(bw0).max(1.0))
+            .map(|i| {
+                ctx.bandwidth_forecast
+                    .get(i)
+                    .copied()
+                    .unwrap_or(bw0)
+                    .max(1.0)
+            })
             .collect();
         let chunk_secs = ctx.chunk_duration.as_secs_f64();
         let levels = ctx.ladder.levels();
@@ -340,7 +354,10 @@ mod tests {
     fn rate_based_starts_low_without_estimate() {
         let ladder = Ladder::vod_default();
         let mut abr = RateBased::default();
-        assert_eq!(abr.choose(&ctx(&ladder, 10.0, None, Quality(2))), Quality::LOWEST);
+        assert_eq!(
+            abr.choose(&ctx(&ladder, 10.0, None, Quality(2))),
+            Quality::LOWEST
+        );
     }
 
     #[test]
@@ -349,7 +366,11 @@ mod tests {
         let mut abr = RateBased::default(); // patience 2
         let c = ctx(&ladder, 10.0, Some(40e6), Quality(1));
         assert_eq!(abr.choose(&c), Quality(1), "first opportunity: hold");
-        assert_eq!(abr.choose(&c), Quality(2), "second opportunity: one step up");
+        assert_eq!(
+            abr.choose(&c),
+            Quality(2),
+            "second opportunity: one step up"
+        );
     }
 
     #[test]
@@ -357,15 +378,25 @@ mod tests {
         let ladder = Ladder::vod_default();
         let mut abr = RateBased::default();
         let c = ctx(&ladder, 10.0, Some(5e6), Quality(3));
-        assert_eq!(abr.choose(&c), Quality(0), "5 Mbps * 0.85 affords only 4 Mbps");
+        assert_eq!(
+            abr.choose(&c),
+            Quality(0),
+            "5 Mbps * 0.85 affords only 4 Mbps"
+        );
     }
 
     #[test]
     fn buffer_based_regions() {
         let ladder = Ladder::vod_default();
         let mut abr = BufferBased::default(); // reservoir 5, cushion 20
-        assert_eq!(abr.choose(&ctx(&ladder, 2.0, Some(99e6), Quality(0))), Quality(0));
-        assert_eq!(abr.choose(&ctx(&ladder, 25.0, Some(1.0), Quality(0))), Quality(3));
+        assert_eq!(
+            abr.choose(&ctx(&ladder, 2.0, Some(99e6), Quality(0))),
+            Quality(0)
+        );
+        assert_eq!(
+            abr.choose(&ctx(&ladder, 25.0, Some(1.0), Quality(0))),
+            Quality(3)
+        );
         let mid = abr.choose(&ctx(&ladder, 12.5, Some(1.0), Quality(0)));
         assert!(mid > Quality(0) && mid < Quality(3));
     }
@@ -439,7 +470,10 @@ mod tests {
             e >= f,
             "per-chunk planning ({e}) must not be more timid than constant-quality ({f})"
         );
-        assert!(e >= Quality(2), "8 s of buffer absorbs a one-chunk dip, got {e}");
+        assert!(
+            e >= Quality(2),
+            "8 s of buffer absorbs a one-chunk dip, got {e}"
+        );
     }
 
     #[test]
@@ -454,8 +488,14 @@ mod tests {
     #[test]
     fn mpc_switch_penalty_damps_oscillation() {
         let ladder = Ladder::vod_default();
-        let mut eager = Mpc { switch_penalty: 0.0, ..Default::default() };
-        let mut damped = Mpc { switch_penalty: 10.0, ..Default::default() };
+        let mut eager = Mpc {
+            switch_penalty: 0.0,
+            ..Default::default()
+        };
+        let mut damped = Mpc {
+            switch_penalty: 10.0,
+            ..Default::default()
+        };
         // Bandwidth affords exactly one level above the last quality.
         let c = ctx(&ladder, 15.0, Some(18e6), Quality(1));
         let q_eager = eager.choose(&c);

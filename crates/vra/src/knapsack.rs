@@ -90,7 +90,8 @@ pub fn select_stochastic(
     min_probability: f64,
 ) -> Vec<StochasticChoice> {
     let grid = video.grid();
-    let bytes_at = |tile: TileId, q: Quality| video.chunk_bytes(ChunkId::new(q, tile, time), scheme);
+    let bytes_at =
+        |tile: TileId, q: Quality| video.chunk_bytes(ChunkId::new(q, tile, time), scheme);
 
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
     for tile in grid.tiles() {
@@ -206,8 +207,7 @@ mod tests {
     fn respects_budget_exactly() {
         let (video, fc) = setup();
         for budget in [50_000u64, 200_000, 1_000_000, 5_000_000] {
-            let choices =
-                select_stochastic(&video, &fc, ChunkTime(0), budget, Scheme::Avc, 0.05);
+            let choices = select_stochastic(&video, &fc, ChunkTime(0), budget, Scheme::Avc, 0.05);
             let cost = selection_cost(&video, ChunkTime(0), Scheme::Avc, &choices);
             assert!(cost <= budget, "cost {cost} > budget {budget}");
         }
@@ -218,8 +218,7 @@ mod tests {
         let (video, fc) = setup();
         let mut last = -1.0;
         for budget in [100_000u64, 400_000, 1_600_000, 6_400_000] {
-            let choices =
-                select_stochastic(&video, &fc, ChunkTime(0), budget, Scheme::Avc, 0.05);
+            let choices = select_stochastic(&video, &fc, ChunkTime(0), budget, Scheme::Avc, 0.05);
             let u = expected_utility(&video, &fc, &choices);
             assert!(u >= last, "utility fell as budget grew: {last} -> {u}");
             last = u;
@@ -229,8 +228,7 @@ mod tests {
     #[test]
     fn probable_tiles_get_higher_quality() {
         let (video, fc) = setup();
-        let choices =
-            select_stochastic(&video, &fc, ChunkTime(0), 2_000_000, Scheme::Avc, 0.05);
+        let choices = select_stochastic(&video, &fc, ChunkTime(0), 2_000_000, Scheme::Avc, 0.05);
         assert!(!choices.is_empty());
         // choices are sorted by probability; qualities should be
         // non-increasing modulo size jitter — check the extremes.
@@ -251,8 +249,7 @@ mod tests {
     #[test]
     fn improbable_tiles_excluded() {
         let (video, fc) = setup();
-        let choices =
-            select_stochastic(&video, &fc, ChunkTime(0), u64::MAX / 2, Scheme::Avc, 0.3);
+        let choices = select_stochastic(&video, &fc, ChunkTime(0), u64::MAX / 2, Scheme::Avc, 0.3);
         for c in &choices {
             assert!(fc.prob(c.tile) >= 0.3);
         }
@@ -281,7 +278,10 @@ mod tests {
             }
         }
         for &tile in &sc.tiles {
-            banded.push(StochasticChoice { tile, quality: fov_q });
+            banded.push(StochasticChoice {
+                tile,
+                quality: fov_q,
+            });
         }
         let fov_cost = selection_cost(&video, ChunkTime(0), Scheme::Avc, &banded);
         let oos = select_oos(
@@ -295,7 +295,10 @@ mod tests {
             &OosConfig::default(),
         );
         for c in oos {
-            banded.push(StochasticChoice { tile: c.tile, quality: c.quality });
+            banded.push(StochasticChoice {
+                tile: c.tile,
+                quality: c.quality,
+            });
         }
         let banded_util = expected_utility(&video, &fc, &banded);
 

@@ -26,8 +26,8 @@ pub mod superchunk;
 pub mod upgrade;
 
 pub use abr::{Abr, AbrContext, BufferBased, ExactMpc, FixedQuality, Mpc, RateBased};
-pub use oos::{select_oos, OosChoice, OosConfig};
 pub use knapsack::{expected_utility, select_stochastic, selection_cost, StochasticChoice};
+pub use oos::{select_oos, OosChoice, OosConfig};
 pub use sperke::{
     plan_fov_agnostic, upgrade_candidates, EncodingPolicy, FetchPlan, PlanInput, PlannedFetch,
     SelectionPolicy, SperkeConfig, SperkeVra,

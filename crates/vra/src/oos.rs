@@ -75,7 +75,11 @@ pub fn select_oos(
     // OOS qualities live in the band [floor, ceiling], strictly below
     // the FoV quality.
     let ceiling = Quality(fov_quality.0 - 1);
-    let floor = Quality(fov_quality.0.saturating_sub(config.max_levels_below_fov.max(1)));
+    let floor = Quality(
+        fov_quality
+            .0
+            .saturating_sub(config.max_levels_below_fov.max(1)),
+    );
 
     // Candidate tiles: not in FoV, probability above threshold.
     let mut candidates: Vec<(TileId, f64)> = forecast
@@ -94,7 +98,10 @@ pub fn select_oos(
         .map(|&(tile, p)| {
             let span = (ceiling.0 - floor.0) as f64;
             let q = floor.0 + (p * (span + 0.999)).floor() as u8;
-            OosChoice { tile, quality: Quality(q.min(ceiling.0)) }
+            OosChoice {
+                tile,
+                quality: Quality(q.min(ceiling.0)),
+            }
         })
         .collect();
 
@@ -165,7 +172,10 @@ mod tests {
     #[test]
     fn closer_tiles_get_higher_quality() {
         let (video, forecast, fov) = setup();
-        let config = OosConfig { max_levels_below_fov: 2, ..Default::default() };
+        let config = OosConfig {
+            max_levels_below_fov: 2,
+            ..Default::default()
+        };
         let choices = select_oos(
             &video,
             &forecast,
@@ -183,7 +193,10 @@ mod tests {
         }
         let has_high = choices.iter().any(|c| c.quality == Quality(2));
         let has_low = choices.iter().any(|c| c.quality < Quality(2));
-        assert!(has_high && has_low, "probability should spread the band: {choices:?}");
+        assert!(
+            has_high && has_low,
+            "probability should spread the band: {choices:?}"
+        );
     }
 
     #[test]
@@ -256,14 +269,35 @@ mod tests {
     #[test]
     fn accuracy_compensation_widens_selection() {
         let (video, forecast, fov) = setup();
-        let strict = OosConfig { min_probability: 0.3, ..Default::default() };
+        let strict = OosConfig {
+            min_probability: 0.3,
+            ..Default::default()
+        };
         let compensated = OosConfig {
             min_probability: 0.3,
             accuracy_compensation: 3.0,
             ..Default::default()
         };
-        let a = select_oos(&video, &forecast, ChunkTime(0), &fov, Quality(2), Scheme::Avc, u64::MAX, &strict);
-        let b = select_oos(&video, &forecast, ChunkTime(0), &fov, Quality(2), Scheme::Avc, u64::MAX, &compensated);
+        let a = select_oos(
+            &video,
+            &forecast,
+            ChunkTime(0),
+            &fov,
+            Quality(2),
+            Scheme::Avc,
+            u64::MAX,
+            &strict,
+        );
+        let b = select_oos(
+            &video,
+            &forecast,
+            ChunkTime(0),
+            &fov,
+            Quality(2),
+            Scheme::Avc,
+            u64::MAX,
+            &compensated,
+        );
         assert!(
             b.len() >= a.len(),
             "lower HMP accuracy should admit more OOS tiles ({} vs {})",

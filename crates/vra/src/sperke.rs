@@ -39,10 +39,16 @@ impl EncodingPolicy {
     pub fn scheme_for(&self, video: &VideoModel, probability: f64) -> Scheme {
         match *self {
             EncodingPolicy::AvcOnly => Scheme::Avc,
-            EncodingPolicy::SvcOnly => Scheme::Svc { overhead: video.svc_overhead() },
-            EncodingPolicy::Hybrid { svc_when_uncertain_below } => {
+            EncodingPolicy::SvcOnly => Scheme::Svc {
+                overhead: video.svc_overhead(),
+            },
+            EncodingPolicy::Hybrid {
+                svc_when_uncertain_below,
+            } => {
                 if probability < svc_when_uncertain_below {
-                    Scheme::Svc { overhead: video.svc_overhead() }
+                    Scheme::Svc {
+                        overhead: video.svc_overhead(),
+                    }
                 } else {
                     Scheme::Avc
                 }
@@ -175,7 +181,9 @@ impl Default for SperkeConfig {
             selection: SelectionPolicy::Banded,
             fov_threshold: 0.75,
             oos: OosConfig::default(),
-            encoding: EncodingPolicy::Hybrid { svc_when_uncertain_below: 0.85 },
+            encoding: EncodingPolicy::Hybrid {
+                svc_when_uncertain_below: 0.85,
+            },
             fov_budget_share: 0.8,
             oos_budget_vs_fov: 0.6,
             urgent_window: SimDuration::from_millis(700),
@@ -195,7 +203,11 @@ pub struct SperkeVra<A: Abr> {
 impl<A: Abr> SperkeVra<A> {
     /// Construct with an inner ABR.
     pub fn new(abr: A, config: SperkeConfig) -> Self {
-        SperkeVra { abr, config, trace: TraceSink::disabled() }
+        SperkeVra {
+            abr,
+            config,
+            trace: TraceSink::disabled(),
+        }
     }
 
     /// Record ABR decisions (with their candidate qualities) into `sink`.
@@ -251,7 +263,9 @@ impl<A: Abr> SperkeVra<A> {
             ladder: video.ladder(),
             unit_bitrate,
             buffer: input.buffer,
-            bandwidth_bps: input.bandwidth_bps.map(|b| b * self.config.fov_budget_share),
+            bandwidth_bps: input
+                .bandwidth_bps
+                .map(|b| b * self.config.fov_budget_share),
             bandwidth_forecast: input
                 .bandwidth_forecast
                 .iter()
@@ -282,7 +296,10 @@ impl<A: Abr> SperkeVra<A> {
                 chunk: id,
                 form: self.config.encoding.form_for(video, p, fov_quality),
                 bytes: video.chunk_bytes(id, scheme),
-                priority: ChunkPriority { spatial: SpatialPriority::Fov, temporal },
+                priority: ChunkPriority {
+                    spatial: SpatialPriority::Fov,
+                    temporal,
+                },
                 probability: p,
             });
         }
@@ -298,10 +315,8 @@ impl<A: Abr> SperkeVra<A> {
             .map(|bw| {
                 let chunk_secs = video.chunk_duration().as_secs_f64();
                 let total = (bw * chunk_secs / 8.0) as u64;
-                let oos_share = ((1.0 - self.config.fov_budget_share).max(0.0)
-                    * bw
-                    * chunk_secs
-                    / 8.0) as u64;
+                let oos_share =
+                    ((1.0 - self.config.fov_budget_share).max(0.0) * bw * chunk_secs / 8.0) as u64;
                 let vs_fov = (self.config.oos_budget_vs_fov.max(0.0) * fov_bytes as f64) as u64;
                 oos_share.min(vs_fov).min(total.saturating_sub(fov_bytes))
             })
@@ -322,7 +337,10 @@ impl<A: Abr> SperkeVra<A> {
             let id = ChunkId::new(choice.quality, choice.tile, input.time);
             fetches.push(PlannedFetch {
                 chunk: id,
-                form: self.config.encoding.form_for(video, p.min(0.3), choice.quality),
+                form: self
+                    .config
+                    .encoding
+                    .form_for(video, p.min(0.3), choice.quality),
                 bytes: video.chunk_bytes(id, oos_scheme),
                 priority: ChunkPriority {
                     spatial: SpatialPriority::Oos,
@@ -332,7 +350,11 @@ impl<A: Abr> SperkeVra<A> {
             });
         }
 
-        FetchPlan { time: input.time, fov_quality, fetches }
+        FetchPlan {
+            time: input.time,
+            fov_quality,
+            fetches,
+        }
     }
 }
 
@@ -390,7 +412,11 @@ impl<A: Abr> SperkeVra<A> {
             });
         }
         self.emit_decision(input, fov_quality, &[]);
-        FetchPlan { time: input.time, fov_quality, fetches }
+        FetchPlan {
+            time: input.time,
+            fov_quality,
+            fetches,
+        }
     }
 }
 
@@ -437,7 +463,11 @@ pub fn plan_fov_agnostic<A: Abr>(
             }
         })
         .collect();
-    FetchPlan { time, fov_quality: q, fetches }
+    FetchPlan {
+        time,
+        fov_quality: q,
+        fetches,
+    }
 }
 
 /// Build upgrade candidates for buffered cells against a fresh forecast
@@ -487,11 +517,7 @@ mod tests {
         )
     }
 
-    fn input<'a>(
-        video: &'a VideoModel,
-        fc: &'a TileForecast,
-        bw: Option<f64>,
-    ) -> PlanInput<'a> {
+    fn input<'a>(video: &'a VideoModel, fc: &'a TileForecast, bw: Option<f64>) -> PlanInput<'a> {
         PlanInput {
             video,
             forecast: fc,
@@ -564,13 +590,18 @@ mod tests {
         let v = video();
         let fc = forecast(&v);
         let config = SperkeConfig {
-            encoding: EncodingPolicy::Hybrid { svc_when_uncertain_below: 0.85 },
+            encoding: EncodingPolicy::Hybrid {
+                svc_when_uncertain_below: 0.85,
+            },
             ..Default::default()
         };
         let mut vra = SperkeVra::new(RateBased::default(), config);
         let plan = vra.plan(&input(&v, &fc, Some(40e6)));
         let has_avc = plan.fetches.iter().any(|f| f.form == ChunkForm::Avc);
-        let has_svc = plan.fetches.iter().any(|f| f.form == ChunkForm::SvcCumulative);
+        let has_svc = plan
+            .fetches
+            .iter()
+            .any(|f| f.form == ChunkForm::SvcCumulative);
         assert!(
             has_avc && has_svc,
             "hybrid should fetch certain cells as AVC and uncertain ones as SVC"
@@ -588,15 +619,24 @@ mod tests {
         let mk = |enc| {
             let mut vra = SperkeVra::new(
                 RateBased::default(),
-                SperkeConfig { encoding: enc, ..Default::default() },
+                SperkeConfig {
+                    encoding: enc,
+                    ..Default::default()
+                },
             );
             // Fix quality via generous bandwidth and same last_quality.
             vra.plan(&input(&v, &fc, Some(25e6)))
         };
         let avc = mk(EncodingPolicy::AvcOnly);
         let svc = mk(EncodingPolicy::SvcOnly);
-        assert_eq!(avc.fov_quality, svc.fov_quality, "same ABR decision expected");
-        assert!(svc.total_bytes() > avc.total_bytes(), "SVC pays its overhead");
+        assert_eq!(
+            avc.fov_quality, svc.fov_quality,
+            "same ABR decision expected"
+        );
+        assert!(
+            svc.total_bytes() > avc.total_bytes(),
+            "SVC pays its overhead"
+        );
     }
 
     #[test]
@@ -635,7 +675,9 @@ mod tests {
         let v = video();
         let fc = forecast(&v);
         let config = SperkeConfig {
-            selection: SelectionPolicy::Stochastic { min_probability: 0.05 },
+            selection: SelectionPolicy::Stochastic {
+                min_probability: 0.05,
+            },
             ..Default::default()
         };
         let mut vra = SperkeVra::new(RateBased::default(), config);
@@ -643,7 +685,10 @@ mod tests {
         let plan = vra.plan(&input(&v, &fc, Some(bw)));
         assert!(!plan.fetches.is_empty());
         let plan_bps = plan.total_bytes() as f64 * 8.0 / v.chunk_duration().as_secs_f64();
-        assert!(plan_bps <= bw * 1.15, "plan {plan_bps:.0} vs budget {bw:.0}");
+        assert!(
+            plan_bps <= bw * 1.15,
+            "plan {plan_bps:.0} vs budget {bw:.0}"
+        );
         // Both priorities present: certain tiles FoV, uncertain tiles OOS.
         assert!(plan.fov_fetches().count() > 0);
         assert!(plan.oos_fetches().count() > 0);
@@ -654,12 +699,17 @@ mod tests {
         let v = video();
         let fc = forecast(&v);
         let config = SperkeConfig {
-            selection: SelectionPolicy::Stochastic { min_probability: 0.05 },
+            selection: SelectionPolicy::Stochastic {
+                min_probability: 0.05,
+            },
             ..Default::default()
         };
         let mut vra = SperkeVra::new(RateBased::default(), config);
         let plan = vra.plan(&input(&v, &fc, None));
-        assert!(!plan.fetches.is_empty(), "must still fetch a base-layer FoV");
+        assert!(
+            !plan.fetches.is_empty(),
+            "must still fetch a base-layer FoV"
+        );
         // The conservative budget keeps the plan near the base layer
         // (the knapsack may upgrade a tile or two within the budget).
         assert!(plan.fov_quality <= Quality(1));

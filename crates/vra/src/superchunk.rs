@@ -24,7 +24,10 @@ impl SuperChunk {
     /// Build from a known viewport (the perfect-HMP case of §3.1.2
     /// part one).
     pub fn from_viewport(grid: &TileGrid, viewport: &Viewport, time: ChunkTime) -> SuperChunk {
-        SuperChunk { time, tiles: viewport.visible_tile_set(grid) }
+        SuperChunk {
+            time,
+            tiles: viewport.visible_tile_set(grid),
+        }
     }
 
     /// [`SuperChunk::from_viewport`] through a visibility memo —
@@ -36,7 +39,10 @@ impl SuperChunk {
         time: ChunkTime,
         vis: &VisibilityCache,
     ) -> SuperChunk {
-        SuperChunk { time, tiles: vis.visible_tile_set(viewport, grid) }
+        SuperChunk {
+            time,
+            tiles: vis.visible_tile_set(viewport, grid),
+        }
     }
 
     /// Build from a tile forecast: tiles whose on-screen probability is
@@ -124,7 +130,10 @@ mod tests {
         let vp = Viewport::headset(Orientation::FRONT);
         let sc = SuperChunk::from_viewport(v.grid(), &vp, ChunkTime(0));
         assert!(!sc.is_empty());
-        assert!(sc.len() < v.grid().tile_count(), "FoV must not cover everything");
+        assert!(
+            sc.len() < v.grid().tile_count(),
+            "FoV must not cover everything"
+        );
         assert!(sc.tiles.windows(2).all(|w| w[0] < w[1]));
         assert!(sc.contains(sc.tiles[0]));
     }

@@ -124,8 +124,8 @@ pub fn decide_upgrade(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sperke_video::ChunkTime;
     use sperke_geo::TileId;
+    use sperke_video::ChunkTime;
 
     fn sizes() -> CellSizes {
         CellSizes::new(vec![100_000, 250_000, 600_000, 1_400_000], 0.10)
@@ -241,10 +241,26 @@ mod tests {
     #[test]
     fn avc_upgrade_costs_more_than_svc() {
         let c = candidate(0.99, 10.0);
-        let svc = decide_upgrade(&c, &sizes(), Scheme::svc_default(), SimTime::ZERO, BW, &UpgradeConfig::default());
-        let avc = decide_upgrade(&c, &sizes(), Scheme::Avc, SimTime::ZERO, BW, &UpgradeConfig::default());
-        let (UpgradeDecision::UpgradeNow { delta_bytes: s }, UpgradeDecision::UpgradeNow { delta_bytes: a }) =
-            (svc, avc)
+        let svc = decide_upgrade(
+            &c,
+            &sizes(),
+            Scheme::svc_default(),
+            SimTime::ZERO,
+            BW,
+            &UpgradeConfig::default(),
+        );
+        let avc = decide_upgrade(
+            &c,
+            &sizes(),
+            Scheme::Avc,
+            SimTime::ZERO,
+            BW,
+            &UpgradeConfig::default(),
+        );
+        let (
+            UpgradeDecision::UpgradeNow { delta_bytes: s },
+            UpgradeDecision::UpgradeNow { delta_bytes: a },
+        ) = (svc, avc)
         else {
             panic!("expected both to upgrade: {svc:?} {avc:?}");
         };
@@ -256,7 +272,14 @@ mod tests {
         let mut c = candidate(0.9, 5.0);
         c.want = Quality(0);
         assert_eq!(
-            decide_upgrade(&c, &sizes(), Scheme::svc_default(), SimTime::ZERO, BW, &UpgradeConfig::default()),
+            decide_upgrade(
+                &c,
+                &sizes(),
+                Scheme::svc_default(),
+                SimTime::ZERO,
+                BW,
+                &UpgradeConfig::default()
+            ),
             UpgradeDecision::Skip
         );
     }

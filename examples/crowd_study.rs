@@ -37,7 +37,10 @@ fn main() {
             });
         }
     }
-    println!("collected {} sessions from 20 users over 3 videos", dataset.len());
+    println!(
+        "collected {} sessions from 20 users over 3 videos",
+        dataset.len()
+    );
     println!(
         "aggregate head-data upload rate: {:.1} kbps (paper: <5 kbps per viewer)",
         dataset.aggregate_bitrate_bps() / 1000.0
@@ -86,8 +89,14 @@ fn main() {
     let after = evaluate_forecaster(&informed, &newcomer, horizon, &grid, cd, 6);
     println!();
     println!("2 s-horizon tile forecasting for a new explorer (6-tile budget):");
-    println!("  motion only:      top-6 hit rate {:.2}", before.topk_hit_rate);
-    println!("  + study data:     top-6 hit rate {:.2}", after.topk_hit_rate);
+    println!(
+        "  motion only:      top-6 hit rate {:.2}",
+        before.topk_hit_rate
+    );
+    println!(
+        "  + study data:     top-6 hit rate {:.2}",
+        after.topk_hit_rate
+    );
 
     // --- 5. The corpus round-trips through its archival format.
     let archived = dataset.to_ndjson();

@@ -10,9 +10,7 @@
 //! cargo run --example fault_injection
 //! ```
 
-use sperke_core::{
-    FaultScript, RecoveryPolicy, SchedulerChoice, Sperke, TraceEvent, TraceLevel,
-};
+use sperke_core::{FaultScript, RecoveryPolicy, SchedulerChoice, Sperke, TraceEvent, TraceLevel};
 use sperke_hmp::Behavior;
 use sperke_net::{BandwidthTrace, PathModel};
 use sperke_sim::{SimDuration, SimTime};

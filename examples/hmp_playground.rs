@@ -39,7 +39,13 @@ fn main() {
             evaluate_predictor(p.as_ref(), &subject, SimDuration::from_secs_f64(h), &grid)
                 .mean_error_deg
         };
-        println!("{:<22} {:>8.1} {:>8.1} {:>8.1}", name, err(0.25), err(1.0), err(2.0));
+        println!(
+            "{:<22} {:>8.1} {:>8.1} {:>8.1}",
+            name,
+            err(0.25),
+            err(1.0),
+            err(2.0)
+        );
     }
 
     // Fused forecaster: motion + crowd heatmap + speed bound + pose.
@@ -64,7 +70,13 @@ fn main() {
             FusedForecaster::motion_only()
                 .with_heatmap(heatmap)
                 .with_speed_bound(speed_bound)
-                .with_context(ViewingContext { pose: Pose::Sitting, ..Default::default() }, 0.0),
+                .with_context(
+                    ViewingContext {
+                        pose: Pose::Sitting,
+                        ..Default::default()
+                    },
+                    0.0,
+                ),
         ),
     ];
     println!("{:<32} {:>9} {:>12}", "forecaster", "top6 hit", "p(target)");
@@ -77,7 +89,10 @@ fn main() {
             SimDuration::from_secs(1),
             6,
         );
-        println!("{:<32} {:>9.2} {:>12.2}", name, r.topk_hit_rate, r.mean_prob_on_target);
+        println!(
+            "{:<32} {:>9.2} {:>12.2}",
+            name, r.topk_hit_rate, r.mean_prob_on_target
+        );
     }
 
     println!();

@@ -26,12 +26,18 @@ fn main() {
     for platform in PlatformProfile::all() {
         let base = run_live(
             &platform,
-            NetworkCondition { up_cap_bps: None, down_cap_bps: None },
+            NetworkCondition {
+                up_cap_bps: None,
+                down_cap_bps: None,
+            },
             &cfg,
         );
         let starved = run_live(
             &platform,
-            NetworkCondition { up_cap_bps: Some(0.5e6), down_cap_bps: None },
+            NetworkCondition {
+                up_cap_bps: Some(0.5e6),
+                down_cap_bps: None,
+            },
             &cfg,
         );
         println!(
@@ -58,7 +64,13 @@ fn main() {
         ("quality-only", UploadStrategy::QualityOnly),
         ("spatial fall-back", UploadStrategy::SpatialFallback),
     ] {
-        let plan = plan_upload(strategy, full_rate, available, &interest, 60f64.to_radians());
+        let plan = plan_upload(
+            strategy,
+            full_rate,
+            available,
+            &interest,
+            60f64.to_radians(),
+        );
         let exp = viewer_experience(&plan, &audience, SimDuration::from_secs(20));
         println!(
             "  {:<18} span {:>5.0}°  quality x{:.2}  in-gaze coverage {:>5.1} %  mean quality {:.2}",

@@ -18,9 +18,12 @@ fn main() {
         .build();
 
     // The grid: four origin capacities × FoV-guided vs full panorama.
-    let grid = FleetGrid::new(FleetConfig { viewers: 10, ..Default::default() })
-        .egress_axis(vec![40e6, 80e6, 160e6, 320e6])
-        .scheme_axis(vec![true, false]);
+    let grid = FleetGrid::new(FleetConfig {
+        viewers: 10,
+        ..Default::default()
+    })
+    .egress_axis(vec![40e6, 80e6, 160e6, 320e6])
+    .scheme_axis(vec![true, false]);
 
     let threads = default_threads();
     let report = run_fleet_sweep(&video, &grid, threads);

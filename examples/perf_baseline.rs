@@ -1,20 +1,40 @@
-//! PR4 tracked perf baseline: measures the visibility hot path with and
-//! without the memo cache, fleet-step throughput, and parallel-sweep
-//! throughput, then writes the numbers to `BENCH_PR4.json`.
+//! Tracked perf baselines with regression gating.
+//!
+//! Measures the PR4 hot-path numbers (visibility cache, fleet step and
+//! sweep throughput) and the PR5 edge numbers (origin demand, cache
+//! hit rate, edge run and sweep throughput), compares every gated
+//! metric against the committed `BENCH_PR4.json` / `BENCH_PR5.json`
+//! baselines, and exits non-zero if any metric regresses by more than
+//! the tolerance (default 20%, `PERF_TOLERANCE_PCT` to override).
+//! Fresh measurements are always written back to the two JSON files so
+//! CI can upload them as artifacts.
 //!
 //! ```sh
 //! cargo run --release --example perf_baseline
 //! ```
 //!
-//! The run hard-fails (non-zero exit) if a cache hit is not at least
-//! 3× faster than an uncached query, or if the cached and uncached
-//! fleet runs disagree — so CI can use it as a perf smoke test.
+//! A missing baseline file is reported and skipped (first run on a new
+//! branch), never a failure: the write at the end creates it.
 
-use sperke_core::{run_fleet_sweep, run_fleet_with_cache, FleetConfig, FleetGrid};
+use sperke_core::{
+    run_edge_fleet, run_edge_sweep, run_fleet_sweep, run_fleet_with_cache, EdgeConfig, EdgeGrid,
+    FleetConfig, FleetGrid,
+};
 use sperke_geo::{Orientation, TileGrid, Viewport, VisibilityCache};
 use sperke_sim::SimDuration;
 use sperke_video::VideoModelBuilder;
 use std::time::Instant;
+
+/// Which way a metric is allowed to drift.
+#[derive(Clone, Copy, PartialEq)]
+enum Gate {
+    /// Higher is better: fail when current < baseline × (1 − tol).
+    Higher,
+    /// Lower is better: fail when current > baseline × (1 + tol).
+    Lower,
+    /// Recorded for the artifact but never gated (too noisy to gate).
+    Record,
+}
 
 /// Median of per-op nanoseconds over `rounds` timed batches of `batch`
 /// calls each.
@@ -32,11 +52,70 @@ fn median_ns(rounds: usize, batch: u32, mut op: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Pull a numeric field out of a parsed baseline object.
+fn metric(doc: &serde_json::Value, name: &str) -> Option<f64> {
+    match doc.get(name)? {
+        serde_json::Value::U64(n) => Some(*n as f64),
+        serde_json::Value::I64(n) => Some(*n as f64),
+        serde_json::Value::F64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Load a committed baseline file; `None` (with a notice) when absent
+/// or unparsable, so first runs create rather than fail.
+fn load_baseline(path: &str) -> Option<serde_json::Value> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str::<serde_json::Value>(&text) {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                println!("note: {path} unparsable ({e}); skipping comparison");
+                None
+            }
+        },
+        Err(_) => {
+            println!("note: {path} not found; skipping comparison (will be created)");
+            None
+        }
+    }
+}
+
+/// Compare `current` against the baseline under the gate rule; returns
+/// a failure message when the metric regressed past tolerance.
+fn check(
+    doc: Option<&serde_json::Value>,
+    name: &str,
+    current: f64,
+    gate: Gate,
+    tol: f64,
+) -> Option<String> {
+    let base = metric(doc?, name)?;
+    let (fails, bound) = match gate {
+        Gate::Higher => (current < base * (1.0 - tol), base * (1.0 - tol)),
+        Gate::Lower => (current > base * (1.0 + tol), base * (1.0 + tol)),
+        Gate::Record => return None,
+    };
+    if fails {
+        Some(format!(
+            "{name}: {current:.1} vs baseline {base:.1} (allowed {} {bound:.1})",
+            if gate == Gate::Higher { ">=" } else { "<=" }
+        ))
+    } else {
+        None
+    }
+}
+
 fn main() {
+    let tol = std::env::var("PERF_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(20.0)
+        / 100.0;
+
+    // ---------------- PR4: visibility hot path + fleet ----------------
     let grid = TileGrid::new(4, 6);
     let vp = Viewport::headset(Orientation::from_degrees(37.0, 12.0, 3.0));
 
-    // --- Micro: one visible_tiles query, uncached vs cache hit. ---
     let uncached_ns = median_ns(31, 200, || {
         std::hint::black_box(vp.visible_tiles(&grid, 16));
     });
@@ -50,11 +129,13 @@ fn main() {
     println!("  uncached : {uncached_ns:>10.1} ns/op");
     println!("  cache hit: {cached_ns:>10.1} ns/op   ({speedup:.1}x)");
 
-    // --- Fleet-step throughput: whole experiment, cache off vs on. ---
     let video = VideoModelBuilder::new(29)
         .duration(SimDuration::from_secs(6))
         .build();
-    let config = FleetConfig { viewers: 8, ..Default::default() };
+    let config = FleetConfig {
+        viewers: 8,
+        ..Default::default()
+    };
     let time_fleet = |cache: fn() -> VisibilityCache| {
         // Warm-up run, then median of three timed runs.
         let report = run_fleet_with_cache(&video, &config, cache());
@@ -70,26 +151,198 @@ fn main() {
     };
     let (report_off, fleet_off_s) = time_fleet(VisibilityCache::disabled);
     let (report_on, fleet_on_s) = time_fleet(VisibilityCache::default);
-    assert_eq!(report_off, report_on, "cache must not change the fleet report");
+    assert_eq!(
+        report_off, report_on,
+        "cache must not change the fleet report"
+    );
     let steps = config.viewers as f64 * video.chunk_count() as f64;
     let fleet_gain_pct = (fleet_off_s / fleet_on_s - 1.0) * 100.0;
-    println!("fleet step throughput ({} viewers x {} chunks)", config.viewers, video.chunk_count());
+    println!(
+        "fleet step throughput ({} viewers x {} chunks)",
+        config.viewers,
+        video.chunk_count()
+    );
     println!("  uncached : {:>10.0} steps/s", steps / fleet_off_s);
-    println!("  cached   : {:>10.0} steps/s   ({fleet_gain_pct:+.1}%)", steps / fleet_on_s);
+    println!(
+        "  cached   : {:>10.0} steps/s   ({fleet_gain_pct:+.1}%)",
+        steps / fleet_on_s
+    );
 
-    // --- Sweep throughput: the PR3 harness over the PR4 hot path. ---
-    let sweep_grid = FleetGrid::new(FleetConfig { viewers: 3, ..Default::default() })
-        .egress_axis(vec![60e6, 200e6])
-        .scheme_axis(vec![true, false]);
+    let sweep_grid = FleetGrid::new(FleetConfig {
+        viewers: 3,
+        ..Default::default()
+    })
+    .egress_axis(vec![60e6, 200e6])
+    .scheme_axis(vec![true, false]);
     let points = sweep_grid.points().len() as f64;
     let start = Instant::now();
     let sweep = run_fleet_sweep(&video, &sweep_grid, 0);
     let sweep_s = start.elapsed().as_secs_f64();
     assert_eq!(sweep.len(), points as usize);
-    println!("fleet sweep   : {:>10.1} points/s ({points} points)", points / sweep_s);
+    println!(
+        "fleet sweep   : {:>10.1} points/s ({points} points)",
+        points / sweep_s
+    );
 
-    // --- Persist. ---
-    let json = format!(
+    // ---------------- PR5: edge server ----------------
+    let edge_video = VideoModelBuilder::new(7)
+        .duration(SimDuration::from_secs(8))
+        .build();
+    let edge_cfg = EdgeConfig {
+        clients: 16,
+        max_clients: 64,
+        ..Default::default()
+    };
+    let cached_edge = run_edge_fleet(&edge_video, &edge_cfg);
+    let uncached_edge = run_edge_fleet(
+        &edge_video,
+        &EdgeConfig {
+            cache_bytes: 0,
+            prefetch: false,
+            ..edge_cfg
+        },
+    );
+    assert_eq!(
+        cached_edge.origin_demand_bytes(),
+        cached_edge.cache.miss_bytes + cached_edge.cache.prefetch_bytes,
+        "edge byte accounting must balance"
+    );
+    let edge_origin_mb = cached_edge.origin_demand_bytes() as f64 / 1e6;
+    let edge_hit_pct = 100.0 * cached_edge.cache.hits as f64
+        / (cached_edge.cache.hits + cached_edge.cache.misses).max(1) as f64;
+    let edge_savings_pct = 100.0
+        * (1.0
+            - cached_edge.origin_demand_bytes() as f64
+                / uncached_edge.origin_demand_bytes().max(1) as f64);
+    // Median-of-three edge run throughput, in client-chunk steps/s.
+    let mut edge_secs: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run_edge_fleet(&edge_video, &edge_cfg));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    edge_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let edge_steps = edge_cfg.clients as f64 * edge_video.chunk_count() as f64;
+    let edge_steps_per_s = edge_steps / edge_secs[1];
+    println!(
+        "edge run ({} clients x {} chunks)",
+        edge_cfg.clients,
+        edge_video.chunk_count()
+    );
+    println!("  origin demand : {edge_origin_mb:>8.1} MB (cache saves {edge_savings_pct:.0}%)");
+    println!("  cache hit rate: {edge_hit_pct:>8.1} %");
+    println!("  throughput    : {edge_steps_per_s:>8.0} steps/s");
+
+    let edge_grid = EdgeGrid::new(EdgeConfig {
+        clients: 6,
+        ..Default::default()
+    })
+    .cache_axis(vec![0, 256 << 20])
+    .seed_axis(vec![7, 11]);
+    let edge_points = edge_grid.points().len() as f64;
+    let start = Instant::now();
+    let edge_sweep = run_edge_sweep(&edge_video, &edge_grid, 0);
+    let edge_sweep_s = start.elapsed().as_secs_f64();
+    assert_eq!(edge_sweep.len(), edge_points as usize);
+    let edge_sweep_pps = edge_points / edge_sweep_s;
+    println!("edge sweep    : {edge_sweep_pps:>10.2} points/s ({edge_points} points)");
+
+    // ---------------- Compare against committed baselines ----------------
+    let pr4_base = load_baseline("BENCH_PR4.json");
+    let pr5_base = load_baseline("BENCH_PR5.json");
+    // Wall-clock metrics gate at the tolerance; deterministic byte and
+    // rate metrics regress only through a behaviour change, so they use
+    // the same gate and will trip on far smaller drifts in practice.
+    let checks = [
+        check(
+            pr4_base.as_ref(),
+            "visible_tiles_uncached_ns",
+            uncached_ns,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr4_base.as_ref(),
+            "visible_tiles_cached_ns",
+            cached_ns,
+            Gate::Lower,
+            tol,
+        ),
+        check(
+            pr4_base.as_ref(),
+            "cached_speedup",
+            speedup,
+            Gate::Higher,
+            tol,
+        ),
+        check(
+            pr4_base.as_ref(),
+            "fleet_uncached_steps_per_s",
+            steps / fleet_off_s,
+            Gate::Higher,
+            tol,
+        ),
+        check(
+            pr4_base.as_ref(),
+            "fleet_cached_steps_per_s",
+            steps / fleet_on_s,
+            Gate::Higher,
+            tol,
+        ),
+        check(
+            pr4_base.as_ref(),
+            "fleet_throughput_gain_pct",
+            fleet_gain_pct,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr4_base.as_ref(),
+            "sweep_points_per_s",
+            points / sweep_s,
+            Gate::Higher,
+            tol,
+        ),
+        check(
+            pr5_base.as_ref(),
+            "edge_origin_demand_mb",
+            edge_origin_mb,
+            Gate::Lower,
+            tol,
+        ),
+        check(
+            pr5_base.as_ref(),
+            "edge_cache_hit_rate_pct",
+            edge_hit_pct,
+            Gate::Higher,
+            tol,
+        ),
+        check(
+            pr5_base.as_ref(),
+            "edge_origin_savings_pct",
+            edge_savings_pct,
+            Gate::Higher,
+            tol,
+        ),
+        check(
+            pr5_base.as_ref(),
+            "edge_steps_per_s",
+            edge_steps_per_s,
+            Gate::Higher,
+            tol,
+        ),
+        check(
+            pr5_base.as_ref(),
+            "edge_sweep_points_per_s",
+            edge_sweep_pps,
+            Gate::Higher,
+            tol,
+        ),
+    ];
+
+    // ---------------- Persist fresh artifacts ----------------
+    let pr4_json = format!(
         "{{\n  \"visible_tiles_uncached_ns\": {uncached_ns:.1},\n  \
          \"visible_tiles_cached_ns\": {cached_ns:.1},\n  \
          \"cached_speedup\": {speedup:.1},\n  \
@@ -101,11 +354,29 @@ fn main() {
         steps / fleet_on_s,
         points / sweep_s,
     );
-    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
-    println!("\nwrote BENCH_PR4.json");
-
-    assert!(
-        speedup >= 3.0,
-        "perf smoke: cache hit must be at least 3x an uncached query, got {speedup:.1}x"
+    std::fs::write("BENCH_PR4.json", &pr4_json).expect("write BENCH_PR4.json");
+    let pr5_json = format!(
+        "{{\n  \"edge_origin_demand_mb\": {edge_origin_mb:.1},\n  \
+         \"edge_cache_hit_rate_pct\": {edge_hit_pct:.1},\n  \
+         \"edge_origin_savings_pct\": {edge_savings_pct:.1},\n  \
+         \"edge_steps_per_s\": {edge_steps_per_s:.0},\n  \
+         \"edge_sweep_points_per_s\": {edge_sweep_pps:.2}\n}}\n"
     );
+    std::fs::write("BENCH_PR5.json", &pr5_json).expect("write BENCH_PR5.json");
+    println!("\nwrote BENCH_PR4.json, BENCH_PR5.json");
+
+    let failures: Vec<String> = checks.into_iter().flatten().collect();
+    if failures.is_empty() {
+        println!("perf gate: PASS (tolerance {:.0}%)", tol * 100.0);
+    } else {
+        eprintln!(
+            "perf gate: FAIL ({} regression(s) past {:.0}%):",
+            failures.len(),
+            tol * 100.0
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -20,13 +20,33 @@ fn main() {
     println!("Sperke quickstart — 30 s session over 20 Mbps");
     println!("----------------------------------------------");
     println!("chunks displayed        {}", q.chunks);
-    println!("startup delay           {:.2} s", q.startup_delay.as_secs_f64());
-    println!("mean viewport utility   {:.2} (0 = base quality, +1 per bitrate doubling)", q.mean_viewport_utility);
-    println!("blank screen fraction   {:.2} %", q.mean_blank_fraction * 100.0);
-    println!("stalls                  {} ({:.2} s total)", q.stall_count, q.stall_time.as_secs_f64());
+    println!(
+        "startup delay           {:.2} s",
+        q.startup_delay.as_secs_f64()
+    );
+    println!(
+        "mean viewport utility   {:.2} (0 = base quality, +1 per bitrate doubling)",
+        q.mean_viewport_utility
+    );
+    println!(
+        "blank screen fraction   {:.2} %",
+        q.mean_blank_fraction * 100.0
+    );
+    println!(
+        "stalls                  {} ({:.2} s total)",
+        q.stall_count,
+        q.stall_time.as_secs_f64()
+    );
     println!("quality switches        {}", q.quality_switches);
-    println!("bytes fetched           {:.1} MB", q.bytes_fetched as f64 / 1e6);
-    println!("bytes wasted            {:.1} MB ({:.0} %)", q.bytes_wasted as f64 / 1e6, q.waste_fraction() * 100.0);
+    println!(
+        "bytes fetched           {:.1} MB",
+        q.bytes_fetched as f64 / 1e6
+    );
+    println!(
+        "bytes wasted            {:.1} MB ({:.0} %)",
+        q.bytes_wasted as f64 / 1e6,
+        q.waste_fraction() * 100.0
+    );
     println!("incremental upgrades    {}", result.upgrades_applied);
     println!("composite QoE score     {:.2}", q.score);
 

@@ -58,8 +58,12 @@ fn whole_stack_is_seed_deterministic() {
 
 #[test]
 fn different_seeds_produce_different_sessions() {
-    let r1 = Sperke::builder(1).duration(SimDuration::from_secs(10)).run();
-    let r2 = Sperke::builder(2).duration(SimDuration::from_secs(10)).run();
+    let r1 = Sperke::builder(1)
+        .duration(SimDuration::from_secs(10))
+        .run();
+    let r2 = Sperke::builder(2)
+        .duration(SimDuration::from_secs(10))
+        .run();
     assert_ne!(
         r1.qoe.bytes_fetched, r2.qoe.bytes_fetched,
         "different seeds should stream different content/gaze"
@@ -93,7 +97,10 @@ fn starved_link_forces_low_quality_not_collapse() {
         .single_link(1.2e6)
         .run();
     assert_eq!(r.qoe.chunks, 15, "the session must complete");
-    assert!(r.qoe.mean_viewport_utility < 0.5, "must sit near base quality");
+    assert!(
+        r.qoe.mean_viewport_utility < 0.5,
+        "must sit near base quality"
+    );
 }
 
 #[test]
@@ -109,9 +116,15 @@ fn lying_viewer_context_threads_through() {
 
     let exp = Sperke::builder(8)
         .duration(SimDuration::from_secs(15))
-        .context(ViewingContext { pose: Pose::Lying, ..Default::default() });
+        .context(ViewingContext {
+            pose: Pose::Lying,
+            ..Default::default()
+        });
     let video = exp.build_video();
-    let ctx = ViewingContext { pose: Pose::Lying, ..Default::default() };
+    let ctx = ViewingContext {
+        pose: Pose::Lying,
+        ..Default::default()
+    };
     let forecaster = FusedForecaster::motion_only().with_context(ctx, 0.0);
     let history = vec![(SimTime::ZERO, sperke_geo::Orientation::FRONT)];
     let forecast = forecaster.forecast(

@@ -39,7 +39,8 @@ fn outage_rig(seed: u64) -> Sperke {
 }
 
 fn resilient(rig: Sperke) -> Sperke {
-    rig.with_resilience(RecoveryPolicy::default()).with_fallback()
+    rig.with_resilience(RecoveryPolicy::default())
+        .with_fallback()
 }
 
 /// The PR's acceptance scenario: a 5 s outage on the premium path
@@ -55,7 +56,10 @@ fn outage_demo_naive_vs_resilient() {
         "the outage must visibly hurt the naive client: blank {}",
         naive.qoe.mean_blank_fraction
     );
-    assert_eq!(naive.qoe.mean_degraded_fraction, 0.0, "naive has no fall-back");
+    assert_eq!(
+        naive.qoe.mean_degraded_fraction, 0.0,
+        "naive has no fall-back"
+    );
 
     assert!(
         hardened.qoe.mean_blank_fraction < naive.qoe.mean_blank_fraction,
@@ -73,10 +77,18 @@ fn outage_demo_naive_vs_resilient() {
 /// Same seed + same script ⇒ byte-identical traces, twice over.
 #[test]
 fn faulted_runs_are_reproducible() {
-    let run = || resilient(outage_rig(42)).with_trace(TraceLevel::Verbose).run_report();
+    let run = || {
+        resilient(outage_rig(42))
+            .with_trace(TraceLevel::Verbose)
+            .run_report()
+    };
     let a = run();
     let b = run();
-    assert_eq!(a.trace_digest(), b.trace_digest(), "same seed+script, same bytes");
+    assert_eq!(
+        a.trace_digest(),
+        b.trace_digest(),
+        "same seed+script, same bytes"
+    );
     assert_eq!(a.to_jsonl(), b.to_jsonl());
     assert_eq!(a.session.qoe, b.session.qoe);
 }
@@ -86,7 +98,9 @@ fn faulted_runs_are_reproducible() {
 /// RetryScheduled), and the renderer's fall-back (FallbackFrame).
 #[test]
 fn fault_events_appear_in_the_trace() {
-    let report = resilient(outage_rig(42)).with_trace(TraceLevel::Decisions).run_report();
+    let report = resilient(outage_rig(42))
+        .with_trace(TraceLevel::Decisions)
+        .run_report();
     let has = |f: &dyn Fn(&TraceEvent) -> bool| report.trace.events().iter().any(f);
     assert!(has(&|e| matches!(e, TraceEvent::PathDown { path: 0, .. })));
     assert!(has(&|e| matches!(e, TraceEvent::PathUp { path: 0, .. })));

@@ -20,7 +20,11 @@ fn aggregate_egress_never_exceeds_capacity() {
     for (viewers, egress_bps) in [(6usize, 30e6), (12, 60e6), (20, 25e6)] {
         let report = run_fleet(
             &v,
-            &FleetConfig { viewers, egress_bps, ..Default::default() },
+            &FleetConfig {
+                viewers,
+                egress_bps,
+                ..Default::default()
+            },
         );
         assert!(
             report.egress_bps <= egress_bps * 1.0001,
@@ -38,14 +42,26 @@ fn aggregate_egress_never_exceeds_capacity() {
 #[test]
 fn fov_guided_strictly_beats_full_panorama_on_egress() {
     let v = video();
-    let base = FleetConfig { viewers: 8, egress_bps: 1e9, ..Default::default() };
+    let base = FleetConfig {
+        viewers: 8,
+        egress_bps: 1e9,
+        ..Default::default()
+    };
     let guided = run_fleet(
         &v,
-        &FleetConfig { fov_guided: true, per_viewer_budget_bps: 10e6, ..base },
+        &FleetConfig {
+            fov_guided: true,
+            per_viewer_budget_bps: 10e6,
+            ..base
+        },
     );
     let agnostic = run_fleet(
         &v,
-        &FleetConfig { fov_guided: false, per_viewer_budget_bps: 18e6, ..base },
+        &FleetConfig {
+            fov_guided: false,
+            per_viewer_budget_bps: 18e6,
+            ..base
+        },
     );
     assert!(
         guided.mean_viewport_utility >= agnostic.mean_viewport_utility - 0.15,
@@ -67,7 +83,13 @@ fn fov_guided_strictly_beats_full_panorama_on_egress() {
 fn default_config_outcomes_are_seed_deterministic() {
     let v = video();
     let run = |seed: u64| -> FleetReport {
-        run_fleet(&v, &FleetConfig { seed, ..Default::default() })
+        run_fleet(
+            &v,
+            &FleetConfig {
+                seed,
+                ..Default::default()
+            },
+        )
     };
     let a = run(FleetConfig::default().seed);
     let b = run(FleetConfig::default().seed);
@@ -85,8 +107,22 @@ fn default_config_outcomes_are_seed_deterministic() {
 #[test]
 fn late_fraction_stays_a_fraction_and_grows_under_pressure() {
     let v = video();
-    let ample = run_fleet(&v, &FleetConfig { viewers: 8, egress_bps: 500e6, ..Default::default() });
-    let tight = run_fleet(&v, &FleetConfig { viewers: 8, egress_bps: 20e6, ..Default::default() });
+    let ample = run_fleet(
+        &v,
+        &FleetConfig {
+            viewers: 8,
+            egress_bps: 500e6,
+            ..Default::default()
+        },
+    );
+    let tight = run_fleet(
+        &v,
+        &FleetConfig {
+            viewers: 8,
+            egress_bps: 20e6,
+            ..Default::default()
+        },
+    );
     for r in [&ample, &tight] {
         assert!((0.0..=1.0).contains(&r.late_stream_fraction));
         assert!((0.0..=1.0).contains(&r.mean_blank_fraction));

@@ -67,10 +67,13 @@ fn golden_sweep() -> SweepReport<FleetSweepPoint> {
     let video = VideoModelBuilder::new(29)
         .duration(SimDuration::from_secs(6))
         .build();
-    let grid = FleetGrid::new(FleetConfig { viewers: 3, ..Default::default() })
-        .egress_axis(vec![60e6, 200e6])
-        .scheme_axis(vec![true, false])
-        .seed_axis(vec![7]);
+    let grid = FleetGrid::new(FleetConfig {
+        viewers: 3,
+        ..Default::default()
+    })
+    .egress_axis(vec![60e6, 200e6])
+    .scheme_axis(vec![true, false])
+    .seed_axis(vec![7]);
     run_fleet_sweep(&video, &grid, 3)
 }
 
@@ -103,7 +106,10 @@ fn fleet_sweep_matches_golden_digest() {
 #[ignore = "regeneration helper, not a check"]
 fn regenerate_golden_constants() {
     let report = golden_run();
-    println!("const GOLDEN_DIGEST: u64 = {:#018x};", report.trace_digest());
+    println!(
+        "const GOLDEN_DIGEST: u64 = {:#018x};",
+        report.trace_digest()
+    );
     println!("const GOLDEN_EVENTS: usize = {};", report.trace.len());
     println!(
         "const GOLDEN_SCORE_BITS: u64 = {:#018x}; // score = {}",

@@ -19,7 +19,10 @@ use sperke_vra::{FixedQuality, SperkeConfig};
 #[test]
 fn table2_base_latency_ordering() {
     let cfg = LiveRunConfig::default();
-    let cond = NetworkCondition { up_cap_bps: None, down_cap_bps: None };
+    let cond = NetworkCondition {
+        up_cap_bps: None,
+        down_cap_bps: None,
+    };
     let fb = run_live(&PlatformProfile::facebook(), cond, &cfg).mean_latency_s;
     let ps = run_live(&PlatformProfile::periscope(), cond, &cfg).mean_latency_s;
     let yt = run_live(&PlatformProfile::youtube(), cond, &cfg).mean_latency_s;
@@ -34,8 +37,14 @@ fn table2_base_latency_ordering() {
 #[test]
 fn table2_degradation_shape() {
     let cfg = LiveRunConfig::default();
-    let base = NetworkCondition { up_cap_bps: None, down_cap_bps: None };
-    let bad_down = NetworkCondition { up_cap_bps: None, down_cap_bps: Some(0.5e6) };
+    let base = NetworkCondition {
+        up_cap_bps: None,
+        down_cap_bps: None,
+    };
+    let bad_down = NetworkCondition {
+        up_cap_bps: None,
+        down_cap_bps: Some(0.5e6),
+    };
     for p in PlatformProfile::all() {
         let b = run_live(&p, base, &cfg).mean_latency_s;
         let d = run_live(&p, bad_down, &cfg).mean_latency_s;
@@ -43,7 +52,10 @@ fn table2_degradation_shape() {
     }
     let ps = run_live(&PlatformProfile::periscope(), bad_down, &cfg).mean_latency_s;
     let yt = run_live(&PlatformProfile::youtube(), bad_down, &cfg).mean_latency_s;
-    assert!(ps > yt, "non-adaptive Periscope must degrade worse than YouTube");
+    assert!(
+        ps > yt,
+        "non-adaptive Periscope must degrade worse than YouTube"
+    );
 }
 
 /// Figure 5: 11 → 53 → 120 FPS shape.
@@ -60,9 +72,21 @@ fn figure5_fps_shape() {
         SimDuration::from_secs(6),
     );
     let fps: Vec<f64> = results.iter().map(|(_, s)| s.fps).collect();
-    assert!((8.0..16.0).contains(&fps[0]), "bar 1 ≈ 11, got {:.1}", fps[0]);
-    assert!((40.0..70.0).contains(&fps[1]), "bar 2 ≈ 53, got {:.1}", fps[1]);
-    assert!((85.0..180.0).contains(&fps[2]), "bar 3 ≈ 120, got {:.1}", fps[2]);
+    assert!(
+        (8.0..16.0).contains(&fps[0]),
+        "bar 1 ≈ 11, got {:.1}",
+        fps[0]
+    );
+    assert!(
+        (40.0..70.0).contains(&fps[1]),
+        "bar 2 ≈ 53, got {:.1}",
+        fps[1]
+    );
+    assert!(
+        (85.0..180.0).contains(&fps[2]),
+        "bar 3 ≈ 120, got {:.1}",
+        fps[2]
+    );
 }
 
 /// §2: tiling saves ≥45 % of bandwidth at matched quality with a short
@@ -147,7 +171,11 @@ fn versioning_storage_claim() {
     let store = VersionedStore::oculus(video.clone());
     assert_eq!(store.versions(), 88, "the paper's Oculus figure");
     let cmp = StorageComparison::compute(&video, &store, true);
-    assert!(cmp.ratio() > 5.0, "versioning/tiling ratio {:.1}", cmp.ratio());
+    assert!(
+        cmp.ratio() > 5.0,
+        "versioning/tiling ratio {:.1}",
+        cmp.ratio()
+    );
 }
 
 /// §3: "one or two seconds" is the right chunk duration — shorter pays
@@ -157,8 +185,14 @@ fn chunk_duration_sweet_spot() {
     use sperke_video::SegmenterModel;
     let m = SegmenterModel::default();
     let f = |s: f64| m.bitrate_factor(SimDuration::from_secs_f64(s));
-    assert!(f(0.5) > f(1.0) && f(1.0) > f(2.0), "keyframe tax falls with duration");
-    assert!(f(0.5) / f(1.0) > 1.2, "sub-second chunks pay >20% extra bitrate");
+    assert!(
+        f(0.5) > f(1.0) && f(1.0) > f(2.0),
+        "keyframe tax falls with duration"
+    );
+    assert!(
+        f(0.5) / f(1.0) > 1.2,
+        "sub-second chunks pay >20% extra bitrate"
+    );
     assert!(f(4.0) < 1.01, "at the natural GoP the tax vanishes");
     // Correction opportunities halve from 1 s to 2 s chunks.
     assert_eq!(

@@ -94,7 +94,11 @@ fn live_viewer_polls_until_published() {
     assert_eq!(mpd.live_edge(), Some(ChunkTime(0)));
     let got = client.fetch_segment(&mut origin, "event", chunk, ChunkForm::Avc, m_done.finished);
     assert!(got.is_some());
-    assert_eq!(client.stats().errors, 1, "exactly the pre-publication poll failed");
+    assert_eq!(
+        client.stats().errors,
+        1,
+        "exactly the pre-publication poll failed"
+    );
 }
 
 #[test]
@@ -109,7 +113,13 @@ fn svc_upgrade_over_the_wire_costs_only_the_delta() {
     // Initial fetch at base quality (SVC form, so upgrades are deltas).
     let base = ChunkId::new(Quality(0), tile, t);
     let (base_bytes, done) = client
-        .fetch_segment(&mut origin, "clip", base, ChunkForm::SvcCumulative, SimTime::ZERO)
+        .fetch_segment(
+            &mut origin,
+            "clip",
+            base,
+            ChunkForm::SvcCumulative,
+            SimTime::ZERO,
+        )
         .expect("base layer");
     // Upgrade to Q2 by fetching layers 1 and 2 individually.
     let mut delta_bytes = 0;

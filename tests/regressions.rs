@@ -16,7 +16,10 @@ use sperke_sim::{SimDuration, SimRng, SimTime};
 #[test]
 fn context_prune_keeps_the_viewport_at_the_pose_limit() {
     let grid = TileGrid::new(4, 6);
-    let ctx = ViewingContext { pose: Pose::Sitting, ..Default::default() };
+    let ctx = ViewingContext {
+        pose: Pose::Sitting,
+        ..Default::default()
+    };
     let f = FusedForecaster::motion_only().with_context(ctx, 0.0);
     // Gaze parked exactly at the sitting yaw limit.
     let at_limit = sperke_geo::Orientation::from_degrees(-120.0, -20.0, 0.0);
@@ -83,7 +86,9 @@ fn warm_connections_pipeline_small_transfers() {
     // 24 tile fetches of 20 kB each, submitted together.
     let mut last = SimTime::ZERO;
     for _ in 0..24 {
-        last = q.submit(20_000, SimTime::ZERO, Reliability::Reliable).finished;
+        last = q
+            .submit(20_000, SimTime::ZERO, Reliability::Reliable)
+            .finished;
     }
     // Bulk time: 480 kB at 25 Mbps ≈ 0.154 s; only the first transfer
     // pays latency. With per-request RTTs this would exceed 0.5 s.
@@ -144,10 +149,22 @@ fn crowd_prior_never_suppresses_motion_evidence() {
     let target = SimTime::from_secs(3); // long horizon: prior at max weight
     let front_tile = grid.tile_of_direction(sperke_geo::Vec3::X);
     let p_plain = plain
-        .forecast(&grid, &history, SimTime::from_secs(1), target, sperke_video::ChunkTime(3))
+        .forecast(
+            &grid,
+            &history,
+            SimTime::from_secs(1),
+            target,
+            sperke_video::ChunkTime(3),
+        )
         .prob(front_tile);
     let p_prior = with_prior
-        .forecast(&grid, &history, SimTime::from_secs(1), target, sperke_video::ChunkTime(3))
+        .forecast(
+            &grid,
+            &history,
+            SimTime::from_secs(1),
+            target,
+            sperke_video::ChunkTime(3),
+        )
         .prob(front_tile);
     assert!(
         p_prior >= p_plain - 1e-9,

@@ -51,8 +51,14 @@ fn live_result_serializes() {
     use sperke_live::{run_live, LiveRunConfig, NetworkCondition, PlatformProfile};
     let r = run_live(
         &PlatformProfile::facebook(),
-        NetworkCondition { up_cap_bps: None, down_cap_bps: None },
-        &LiveRunConfig { duration: SimDuration::from_secs(30), ..Default::default() },
+        NetworkCondition {
+            up_cap_bps: None,
+            down_cap_bps: None,
+        },
+        &LiveRunConfig {
+            duration: SimDuration::from_secs(30),
+            ..Default::default()
+        },
     );
     let json = serde_json::to_string(&r).expect("serializes");
     let back: sperke_live::LiveRunResult = serde_json::from_str(&json).expect("parses");

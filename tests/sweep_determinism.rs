@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use sperke_core::{run_fleet_sweep, FleetConfig, FleetGrid, Sperke};
 use sperke_sim::sweep::{run_sweep, PointOutcome, SweepPlan, SweepReport};
-use sperke_sim::{SimDuration, SimRng, SimTime, Simulation, Scheduler, World};
+use sperke_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation, World};
 use sperke_video::VideoModelBuilder;
 
 /// A cheap but honest workload: a tiny discrete-event simulation whose
@@ -138,10 +138,13 @@ fn fleet_sweep_report_is_byte_identical_across_thread_counts() {
     let video = VideoModelBuilder::new(41)
         .duration(SimDuration::from_secs(6))
         .build();
-    let grid = FleetGrid::new(FleetConfig { viewers: 3, ..Default::default() })
-        .egress_axis(vec![60e6, 200e6])
-        .scheme_axis(vec![true, false])
-        .seed_axis(vec![7, 11]);
+    let grid = FleetGrid::new(FleetConfig {
+        viewers: 3,
+        ..Default::default()
+    })
+    .egress_axis(vec![60e6, 200e6])
+    .scheme_axis(vec![true, false])
+    .seed_axis(vec![7, 11]);
     let serial = run_fleet_sweep(&video, &grid, 1);
     assert_eq!(serial.len(), 8);
     for threads in [2usize, 8] {
@@ -150,7 +153,10 @@ fn fleet_sweep_report_is_byte_identical_across_thread_counts() {
         assert_eq!(parallel.to_jsonl(), serial.to_jsonl(), "threads={threads}");
         assert_eq!(parallel.digest(), serial.digest());
         let digests = |r: &sperke_core::SweepReport<sperke_core::FleetSweepPoint>| {
-            r.points().iter().map(|p| p.trace_digest).collect::<Vec<_>>()
+            r.points()
+                .iter()
+                .map(|p| p.trace_digest)
+                .collect::<Vec<_>>()
         };
         assert_eq!(digests(&parallel), digests(&serial));
     }
@@ -168,7 +174,10 @@ fn sperke_seed_sweep_is_thread_count_invariant() {
     };
     let serial = Sperke::sweep(build).seeds(&[3, 5, 8]).threads(1).run();
     for threads in [2usize, 8] {
-        let parallel = Sperke::sweep(build).seeds(&[3, 5, 8]).threads(threads).run();
+        let parallel = Sperke::sweep(build)
+            .seeds(&[3, 5, 8])
+            .threads(threads)
+            .run();
         assert_eq!(parallel.to_jsonl(), serial.to_jsonl(), "threads={threads}");
     }
     // The embedded digest is the session's own trace digest.

@@ -4,9 +4,7 @@
 //! **bitwise** — the golden trace digests depend on it.
 
 use proptest::prelude::*;
-use sperke_geo::{
-    Orientation, TileGrid, Viewport, VisibilityCache, VisibilityScratch,
-};
+use sperke_geo::{Orientation, TileGrid, Viewport, VisibilityCache, VisibilityScratch};
 use std::f64::consts::PI;
 
 fn bits(tiles: &[(sperke_geo::TileId, f64)]) -> Vec<(u16, u64)> {
@@ -147,7 +145,10 @@ fn disabled_and_enabled_handles_agree() {
         let a = on.visible_tiles(&vp, &grid, 16);
         let b = off.visible_tiles(&vp, &grid, 16);
         assert_eq!(bits(&a), bits(&b), "gaze {i}");
-        assert_eq!(on.visible_tile_set(&vp, &grid), off.visible_tile_set(&vp, &grid));
+        assert_eq!(
+            on.visible_tile_set(&vp, &grid),
+            off.visible_tile_set(&vp, &grid)
+        );
     }
     assert_eq!(off.stats().misses, 0, "disabled handle counts nothing");
     assert!(on.stats().misses > 0);
