@@ -10,7 +10,9 @@
 
 use crate::builder::Sperke;
 use serde::{Deserialize, Serialize};
-use sperke_edge::{run_edge_full, EdgeClientSpec, EdgeConfig, EdgeHarness, EdgeReport};
+use sperke_edge::{
+    run_edge_batched, run_edge_full, EdgeClientSpec, EdgeConfig, EdgeHarness, EdgeReport,
+};
 use sperke_geo::{VisibilityCache, DEFAULT_VIS_CACHE_CAPACITY};
 use sperke_net::{FaultScript, RecoveryPolicy};
 use sperke_sim::sweep::{run_sweep, SweepPlan, SweepReport};
@@ -201,6 +203,34 @@ impl EdgeBuilder {
             trace: sink.snapshot(),
         }
     }
+
+    /// Run the experiment through the batched engine on `workers` sense
+    /// threads (`0` = machine default). Report and trace are
+    /// byte-identical to [`EdgeBuilder::run_report`] for any worker
+    /// count — the differential harness in `tests/engine_equivalence.rs`
+    /// pins this.
+    pub fn run_batched(&self, workers: usize) -> EdgeRunReport {
+        let video = self.build_video();
+        let sink = TraceSink::with_level(self.trace);
+        let harness = EdgeHarness {
+            trace: sink.clone(),
+            faults: self.faults.clone(),
+            recovery: self.recovery,
+            vis: self.vis.clone(),
+        };
+        let report = run_edge_batched(
+            &video,
+            &self.config,
+            &self.client_set(),
+            &harness,
+            None,
+            workers,
+        );
+        EdgeRunReport {
+            report,
+            trace: sink.snapshot(),
+        }
+    }
 }
 
 /// A rectangular grid over [`EdgeConfig`]: clients × cache capacity ×
@@ -315,6 +345,28 @@ pub fn run_edge_sweep(
     })
 }
 
+/// [`run_edge_sweep`] with every point executed by the batched engine
+/// (one sense worker per point — the sweep owns the thread pool).
+/// Byte-identical to the legacy sweep for any grid and thread count.
+pub fn run_edge_sweep_batched(
+    video: &VideoModel,
+    grid: &EdgeGrid,
+    threads: usize,
+) -> SweepReport<EdgeSweepPoint> {
+    let plan = grid.plan();
+    run_sweep(&plan, threads, |_index, config| EdgeSweepPoint {
+        config: *config,
+        report: run_edge_batched(
+            video,
+            config,
+            &sperke_edge::default_clients(config),
+            &EdgeHarness::default(),
+            None,
+            1,
+        ),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +436,32 @@ mod tests {
         assert_eq!(serial.to_jsonl(), parallel.to_jsonl());
         assert_eq!(serial.digest(), parallel.digest());
         assert_eq!(serial.len(), 4);
+    }
+
+    #[test]
+    fn batched_builder_and_sweep_match_legacy() {
+        let b = Sperke::edge_builder(11)
+            .clients(6)
+            .duration(SimDuration::from_secs(8))
+            .with_trace(TraceLevel::Events);
+        let legacy = b.run_report();
+        for workers in [1usize, 4] {
+            let batched = b.run_batched(workers);
+            assert_eq!(legacy.report, batched.report);
+            assert_eq!(legacy.trace_digest(), batched.trace_digest());
+        }
+
+        let v = video();
+        let grid = EdgeGrid::new(EdgeConfig {
+            clients: 4,
+            ..Default::default()
+        })
+        .cache_axis(vec![0, 128 << 20])
+        .seed_axis(vec![7]);
+        let legacy_sweep = run_edge_sweep(&v, &grid, 2);
+        let batched_sweep = run_edge_sweep_batched(&v, &grid, 2);
+        assert_eq!(legacy_sweep.to_jsonl(), batched_sweep.to_jsonl());
+        assert_eq!(legacy_sweep.digest(), batched_sweep.digest());
     }
 
     #[test]

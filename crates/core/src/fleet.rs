@@ -10,12 +10,20 @@
 //! display points in exact time order.
 
 use serde::{Deserialize, Serialize};
-use sperke_geo::{Viewport, VisibilityCache};
-use sperke_hmp::{generate_ensemble, AttentionModel, FusedForecaster, HeadTrace};
+use sperke_geo::{
+    visible_tiles_batch, Orientation, TileId, Viewport, VisibilityCache, VisibilityScratch,
+};
+use sperke_hmp::{
+    generate_ensemble, generate_ensemble_member, AttentionModel, ForecastScratch, FusedForecaster,
+    HeadTrace,
+};
 use sperke_net::{ChunkPriority, MuxLink, SpatialPriority, StreamId, TemporalPriority};
-use sperke_sim::{RunOutcome, Scheduler, SimDuration, SimTime, Simulation, World};
+use sperke_sim::{
+    parallel_indexed, ReplayQueue, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, World,
+};
 use sperke_video::{CellId, ChunkId, ChunkTime, Quality, Scheme, VideoModel};
 use sperke_vra::select_stochastic;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Fleet experiment parameters.
@@ -74,6 +82,80 @@ enum FleetEvent {
     Display { viewer: usize, chunk: u32 },
 }
 
+/// One planned tile fetch: the tile, its quality, the forecast
+/// probability driving its egress priority, and its AVC byte size.
+/// Everything here is a pure function of `(config, trace, chunk)`.
+#[derive(Debug, Clone, Copy)]
+struct FleetSelection {
+    tile: TileId,
+    quality: Quality,
+    prob: f64,
+    bytes: u64,
+}
+
+/// The world-independent slice of a decide: forecast (or the
+/// FoV-agnostic budget fit) plus stream sizing. The legacy engine calls
+/// it inline at the decide event; the batched engine precomputes it per
+/// (viewer, chunk) on worker threads. `now` is the decide's wall time.
+#[allow(clippy::too_many_arguments)]
+fn fleet_selections(
+    video: &VideoModel,
+    config: &FleetConfig,
+    trace: &HeadTrace,
+    start_offset: SimDuration,
+    chunk: u32,
+    now: SimTime,
+    scratch: &mut ForecastScratch,
+    history: &mut Vec<(SimTime, Orientation)>,
+) -> Vec<FleetSelection> {
+    let t = ChunkTime(chunk);
+    let video_time = SimTime::ZERO + video.chunk_duration() * chunk as u64;
+    // The viewer's own playback position at decide time.
+    let own_now = SimTime::from_nanos(now.as_nanos().saturating_sub(start_offset.as_nanos()));
+    let budget = (config.per_viewer_budget_bps * video.chunk_duration().as_secs_f64() / 8.0) as u64;
+    let picks: Vec<(TileId, Quality, f64)> = if config.fov_guided {
+        trace.history_into(own_now, 50, history);
+        let forecast = FusedForecaster::motion_only().forecast_with(
+            video.grid(),
+            history,
+            own_now,
+            video_time,
+            t,
+            scratch,
+        );
+        select_stochastic(video, &forecast, t, budget, Scheme::Avc, 0.05)
+            .into_iter()
+            .map(|c| (c.tile, c.quality, forecast.prob(c.tile)))
+            .collect()
+    } else {
+        // FoV-agnostic: the whole panorama at the best quality the
+        // budget affords.
+        let mut q = Quality::LOWEST;
+        for cand in video.ladder().qualities() {
+            if video.panorama_bytes(cand, t, Scheme::Avc) <= budget {
+                q = cand;
+            }
+        }
+        video.grid().tiles().map(|tile| (tile, q, 1.0)).collect()
+    };
+    picks
+        .into_iter()
+        .map(|(tile, quality, prob)| FleetSelection {
+            tile,
+            quality,
+            prob,
+            bytes: video.avc_bytes(ChunkId::new(quality, tile, t)),
+        })
+        .collect()
+}
+
+/// The gaze a fleet display samples: mid-chunk orientation.
+fn fleet_gaze(video: &VideoModel, trace: &HeadTrace, chunk: u32) -> Orientation {
+    let video_time =
+        SimTime::ZERO + video.chunk_duration() * chunk as u64 + video.chunk_duration() / 2;
+    trace.at(video_time)
+}
+
 struct FleetWorld<'a> {
     video: &'a VideoModel,
     traces: &'a [HeadTrace],
@@ -87,6 +169,9 @@ struct FleetWorld<'a> {
     start_offset: Vec<SimDuration>,
     /// Memoized exact visibility (display-point evaluation hot path).
     vis: VisibilityCache,
+    /// Reusable forecast/history buffers for inline decides.
+    fscratch: ForecastScratch,
+    hist: Vec<(SimTime, Orientation)>,
     // Accounting.
     egress_bytes: u64,
     utility_acc: f64,
@@ -110,6 +195,86 @@ impl FleetWorld<'_> {
     fn display_wall(&self, viewer: usize, chunk: u32) -> SimTime {
         SimTime::ZERO + self.start_offset[viewer] + self.video.chunk_duration() * (chunk + 1) as u64
     }
+
+    /// A fresh world over shared traces: staggered joins, empty buffers.
+    fn new<'a>(
+        video: &'a VideoModel,
+        config: FleetConfig,
+        traces: &'a [HeadTrace],
+        vis: VisibilityCache,
+    ) -> FleetWorld<'a> {
+        FleetWorld {
+            video,
+            traces,
+            config,
+            egress: MuxLink::new(config.egress_bps),
+            pending: HashMap::new(),
+            buffers: vec![HashMap::new(); config.viewers],
+            start_offset: (0..config.viewers)
+                .map(|v| SimDuration::from_millis(137 * v as u64))
+                .collect(),
+            vis,
+            fscratch: ForecastScratch::new(),
+            hist: Vec::new(),
+            egress_bytes: 0,
+            utility_acc: 0.0,
+            blank_acc: 0.0,
+            displays: 0,
+            streams_total: 0,
+            streams_late: 0,
+        }
+    }
+
+    /// The stateful half of a decide: submit the planned streams over
+    /// the shared egress. Shared verbatim between engines.
+    fn apply_decide(
+        &mut self,
+        viewer: usize,
+        chunk: u32,
+        selections: &[FleetSelection],
+        now: SimTime,
+    ) {
+        let t = ChunkTime(chunk);
+        for sel in selections {
+            let priority = ChunkPriority {
+                spatial: if sel.prob >= 0.75 {
+                    SpatialPriority::Fov
+                } else {
+                    SpatialPriority::Oos
+                },
+                temporal: TemporalPriority::Regular,
+            };
+            let id = self.egress.submit(sel.bytes, now, priority);
+            self.pending
+                .insert(id, (viewer, CellId::new(sel.tile, t), sel.quality));
+            self.streams_total += 1;
+        }
+    }
+
+    /// The stateful half of a display: count late streams and score the
+    /// visible tiles against the delivery buffer.
+    fn apply_display(&mut self, viewer: usize, chunk: u32, visible: &[(TileId, f64)]) {
+        let t = ChunkTime(chunk);
+        // Streams for this chunk still pending are late.
+        let late = self
+            .pending
+            .values()
+            .filter(|&&(v, cell, _)| v == viewer && cell.time == t)
+            .count();
+        self.streams_late += late as u32;
+
+        let mut util = 0.0;
+        let mut blank = 0.0;
+        for &(tile, coverage) in visible {
+            match self.buffers[viewer].get(&CellId::new(tile, t)) {
+                Some(&q) => util += coverage * self.video.ladder().utility(q),
+                None => blank += coverage,
+            }
+        }
+        self.utility_acc += util;
+        self.blank_acc += blank;
+        self.displays += 1;
+    }
 }
 
 impl World<FleetEvent> for FleetWorld<'_> {
@@ -118,89 +283,24 @@ impl World<FleetEvent> for FleetWorld<'_> {
         self.drain_egress(now);
         match event {
             FleetEvent::Decide { viewer, chunk } => {
-                let t = ChunkTime(chunk);
-                let video_time = SimTime::ZERO + self.video.chunk_duration() * chunk as u64;
-                // The viewer's own playback position at decide time.
-                let own_now = SimTime::from_nanos(
-                    now.as_nanos()
-                        .saturating_sub(self.start_offset[viewer].as_nanos()),
+                let selections = fleet_selections(
+                    self.video,
+                    &self.config,
+                    &self.traces[viewer],
+                    self.start_offset[viewer],
+                    chunk,
+                    now,
+                    &mut self.fscratch,
+                    &mut self.hist,
                 );
-                let trace = &self.traces[viewer];
-                let budget = (self.config.per_viewer_budget_bps
-                    * self.video.chunk_duration().as_secs_f64()
-                    / 8.0) as u64;
-                let selections: Vec<(sperke_geo::TileId, Quality, f64)> = if self.config.fov_guided
-                {
-                    let history = trace.history(own_now, 50);
-                    let forecast = FusedForecaster::motion_only().forecast(
-                        self.video.grid(),
-                        &history,
-                        own_now,
-                        video_time,
-                        t,
-                    );
-                    select_stochastic(self.video, &forecast, t, budget, Scheme::Avc, 0.05)
-                        .into_iter()
-                        .map(|c| (c.tile, c.quality, forecast.prob(c.tile)))
-                        .collect()
-                } else {
-                    // FoV-agnostic: the whole panorama at the best
-                    // quality the budget affords.
-                    let mut q = Quality::LOWEST;
-                    for cand in self.video.ladder().qualities() {
-                        if self.video.panorama_bytes(cand, t, Scheme::Avc) <= budget {
-                            q = cand;
-                        }
-                    }
-                    self.video
-                        .grid()
-                        .tiles()
-                        .map(|tile| (tile, q, 1.0))
-                        .collect()
-                };
-                for (tile, q, p) in selections {
-                    let bytes = self.video.avc_bytes(ChunkId::new(q, tile, t));
-                    let priority = ChunkPriority {
-                        spatial: if p >= 0.75 {
-                            SpatialPriority::Fov
-                        } else {
-                            SpatialPriority::Oos
-                        },
-                        temporal: TemporalPriority::Regular,
-                    };
-                    let id = self.egress.submit(bytes, now, priority);
-                    self.pending.insert(id, (viewer, CellId::new(tile, t), q));
-                    self.streams_total += 1;
-                }
+                self.apply_decide(viewer, chunk, &selections, now);
             }
             FleetEvent::Display { viewer, chunk } => {
-                let t = ChunkTime(chunk);
-                // Streams for this chunk still pending are late.
-                let late = self
-                    .pending
-                    .values()
-                    .filter(|&&(v, cell, _)| v == viewer && cell.time == t)
-                    .count();
-                self.streams_late += late as u32;
-
-                let video_time = SimTime::ZERO
-                    + self.video.chunk_duration() * chunk as u64
-                    + self.video.chunk_duration() / 2;
-                let gaze = self.traces[viewer].at(video_time);
+                let gaze = fleet_gaze(self.video, &self.traces[viewer], chunk);
                 let visible =
                     self.vis
                         .visible_tiles(&Viewport::headset(gaze), self.video.grid(), 12);
-                let mut util = 0.0;
-                let mut blank = 0.0;
-                for &(tile, coverage) in visible.iter() {
-                    match self.buffers[viewer].get(&CellId::new(tile, t)) {
-                        Some(&q) => util += coverage * self.video.ladder().utility(q),
-                        None => blank += coverage,
-                    }
-                }
-                self.utility_acc += util;
-                self.blank_acc += blank;
-                self.displays += 1;
+                self.apply_display(viewer, chunk, &visible);
             }
         }
     }
@@ -231,24 +331,7 @@ pub fn run_fleet_with_cache(
         config.seed,
     );
 
-    let mut world = FleetWorld {
-        video,
-        traces: &traces,
-        config: *config,
-        egress: MuxLink::new(config.egress_bps),
-        pending: HashMap::new(),
-        buffers: vec![HashMap::new(); config.viewers],
-        start_offset: (0..config.viewers)
-            .map(|v| SimDuration::from_millis(137 * v as u64))
-            .collect(),
-        vis: cache,
-        egress_bytes: 0,
-        utility_acc: 0.0,
-        blank_acc: 0.0,
-        displays: 0,
-        streams_total: 0,
-        streams_late: 0,
-    };
+    let mut world = FleetWorld::new(video, *config, &traces, cache);
 
     let mut sim = Simulation::new();
     let chunks = video.chunk_count();
@@ -276,13 +359,26 @@ pub fn run_fleet_with_cache(
             );
         }
     }
-    let horizon = SimTime::ZERO
-        + video.duration()
-        + SimDuration::from_secs(30)
-        + SimDuration::from_millis(137 * config.viewers as u64);
-    let outcome = sim.run(&mut world, horizon);
+    let outcome = sim.run(&mut world, fleet_horizon(video, config));
     debug_assert_ne!(outcome, RunOutcome::BudgetExhausted);
 
+    finish_fleet_report(&world, video, config)
+}
+
+/// The run horizon both engines stop at: session end plus drain slack.
+fn fleet_horizon(video: &VideoModel, config: &FleetConfig) -> SimTime {
+    SimTime::ZERO
+        + video.duration()
+        + SimDuration::from_secs(30)
+        + SimDuration::from_millis(137 * config.viewers as u64)
+}
+
+/// Fold the world's counters into the report — shared engine tail.
+fn finish_fleet_report(
+    world: &FleetWorld<'_>,
+    video: &VideoModel,
+    config: &FleetConfig,
+) -> FleetReport {
     let session_secs =
         (video.duration() + SimDuration::from_millis(137 * config.viewers as u64)).as_secs_f64();
     let n = world.displays.max(1) as f64;
@@ -298,6 +394,146 @@ pub fn run_fleet_with_cache(
             world.streams_late as f64 / world.streams_total as f64
         },
     }
+}
+
+/// Everything the sense phase computes for one viewer, independent of
+/// the shared egress state.
+struct ViewerBatch {
+    trace: HeadTrace,
+    /// Per-chunk planned fetches, evaluated at each chunk's decide time.
+    selections: Vec<Vec<FleetSelection>>,
+    /// Per-chunk display coverage lists.
+    displays: Vec<Vec<(TileId, f64)>>,
+}
+
+/// Per-worker sense-phase scratch: forecast tables, visibility counts,
+/// gaze-history window.
+type SenseScratch = (
+    ForecastScratch,
+    VisibilityScratch,
+    Vec<(SimTime, Orientation)>,
+);
+
+thread_local! {
+    /// Per-worker scratch for the sense phase. Contents never leak
+    /// between calls, so reuse cannot change output bits.
+    static SCRATCH: RefCell<SenseScratch> =
+        RefCell::new((ForecastScratch::new(), VisibilityScratch::new(), Vec::new()));
+}
+
+/// Run the fleet experiment through the data-oriented batched engine.
+///
+/// Produces a report bit-identical to [`run_fleet`] for any `(video,
+/// config)` and any `workers` (0 = machine default): the per-viewer
+/// sense phase (head trace, forecasts, selections, display visibility)
+/// is a pure function of the config and shards across worker threads by
+/// viewer index; the stateful remainder replays the legacy event order
+/// through a [`ReplayQueue`] running the same `apply_*` code. The fleet
+/// world schedules no dynamic events, so the replay is a pure cursor
+/// walk over the pre-sorted schedule.
+pub fn run_fleet_batched(video: &VideoModel, config: &FleetConfig, workers: usize) -> FleetReport {
+    assert!(config.viewers > 0);
+    let cfg = *config;
+    let chunks = video.chunk_count();
+    let session = video.duration() + SimDuration::from_secs(5);
+    let attention = AttentionModel::generic(cfg.seed);
+
+    // --- Sense: per-viewer pure work, sharded by viewer index. Results
+    // merge by index, so the output is worker-count blind.
+    let batches = parallel_indexed(cfg.viewers, workers, |v| {
+        let trace = generate_ensemble_member(&attention, v, session, cfg.seed);
+        let offset = SimDuration::from_millis(137 * v as u64);
+        SCRATCH.with(|s| {
+            let (fscratch, vscratch, hist) = &mut *s.borrow_mut();
+            let mut selections = Vec::with_capacity(chunks as usize);
+            for c in 0..chunks {
+                let display = SimTime::ZERO + offset + video.chunk_duration() * (c + 1) as u64;
+                let decide = SimTime::from_nanos(
+                    display.as_nanos().saturating_sub(cfg.fetch_lead.as_nanos()),
+                );
+                selections.push(fleet_selections(
+                    video, &cfg, &trace, offset, c, decide, fscratch, hist,
+                ));
+            }
+            let gazes: Vec<Orientation> =
+                (0..chunks).map(|c| fleet_gaze(video, &trace, c)).collect();
+            let mut displays: Vec<Vec<(TileId, f64)>> = vec![Vec::new(); chunks as usize];
+            if !gazes.is_empty() {
+                let proto = Viewport::headset(gazes[0]);
+                visible_tiles_batch(
+                    video.grid(),
+                    proto.hfov,
+                    proto.vfov,
+                    &gazes,
+                    12,
+                    vscratch,
+                    |pose, list| displays[pose] = list.to_vec(),
+                );
+            }
+            ViewerBatch {
+                trace,
+                selections,
+                displays,
+            }
+        })
+    });
+
+    let mut traces = Vec::with_capacity(batches.len());
+    let mut plans = Vec::with_capacity(batches.len());
+    for b in batches {
+        traces.push(b.trace);
+        plans.push((b.selections, b.displays));
+    }
+    // The batched path never queries exact visibility at replay time, so
+    // the cache handle is inert; disabled keeps it allocation-free.
+    let mut world = FleetWorld::new(video, cfg, &traces, VisibilityCache::disabled());
+
+    // --- Static schedule, pushed in the legacy `sim.schedule` order so
+    // same-instant ties resolve by identical sequence numbers.
+    let mut queue: ReplayQueue<FleetEvent> = ReplayQueue::new();
+    for v in 0..cfg.viewers {
+        for c in 0..chunks {
+            let display = world.display_wall(v, c);
+            let decide =
+                SimTime::from_nanos(display.as_nanos().saturating_sub(cfg.fetch_lead.as_nanos()));
+            queue.push_static(
+                decide,
+                FleetEvent::Decide {
+                    viewer: v,
+                    chunk: c,
+                },
+            );
+            queue.push_static(
+                display,
+                FleetEvent::Display {
+                    viewer: v,
+                    chunk: c,
+                },
+            );
+        }
+    }
+    queue.seal();
+
+    // --- Replay: the same pop-until-horizon loop as `Simulation::run`,
+    // executing the shared stateful apply methods.
+    let horizon = fleet_horizon(video, &cfg);
+    while let Some(t) = queue.peek_time() {
+        if t > horizon {
+            break;
+        }
+        let (now, event) = queue.pop().expect("peeked non-empty");
+        world.drain_egress(now);
+        match event {
+            FleetEvent::Decide { viewer, chunk } => {
+                world.apply_decide(viewer, chunk, &plans[viewer].0[chunk as usize], now);
+            }
+            FleetEvent::Display { viewer, chunk } => {
+                world.apply_display(viewer, chunk, &plans[viewer].1[chunk as usize]);
+            }
+        }
+    }
+
+    finish_fleet_report(&world, video, &cfg)
 }
 
 #[cfg(test)]
@@ -427,6 +663,38 @@ mod tests {
         let cached = run_fleet_with_cache(&v, &cfg, VisibilityCache::new(128));
         let uncached = run_fleet_with_cache(&v, &cfg, VisibilityCache::disabled());
         assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn batched_engine_matches_legacy_bit_for_bit() {
+        let v = video();
+        for cfg in [
+            FleetConfig {
+                viewers: 9,
+                egress_bps: 80e6,
+                ..Default::default()
+            },
+            FleetConfig {
+                viewers: 7,
+                fov_guided: false,
+                seed: 41,
+                ..Default::default()
+            },
+            FleetConfig {
+                viewers: 12,
+                egress_bps: 25e6,
+                ..Default::default()
+            },
+        ] {
+            let legacy = run_fleet(&v, &cfg);
+            for workers in [1usize, 2, 8] {
+                assert_eq!(
+                    legacy,
+                    run_fleet_batched(&v, &cfg, workers),
+                    "diverged at {workers} workers: {cfg:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,14 +39,20 @@ pub mod sweep;
 
 pub use builder::{AbrChoice, RunReport, SchedulerChoice, Sperke};
 pub use edge::{
-    run_edge_fleet, run_edge_sweep, EdgeBuilder, EdgeGrid, EdgeRunReport, EdgeSweepPoint,
+    run_edge_fleet, run_edge_sweep, run_edge_sweep_batched, EdgeBuilder, EdgeGrid, EdgeRunReport,
+    EdgeSweepPoint,
 };
-pub use fleet::{run_fleet, run_fleet_with_cache, FleetConfig, FleetReport};
-pub use sperke_edge::{EdgeClientSpec, EdgeConfig, EdgeHarness, EdgeReport, TileCache};
+pub use fleet::{run_fleet, run_fleet_batched, run_fleet_with_cache, FleetConfig, FleetReport};
+pub use sperke_edge::{
+    run_edge_batched, EdgeClientSpec, EdgeConfig, EdgeHarness, EdgeReport, TileCache,
+};
 pub use sperke_net::{FaultScript, FaultSpec, PathFaults, RecoveryPolicy};
 pub use sperke_sim::sweep::{SweepPlan, SweepReport, SweepSummary};
 pub use sperke_sim::trace::{Trace, TraceEvent, TraceLevel};
-pub use sweep::{run_fleet_sweep, FleetGrid, FleetSweepPoint, SperkeSweep, SperkeSweepPoint};
+pub use sweep::{
+    run_fleet_sweep, run_fleet_sweep_batched, FleetGrid, FleetSweepPoint, SperkeSweep,
+    SperkeSweepPoint,
+};
 
 // Re-export the subsystem crates under stable names so downstream users
 // depend on one crate.

@@ -16,7 +16,7 @@
 //! changes wall-clock time, never a byte of the report.
 
 use crate::builder::Sperke;
-use crate::fleet::{run_fleet_with_cache, FleetConfig, FleetReport};
+use crate::fleet::{run_fleet_batched, run_fleet_with_cache, FleetConfig, FleetReport};
 use serde::{Deserialize, Serialize};
 use sperke_geo::{VisibilityCache, DEFAULT_VIS_CACHE_CAPACITY};
 use sperke_player::QoeReport;
@@ -129,6 +129,22 @@ pub fn run_fleet_sweep(
     run_sweep(&plan, threads, |_index, config| FleetSweepPoint {
         config: *config,
         report: WORKER_VIS.with(|vis| run_fleet_with_cache(video, config, vis.clone())),
+    })
+}
+
+/// [`run_fleet_sweep`] with every point executed by the batched engine
+/// ([`run_fleet_batched`], one worker per point — the sweep already owns
+/// the thread pool). Byte-identical to the legacy sweep for any grid
+/// and any thread count, pinned by the golden sweep digest.
+pub fn run_fleet_sweep_batched(
+    video: &VideoModel,
+    grid: &FleetGrid,
+    threads: usize,
+) -> SweepReport<FleetSweepPoint> {
+    let plan = grid.plan();
+    run_sweep(&plan, threads, |_index, config| FleetSweepPoint {
+        config: *config,
+        report: run_fleet_batched(video, config, 1),
     })
 }
 
@@ -277,6 +293,16 @@ mod tests {
         assert_eq!(serial.to_jsonl(), parallel.to_jsonl());
         assert_eq!(serial.digest(), parallel.digest());
         assert_eq!(serial.len(), 4);
+    }
+
+    #[test]
+    fn batched_sweep_matches_legacy_sweep_bytes() {
+        let v = video();
+        let grid = small_grid();
+        let legacy = run_fleet_sweep(&v, &grid, 2);
+        let batched = run_fleet_sweep_batched(&v, &grid, 2);
+        assert_eq!(legacy.to_jsonl(), batched.to_jsonl());
+        assert_eq!(legacy.digest(), batched.digest());
     }
 
     #[test]

@@ -33,9 +33,11 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod server;
 
+pub use batch::{prepare_edge_batch, run_edge_batched, run_edge_prepared, EdgePlan};
 pub use cache::{CacheKey, TileCache, TileCacheStats};
 pub use server::{
     default_clients, run_edge, run_edge_full, run_edge_traced, EdgeClientSpec, EdgeConfig,

@@ -33,8 +33,10 @@
 
 use crate::cache::{CacheKey, TileCache, TileCacheStats};
 use serde::{Deserialize, Serialize};
-use sperke_geo::{TileId, Viewport, VisibilityCache};
-use sperke_hmp::{generate_ensemble, AttentionModel, FusedForecaster, HeadTrace};
+use sperke_geo::{Orientation, TileId, Viewport, VisibilityCache};
+use sperke_hmp::{
+    generate_ensemble_member, AttentionModel, ForecastScratch, FusedForecaster, HeadTrace,
+};
 use sperke_live::{CrowdAggregator, LiveViewer};
 use sperke_net::{FaultScript, PathFaults, RecoveryPolicy, StreamId, WrrLink};
 use sperke_player::QoeWeights;
@@ -42,8 +44,8 @@ use sperke_sim::{
     MetricsRegistry, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, TraceEvent,
     TraceSink, World,
 };
-use sperke_video::{CellId, ChunkTime, Layer, Quality, Scheme, VideoModel};
-use sperke_vra::select_stochastic;
+use sperke_video::{CellId, CellSizes, ChunkTime, Layer, Quality, Scheme, VideoModel};
+use sperke_vra::{select_stochastic, StochasticChoice};
 use std::collections::HashMap;
 
 /// Edge experiment parameters. Everything that shapes the run is here
@@ -120,7 +122,7 @@ impl EdgeClientSpec {
     /// The canonical total order: arrival, then seed, weight and budget
     /// bits. Runs sort client sets by this key, so the trace and report
     /// are invariant to the order clients were supplied in.
-    fn canonical_key(&self) -> (u64, u64, u32, u64) {
+    pub(crate) fn canonical_key(&self) -> (u64, u64, u32, u64) {
         (
             self.arrival.as_nanos(),
             self.seed,
@@ -201,8 +203,29 @@ impl EdgeReport {
     }
 }
 
+/// The scheduling surface the edge world's handlers need: current time
+/// plus the ability to post future events. Implemented by the legacy
+/// [`Scheduler`] (heap-backed [`Simulation`]) and by the batched
+/// engine's replay cursor, so both engines execute the *same* stateful
+/// apply code — bit-exact equivalence by construction.
+pub(crate) trait EdgeSched {
+    /// The current simulation time.
+    fn now(&self) -> SimTime;
+    /// Schedule `event` at absolute time `at`.
+    fn at(&mut self, at: SimTime, event: EdgeEvent);
+}
+
+impl EdgeSched for Scheduler<'_, EdgeEvent> {
+    fn now(&self) -> SimTime {
+        Scheduler::now(self)
+    }
+    fn at(&mut self, at: SimTime, event: EdgeEvent) {
+        Scheduler::at(self, at, event);
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
-enum EdgeEvent {
+pub(crate) enum EdgeEvent {
     /// A client attaches (admitted or rejected).
     Arrive { client: u32 },
     /// Client `c` plans chunk `chunk`'s layers.
@@ -222,16 +245,81 @@ enum EdgeEvent {
     Prefetch { chunk: u32 },
 }
 
-struct ClientState {
-    spec: EdgeClientSpec,
-    head: HeadTrace,
-    admitted: bool,
+pub(crate) struct ClientState {
+    pub(crate) spec: EdgeClientSpec,
+    pub(crate) head: HeadTrace,
+    pub(crate) admitted: bool,
     /// WRR queue id; only admitted clients hold one.
-    link_id: Option<u32>,
+    pub(crate) link_id: Option<u32>,
     /// Delivered SVC layers per cell, as a bitmask (bit i = layer i).
-    delivered: HashMap<CellId, u32>,
+    pub(crate) delivered: HashMap<CellId, u32>,
     /// Planned quality per cell (display-time degradation check).
-    planned: HashMap<CellId, u8>,
+    pub(crate) planned: HashMap<CellId, u8>,
+}
+
+impl ClientState {
+    /// A freshly attached client with nothing delivered or planned.
+    pub(crate) fn new(
+        spec: EdgeClientSpec,
+        head: HeadTrace,
+        admitted: bool,
+        link_id: Option<u32>,
+    ) -> ClientState {
+        ClientState {
+            spec,
+            head,
+            admitted,
+            link_id,
+            delivered: HashMap::new(),
+            planned: HashMap::new(),
+        }
+    }
+}
+
+/// The head trace the edge assigns to a client spec: one deterministic
+/// member of the seed's behaviour ensemble (the mix keys off the seed).
+pub(crate) fn client_head(
+    attention: &AttentionModel,
+    spec: &EdgeClientSpec,
+    session: SimDuration,
+) -> HeadTrace {
+    generate_ensemble_member(attention, (spec.seed % 5) as usize, session, spec.seed)
+}
+
+/// The world-independent slice of a decide: gaze history → motion-only
+/// forecast → stochastic SVC selection. Pure in its arguments, so the
+/// batched engine precomputes it per (client, chunk) on worker threads;
+/// the legacy engine calls it inline at the decide event. `now` is the
+/// decide's wall-clock instant.
+pub(crate) fn decide_choices(
+    video: &VideoModel,
+    spec: &EdgeClientSpec,
+    head: &HeadTrace,
+    chunk: u32,
+    now: SimTime,
+    scratch: &mut ForecastScratch,
+    history: &mut Vec<(SimTime, Orientation)>,
+) -> Vec<StochasticChoice> {
+    let t = ChunkTime(chunk);
+    let video_time = video.chunk_start(t);
+    let own_now = SimTime::from_nanos(now.as_nanos().saturating_sub(spec.arrival.as_nanos()));
+    let budget = (spec.budget_bps * video.chunk_duration().as_secs_f64() / 8.0) as u64;
+    head.history_into(own_now, 50, history);
+    let forecast = FusedForecaster::motion_only().forecast_with(
+        video.grid(),
+        history,
+        own_now,
+        video_time,
+        t,
+        scratch,
+    );
+    select_stochastic(video, &forecast, t, budget, Scheme::svc_default(), 0.05)
+}
+
+/// The gaze a display samples: mid-chunk orientation in video time.
+pub(crate) fn display_gaze(video: &VideoModel, head: &HeadTrace, chunk: u32) -> Orientation {
+    let video_time = video.chunk_start(ChunkTime(chunk)) + video.chunk_duration() / 2;
+    head.at(video_time)
 }
 
 struct Inflight {
@@ -247,20 +335,27 @@ struct PendingStream {
     deadline: SimTime,
 }
 
-struct EdgeWorld<'a> {
-    video: &'a VideoModel,
-    config: EdgeConfig,
-    clients: Vec<ClientState>,
-    egress: WrrLink,
+pub(crate) struct EdgeWorld<'a> {
+    pub(crate) video: &'a VideoModel,
+    pub(crate) config: EdgeConfig,
+    pub(crate) clients: Vec<ClientState>,
+    pub(crate) egress: WrrLink,
     cache: TileCache,
     inflight: HashMap<CacheKey, Inflight>,
     origin_busy_until: SimTime,
     faults: PathFaults,
     recovery: RecoveryPolicy,
-    crowd: CrowdAggregator,
+    pub(crate) crowd: CrowdAggregator,
     vis: VisibilityCache,
     trace: TraceSink,
     pending: HashMap<StreamId, PendingStream>,
+    /// Precomputed per-cell layer sizes, indexed `chunk * tiles + tile`;
+    /// the batched engine fills it, the legacy engine computes per call.
+    /// Either way the bytes are identical (the model is deterministic).
+    sizes: Option<Vec<CellSizes>>,
+    /// Reusable forecast/history buffers for inline decides.
+    fscratch: ForecastScratch,
+    hist: Vec<(SimTime, Orientation)>,
     // Accounting.
     origin_bytes: u64,
     origin_failed_bytes: u64,
@@ -275,6 +370,63 @@ struct EdgeWorld<'a> {
     degraded_displays: u64,
 }
 
+impl<'a> EdgeWorld<'a> {
+    /// A fresh world over pre-built client states, egress and crowd.
+    pub(crate) fn new(
+        video: &'a VideoModel,
+        config: EdgeConfig,
+        clients: Vec<ClientState>,
+        egress: WrrLink,
+        crowd: CrowdAggregator,
+        harness: &EdgeHarness,
+    ) -> EdgeWorld<'a> {
+        EdgeWorld {
+            video,
+            config,
+            clients,
+            egress,
+            cache: TileCache::new(config.cache_bytes),
+            inflight: HashMap::new(),
+            origin_busy_until: SimTime::ZERO,
+            faults: harness.faults.compile_for(0),
+            recovery: harness.recovery,
+            crowd,
+            vis: harness.vis.clone(),
+            trace: harness.trace.clone(),
+            pending: HashMap::new(),
+            sizes: None,
+            fscratch: ForecastScratch::new(),
+            hist: Vec::new(),
+            origin_bytes: 0,
+            origin_failed_bytes: 0,
+            origin_retries: 0,
+            egress_bytes: 0,
+            streams_total: 0,
+            streams_late: 0,
+            utility_acc: 0.0,
+            blank_acc: 0.0,
+            displays: 0,
+            degraded_decides: 0,
+            degraded_displays: 0,
+        }
+    }
+
+    /// Tabulate every cell's SVC layer sizes up front so the hot loops
+    /// index instead of re-deriving them. `cell_sizes` is a pure
+    /// function of (tile, chunk), so lookups return the identical u64s.
+    pub(crate) fn precompute_sizes(&mut self) {
+        let tiles = self.video.grid().tile_count();
+        let chunks = self.video.chunk_count();
+        let mut table = Vec::with_capacity(tiles * chunks as usize);
+        for c in 0..chunks {
+            for t in 0..tiles {
+                table.push(self.video.cell_sizes(TileId(t as u16), ChunkTime(c)));
+            }
+        }
+        self.sizes = Some(table);
+    }
+}
+
 impl EdgeWorld<'_> {
     fn key_of(cell: CellId, layer: u8) -> CacheKey {
         CacheKey {
@@ -285,19 +437,26 @@ impl EdgeWorld<'_> {
     }
 
     fn layer_bytes(&self, cell: CellId, layer: u8) -> u64 {
-        self.video
-            .cell_sizes(cell.tile, cell.time)
-            .svc_layer(Layer(layer))
+        match &self.sizes {
+            Some(table) => {
+                let tiles = self.video.grid().tile_count();
+                table[cell.time.0 as usize * tiles + cell.tile.index()].svc_layer(Layer(layer))
+            }
+            None => self
+                .video
+                .cell_sizes(cell.tile, cell.time)
+                .svc_layer(Layer(layer)),
+        }
     }
 
-    fn display_wall(&self, client: u32, chunk: u32) -> SimTime {
+    pub(crate) fn display_wall(&self, client: u32, chunk: u32) -> SimTime {
         SimTime::ZERO
             + self.clients[client as usize].spec.arrival
             + self.video.chunk_duration() * (chunk + 1) as u64
     }
 
     /// Pull completed egress streams into client buffers.
-    fn drain_egress(&mut self, now: SimTime) {
+    pub(crate) fn drain_egress(&mut self, now: SimTime) {
         for done in self.egress.run_until(now) {
             if let Some(p) = self.pending.remove(&done.id) {
                 *self.clients[p.client as usize]
@@ -338,7 +497,7 @@ impl EdgeWorld<'_> {
         cell: CellId,
         layer: u8,
         now: SimTime,
-        sched: &mut Scheduler<'_, EdgeEvent>,
+        sched: &mut impl EdgeSched,
     ) {
         let key = Self::key_of(cell, layer);
         let bytes = self.layer_bytes(cell, layer);
@@ -391,7 +550,7 @@ impl EdgeWorld<'_> {
         bytes: u64,
         attempt: u32,
         now: SimTime,
-        sched: &mut Scheduler<'_, EdgeEvent>,
+        sched: &mut impl EdgeSched,
     ) {
         if self.faults.is_down(now) {
             self.trace.emit(TraceEvent::TransferTimedOut {
@@ -454,33 +613,35 @@ impl EdgeWorld<'_> {
         }
     }
 
-    fn handle_decide(&mut self, client: u32, chunk: u32, sched: &mut Scheduler<'_, EdgeEvent>) {
+    fn handle_decide(&mut self, client: u32, chunk: u32, sched: &mut impl EdgeSched) {
         if !self.clients[client as usize].admitted {
             return;
         }
         let now = sched.now();
-        let t = ChunkTime(chunk);
-        let video_time = self.video.chunk_start(t);
-        let spec = self.clients[client as usize].spec;
-        let own_now = SimTime::from_nanos(now.as_nanos().saturating_sub(spec.arrival.as_nanos()));
-        let budget = (spec.budget_bps * self.video.chunk_duration().as_secs_f64() / 8.0) as u64;
-        let history = self.clients[client as usize].head.history(own_now, 50);
-        let forecast = FusedForecaster::motion_only().forecast(
-            self.video.grid(),
-            &history,
-            own_now,
-            video_time,
-            t,
-        );
-        let choices = select_stochastic(
+        let choices = decide_choices(
             self.video,
-            &forecast,
-            t,
-            budget,
-            Scheme::svc_default(),
-            0.05,
+            &self.clients[client as usize].spec,
+            &self.clients[client as usize].head,
+            chunk,
+            now,
+            &mut self.fscratch,
+            &mut self.hist,
         );
+        self.apply_decide(client, chunk, &choices, sched);
+    }
 
+    /// The stateful half of a decide: degrade under egress pressure,
+    /// record the plan and request the surviving layers. Shared verbatim
+    /// between the legacy event loop and the batched replay.
+    pub(crate) fn apply_decide(
+        &mut self,
+        client: u32,
+        chunk: u32,
+        choices: &[StochasticChoice],
+        sched: &mut impl EdgeSched,
+    ) {
+        let now = sched.now();
+        let t = ChunkTime(chunk);
         // Graceful degradation: shed enhancement layers (never the base)
         // when the shared egress is backlogged.
         let shed = self.pressure_steps();
@@ -510,12 +671,18 @@ impl EdgeWorld<'_> {
         if !self.clients[client as usize].admitted {
             return;
         }
-        let t = ChunkTime(chunk);
-        let video_time = self.video.chunk_start(t) + self.video.chunk_duration() / 2;
-        let gaze = self.clients[client as usize].head.at(video_time);
+        let gaze = display_gaze(self.video, &self.clients[client as usize].head, chunk);
         let visible = self
             .vis
             .visible_tiles(&Viewport::headset(gaze), self.video.grid(), 12);
+        self.apply_display(client, chunk, &visible);
+    }
+
+    /// The stateful half of a display: score the visible tiles against
+    /// what actually arrived. `visible` is the pose's coverage list
+    /// (precomputed by the batched engine, computed inline by legacy).
+    pub(crate) fn apply_display(&mut self, client: u32, chunk: u32, visible: &[(TileId, f64)]) {
+        let t = ChunkTime(chunk);
         let mut util = 0.0;
         let mut blank = 0.0;
         let mut degraded = false;
@@ -545,10 +712,25 @@ impl EdgeWorld<'_> {
         }
     }
 
-    fn handle_prefetch(&mut self, chunk: u32, sched: &mut Scheduler<'_, EdgeEvent>) {
+    fn handle_prefetch(&mut self, chunk: u32, sched: &mut impl EdgeSched) {
+        let now = sched.now();
+        let tiles = self
+            .crowd
+            .predicted_tiles(now, ChunkTime(chunk), self.config.prefetch_k);
+        self.apply_prefetch(chunk, &tiles, sched);
+    }
+
+    /// The stateful half of a prefetch: pull the crowd's tiles that are
+    /// neither cached nor already on the wire.
+    pub(crate) fn apply_prefetch(
+        &mut self,
+        chunk: u32,
+        tiles: &[TileId],
+        sched: &mut impl EdgeSched,
+    ) {
         let now = sched.now();
         let t = ChunkTime(chunk);
-        for tile in self.crowd.predicted_tiles(now, t, self.config.prefetch_k) {
+        for &tile in tiles {
             for layer in 0..=self.config.prefetch_layers {
                 let cell = CellId::new(tile, t);
                 let key = Self::key_of(cell, layer);
@@ -580,47 +762,68 @@ impl EdgeWorld<'_> {
     }
 }
 
+impl EdgeWorld<'_> {
+    /// Trace a client attaching (admitted or rejected).
+    pub(crate) fn apply_arrive(&mut self, client: u32, now: SimTime) {
+        if self.clients[client as usize].admitted {
+            self.trace
+                .emit(TraceEvent::ClientAdmitted { at: now, client });
+        } else {
+            self.trace.emit(TraceEvent::ClientThrottled {
+                at: now,
+                client,
+                admitted: false,
+            });
+        }
+    }
+
+    /// An origin fetch landed: account it, cache it, fan it out.
+    pub(crate) fn apply_origin_arrived(&mut self, chunk: u32, tile: u16, layer: u8, now: SimTime) {
+        let key = CacheKey { chunk, tile, layer };
+        if let Some(fl) = self.inflight.remove(&key) {
+            self.origin_bytes += fl.bytes;
+            self.cache.insert(key, fl.bytes);
+            let cell = CellId::new(TileId(tile), ChunkTime(chunk));
+            for (client, _) in fl.waiters {
+                self.submit_egress(client, cell, layer, fl.bytes, now);
+            }
+        }
+    }
+
+    /// Retry a failed origin fetch if it is still wanted.
+    pub(crate) fn apply_origin_retry(
+        &mut self,
+        chunk: u32,
+        tile: u16,
+        layer: u8,
+        attempt: u32,
+        sched: &mut impl EdgeSched,
+    ) {
+        let now = sched.now();
+        let key = CacheKey { chunk, tile, layer };
+        if let Some(bytes) = self.inflight.get(&key).map(|fl| fl.bytes) {
+            self.start_origin_fetch(key, bytes, attempt, now, sched);
+        }
+    }
+}
+
 impl World<EdgeEvent> for EdgeWorld<'_> {
     fn handle(&mut self, event: EdgeEvent, sched: &mut Scheduler<'_, EdgeEvent>) {
-        let now = sched.now();
+        let now = Scheduler::now(sched);
         self.drain_egress(now);
         match event {
-            EdgeEvent::Arrive { client } => {
-                if self.clients[client as usize].admitted {
-                    self.trace
-                        .emit(TraceEvent::ClientAdmitted { at: now, client });
-                } else {
-                    self.trace.emit(TraceEvent::ClientThrottled {
-                        at: now,
-                        client,
-                        admitted: false,
-                    });
-                }
-            }
+            EdgeEvent::Arrive { client } => self.apply_arrive(client, now),
             EdgeEvent::Decide { client, chunk } => self.handle_decide(client, chunk, sched),
             EdgeEvent::Display { client, chunk } => self.handle_display(client, chunk),
             EdgeEvent::OriginArrived { chunk, tile, layer } => {
-                let key = CacheKey { chunk, tile, layer };
-                if let Some(fl) = self.inflight.remove(&key) {
-                    self.origin_bytes += fl.bytes;
-                    self.cache.insert(key, fl.bytes);
-                    let cell = CellId::new(TileId(tile), ChunkTime(chunk));
-                    for (client, _) in fl.waiters {
-                        self.submit_egress(client, cell, layer, fl.bytes, now);
-                    }
-                }
+                self.apply_origin_arrived(chunk, tile, layer, now)
             }
             EdgeEvent::OriginRetry {
                 chunk,
                 tile,
                 layer,
                 attempt,
-            } => {
-                let key = CacheKey { chunk, tile, layer };
-                if let Some(bytes) = self.inflight.get(&key).map(|fl| fl.bytes) {
-                    self.start_origin_fetch(key, bytes, attempt, now, sched);
-                }
-            }
+            } => self.apply_origin_retry(chunk, tile, layer, attempt, sched),
             EdgeEvent::Prefetch { chunk } => {
                 if self.config.prefetch {
                     self.handle_prefetch(chunk, sched);
@@ -671,21 +874,15 @@ pub fn run_edge_full(
     let session = video.duration() + SimDuration::from_secs(5);
     let mut egress = WrrLink::new(config.egress_bps);
     let mut crowd = CrowdAggregator::new(*video.grid(), video.chunk_duration());
+    let attention = AttentionModel::generic(config.seed);
     let states: Vec<ClientState> = specs
         .iter()
         .enumerate()
         .map(|(i, spec)| {
             let admitted = i < config.max_clients;
             // One deterministic head trace per spec seed; the ensemble
-            // generator's behaviour mix keys off the index we pass.
-            let head = generate_ensemble(
-                &AttentionModel::generic(config.seed),
-                (spec.seed % 5 + 1) as usize,
-                session,
-                spec.seed,
-            )
-            .pop()
-            .expect("ensemble non-empty");
+            // generator's behaviour mix keys off the seed.
+            let head = client_head(&attention, spec, session);
             let link_id = admitted.then(|| egress.add_client(spec.weight));
             if admitted {
                 // Attached clients report their gaze to the crowd model;
@@ -699,14 +896,7 @@ pub fn run_edge_full(
                     chunks,
                 );
             }
-            ClientState {
-                spec: *spec,
-                head,
-                admitted,
-                link_id,
-                delivered: HashMap::new(),
-                planned: HashMap::new(),
-            }
+            ClientState::new(*spec, head, admitted, link_id)
         })
         .collect();
 
@@ -715,32 +905,7 @@ pub fn run_edge_full(
     let first_arrival = specs.first().expect("non-empty").arrival;
     let last_arrival = specs.last().expect("non-empty").arrival;
 
-    let mut world = EdgeWorld {
-        video,
-        config: *config,
-        clients: states,
-        egress,
-        cache: TileCache::new(config.cache_bytes),
-        inflight: HashMap::new(),
-        origin_busy_until: SimTime::ZERO,
-        faults: harness.faults.compile_for(0),
-        recovery: harness.recovery,
-        crowd,
-        vis: harness.vis.clone(),
-        trace: harness.trace.clone(),
-        pending: HashMap::new(),
-        origin_bytes: 0,
-        origin_failed_bytes: 0,
-        origin_retries: 0,
-        egress_bytes: 0,
-        streams_total: 0,
-        streams_late: 0,
-        utility_acc: 0.0,
-        blank_acc: 0.0,
-        displays: 0,
-        degraded_decides: 0,
-        degraded_displays: 0,
-    };
+    let mut world = EdgeWorld::new(video, *config, states, egress, crowd, harness);
 
     let mut sim = Simulation::new();
     for (i, spec) in specs.iter().enumerate() {
@@ -772,10 +937,27 @@ pub fn run_edge_full(
         }
     }
 
-    let horizon = SimTime::ZERO + video.duration() + last_arrival + SimDuration::from_secs(120);
+    let horizon = edge_horizon(video, last_arrival);
     let outcome = sim.run(&mut world, horizon);
     debug_assert_ne!(outcome, RunOutcome::BudgetExhausted);
 
+    finish_edge_run(world, specs.len(), admitted, rejected, metrics)
+}
+
+/// When an edge run stops draining its queue.
+pub(crate) fn edge_horizon(video: &VideoModel, last_arrival: SimDuration) -> SimTime {
+    SimTime::ZERO + video.duration() + last_arrival + SimDuration::from_secs(120)
+}
+
+/// Settle a finished world and assemble its report — shared by the
+/// legacy and batched engines so the accounting is identical code.
+pub(crate) fn finish_edge_run(
+    mut world: EdgeWorld<'_>,
+    clients: usize,
+    admitted: usize,
+    rejected: usize,
+    metrics: Option<&mut MetricsRegistry>,
+) -> EdgeReport {
     // Settle the egress so every submitted stream is accounted, then
     // write off fetches the horizon cut short (keeps the byte balance
     // exact: misses + prefetches == origin ok + failed).
@@ -834,7 +1016,7 @@ pub fn run_edge_full(
     let degraded_fraction = world.degraded_displays as f64 / n;
     let w = QoeWeights::default();
     EdgeReport {
-        clients: specs.len(),
+        clients,
         admitted,
         rejected,
         egress_bytes: world.egress_bytes,

@@ -33,9 +33,9 @@ pub use cube_tiling::CubeTileGrid;
 pub use orientation::{Orientation, Quat};
 pub use projection::{CubeFace, CubeMap, Equirect, OffsetCubeMap, PixelBudget, Uv};
 pub use sampling::UnitDirections;
-pub use tiling::{TileGrid, TileId, TileRect};
+pub use tiling::{TileCenters, TileGrid, TileId, TileRect};
 pub use vector::Vec3;
-pub use viewport::{Viewport, VisibilityScratch};
+pub use viewport::{visible_tiles_batch, Viewport, VisibilityScratch};
 pub use viscache::{VisCacheStats, VisibilityCache, DEFAULT_VIS_CACHE_CAPACITY};
 
 #[cfg(test)]

@@ -188,6 +188,46 @@ impl TileGrid {
     }
 }
 
+/// Precomputed tile-centre directions for one grid.
+///
+/// [`TileGrid::tile_center`] spends four trig calls per query, and
+/// forecast scoring asks for every tile's centre once per (client,
+/// chunk) — at fleet scale that is millions of redundant evaluations of
+/// the same `rows × cols` values. The table stores the exact
+/// `tile_center` outputs, so anything derived from it (notably
+/// [`TileCenters::distance_to_tile`]) is bit-identical to the on-demand
+/// formulation.
+#[derive(Debug, Clone)]
+pub struct TileCenters {
+    grid: TileGrid,
+    centers: Vec<Vec3>,
+}
+
+impl TileCenters {
+    /// Tabulate every tile centre of `grid`.
+    pub fn new(grid: TileGrid) -> TileCenters {
+        let centers = grid.tiles().map(|t| grid.tile_center(t)).collect();
+        TileCenters { grid, centers }
+    }
+
+    /// The grid the table was built for.
+    pub fn grid(&self) -> TileGrid {
+        self.grid
+    }
+
+    /// The unit direction at a tile's angular centre; equals
+    /// [`TileGrid::tile_center`] exactly.
+    pub fn center(&self, id: TileId) -> Vec3 {
+        self.centers[id.index()]
+    }
+
+    /// Great-circle distance from a direction to a tile's centre,
+    /// radians; bit-identical to [`TileGrid::distance_to_tile`].
+    pub fn distance_to_tile(&self, dir: Vec3, id: TileId) -> f64 {
+        dir.angle_to(self.centers[id.index()])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +341,29 @@ mod tests {
                 g.tile_of_direction(o.direction()),
                 "i={i}"
             );
+        }
+    }
+
+    #[test]
+    fn tile_centers_table_is_bit_identical() {
+        for g in [
+            TileGrid::new(2, 4),
+            TileGrid::new(4, 6),
+            TileGrid::new(3, 7),
+        ] {
+            let table = TileCenters::new(g);
+            for t in g.tiles() {
+                let a = table.center(t);
+                let b = g.tile_center(t);
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+                assert_eq!(a.z.to_bits(), b.z.to_bits());
+                let dir = Orientation::from_degrees(33.0, -12.0, 0.0).direction();
+                assert_eq!(
+                    table.distance_to_tile(dir, t).to_bits(),
+                    g.distance_to_tile(dir, t).to_bits()
+                );
+            }
         }
     }
 

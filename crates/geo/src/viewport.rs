@@ -185,6 +185,67 @@ impl Viewport {
     }
 }
 
+/// Batched form of [`Viewport::visible_tiles_into`] for many poses
+/// sharing one FoV: the FoV tangents and the `samples × samples` screen
+/// coordinates are computed once and reused for every orientation,
+/// instead of once per pose. For each pose the per-sample arithmetic is
+/// operation-for-operation identical to `visible_tiles_into`
+/// (pre-scaling the screen coordinates by the tangents yields the exact
+/// f64 the per-pose path computes inline), so every emitted list is
+/// bit-identical to a one-off query — the differential engine harness
+/// depends on this.
+///
+/// `emit` is called once per orientation, in slice order, with the pose
+/// index and its coverage list ordered by decreasing coverage. The list
+/// borrows a buffer reused across poses; copy out what you keep.
+pub fn visible_tiles_batch(
+    grid: &TileGrid,
+    hfov: f64,
+    vfov: f64,
+    orientations: &[Orientation],
+    samples: u32,
+    scratch: &mut VisibilityScratch,
+    mut emit: impl FnMut(usize, &[(TileId, f64)]),
+) {
+    assert!(samples >= 2, "need at least a 2x2 sample grid");
+    let n = samples;
+    let tan_h = (hfov / 2.0).tan();
+    let tan_v = (vfov / 2.0).tan();
+    // Screen coordinates are pose-independent: hoist them across the
+    // whole batch, pre-multiplied by the half-FoV tangents.
+    let xs: Vec<f64> = (0..n)
+        .map(|ix| tan_h * ((ix as f64 + 0.5) / n as f64 * 2.0 - 1.0))
+        .collect();
+    let ys: Vec<f64> = (0..n)
+        .map(|iy| tan_v * ((iy as f64 + 0.5) / n as f64 * 2.0 - 1.0))
+        .collect();
+    let total = (n * n) as f64;
+    let mut out: Vec<(TileId, f64)> = Vec::new();
+    for (pose, &orientation) in orientations.iter().enumerate() {
+        let counts = &mut scratch.counts;
+        counts.clear();
+        counts.resize(grid.tile_count(), 0);
+        let (f, l, u) = orientation.basis();
+        for &y in &ys {
+            let uy = u * y;
+            for &x in &xs {
+                let dir = (f + l * x + uy).normalized();
+                counts[grid.tile_of_direction(dir).index()] += 1;
+            }
+        }
+        out.clear();
+        out.extend(
+            counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (TileId(i as u16), c as f64 / total)),
+        );
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        emit(pose, &out);
+    }
+}
+
 /// Reusable buffers for [`Viewport::visible_tiles_into`]: holds the
 /// per-tile ray-hit counts between queries so the steady state does no
 /// heap allocation. One scratch serves any grid shape (the buffer is
@@ -328,6 +389,38 @@ mod tests {
                     b.1.to_bits(),
                     "coverage must be bit-identical"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_visibility_matches_per_pose_bitwise() {
+        let grid = TileGrid::new(4, 6);
+        let poses: Vec<Orientation> = (0..20)
+            .map(|i| {
+                Orientation::from_degrees(
+                    (i as f64 * 47.0) % 360.0 - 180.0,
+                    (i as f64 * 13.0) % 120.0 - 60.0,
+                    (i as f64 * 5.0) % 30.0 - 15.0,
+                )
+            })
+            .collect();
+        let hfov = 100f64.to_radians();
+        let vfov = 90f64.to_radians();
+        let mut scratch = VisibilityScratch::new();
+        let mut batch: Vec<Vec<(TileId, f64)>> = Vec::new();
+        visible_tiles_batch(&grid, hfov, vfov, &poses, 12, &mut scratch, |i, vis| {
+            assert_eq!(i, batch.len());
+            batch.push(vis.to_vec());
+        });
+        assert_eq!(batch.len(), poses.len());
+        let mut out = Vec::new();
+        for (i, &o) in poses.iter().enumerate() {
+            Viewport::new(o, hfov, vfov).visible_tiles_into(&grid, 12, &mut scratch, &mut out);
+            assert_eq!(batch[i].len(), out.len(), "pose {i}");
+            for (a, b) in batch[i].iter().zip(&out) {
+                assert_eq!(a.0, b.0, "pose {i}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "pose {i} coverage bits");
             }
         }
     }

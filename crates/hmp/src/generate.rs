@@ -332,14 +332,26 @@ pub fn generate_ensemble(
     seed: u64,
 ) -> Vec<HeadTrace> {
     (0..users)
-        .map(|u| {
-            let behavior = Behavior::ALL[u % Behavior::ALL.len()];
-            let gen = TraceGenerator::new(attention.clone(), behavior, ViewingContext::default());
-            let mut tr = gen.generate(duration, seed.wrapping_add(u as u64 * 0x9E37));
-            tr.user_id = u as u64;
-            tr
-        })
+        .map(|u| generate_ensemble_member(attention, u, duration, seed))
         .collect()
+}
+
+/// Generate just member `u` of the ensemble [`generate_ensemble`] would
+/// produce — bit-identical to `generate_ensemble(attention, n, duration,
+/// seed)[u]` for any `n > u`, at the cost of one trace instead of `n`.
+/// Each member draws from its own seed-split RNG, so skipping the
+/// earlier members consumes nothing they would have consumed.
+pub fn generate_ensemble_member(
+    attention: &AttentionModel,
+    u: usize,
+    duration: SimDuration,
+    seed: u64,
+) -> HeadTrace {
+    let behavior = Behavior::ALL[u % Behavior::ALL.len()];
+    let gen = TraceGenerator::new(attention.clone(), behavior, ViewingContext::default());
+    let mut tr = gen.generate(duration, seed.wrapping_add(u as u64 * 0x9E37));
+    tr.user_id = u as u64;
+    tr
 }
 
 #[cfg(test)]
@@ -465,6 +477,17 @@ mod tests {
             traces.iter().map(|t| t.user_id).collect::<Vec<_>>(),
             vec![0, 1, 2]
         );
+    }
+
+    #[test]
+    fn ensemble_member_matches_full_ensemble() {
+        let att = AttentionModel::sports(21);
+        let full = generate_ensemble(&att, 5, SimDuration::from_secs(8), 917);
+        for (u, expect) in full.iter().enumerate() {
+            let solo = generate_ensemble_member(&att, u, SimDuration::from_secs(8), 917);
+            assert_eq!(solo.user_id, expect.user_id);
+            assert_eq!(solo.samples(), expect.samples(), "member {u} diverged");
+        }
     }
 
     #[test]

@@ -34,8 +34,10 @@ pub use codec::{decode as decode_trace, encode as encode_trace, DecodeError, QUA
 pub use context::{Mobility, Pose, ViewingContext, WatchMode};
 pub use dataset::{SessionRecord, StudyDataset, UserProfile};
 pub use engagement::{estimate_engagement, Engagement, EngagementConfig};
-pub use fusion::{Forecaster, FusedForecaster, FusionConfig, TileForecast};
-pub use generate::{generate_ensemble, AttentionModel, Behavior, Hotspot, TraceGenerator};
+pub use fusion::{ForecastScratch, Forecaster, FusedForecaster, FusionConfig, TileForecast};
+pub use generate::{
+    generate_ensemble, generate_ensemble_member, AttentionModel, Behavior, Hotspot, TraceGenerator,
+};
 pub use oracle::OracleForecaster;
 pub use popularity::{visible_in_window, visible_in_window_cached, Heatmap};
 pub use predictor::{

@@ -126,17 +126,29 @@ impl HeadTrace {
     /// The trailing window of samples ending at `time`, at most
     /// `max_len` entries (newest last). Used as predictor input.
     pub fn history(&self, time: SimTime, max_len: usize) -> Vec<(SimTime, Orientation)> {
+        let mut out = Vec::new();
+        self.history_into(time, max_len, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`HeadTrace::history`]: the window
+    /// replaces the contents of `out`. Same entries, same order.
+    pub fn history_into(
+        &self,
+        time: SimTime,
+        max_len: usize,
+        out: &mut Vec<(SimTime, Orientation)>,
+    ) {
         let end_idx =
             ((time.as_secs_f64() * self.sample_hz).floor() as usize).min(self.samples.len() - 1);
         let start = end_idx.saturating_sub(max_len.saturating_sub(1));
-        (start..=end_idx)
-            .map(|i| {
-                (
-                    SimTime::from_secs_f64(i as f64 / self.sample_hz),
-                    self.samples[i],
-                )
-            })
-            .collect()
+        out.clear();
+        out.extend((start..=end_idx).map(|i| {
+            (
+                SimTime::from_secs_f64(i as f64 / self.sample_hz),
+                self.samples[i],
+            )
+        }));
     }
 
     /// Serialize to JSON.

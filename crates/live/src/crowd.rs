@@ -72,6 +72,14 @@ impl CrowdAggregator {
         }
     }
 
+    /// Append reports precomputed by [`viewer_reports`]. Appending each
+    /// viewer's reports in ingest order leaves the aggregator in exactly
+    /// the state repeated [`CrowdAggregator::ingest`] calls would — the
+    /// report list is identical entry for entry.
+    pub fn ingest_reports(&mut self, reports: Vec<(SimTime, ChunkTime, Vec<TileId>)>) {
+        self.reports.extend(reports);
+    }
+
     /// Build the heatmap visible to the server at wall time `now`,
     /// covering `chunks` chunk times.
     pub fn heatmap_at(&self, now: SimTime, chunks: u32) -> Heatmap {
@@ -100,6 +108,30 @@ impl CrowdAggregator {
         }
         map.top_k(chunk, k)
     }
+}
+
+/// The gaze reports [`CrowdAggregator::ingest`] would append for one
+/// viewer — `(available_at_wall, chunk, visible tiles)` for each chunk
+/// in `0..chunks` — computed without touching an aggregator. Pure in
+/// its arguments, so a batched engine can compute every viewer's
+/// reports on worker threads and append them in canonical order with
+/// [`CrowdAggregator::ingest_reports`].
+pub fn viewer_reports(
+    grid: &TileGrid,
+    chunk_duration: SimDuration,
+    report_delay: SimDuration,
+    viewer: &LiveViewer,
+    chunks: u32,
+) -> Vec<(SimTime, ChunkTime, Vec<TileId>)> {
+    (0..chunks)
+        .map(|c| {
+            let video_time = SimTime::ZERO + chunk_duration * c as u64;
+            let wall = video_time + viewer.latency + report_delay;
+            let gaze = viewer.trace.at(video_time + chunk_duration / 2);
+            let tiles = Viewport::headset(gaze).visible_tile_set(grid);
+            (wall, ChunkTime(c), tiles)
+        })
+        .collect()
 }
 
 /// Accuracy report for one prediction policy.
@@ -267,6 +299,21 @@ mod tests {
             best_gain > 0.0,
             "crowd prior should improve hit rate on at least one seed (gain {best_gain})"
         );
+    }
+
+    #[test]
+    fn precomputed_reports_match_ingest_exactly() {
+        let grid = TileGrid::new(4, 6);
+        let cd = SimDuration::from_secs(1);
+        let (lows, _) = population(13);
+        let mut direct = CrowdAggregator::new(grid, cd);
+        let mut batched = CrowdAggregator::new(grid, cd);
+        for v in &lows {
+            direct.ingest(v, 12);
+            let reports = viewer_reports(&grid, cd, batched.report_delay, v, 12);
+            batched.ingest_reports(reports);
+        }
+        assert_eq!(direct.reports, batched.reports);
     }
 
     #[test]

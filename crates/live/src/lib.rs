@@ -25,7 +25,7 @@ pub mod platform;
 pub use broadcast::{
     run_live, run_live_with_upload_vra, table2, LiveRunConfig, LiveRunResult, NetworkCondition,
 };
-pub use crowd::{evaluate_crowd_hmp, CrowdAggregator, CrowdHmpReport, LiveViewer};
+pub use crowd::{evaluate_crowd_hmp, viewer_reports, CrowdAggregator, CrowdHmpReport, LiveViewer};
 pub use fallback::{
     plan_upload, viewer_experience, ExperienceReport, Horizon, InterestProfile, UploadPlan,
     UploadStrategy,

@@ -73,6 +73,17 @@ pub struct WrrLink {
     rate_bps: f64,
     now: SimTime,
     clients: Vec<ClientQueue>,
+    /// Indices of clients with a non-empty queue, ascending. The fluid
+    /// stepper only ever touches backlogged clients, so every pass
+    /// (weight sum, min-finisher, head decrement) walks this list
+    /// instead of the full registry — at a thousand registered clients
+    /// with a few dozen backlogged, that is the whole inner loop.
+    ///
+    /// Walking `active` ascending visits exactly the clients the
+    /// previous full-scan formulation visited, in the same order, so
+    /// every floating-point operation sequence (and therefore every
+    /// completion bit) is unchanged.
+    active: Vec<u32>,
     next_id: u64,
     completions: Vec<WrrCompletion>,
     delivered_bytes: u64,
@@ -86,6 +97,7 @@ impl WrrLink {
             rate_bps,
             now: SimTime::ZERO,
             clients: Vec::new(),
+            active: Vec::new(),
             next_id: 0,
             completions: Vec::new(),
             delivered_bytes: 0,
@@ -117,7 +129,14 @@ impl WrrLink {
         self.advance(now);
         let id = StreamId(self.next_id);
         self.next_id += 1;
-        self.clients[client as usize].queue.push_back(WrrStream {
+        let q = &mut self.clients[client as usize];
+        if q.queue.is_empty() {
+            // Keep `active` sorted ascending so scans preserve the
+            // by-index iteration order of the full registry.
+            let pos = self.active.partition_point(|&i| i < client);
+            self.active.insert(pos, client);
+        }
+        q.queue.push_back(WrrStream {
             id,
             bytes,
             remaining_bits: bytes as f64 * 8.0,
@@ -127,10 +146,14 @@ impl WrrLink {
     }
 
     /// Bits still queued (all clients, including in-flight heads).
+    ///
+    /// Empty queues contribute no terms, so summing over the active
+    /// list (ascending) adds exactly the same f64 sequence as a scan of
+    /// every registered client.
     pub fn backlog_bits(&self) -> f64 {
-        self.clients
+        self.active
             .iter()
-            .flat_map(|c| c.queue.iter())
+            .flat_map(|&i| self.clients[i as usize].queue.iter())
             .map(|s| s.remaining_bits)
             .sum()
     }
@@ -153,42 +176,53 @@ impl WrrLink {
     /// Advance the fluid WRR state to `to`, retiring queue heads that
     /// finish. Tie-break on simultaneous finishes is the lowest client
     /// index (deterministic).
+    ///
+    /// Every pass iterates the sorted active list, which visits the
+    /// same clients in the same order as scanning the full registry and
+    /// skipping empty queues — so the f64 operation sequence, and with
+    /// it every completion time bit, is identical to that formulation.
+    /// The weight sum is order-insensitive on top of that: weights are
+    /// small integers, whose f64 sums are exact.
     fn advance(&mut self, to: SimTime) {
         loop {
             if self.now >= to {
                 break;
             }
-            let total_w: f64 = self
-                .clients
-                .iter()
-                .filter(|c| !c.queue.is_empty())
-                .map(|c| c.weight)
-                .sum();
+            let mut total_w = 0.0f64;
+            for &i in &self.active {
+                total_w += self.clients[i as usize].weight;
+            }
             if total_w == 0.0 {
                 break;
             }
-            // The head that finishes first under the current sharing.
-            let (idx, dt) = self
-                .clients
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.queue.is_empty())
-                .map(|(i, c)| {
-                    let rate = self.rate_bps * c.weight / total_w;
-                    (i, c.queue[0].remaining_bits / rate)
-                })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                .expect("non-empty active set");
+            // The head that finishes first under the current sharing;
+            // strict `<` keeps the first of equal minima, matching the
+            // lowest-client-index tie-break.
+            let mut best_pos = 0usize;
+            let mut best_dt = f64::INFINITY;
+            for (pos, &i) in self.active.iter().enumerate() {
+                let c = &self.clients[i as usize];
+                let rate = self.rate_bps * c.weight / total_w;
+                let dt = c.queue[0].remaining_bits / rate;
+                if dt < best_dt {
+                    best_dt = dt;
+                    best_pos = pos;
+                }
+            }
+            let dt = best_dt;
             let window = (to - self.now).as_secs_f64();
             if dt <= window {
                 let finish = self.now + SimDuration::from_secs_f64(dt);
-                for c in self.clients.iter_mut() {
-                    if let Some(head) = c.queue.front_mut() {
-                        let rate = self.rate_bps * c.weight / total_w;
-                        head.remaining_bits -= rate * dt;
-                    }
+                for &i in &self.active {
+                    let c = &mut self.clients[i as usize];
+                    let rate = self.rate_bps * c.weight / total_w;
+                    c.queue[0].remaining_bits -= rate * dt;
                 }
+                let idx = self.active[best_pos] as usize;
                 let done = self.clients[idx].queue.pop_front().expect("head exists");
+                if self.clients[idx].queue.is_empty() {
+                    self.active.remove(best_pos);
+                }
                 self.delivered_bytes += done.bytes;
                 self.completions.push(WrrCompletion {
                     client: idx as u32,
@@ -199,11 +233,10 @@ impl WrrLink {
                 });
                 self.now = finish;
             } else {
-                for c in self.clients.iter_mut() {
-                    if let Some(head) = c.queue.front_mut() {
-                        let rate = self.rate_bps * c.weight / total_w;
-                        head.remaining_bits -= rate * window;
-                    }
+                for &i in &self.active {
+                    let c = &mut self.clients[i as usize];
+                    let rate = self.rate_bps * c.weight / total_w;
+                    c.queue[0].remaining_bits -= rate * window;
                 }
                 self.now = to;
             }
@@ -223,7 +256,7 @@ impl WrrLink {
     /// Run until every queued stream completes; returns all outstanding
     /// completions.
     pub fn drain(&mut self) -> Vec<WrrCompletion> {
-        while self.clients.iter().any(|c| !c.queue.is_empty()) {
+        while !self.active.is_empty() {
             let t = self.now + SimDuration::from_secs(3600);
             self.advance(t);
         }
@@ -340,5 +373,157 @@ mod tests {
         let a = link.add_client(1);
         link.submit(a, 1000, SimTime::from_secs(5));
         link.submit(a, 1000, SimTime::from_secs(1));
+    }
+
+    /// The full-scan formulation the active-list stepper replaced,
+    /// kept verbatim as a differential oracle: every pass filters the
+    /// whole registry for non-empty queues.
+    struct FullScanWrr {
+        rate_bps: f64,
+        now: SimTime,
+        clients: Vec<ClientQueue>,
+        next_id: u64,
+        completions: Vec<WrrCompletion>,
+    }
+
+    impl FullScanWrr {
+        fn new(rate_bps: f64) -> FullScanWrr {
+            FullScanWrr {
+                rate_bps,
+                now: SimTime::ZERO,
+                clients: Vec::new(),
+                next_id: 0,
+                completions: Vec::new(),
+            }
+        }
+
+        fn add_client(&mut self, weight: u32) -> u32 {
+            self.clients.push(ClientQueue {
+                weight: weight as f64,
+                queue: VecDeque::new(),
+            });
+            (self.clients.len() - 1) as u32
+        }
+
+        fn submit(&mut self, client: u32, bytes: u64, now: SimTime) {
+            self.advance(now);
+            let id = StreamId(self.next_id);
+            self.next_id += 1;
+            self.clients[client as usize].queue.push_back(WrrStream {
+                id,
+                bytes,
+                remaining_bits: bytes as f64 * 8.0,
+                submitted: now,
+            });
+        }
+
+        fn advance(&mut self, to: SimTime) {
+            loop {
+                if self.now >= to {
+                    break;
+                }
+                let total_w: f64 = self
+                    .clients
+                    .iter()
+                    .filter(|c| !c.queue.is_empty())
+                    .map(|c| c.weight)
+                    .sum();
+                if total_w == 0.0 {
+                    break;
+                }
+                let (idx, dt) = self
+                    .clients
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !c.queue.is_empty())
+                    .map(|(i, c)| {
+                        let rate = self.rate_bps * c.weight / total_w;
+                        (i, c.queue[0].remaining_bits / rate)
+                    })
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .expect("non-empty active set");
+                let window = (to - self.now).as_secs_f64();
+                if dt <= window {
+                    let finish = self.now + SimDuration::from_secs_f64(dt);
+                    for c in self.clients.iter_mut() {
+                        if let Some(head) = c.queue.front_mut() {
+                            let rate = self.rate_bps * c.weight / total_w;
+                            head.remaining_bits -= rate * dt;
+                        }
+                    }
+                    let done = self.clients[idx].queue.pop_front().expect("head exists");
+                    self.completions.push(WrrCompletion {
+                        client: idx as u32,
+                        id: done.id,
+                        submitted: done.submitted,
+                        finished: finish,
+                        bytes: done.bytes,
+                    });
+                    self.now = finish;
+                } else {
+                    for c in self.clients.iter_mut() {
+                        if let Some(head) = c.queue.front_mut() {
+                            let rate = self.rate_bps * c.weight / total_w;
+                            head.remaining_bits -= rate * window;
+                        }
+                    }
+                    self.now = to;
+                }
+            }
+            self.now = self.now.max(to);
+        }
+
+        fn run_until(&mut self, to: SimTime) -> Vec<WrrCompletion> {
+            self.advance(to);
+            let mut out = std::mem::take(&mut self.completions);
+            out.sort_by_key(|c| (c.finished, c.client));
+            out
+        }
+    }
+
+    proptest::proptest! {
+        /// The active-list stepper is bit-identical to the full-scan
+        /// oracle on arbitrary submission/checkpoint schedules: same
+        /// completions in the same order, with the exact same finish
+        /// time bits.
+        #[test]
+        fn active_list_matches_full_scan_bit_exact(
+            weights in proptest::collection::vec(1u32..5, 1..12),
+            ops in proptest::collection::vec(
+                (0u32..12, 1u64..600_000, 0u64..2_000), 1..80),
+        ) {
+            let mut fast = WrrLink::new(8e6);
+            let mut slow = FullScanWrr::new(8e6);
+            for &w in &weights {
+                fast.add_client(w);
+                slow.add_client(w);
+            }
+            let mut t_ms = 0u64;
+            for &(client, bytes, gap_ms) in &ops {
+                let client = client % weights.len() as u32;
+                t_ms += gap_ms;
+                let now = SimTime::from_millis(t_ms);
+                // Interleave checkpoints so partial windows (the
+                // else-branch decrement) are exercised too.
+                if gap_ms % 3 == 0 {
+                    let a = fast.run_until(now);
+                    let b = slow.run_until(now);
+                    proptest::prop_assert_eq!(&a, &b);
+                }
+                fast.submit(client, bytes, now);
+                slow.submit(client, bytes, now);
+            }
+            let a = fast.drain();
+            let end = fast.now;
+            slow.advance(end);
+            let b = slow.run_until(end);
+            proptest::prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                proptest::prop_assert_eq!(x.client, y.client);
+                proptest::prop_assert_eq!(x.id, y.id);
+                proptest::prop_assert_eq!(x.finished, y.finished);
+                proptest::prop_assert_eq!(x.bytes, y.bytes);
+            }
+        }
     }
 }

@@ -182,8 +182,10 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
     let cd = video.chunk_duration();
     let sink = config.trace.clone();
     // The cache may be shared across runs (config clones share the Rc
-    // handle); snapshot so this session reports only its own traffic.
-    let vis_stats_at_start = config.vis_cache.stats();
+    // handle); track a running baseline so each display phase flushes
+    // only the traffic it caused, never stale counts carried over from
+    // earlier runs or earlier phases.
+    let mut vis_flushed = config.vis_cache.stats();
     let mut net = MultipathSession::new(paths, scheduler);
     net.set_trace(sink.clone());
     let mut estimator = BandwidthEstimator::new(config.estimator);
@@ -637,13 +639,22 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
                     fraction: degraded,
                 });
             }
+            // Flush the visibility memo's traffic for this display
+            // phase: counters advance with the phase that caused them
+            // instead of in one stale lump at session end.
+            let vis_now = config.vis_cache.stats();
             sink.metrics(|m| {
                 m.counter("player.bytes_fetched")
                     .add(chunk_bytes + upgrade_bytes);
                 m.histogram("player.blank_fraction").record(blank);
                 m.histogram("player.degraded_fraction").record(degraded);
                 m.histogram("player.viewport_utility").record(utility);
+                m.counter("vis_cache_hit")
+                    .add(vis_now.hits - vis_flushed.hits);
+                m.counter("vis_cache_miss")
+                    .add(vis_now.misses - vis_flushed.misses);
             });
+            vis_flushed = vis_now;
         }
         let total_bytes = chunk_bytes + upgrade_bytes;
         let wasted = total_bytes.saturating_sub(useful_bytes);
@@ -666,12 +677,15 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
     net.finish_trace();
 
     if sink.is_enabled() {
+        // Residual flush: queries made outside any display phase (e.g.
+        // every chunk stalled out). Sum of per-phase deltas plus this
+        // equals exactly this session's traffic — shared handles never
+        // leak another run's counts in.
         let vis = config.vis_cache.stats();
         sink.metrics(|m| {
-            m.counter("vis_cache_hit")
-                .add(vis.hits - vis_stats_at_start.hits);
+            m.counter("vis_cache_hit").add(vis.hits - vis_flushed.hits);
             m.counter("vis_cache_miss")
-                .add(vis.misses - vis_stats_at_start.misses);
+                .add(vis.misses - vis_flushed.misses);
         });
     }
 

@@ -41,6 +41,7 @@ pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod runner;
+pub mod schedule;
 pub mod stats;
 pub mod sweep;
 pub mod time;
@@ -51,7 +52,10 @@ pub use metrics::{Counter, Histogram, TimeSeries};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use runner::{RunOutcome, Scheduler, Simulation, World};
-pub use sweep::{run_sweep, PointOutcome, SweepPlan, SweepPoint, SweepReport, SweepSummary};
+pub use schedule::ReplayQueue;
+pub use sweep::{
+    parallel_indexed, run_sweep, PointOutcome, SweepPlan, SweepPoint, SweepReport, SweepSummary,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     fnv1a64, MetricsRegistry, Subsystem, Trace, TraceConfig, TraceEvent, TraceLevel, TraceSink,

@@ -1,0 +1,230 @@
+//! Two-tier event scheduling for batched replay engines.
+//!
+//! A data-oriented engine knows most of its event schedule *before* the
+//! run starts: per-session decide/display/prefetch ticks are fixed by
+//! the configuration, and only completion events (origin fetches, link
+//! drains) arrive dynamically while the simulation executes. A
+//! [`ReplayQueue`] exploits that split — the static schedule lives in
+//! one sorted array walked by a cursor, and only the (few) dynamic
+//! events pay for a binary heap.
+//!
+//! The ordering contract is exactly [`EventQueue`](crate::EventQueue)'s:
+//! events pop by `(time, seq)` where `seq` is assignment order, static
+//! pushes first. A legacy engine that pushes its whole schedule into an
+//! `EventQueue` up front and then pushes dynamic events while running
+//! therefore pops the *identical* event sequence from either queue —
+//! the property the differential engine harness pins down.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct DynEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for DynEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for DynEntry<E> {}
+impl<E> PartialOrd for DynEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for DynEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event queue split into a pre-sorted static schedule
+/// and a heap of dynamically scheduled events (see the module docs).
+///
+/// Build with [`ReplayQueue::push_static`] calls, then [`seal`]
+/// (sorts the schedule once), then pop while pushing dynamic events
+/// with [`push`].
+///
+/// [`seal`]: ReplayQueue::seal
+/// [`push`]: ReplayQueue::push
+pub struct ReplayQueue<E> {
+    static_events: Vec<(SimTime, u64, Option<E>)>,
+    static_pos: usize,
+    dynamic: BinaryHeap<DynEntry<E>>,
+    next_seq: u64,
+    sealed: bool,
+}
+
+impl<E> Default for ReplayQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ReplayQueue<E> {
+    /// An empty, unsealed queue.
+    pub fn new() -> ReplayQueue<E> {
+        ReplayQueue {
+            static_events: Vec::new(),
+            static_pos: 0,
+            dynamic: BinaryHeap::new(),
+            next_seq: 0,
+            sealed: false,
+        }
+    }
+
+    /// Add one event of the static schedule. Call order assigns `seq`,
+    /// exactly like pushing into an `EventQueue` in the same order.
+    /// Panics after [`ReplayQueue::seal`].
+    pub fn push_static(&mut self, time: SimTime, event: E) {
+        assert!(!self.sealed, "static schedule is sealed");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.static_events.push((time, seq, Some(event)));
+    }
+
+    /// Sort the static schedule and switch to replay mode. Events pushed
+    /// afterwards are dynamic, with `seq` continuing where the static
+    /// pushes stopped.
+    pub fn seal(&mut self) {
+        assert!(!self.sealed, "seal called twice");
+        // `seq` is unique, so sorting by (time, seq) is a total order.
+        self.static_events
+            .sort_by_key(|&(time, seq, _)| (time, seq));
+        self.sealed = true;
+    }
+
+    /// Schedule a dynamic event. Only valid once sealed.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        assert!(self.sealed, "dynamic pushes require seal() first");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.dynamic.push(DynEntry { time, seq, event });
+    }
+
+    /// The `(time, seq)` of the earliest pending event, if any.
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        let s = self
+            .static_events
+            .get(self.static_pos)
+            .map(|&(t, q, _)| (t, q));
+        let d = self.dynamic.peek().map(|e| (e.time, e.seq));
+        match (s, d) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// Remove and return the earliest pending event (ties by `seq`,
+    /// i.e. push order — identical to `EventQueue`).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        assert!(self.sealed, "pop requires seal() first");
+        let (_, key_seq) = self.peek_key()?;
+        let static_head = self.static_events.get(self.static_pos);
+        if static_head.map(|&(_, q, _)| q) == Some(key_seq) {
+            let (t, _, e) = &mut self.static_events[self.static_pos];
+            let t = *t;
+            let e = e.take().expect("static event popped twice");
+            self.static_pos += 1;
+            Some((t, e))
+        } else {
+            let e = self.dynamic.pop().expect("peeked dynamic head");
+            Some((e.time, e.event))
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        (self.static_events.len() - self.static_pos) + self.dynamic.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn static_schedule_pops_in_time_then_push_order() {
+        let mut q = ReplayQueue::new();
+        q.push_static(SimTime::from_secs(2), "late");
+        q.push_static(SimTime::from_secs(1), "early-a");
+        q.push_static(SimTime::from_secs(1), "early-b");
+        q.seal();
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early-a")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early-b")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn dynamic_events_interleave_by_time_and_seq() {
+        let mut q = ReplayQueue::new();
+        q.push_static(SimTime::from_secs(1), 1u32);
+        q.push_static(SimTime::from_secs(3), 3u32);
+        q.seal();
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
+        // Dynamic at the same instant as a static event: the static one
+        // pushed first wins the tie (lower seq).
+        q.push(SimTime::from_secs(3), 4u32);
+        q.push(SimTime::from_secs(2), 2u32);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), 3)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), 4)));
+        assert!(q.is_empty());
+    }
+
+    /// Differential check against `EventQueue`: identical push schedules
+    /// (static prefix + dynamic pushes while draining) pop identically.
+    #[test]
+    fn matches_event_queue_on_randomized_schedules() {
+        for seed in 0..200u64 {
+            let mut rng = SimRng::new(seed).split(0x5EED_0123);
+            let n_static = 1 + rng.below(20) as usize;
+            let mut replay = ReplayQueue::new();
+            let mut legacy = EventQueue::new();
+            let mut label = 0u32;
+            for _ in 0..n_static {
+                let t = SimTime::from_millis(rng.below(50));
+                replay.push_static(t, label);
+                legacy.push(t, label);
+                label += 1;
+            }
+            replay.seal();
+            // Drain both, occasionally injecting dynamic events at or
+            // after the just-popped time (as a simulation would).
+            loop {
+                let a = replay.pop();
+                let b = legacy.pop();
+                assert_eq!(a, b, "seed {seed} diverged");
+                let Some((t, _)) = a else { break };
+                if rng.chance(0.3) {
+                    let dt = rng.below(30);
+                    let at = t + crate::time::SimDuration::from_millis(dt);
+                    replay.push(at, label);
+                    legacy.push(at, label);
+                    label += 1;
+                }
+            }
+        }
+    }
+}

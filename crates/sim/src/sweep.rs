@@ -323,6 +323,49 @@ where
     }
 }
 
+/// Fan `n` independent index-addressed jobs across `threads` workers
+/// (`0` = [`default_threads`]) and return their results in index order.
+///
+/// The lightweight sibling of [`run_sweep`] for engine-internal batch
+/// phases: no serialization, no panic isolation (a worker panic
+/// propagates at scope exit), just the same shared-cursor fan-out and
+/// merge-by-index discipline — so for any pure `run`, the returned `Vec`
+/// is identical at any worker count.
+pub fn parallel_indexed<R, F>(n: usize, threads: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+    .min(n)
+    .max(1);
+    if workers == 1 {
+        return (0..n).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run(i);
+                merged.lock().expect("parallel merge lock").push((i, r));
+            });
+        }
+    });
+    let mut collected = merged.into_inner().expect("parallel merge lock");
+    collected.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(collected.len(), n, "every index merges exactly once");
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +460,15 @@ mod tests {
                 .map(|p| p.trace_digest)
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn parallel_indexed_is_worker_count_invariant() {
+        let serial = parallel_indexed(23, 1, |i| i * 7 + 1);
+        for threads in [2, 3, 8, 0] {
+            assert_eq!(parallel_indexed(23, threads, |i| i * 7 + 1), serial);
+        }
+        assert_eq!(parallel_indexed(0, 4, |i| i), Vec::<usize>::new());
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! Nightly edge scale harness: a large client population swept over
-//! several seeds, re-run on 1, 2 and 8 workers, asserting the merged
-//! sweep reports are byte-identical — the determinism contract the
-//! edge model makes at scale.
+//! several seeds on the batched data-oriented engine, re-run on 1, 2
+//! and 8 workers, asserting the merged sweep reports are byte-identical
+//! — the determinism contract the edge model makes at scale — and
+//! cross-checked against the legacy per-event engine (the oracle),
+//! which must land on the very same bytes.
 //!
 //! The client count is env-tunable so CI can run the full load while
 //! local smoke runs stay quick:
 //!
 //! ```sh
-//! EDGE_SCALE_CLIENTS=200 cargo run --release --example edge_scale
+//! EDGE_SCALE_CLIENTS=1000 cargo run --release --example edge_scale
 //! ```
 
-use sperke_core::{run_edge_sweep, EdgeConfig, EdgeGrid, Sperke};
+use sperke_core::{run_edge_sweep, run_edge_sweep_batched, EdgeConfig, EdgeGrid, Sperke};
 use sperke_sim::SimDuration;
 
 fn main() {
@@ -25,7 +27,7 @@ fn main() {
 
     let base = EdgeConfig {
         clients,
-        max_clients: clients.max(64),
+        max_clients: clients.max(64).next_power_of_two(),
         ..Default::default()
     };
     let video = Sperke::edge_builder(base.seed)
@@ -34,7 +36,7 @@ fn main() {
     let grid = EdgeGrid::new(base).seed_axis(vec![7, 41, 1013]);
 
     println!(
-        "edge scale: {} clients x {} seeds on a {} s video",
+        "edge scale: {} clients x {} seeds on a {} s video (batched engine)",
         clients,
         grid.seeds.len(),
         secs
@@ -42,7 +44,7 @@ fn main() {
 
     let mut digests = Vec::new();
     for workers in [1usize, 2, 8] {
-        let report = run_edge_sweep(&video, &grid, workers);
+        let report = run_edge_sweep_batched(&video, &grid, workers);
         println!(
             "  workers={} -> {} points, digest {:#018x}",
             workers,
@@ -58,8 +60,20 @@ fn main() {
         assert_eq!(jsonl, jsonl0, "sweep bytes must not depend on worker count");
     }
 
-    let serial = run_edge_sweep(&video, &grid, 1);
-    for point in serial.ok_results() {
+    // The legacy engine is the oracle: same grid, same bytes.
+    let oracle = run_edge_sweep(&video, &grid, 2);
+    assert_eq!(
+        &oracle.digest(),
+        d0,
+        "batched engine must match the legacy oracle's digest at scale"
+    );
+    assert_eq!(
+        &oracle.to_jsonl(),
+        jsonl0,
+        "batched engine must match the legacy oracle's bytes at scale"
+    );
+
+    for point in oracle.ok_results() {
         let r = &point.report;
         println!(
             "  seed {:>5}: admitted {:>4} | origin {:>8.1} MB | hit rate {:>5.1}% | utility {:.2}",
@@ -76,5 +90,5 @@ fn main() {
         );
     }
 
-    println!("ok: byte-identical across 1/2/8 workers");
+    println!("ok: byte-identical across 1/2/8 workers and vs the legacy oracle");
 }

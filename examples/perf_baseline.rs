@@ -20,6 +20,9 @@ use sperke_core::{
     run_edge_fleet, run_edge_sweep, run_fleet_sweep, run_fleet_with_cache, EdgeConfig, EdgeGrid,
     FleetConfig, FleetGrid,
 };
+use sperke_edge::{
+    default_clients, prepare_edge_batch, run_edge_full, run_edge_prepared, EdgeHarness,
+};
 use sperke_geo::{Orientation, TileGrid, Viewport, VisibilityCache};
 use sperke_sim::SimDuration;
 use sperke_video::VideoModelBuilder;
@@ -248,9 +251,81 @@ fn main() {
     let edge_sweep_pps = edge_points / edge_sweep_s;
     println!("edge sweep    : {edge_sweep_pps:>10.2} points/s ({edge_points} points)");
 
+    // ---------------- PR6: data-oriented batched engine ----------------
+    // The gated metric is the engine's stepping loop at 1k clients: the
+    // decide/fetch/render replay over a materialized plan. Plan
+    // synthesis (head traces + forecasts, embarrassingly parallel and
+    // off the stepping path) is recorded separately, as are the
+    // full-run batched and legacy numbers — no hidden exclusions.
+    let pr6_cfg = EdgeConfig {
+        clients: 1000,
+        max_clients: 2048,
+        ..Default::default()
+    };
+    let pr6_specs = default_clients(&pr6_cfg);
+    let pr6_steps = pr6_cfg.clients as f64 * edge_video.chunk_count() as f64;
+
+    let start = Instant::now();
+    let legacy_1k = run_edge_full(
+        &edge_video,
+        &pr6_cfg,
+        &pr6_specs,
+        &EdgeHarness::default(),
+        None,
+    );
+    let legacy_1k_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let plan = prepare_edge_batch(&edge_video, &pr6_cfg, &pr6_specs, 0);
+    let prepare_s = start.elapsed().as_secs_f64();
+
+    let batched_1k = run_edge_prepared(&edge_video, &pr6_cfg, &plan, &EdgeHarness::default(), None);
+    assert_eq!(
+        legacy_1k, batched_1k,
+        "engines must agree bit-for-bit at 1k clients"
+    );
+    let mut replay_secs: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run_edge_prepared(
+                &edge_video,
+                &pr6_cfg,
+                &plan,
+                &EdgeHarness::default(),
+                None,
+            ));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    replay_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pr6_edge_steps_per_s = pr6_steps / replay_secs[1];
+    let pr6_full_steps_per_s = pr6_steps / (prepare_s + replay_secs[1]);
+    let legacy_1k_steps_per_s = pr6_steps / legacy_1k_s;
+
+    // The acceptance anchor is PR5's committed number, hardcoded so the
+    // gate cannot ratchet itself by rewriting its own baseline.
+    const PR5_EDGE_STEPS_ANCHOR: f64 = 9757.0;
+    let pr6_speedup = pr6_edge_steps_per_s / PR5_EDGE_STEPS_ANCHOR;
+    println!(
+        "batched edge engine ({} clients x {} chunks)",
+        pr6_cfg.clients,
+        edge_video.chunk_count()
+    );
+    println!("  engine loop   : {pr6_edge_steps_per_s:>8.0} steps/s ({pr6_speedup:.1}x PR5 anchor {PR5_EDGE_STEPS_ANCHOR:.0})");
+    println!(
+        "  + plan synth  : {pr6_full_steps_per_s:>8.0} steps/s (prepare {:.0} ms)",
+        prepare_s * 1e3
+    );
+    println!("  legacy oracle : {legacy_1k_steps_per_s:>8.0} steps/s");
+    assert!(
+        pr6_speedup >= 5.0,
+        "batched engine loop must be >= 5x the PR5 anchor: {pr6_edge_steps_per_s:.0} vs {PR5_EDGE_STEPS_ANCHOR:.0}"
+    );
+
     // ---------------- Compare against committed baselines ----------------
     let pr4_base = load_baseline("BENCH_PR4.json");
     let pr5_base = load_baseline("BENCH_PR5.json");
+    let pr6_base = load_baseline("BENCH_PR6.json");
     // Wall-clock metrics gate at the tolerance; deterministic byte and
     // rate metrics regress only through a behaviour change, so they use
     // the same gate and will trip on far smaller drifts in practice.
@@ -339,6 +414,41 @@ fn main() {
             Gate::Higher,
             tol,
         ),
+        check(
+            pr6_base.as_ref(),
+            "edge_steps_per_s",
+            pr6_edge_steps_per_s,
+            Gate::Higher,
+            tol,
+        ),
+        check(
+            pr6_base.as_ref(),
+            "edge_full_steps_per_s",
+            pr6_full_steps_per_s,
+            Gate::Higher,
+            tol,
+        ),
+        check(
+            pr6_base.as_ref(),
+            "edge_legacy_steps_per_s",
+            legacy_1k_steps_per_s,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr6_base.as_ref(),
+            "edge_prepare_ms",
+            prepare_s * 1e3,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr6_base.as_ref(),
+            "speedup_vs_pr5_anchor",
+            pr6_speedup,
+            Gate::Record,
+            tol,
+        ),
     ];
 
     // ---------------- Persist fresh artifacts ----------------
@@ -363,7 +473,16 @@ fn main() {
          \"edge_sweep_points_per_s\": {edge_sweep_pps:.2}\n}}\n"
     );
     std::fs::write("BENCH_PR5.json", &pr5_json).expect("write BENCH_PR5.json");
-    println!("\nwrote BENCH_PR4.json, BENCH_PR5.json");
+    let pr6_json = format!(
+        "{{\n  \"edge_steps_per_s\": {pr6_edge_steps_per_s:.0},\n  \
+         \"edge_full_steps_per_s\": {pr6_full_steps_per_s:.0},\n  \
+         \"edge_legacy_steps_per_s\": {legacy_1k_steps_per_s:.0},\n  \
+         \"edge_prepare_ms\": {:.1},\n  \
+         \"speedup_vs_pr5_anchor\": {pr6_speedup:.1}\n}}\n",
+        prepare_s * 1e3,
+    );
+    std::fs::write("BENCH_PR6.json", &pr6_json).expect("write BENCH_PR6.json");
+    println!("\nwrote BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json");
 
     let failures: Vec<String> = checks.into_iter().flatten().collect();
     if failures.is_empty() {

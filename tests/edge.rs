@@ -16,7 +16,9 @@
 
 use proptest::prelude::*;
 use sperke_core::{EdgeConfig, Sperke};
-use sperke_edge::{default_clients, run_edge, run_edge_full, EdgeClientSpec, EdgeHarness};
+use sperke_edge::{
+    default_clients, run_edge, run_edge_batched, run_edge_full, EdgeClientSpec, EdgeHarness,
+};
 use sperke_sim::trace::{TraceConfig, TraceLevel, TraceSink};
 use sperke_sim::SimDuration;
 use sperke_video::{VideoModel, VideoModelBuilder};
@@ -149,6 +151,64 @@ proptest! {
         prop_assert_eq!(r1, r2);
         prop_assert_eq!(jsonl1, jsonl2);
         prop_assert_eq!(d1, d2);
+    }
+
+    /// Invariant 1 under the batched engine: advancing sessions in
+    /// lockstep phases must not bend the books — exact byte balance
+    /// holds for any population, cache size and worker count.
+    #[test]
+    fn batched_engine_balances_bytes_exactly(
+        clients in 1usize..10,
+        cache_pick in 0usize..4,
+        prefetch: bool,
+        seed in 0u64..100,
+        workers in 1usize..9,
+    ) {
+        let v = video(6);
+        let cfg = EdgeConfig {
+            clients,
+            cache_bytes: [0u64, 8, 64, 256][cache_pick] << 20,
+            prefetch,
+            seed,
+            ..Default::default()
+        };
+        let r = run_edge_batched(
+            &v, &cfg, &default_clients(&cfg), &EdgeHarness::default(), None, workers,
+        );
+        prop_assert_eq!(
+            r.origin_demand_bytes(),
+            r.cache.miss_bytes + r.cache.prefetch_bytes,
+            "origin traffic must equal miss + prefetch bytes"
+        );
+        prop_assert_eq!(r.egress_bytes, r.cache.hit_bytes + r.cache.miss_bytes);
+        prop_assert_eq!(r.origin_failed_bytes, 0u64);
+    }
+
+    /// Invariant 3 under the batched engine: the admission cap holds for
+    /// any population size and worker count (rejected clients are sensed
+    /// but never planned, fetched for, or rendered).
+    #[test]
+    fn batched_admission_never_exceeds_the_cap(
+        clients in 1usize..24,
+        cap in 1usize..8,
+        seed in 0u64..50,
+        workers in 1usize..9,
+    ) {
+        let v = video(4);
+        let cfg = EdgeConfig { clients, max_clients: cap, seed, ..Default::default() };
+        let sink = TraceSink::new(TraceConfig::new(TraceLevel::Events));
+        let harness = EdgeHarness { trace: sink.clone(), ..Default::default() };
+        let r = run_edge_batched(&v, &cfg, &default_clients(&cfg), &harness, None, workers);
+        prop_assert!(r.admitted <= cap);
+        prop_assert_eq!(r.admitted, clients.min(cap));
+        prop_assert_eq!(r.admitted + r.rejected, clients);
+        let admitted_events = sink
+            .snapshot()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, sperke_sim::TraceEvent::ClientAdmitted { .. }))
+            .count();
+        prop_assert!(admitted_events <= cap, "trace shows ≤ cap admissions");
     }
 
     /// Invariant 3: admission control never exceeds the cap.

@@ -1,0 +1,171 @@
+//! Differential engine harness: the legacy per-event engines are the
+//! test oracle for the data-oriented batched engines.
+//!
+//! The determinism contract under test is the PR's headline:
+//!
+//! > `(config, clients, seed) → byte-identical trace digests` for any
+//! > worker count.
+//!
+//! Every property here runs the legacy engine (single-threaded,
+//! event-at-a-time — `run_fleet` / `run_edge_full`) and the batched
+//! engine (`run_fleet_batched` / `run_edge_batched`) side by side over
+//! randomized configurations, and requires the *bytes* to match: trace
+//! JSONL, trace digest, and the full report struct. Worker counts 1, 2
+//! and 8 must all land on the same bytes — the sense phase shards by
+//! session index and merges by index, so the thread pool can only
+//! change wall-clock time.
+
+use proptest::prelude::*;
+use sperke_core::{
+    run_fleet, run_fleet_batched, run_fleet_sweep, run_fleet_sweep_batched, FleetConfig, FleetGrid,
+    Sperke,
+};
+use sperke_edge::{default_clients, run_edge_batched, run_edge_full, EdgeConfig, EdgeHarness};
+use sperke_sim::trace::{TraceConfig, TraceLevel, TraceSink};
+use sperke_sim::SimDuration;
+use sperke_video::{VideoModel, VideoModelBuilder};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn video(seed: u64, secs: u64) -> VideoModel {
+    VideoModelBuilder::new(seed)
+        .duration(SimDuration::from_secs(secs))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fleet: randomized viewer counts, egress capacities, schemes and
+    /// seeds — the batched engine reproduces the legacy report exactly
+    /// at every worker count.
+    #[test]
+    fn fleet_engines_agree_bit_for_bit(
+        viewers in 1usize..14,
+        egress_pick in 0usize..4,
+        fov_guided: bool,
+        seed in 0u64..200,
+    ) {
+        let v = video(3, 8);
+        let cfg = FleetConfig {
+            viewers,
+            egress_bps: [25e6, 60e6, 200e6, 500e6][egress_pick],
+            fov_guided,
+            seed,
+            ..Default::default()
+        };
+        let legacy = run_fleet(&v, &cfg);
+        for workers in WORKER_COUNTS {
+            let batched = run_fleet_batched(&v, &cfg, workers);
+            prop_assert_eq!(
+                &legacy, &batched,
+                "fleet engines diverged at {} workers", workers
+            );
+        }
+    }
+
+    /// Edge: randomized populations, cache sizes, admission caps and
+    /// prefetch settings — report AND trace bytes identical at every
+    /// worker count.
+    #[test]
+    fn edge_engines_agree_on_trace_bytes(
+        clients in 1usize..10,
+        cap in 1usize..12,
+        cache_pick in 0usize..3,
+        prefetch: bool,
+        seed in 0u64..200,
+    ) {
+        let v = video(3, 6);
+        let cfg = EdgeConfig {
+            clients,
+            max_clients: cap,
+            cache_bytes: [0u64, 32, 256][cache_pick] << 20,
+            prefetch,
+            seed,
+            ..Default::default()
+        };
+        let specs = default_clients(&cfg);
+
+        let legacy_sink = TraceSink::new(TraceConfig::new(TraceLevel::Verbose));
+        let legacy = run_edge_full(
+            &v,
+            &cfg,
+            &specs,
+            &EdgeHarness { trace: legacy_sink.clone(), ..Default::default() },
+            None,
+        );
+        let legacy_trace = legacy_sink.snapshot();
+
+        for workers in WORKER_COUNTS {
+            let sink = TraceSink::new(TraceConfig::new(TraceLevel::Verbose));
+            let batched = run_edge_batched(
+                &v,
+                &cfg,
+                &specs,
+                &EdgeHarness { trace: sink.clone(), ..Default::default() },
+                None,
+                workers,
+            );
+            let trace = sink.snapshot();
+            prop_assert_eq!(
+                &legacy, &batched,
+                "edge reports diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                legacy_trace.to_jsonl(), trace.to_jsonl(),
+                "edge trace JSONL diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                legacy_trace.digest(), trace.digest(),
+                "edge trace digest diverged at {} workers", workers
+            );
+        }
+    }
+
+    /// Sweeps: a randomized fleet grid merged on a randomized thread
+    /// count — legacy and batched sweeps serialize to the same JSONL and
+    /// digest.
+    #[test]
+    fn sweep_engines_agree_on_merged_bytes(
+        viewers in 1usize..5,
+        seed_a in 0u64..50,
+        seed_b in 50u64..100,
+        threads in 1usize..5,
+    ) {
+        let v = video(29, 5);
+        let grid = FleetGrid::new(FleetConfig { viewers, ..Default::default() })
+            .egress_axis(vec![60e6, 200e6])
+            .scheme_axis(vec![true, false])
+            .seed_axis(vec![seed_a, seed_b]);
+        let legacy = run_fleet_sweep(&v, &grid, threads);
+        let batched = run_fleet_sweep_batched(&v, &grid, threads);
+        prop_assert_eq!(legacy.to_jsonl(), batched.to_jsonl());
+        prop_assert_eq!(legacy.digest(), batched.digest());
+    }
+}
+
+/// The builder surface goes through the same contract: a traced edge
+/// run from `Sperke::edge_builder` is byte-identical between
+/// `run_report()` (legacy) and `run_batched(w)` for all worker counts.
+#[test]
+fn edge_builder_engines_agree() {
+    let b = Sperke::edge_builder(77)
+        .clients(9)
+        .max_clients(7)
+        .duration(SimDuration::from_secs(9))
+        .with_trace(TraceLevel::Verbose);
+    let legacy = b.run_report();
+    for workers in WORKER_COUNTS {
+        let batched = b.run_batched(workers);
+        assert_eq!(
+            legacy.report, batched.report,
+            "report diverged at {workers} workers"
+        );
+        assert_eq!(
+            legacy.trace.to_jsonl(),
+            batched.trace.to_jsonl(),
+            "trace diverged at {workers} workers"
+        );
+        assert_eq!(legacy.trace_digest(), batched.trace_digest());
+    }
+}

@@ -13,8 +13,8 @@
 //! then paste the printed constants over the `GOLDEN_*` values below.
 
 use sperke_core::{
-    run_fleet_sweep, FleetConfig, FleetGrid, FleetSweepPoint, RunReport, SchedulerChoice, Sperke,
-    SweepReport, TraceLevel,
+    run_fleet_sweep, run_fleet_sweep_batched, FleetConfig, FleetGrid, FleetSweepPoint, RunReport,
+    SchedulerChoice, Sperke, SweepReport, TraceLevel,
 };
 use sperke_hmp::Behavior;
 use sperke_sim::SimDuration;
@@ -97,6 +97,33 @@ fn fleet_sweep_matches_golden_digest() {
         "per-point digest drifted"
     );
     assert!(report.panicked().is_empty(), "golden grid never panics");
+}
+
+/// The batched data-oriented engine must land on the *same* pinned
+/// digest as the legacy engine — no regenerated constants allowed. This
+/// is the golden half of the engine-equivalence contract: worker-count
+/// blindness is covered in `engine_equivalence.rs`; here the batched
+/// path reproduces history bit-for-bit.
+#[test]
+fn batched_engine_reproduces_golden_sweep_digest() {
+    let video = VideoModelBuilder::new(29)
+        .duration(SimDuration::from_secs(6))
+        .build();
+    let grid = FleetGrid::new(FleetConfig {
+        viewers: 3,
+        ..Default::default()
+    })
+    .egress_axis(vec![60e6, 200e6])
+    .scheme_axis(vec![true, false])
+    .seed_axis(vec![7]);
+    let report = run_fleet_sweep_batched(&video, &grid, 3);
+    assert_eq!(report.len(), GOLDEN_SWEEP_POINTS);
+    assert_eq!(
+        report.digest(),
+        GOLDEN_SWEEP_DIGEST,
+        "batched engine drifted from the pinned legacy sweep digest"
+    );
+    assert_eq!(report.points()[0].trace_digest, GOLDEN_SWEEP_POINT0_DIGEST);
 }
 
 /// Prints fresh golden constants for BOTH goldens (session and sweep).
