@@ -8,8 +8,8 @@ use sperke_hmp::{
     OracleForecaster, TraceGenerator, ViewingContext,
 };
 use sperke_net::{
-    BandwidthTrace, ContentAware, EarliestCompletion, FaultScript, MinRtt, PathModel, PathQueue,
-    RecoveryPolicy, SinglePath,
+    BandwidthTrace, BbrConfig, ContentAware, EarliestCompletion, FaultScript, LossChannel, MinRtt,
+    PathModel, PathQueue, RecoveryPolicy, SinglePath,
 };
 use sperke_player::{run_session, PlannerKind, PlayerConfig, SessionResult};
 use sperke_sim::trace::{Trace, TraceLevel, TraceSink};
@@ -62,6 +62,8 @@ pub struct Sperke {
     oracle_hmp: bool,
     trace: TraceLevel,
     faults: FaultScript,
+    bbr: Option<BbrConfig>,
+    loss_channel: LossChannel,
 }
 
 /// The outcome of a traced experiment: the session result plus the
@@ -111,7 +113,33 @@ impl Sperke {
             oracle_hmp: false,
             trace: TraceLevel::Off,
             faults: FaultScript::none(),
+            bbr: None,
+            loss_channel: LossChannel::Declared,
         }
+    }
+
+    /// Enable BBR-style measured-capacity probing on every path: a
+    /// windowed max-filter over delivery-rate samples feeds the
+    /// schedulers' completion estimates instead of the declared trace.
+    /// Off by default — declared capacity keeps golden traces stable.
+    pub fn with_bbr(self) -> Self {
+        self.with_bbr_config(BbrConfig::default())
+    }
+
+    /// Enable BBR-style probing with an explicit [`BbrConfig`].
+    pub fn with_bbr_config(mut self, config: BbrConfig) -> Self {
+        self.bbr = Some(config);
+        self
+    }
+
+    /// Replace the declared i.i.d. loss rate with a [`LossChannel`] —
+    /// typically [`LossChannel::bursty_default`]'s Gilbert–Elliott chain.
+    /// The chain draws from a split RNG stream, so
+    /// [`LossChannel::Declared`] (the default) is byte-identical to
+    /// builds that predate this knob.
+    pub fn with_loss_channel(mut self, channel: LossChannel) -> Self {
+        self.loss_channel = channel;
+        self
     }
 
     /// Attach a fault-injection script: scripted or seeded-stochastic
@@ -367,8 +395,13 @@ impl Sperke {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                PathQueue::new(p.clone(), rng.split(i as u64))
+                let mut q = PathQueue::new(p.clone(), rng.split(i as u64))
                     .with_faults(self.faults.compile_for(i))
+                    .with_loss_channel(self.loss_channel);
+                if let Some(cfg) = &self.bbr {
+                    q = q.with_bbr(cfg.clone());
+                }
+                q
             })
             .collect();
 

@@ -14,7 +14,7 @@ use sperke_edge::{
     run_edge_batched, run_edge_full, EdgeClientSpec, EdgeConfig, EdgeHarness, EdgeReport,
 };
 use sperke_geo::{VisibilityCache, DEFAULT_VIS_CACHE_CAPACITY};
-use sperke_net::{FaultScript, RecoveryPolicy};
+use sperke_net::{FaultScript, LossChannel, RecoveryPolicy};
 use sperke_sim::sweep::{run_sweep, SweepPlan, SweepReport};
 use sperke_sim::trace::{Trace, TraceLevel, TraceSink};
 use sperke_sim::{MetricsRegistry, SimDuration};
@@ -53,6 +53,8 @@ pub struct EdgeBuilder {
     recovery: RecoveryPolicy,
     trace: TraceLevel,
     vis: VisibilityCache,
+    bbr: bool,
+    origin_loss: LossChannel,
 }
 
 impl Sperke {
@@ -79,6 +81,8 @@ impl Sperke {
             recovery: RecoveryPolicy::default(),
             trace: TraceLevel::Off,
             vis: VisibilityCache::default(),
+            bbr: false,
+            origin_loss: LossChannel::Declared,
         }
     }
 }
@@ -164,6 +168,20 @@ impl EdgeBuilder {
         self
     }
 
+    /// Probe the origin backhaul with a BBR-style estimator and pace
+    /// fetches at the measured rate. Off by default.
+    pub fn with_bbr(mut self) -> Self {
+        self.bbr = true;
+        self
+    }
+
+    /// Loss model for origin fetch attempts (default
+    /// [`LossChannel::Declared`]: fault script only).
+    pub fn with_origin_loss(mut self, channel: LossChannel) -> Self {
+        self.origin_loss = channel;
+        self
+    }
+
     /// The video this experiment streams (seeded by the config seed).
     pub fn build_video(&self) -> VideoModel {
         sperke_video::VideoModelBuilder::new(self.config.seed)
@@ -196,6 +214,8 @@ impl EdgeBuilder {
             faults: self.faults.clone(),
             recovery: self.recovery,
             vis: self.vis.clone(),
+            bbr: self.bbr,
+            origin_loss: self.origin_loss,
         };
         let report = run_edge_full(&video, &self.config, &self.client_set(), &harness, metrics);
         EdgeRunReport {
@@ -217,6 +237,8 @@ impl EdgeBuilder {
             faults: self.faults.clone(),
             recovery: self.recovery,
             vis: self.vis.clone(),
+            bbr: self.bbr,
+            origin_loss: self.origin_loss,
         };
         let report = run_edge_batched(
             &video,

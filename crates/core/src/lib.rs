@@ -46,7 +46,9 @@ pub use fleet::{run_fleet, run_fleet_batched, run_fleet_with_cache, FleetConfig,
 pub use sperke_edge::{
     run_edge_batched, EdgeClientSpec, EdgeConfig, EdgeHarness, EdgeReport, TileCache,
 };
-pub use sperke_net::{FaultScript, FaultSpec, PathFaults, RecoveryPolicy};
+pub use sperke_net::{
+    BbrConfig, BbrState, FaultScript, FaultSpec, LossChannel, PathFaults, RecoveryPolicy,
+};
 pub use sperke_sim::sweep::{SweepPlan, SweepReport, SweepSummary};
 pub use sperke_sim::trace::{Trace, TraceEvent, TraceLevel};
 pub use sweep::{

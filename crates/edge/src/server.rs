@@ -38,10 +38,13 @@ use sperke_hmp::{
     generate_ensemble_member, AttentionModel, ForecastScratch, FusedForecaster, HeadTrace,
 };
 use sperke_live::{CrowdAggregator, LiveViewer};
-use sperke_net::{FaultScript, PathFaults, RecoveryPolicy, StreamId, WrrLink};
+use sperke_net::{
+    BbrConfig, BbrState, FaultScript, GeChain, LossChannel, PathFaults, RecoveryPolicy, StreamId,
+    WrrLink,
+};
 use sperke_player::QoeWeights;
 use sperke_sim::{
-    MetricsRegistry, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, TraceEvent,
+    MetricsRegistry, RunOutcome, Scheduler, SimDuration, SimRng, SimTime, Simulation, TraceEvent,
     TraceSink, World,
 };
 use sperke_video::{CellId, CellSizes, ChunkTime, Layer, Quality, Scheme, VideoModel};
@@ -159,6 +162,15 @@ pub struct EdgeHarness {
     pub recovery: RecoveryPolicy,
     /// Visibility cache handle (memoization only; never changes bytes).
     pub vis: VisibilityCache,
+    /// Probe the origin backhaul with a BBR-style estimator and pace
+    /// fetches at the measured rate (clamped to the declared capacity).
+    /// Off by default: declared pacing keeps golden digests stable.
+    pub bbr: bool,
+    /// Loss model for origin fetch attempts. The default
+    /// [`LossChannel::Declared`] keeps the legacy fault-script-only
+    /// behaviour; a Gilbert–Elliott channel adds seeded bursty failures
+    /// on its own split RNG stream.
+    pub origin_loss: LossChannel,
 }
 
 /// Aggregate outcome of an edge run.
@@ -335,6 +347,11 @@ struct PendingStream {
     deadline: SimTime,
 }
 
+/// RNG stream label for the origin's Gilbert–Elliott chain ("ORIGIN").
+/// Splitting off the seed leaves every other draw untouched, so a
+/// Declared-channel run is byte-identical to builds without the chain.
+const EDGE_GE_STREAM: u64 = 0x4F52_4947_494E;
+
 pub(crate) struct EdgeWorld<'a> {
     pub(crate) video: &'a VideoModel,
     pub(crate) config: EdgeConfig,
@@ -343,6 +360,12 @@ pub(crate) struct EdgeWorld<'a> {
     cache: TileCache,
     inflight: HashMap<CacheKey, Inflight>,
     origin_busy_until: SimTime,
+    /// Measured-capacity estimator for the origin backhaul (None when
+    /// the harness leaves probing off).
+    origin_bbr: Option<BbrState>,
+    /// Gilbert–Elliott burst chain for origin fetch attempts (None for
+    /// the declared channel).
+    origin_ge: Option<GeChain>,
     faults: PathFaults,
     recovery: RecoveryPolicy,
     pub(crate) crowd: CrowdAggregator,
@@ -388,6 +411,14 @@ impl<'a> EdgeWorld<'a> {
             cache: TileCache::new(config.cache_bytes),
             inflight: HashMap::new(),
             origin_busy_until: SimTime::ZERO,
+            origin_bbr: harness.bbr.then(|| BbrState::new(BbrConfig::default())),
+            origin_ge: match harness.origin_loss {
+                LossChannel::Declared => None,
+                ge @ LossChannel::GilbertElliott { .. } => Some(GeChain::new(
+                    ge,
+                    SimRng::new(config.seed).split(EDGE_GE_STREAM),
+                )),
+            },
             faults: harness.faults.compile_for(0),
             recovery: harness.recovery,
             crowd,
@@ -541,9 +572,12 @@ impl EdgeWorld<'_> {
         }
     }
 
-    /// Submit one origin fetch attempt. A backhaul outage at submit time
-    /// fails the attempt; retries follow the recovery policy's backoff
-    /// until the budget runs out, after which the fetch is abandoned.
+    /// Submit one origin fetch attempt. A backhaul outage (scripted or
+    /// rolled by the Gilbert–Elliott chain) at submit time fails the
+    /// attempt; retries follow the recovery policy's backoff until the
+    /// budget runs out, after which the fetch is abandoned. Successful
+    /// attempts are paced at the BBR estimate when probing is on and
+    /// feed the estimator a delivery-rate sample.
     fn start_origin_fetch(
         &mut self,
         key: CacheKey,
@@ -552,7 +586,27 @@ impl EdgeWorld<'_> {
         now: SimTime,
         sched: &mut impl EdgeSched,
     ) {
-        if self.faults.is_down(now) {
+        // Tick the burst chain up to `now` first and surface any state
+        // flips. Flip stamps lie in (last tick, now], and this world
+        // never emits an event stamped later than the current event
+        // time, so the trace stays nondecreasing.
+        if let Some(chain) = &mut self.origin_ge {
+            chain.advance_to(now);
+            for (at, bursty) in chain.take_transitions() {
+                self.trace.emit(TraceEvent::LossStateChanged {
+                    at,
+                    path: 0,
+                    bursty,
+                });
+                self.trace
+                    .metrics(|m| m.counter("net.bbr.loss_transitions").incr());
+            }
+        }
+        let ge_down = self
+            .origin_ge
+            .as_mut()
+            .is_some_and(|chain| chain.roll_failure(now));
+        if self.faults.is_down(now) || ge_down {
             self.trace.emit(TraceEvent::TransferTimedOut {
                 at: now,
                 path: 0,
@@ -586,8 +640,46 @@ impl EdgeWorld<'_> {
             return;
         }
         let start = now.max(self.origin_busy_until);
-        let xfer = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.config.origin_bps);
+        // Pace at the measured estimate while probing, clamped to the
+        // declared backhaul — the wire can't beat physics, but the
+        // probe gain lets the estimate climb up to it.
+        let pacing = self
+            .origin_bbr
+            .as_ref()
+            .and_then(BbrState::pacing_rate)
+            .unwrap_or(self.config.origin_bps);
+        let wire = pacing.min(self.config.origin_bps);
+        let xfer = SimDuration::from_secs_f64(bytes as f64 * 8.0 / wire);
         self.origin_busy_until = start + xfer;
+        if let Some(bbr) = &mut self.origin_bbr {
+            bbr.on_rtt_sample(self.config.origin_rtt, now);
+            // The sample interval is the wire time alone — folding the
+            // propagation RTT in would undershoot the rate, drop the
+            // pacing, stretch the next wire time and spiral downward.
+            // Self-clocked this way, cruise epochs hold the estimate and
+            // probe epochs (gain > 1) climb it toward true capacity.
+            if let Some(u) = bbr.on_ack(bytes, xfer, now) {
+                if let Some(epoch) = u.new_epoch {
+                    self.trace.emit(TraceEvent::ProbeEpochStarted {
+                        at: now,
+                        path: 0,
+                        epoch,
+                        gain: u.gain,
+                    });
+                }
+                self.trace.emit(TraceEvent::DeliveryRateSample {
+                    at: now,
+                    path: 0,
+                    rate_bps: u.sample_bps,
+                    btl_bw_bps: u.btl_bw_bps,
+                });
+                self.trace.metrics(|m| {
+                    m.histogram("net.bbr.delivery_rate_bps")
+                        .record(u.sample_bps);
+                    m.histogram("net.bbr.btl_bw_bps").record(u.btl_bw_bps);
+                });
+            }
+        }
         sched.at(
             start + xfer + self.config.origin_rtt,
             EdgeEvent::OriginArrived {

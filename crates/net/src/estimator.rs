@@ -65,8 +65,13 @@ impl BandwidthEstimator {
     /// Like [`BandwidthEstimator::record`], additionally stamping the
     /// sample with its virtual time and emitting a
     /// [`TraceEvent::BandwidthUpdated`] into the attached trace sink.
+    /// Rejected samples (non-positive or non-finite) emit nothing: an
+    /// update that never happened must not fabricate a trace event, and
+    /// a NaN sample would poison the `net.goodput_bps` percentiles.
     pub fn record_at(&mut self, goodput_bps: f64, now: SimTime) {
-        self.record(goodput_bps);
+        if !self.record(goodput_bps) {
+            return;
+        }
         if self.trace.is_enabled() {
             self.trace.emit(TraceEvent::BandwidthUpdated {
                 at: now,
@@ -78,11 +83,12 @@ impl BandwidthEstimator {
         }
     }
 
-    /// Record an observed goodput sample (bits/second). Non-positive
-    /// samples (e.g. dropped best-effort chunks) are ignored.
-    pub fn record(&mut self, goodput_bps: f64) {
+    /// Record an observed goodput sample (bits/second). Non-positive or
+    /// non-finite samples (e.g. dropped best-effort chunks) are ignored;
+    /// returns whether the sample was accepted.
+    pub fn record(&mut self, goodput_bps: f64) -> bool {
         if goodput_bps <= 0.0 || !goodput_bps.is_finite() {
-            return;
+            return false;
         }
         match self.kind {
             EstimatorKind::Ewma { alpha } => {
@@ -99,6 +105,7 @@ impl BandwidthEstimator {
                 }
             }
         }
+        true
     }
 
     /// Current estimate (bits/second), or `None` before any sample.
@@ -117,7 +124,16 @@ impl BandwidthEstimator {
 
     /// Conservative estimate: the raw estimate scaled by a safety factor
     /// (standard practice to absorb estimation error).
+    ///
+    /// # Contract
+    ///
+    /// `safety` must lie in `(0, 1]` — a factor above 1 (or NaN) would
+    /// silently *inflate* the "conservative" estimate. Panics otherwise.
     pub fn conservative(&self, safety: f64) -> Option<f64> {
+        assert!(
+            safety > 0.0 && safety <= 1.0,
+            "safety factor must be in (0, 1], got {safety}"
+        );
         self.estimate().map(|e| e * safety)
     }
 }
@@ -185,5 +201,68 @@ mod tests {
     #[should_panic]
     fn zero_window_rejected() {
         BandwidthEstimator::new(EstimatorKind::Harmonic { window: 0 });
+    }
+
+    #[test]
+    fn record_reports_acceptance() {
+        let mut e = BandwidthEstimator::festive();
+        assert!(!e.record(0.0));
+        assert!(!e.record(-1.0));
+        assert!(!e.record(f64::NAN));
+        assert!(!e.record(f64::INFINITY));
+        assert!(e.record(1e6));
+    }
+
+    #[test]
+    fn rejected_samples_emit_nothing() {
+        // Regression: record_at used to emit BandwidthUpdated and record
+        // into net.goodput_bps even when record() rejected the sample —
+        // fabricating an update that never happened and letting NaN
+        // poison the histogram percentiles.
+        use sperke_sim::trace::{TraceLevel, TraceSink};
+        let sink = TraceSink::with_level(TraceLevel::Verbose);
+        let mut e = BandwidthEstimator::festive();
+        e.set_trace(sink.clone());
+        e.record_at(f64::NAN, SimTime::from_secs(1));
+        e.record_at(0.0, SimTime::from_secs(2));
+        e.record_at(-3e6, SimTime::from_secs(3));
+        let trace = sink.snapshot();
+        assert!(trace.is_empty(), "rejected samples must not emit events");
+        assert!(
+            trace.metrics().get_histogram("net.goodput_bps").is_none(),
+            "rejected samples must not reach the histogram"
+        );
+        // An accepted sample still emits exactly one event + one record.
+        e.record_at(5e6, SimTime::from_secs(4));
+        let trace = sink.snapshot();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(
+            trace
+                .metrics()
+                .get_histogram("net.goodput_bps")
+                .unwrap()
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn inflating_safety_factor_rejected() {
+        let mut e = BandwidthEstimator::festive();
+        e.record(1e6);
+        let _ = e.conservative(1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_safety_factor_rejected() {
+        let _ = BandwidthEstimator::festive().conservative(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_safety_factor_rejected() {
+        let _ = BandwidthEstimator::festive().conservative(0.0);
     }
 }

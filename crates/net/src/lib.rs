@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod bbr;
 pub mod estimator;
 pub mod fault;
 pub mod multipath;
@@ -37,6 +38,7 @@ pub mod transfer;
 pub mod wrr;
 
 pub use bandwidth::BandwidthTrace;
+pub use bbr::{BbrConfig, BbrState, BbrUpdate, GeChain, LossChannel};
 pub use estimator::{BandwidthEstimator, EstimatorKind};
 pub use fault::{FaultScript, FaultSpec, PathFaults};
 pub use multipath::{
@@ -150,6 +152,98 @@ mod proptests {
                 let min_time = (bytes as f64 - burst).max(0.0) * 8.0 / rate;
                 prop_assert!(done.saturating_since(now).as_secs_f64() >= min_time - 1e-9);
                 last_done = done;
+            }
+        }
+
+        /// The GE chain's long-run occupancy converges to the stationary
+        /// distribution: time in Bad ≈ p_gb / (p_gb + p_bg), and the
+        /// observed mean loss ≈ the stationary-weighted mix of the two
+        /// states' loss rates.
+        #[test]
+        fn ge_chain_converges_to_stationary_mix(
+            seed: u64,
+            p_gb in 0.05f64..0.5,
+            p_bg in 0.05f64..0.5,
+            loss_bad in 0.02f64..0.3,
+        ) {
+            let channel = LossChannel::GilbertElliott {
+                p_gb, p_bg, loss_good: 0.001, loss_bad,
+            };
+            let mut chain = GeChain::new(channel, SimRng::new(seed));
+            let ticks = 60_000u64; // 100 ms per tick → ~100 virtual minutes
+            let mut bad_ticks = 0u64;
+            let mut loss_acc = 0.0;
+            for i in 1..=ticks {
+                loss_acc += chain.loss_at(SimTime::from_millis(i * 100));
+                if chain.bursty() {
+                    bad_ticks += 1;
+                }
+            }
+            let bad_frac = bad_ticks as f64 / ticks as f64;
+            prop_assert!(
+                (bad_frac - channel.stationary_bad_fraction()).abs() < 0.05,
+                "bad fraction {bad_frac} vs stationary {}",
+                channel.stationary_bad_fraction()
+            );
+            let mean_loss = loss_acc / ticks as f64;
+            prop_assert!(
+                (mean_loss - channel.stationary_loss()).abs() < 0.02,
+                "mean loss {mean_loss} vs stationary {}",
+                channel.stationary_loss()
+            );
+        }
+
+        /// A queue built with the (default) Declared channel is
+        /// byte-identical to one that never heard of loss channels, for
+        /// any seed and workload — the generalization of the pinned
+        /// seed-77 golden config.
+        #[test]
+        fn declared_channel_is_bit_identical_to_legacy(
+            seed: u64,
+            sizes in proptest::collection::vec(1_000u64..2_000_000, 1..30),
+        ) {
+            let mut bare = PathQueue::new(PathModel::lte(), SimRng::new(seed));
+            let mut declared = PathQueue::new(PathModel::lte(), SimRng::new(seed))
+                .with_loss_channel(LossChannel::Declared);
+            for (i, &bytes) in sizes.iter().enumerate() {
+                let t = SimTime::from_millis(i as u64 * 250);
+                prop_assert_eq!(
+                    bare.submit(bytes, t, Reliability::BestEffort),
+                    declared.submit(bytes, t, Reliability::BestEffort),
+                    "submission {} diverged", i
+                );
+            }
+        }
+
+        /// BtlBw is exactly the max over in-window samples as the
+        /// max-filter window slides — evicting a stale maximum can only
+        /// lower the estimate, never raise it.
+        #[test]
+        fn bbr_btl_bw_is_sliding_window_max(
+            rates in proptest::collection::vec(1e5f64..1e8, 1..40),
+            gaps_ms in proptest::collection::vec(50u64..3000, 40),
+        ) {
+            let cfg = BbrConfig::default();
+            let window = cfg.btlbw_window;
+            let mut b = BbrState::new(cfg);
+            let mut now = SimTime::ZERO;
+            let mut samples: Vec<(SimTime, f64)> = Vec::new();
+            for (i, &rate) in rates.iter().enumerate() {
+                now = now + SimDuration::from_millis(gaps_ms[i % gaps_ms.len()]);
+                // One second at `rate` delivers rate/8 bytes.
+                let update = b.on_ack((rate / 8.0) as u64, SimDuration::from_secs(1), now);
+                let sample = update.expect("positive interval").sample_bps;
+                samples.push((now, sample));
+                let expect = samples
+                    .iter()
+                    .filter(|&&(t, _)| now.saturating_since(t) <= window)
+                    .map(|&(_, r)| r)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let got = b.btl_bw().expect("sample absorbed");
+                prop_assert!(
+                    (got - expect).abs() <= expect * 1e-12,
+                    "btl_bw {} vs window max {}", got, expect
+                );
             }
         }
 

@@ -443,10 +443,17 @@ impl<S: MultipathScheduler> MultipathSession<S> {
 
     /// Advance the submission clock to `to` (it never moves backwards)
     /// and emit every deferred event — including fault-timeline
-    /// transitions — whose timestamp the clock has passed.
+    /// transitions — whose timestamp the clock has passed. GE loss
+    /// chains tick eagerly up to the clock so their state flips are
+    /// deferred before any later-stamped event is released (advancing
+    /// eagerly rolls the same tick sequence the next submission would).
     fn advance_clock(&mut self, to: SimTime) {
         if to > self.clock {
             self.clock = to;
+        }
+        for path in 0..self.paths.len() {
+            self.paths[path].advance_loss_channel(self.clock);
+            self.defer_path_feedback(path);
         }
         if !self.trace.is_enabled() {
             return;
@@ -515,6 +522,49 @@ impl<S: MultipathScheduler> MultipathSession<S> {
         });
     }
 
+    /// Drain the path's BBR updates and loss-channel flips accumulated
+    /// by the submission that just ran, and defer them as trace events
+    /// (future-stamped completions go through the same ordering
+    /// machinery as `TransferFinished`). Must run after *every* submit
+    /// so the per-path buffers stay empty even with tracing off.
+    fn defer_path_feedback(&mut self, path: usize) {
+        let updates = self.paths[path].take_bbr_updates();
+        let flips = self.paths[path].take_loss_transitions();
+        if !self.trace.is_enabled() {
+            return;
+        }
+        for u in updates {
+            if let Some(epoch) = u.new_epoch {
+                self.defer(TraceEvent::ProbeEpochStarted {
+                    at: u.at,
+                    path: path as u32,
+                    epoch,
+                    gain: u.gain,
+                });
+            }
+            self.defer(TraceEvent::DeliveryRateSample {
+                at: u.at,
+                path: path as u32,
+                rate_bps: u.sample_bps,
+                btl_bw_bps: u.btl_bw_bps,
+            });
+            self.trace.metrics(|m| {
+                m.histogram("net.bbr.delivery_rate_bps")
+                    .record(u.sample_bps);
+                m.histogram("net.bbr.btl_bw_bps").record(u.btl_bw_bps);
+            });
+        }
+        for (at, bursty) in flips {
+            self.defer(TraceEvent::LossStateChanged {
+                at,
+                path: path as u32,
+                bursty,
+            });
+            self.trace
+                .metrics(|m| m.counter("net.bbr.loss_transitions").incr());
+        }
+    }
+
     /// Submit a request; returns the completion and the path used.
     ///
     /// With a fault script attached the completion may come back
@@ -533,6 +583,7 @@ impl<S: MultipathScheduler> MultipathSession<S> {
             bytes: req.bytes,
             delivered: completion.outcome == TransferOutcome::Delivered,
         });
+        self.defer_path_feedback(assignment.path);
         self.count_bytes(completion.outcome, req.bytes);
         self.drain_ready();
         (completion, assignment.path)
@@ -568,6 +619,7 @@ impl<S: MultipathScheduler> MultipathSession<S> {
             let completion =
                 self.paths[assignment.path].submit(req.bytes, at, assignment.reliability);
             self.defer_attempt_events(&req, assignment, at);
+            self.defer_path_feedback(assignment.path);
             let retries_left = attempt <= policy.max_retries;
             let cutoff = req.deadline.max(at + policy.timeout);
 
@@ -641,7 +693,15 @@ impl<S: MultipathScheduler> MultipathSession<S> {
                     };
                 }
                 Some(fallback) => {
-                    let delay = policy.delay_after(attempt);
+                    // Burst-aware backoff: when the failed path's GE
+                    // chain sits in its Bad state, the burst is likely
+                    // still in progress — double the backoff so the
+                    // retry lands past it. Declared channels never
+                    // report a burst, so legacy behaviour is untouched.
+                    let mut delay = policy.delay_after(attempt);
+                    if self.paths[assignment.path].loss_burst_active() {
+                        delay = delay.mul_f64(2.0);
+                    }
                     self.defer(TraceEvent::RetryScheduled {
                         at: failed.finished,
                         path: assignment.path as u32,

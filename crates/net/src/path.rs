@@ -87,33 +87,38 @@ impl PathModel {
     pub fn transfer_time(&self, bytes: u64, start: SimTime, share: f64) -> SimDuration {
         assert!(share > 0.0 && share <= 1.0);
         let bits = bytes as f64 * 8.0;
-        // Slow-start: roughly doubling cwnd each RTT from 10 MSS; we fold
-        // it into an extra latency of log2(ceil(bits / ss_threshold))
-        // RTTs, capped, which matches flow-completion-time models.
+        let latency = self.startup_latency(bytes);
+        // Bulk transfer at the (possibly time-varying) capped rate,
+        // integrating min(bandwidth(t)·share, cap) over the transfer —
+        // the cap decision is re-evaluated per trace segment, not frozen
+        // at the start instant (a trace that dips under the cap
+        // mid-transfer slows the tail accordingly).
+        let cap = self.loss_cap_bps();
+        let data_start = start + latency;
+        let bulk = if cap.is_infinite() {
+            self.bandwidth.time_to_transfer(bits, data_start, share)
+        } else {
+            self.bandwidth
+                .time_to_transfer_capped(bits, data_start, share, cap)
+        };
+        latency + bulk
+    }
+
+    /// The request-RTT plus slow-start ramp a *cold* transfer of `bytes`
+    /// pays before its bulk phase streams at the path rate: roughly
+    /// doubling cwnd each RTT from 10 MSS, folded into an extra latency
+    /// of log2(ceil(bits / ss_threshold)) RTTs, capped, which matches
+    /// flow-completion-time models. Delivery-rate sampling subtracts
+    /// this so measured capacity reflects the wire, not the handshake.
+    pub fn startup_latency(&self, bytes: u64) -> SimDuration {
+        let bits = bytes as f64 * 8.0;
         let initial_window_bits = 10.0 * MSS_BITS;
         let ramp_rtts = if bits <= initial_window_bits {
             0.0
         } else {
             ((bits / initial_window_bits).log2().ceil()).min(6.0)
         };
-        let latency = self.rtt + self.rtt.mul_f64(ramp_rtts * 0.5);
-        // Bulk transfer at the (possibly time-varying) capped rate.
-        let cap = self.loss_cap_bps();
-        let data_start = start + latency;
-        let bulk = if cap.is_infinite() {
-            self.bandwidth.time_to_transfer(bits, data_start, share)
-        } else {
-            // Apply the loss cap by scaling the share when the link is
-            // faster than the cap at the start instant (approximation:
-            // the cap rarely binds mid-transfer in our scenarios).
-            let link = self.bandwidth.at(data_start) * share;
-            if link <= cap {
-                self.bandwidth.time_to_transfer(bits, data_start, share)
-            } else {
-                SimDuration::from_secs_f64(bits / cap)
-            }
-        };
-        latency + bulk
+        self.rtt + self.rtt.mul_f64(ramp_rtts * 0.5)
     }
 
     /// Transfer time on a *warm* connection (back-to-back pipelined
@@ -123,11 +128,11 @@ impl PathModel {
         assert!(share > 0.0 && share <= 1.0);
         let bits = bytes as f64 * 8.0;
         let cap = self.loss_cap_bps();
-        let link = self.bandwidth.at(start) * share;
-        if cap.is_finite() && link > cap {
-            SimDuration::from_secs_f64(bits / cap)
-        } else {
+        if cap.is_infinite() {
             self.bandwidth.time_to_transfer(bits, start, share)
+        } else {
+            self.bandwidth
+                .time_to_transfer_capped(bits, start, share, cap)
         }
     }
 
@@ -367,6 +372,78 @@ mod tests {
             0.0,
         );
         assert_eq!(clean.best_effort_survival_prob(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn loss_cap_integrates_over_step_traces() {
+        // Regression for the frozen cap decision: transfer_time used to
+        // decide "capped or not" once, at data_start, and ignore the
+        // trace afterwards. Both divergence directions are pinned here.
+        //
+        // loss 1 %, rtt 100 ms → Mathis cap ≈ 1.42 Mbps.
+        let rtt = SimDuration::from_millis(100);
+        let loss = 0.01;
+        let cap = 1.22 * MSS_BITS / (0.1 * 0.1);
+        let bytes = 2_000_000u64; // 16 Mbit ≫ one segment's worth
+        let bits = bytes as f64 * 8.0;
+
+        // (a) Link starts above the cap, dips far below it at t=2: the
+        // frozen decision charged the whole transfer at the cap; the
+        // integrated model must be slower than that.
+        let dip = PathModel::new(
+            "dip",
+            BandwidthTrace::steps(vec![(SimTime::ZERO, 100e6), (SimTime::from_secs(2), 0.2e6)]),
+            rtt,
+            loss,
+        );
+        let got = dip.transfer_time(bytes, SimTime::ZERO, 1.0);
+        let frozen = SimDuration::from_secs_f64(bits / cap); // old bulk
+        assert!(
+            got.as_secs_f64() > frozen.as_secs_f64() + 1.0,
+            "dip under the cap must slow the tail: got {got}, frozen bulk {frozen}"
+        );
+
+        // (b) Link starts below the cap, rises far above it at t=2: the
+        // frozen decision let the tail run uncapped; the integrated
+        // model clamps the tail at the cap and must be slower.
+        let rise = PathModel::new(
+            "rise",
+            BandwidthTrace::steps(vec![(SimTime::ZERO, 1e6), (SimTime::from_secs(2), 100e6)]),
+            rtt,
+            loss,
+        );
+        let got = rise.transfer_time(bytes, SimTime::ZERO, 1.0);
+        let uncapped = rise.bandwidth.time_to_transfer(
+            bits,
+            SimTime::ZERO + rise.rtt.mul_f64(4.0), // ≥ data_start; same segments
+            1.0,
+        );
+        assert!(
+            got.as_secs_f64() > uncapped.as_secs_f64() + 1.0,
+            "rise above the cap must clamp the tail: got {got}, uncapped {uncapped}"
+        );
+
+        // (c) On constant traces the integrated model is identical to
+        // the frozen decision (both above and below the cap) — which is
+        // why the pinned goldens, whose paths are all constant-rate, do
+        // not move.
+        for bw in [0.5e6, 100e6] {
+            let p = PathModel::new("const", BandwidthTrace::constant(bw), rtt, loss);
+            let expect = if bw <= cap {
+                p.bandwidth
+                    .time_to_transfer(bits, SimTime::ZERO, 1.0)
+                    .as_secs_f64()
+            } else {
+                bits / cap
+            };
+            let warm = p
+                .transfer_time_warm(bytes, SimTime::ZERO, 1.0)
+                .as_secs_f64();
+            assert!(
+                (warm - expect).abs() < 1e-9,
+                "constant {bw}: warm {warm} vs frozen {expect}"
+            );
+        }
     }
 
     #[test]

@@ -6,11 +6,18 @@
 //! scheduler exploits by keeping OOS bulk off the path that urgent FoV
 //! chunks need.
 
+use crate::bbr::{BbrConfig, BbrState, BbrUpdate, GeChain, LossChannel};
 use crate::fault::PathFaults;
 use crate::path::PathModel;
 use crate::priority::Reliability;
 use serde::{Deserialize, Serialize};
-use sperke_sim::{SimRng, SimTime};
+use sperke_sim::{SimDuration, SimRng, SimTime};
+
+/// The RNG stream label a [`PathQueue`] splits off for its
+/// Gilbert–Elliott chain. Splitting does not consume main-stream state,
+/// so a queue built with [`LossChannel::Declared`] draws exactly the
+/// same best-effort rolls as one built before the channel existed.
+const GE_RNG_STREAM: u64 = 0x4745_4C4F_5353; // "GELOSS"
 
 /// Identifier for a transfer accepted by a [`PathQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -84,6 +91,12 @@ pub struct PathQueue {
     rng: SimRng,
     /// Fault timeline the engine honours (empty by default).
     faults: PathFaults,
+    /// Bursty-loss chain (None = the declared i.i.d. model).
+    loss_channel: Option<GeChain>,
+    /// Measured-capacity estimator (None = schedule off declared rate).
+    bbr: Option<BbrState>,
+    /// BBR updates since the last [`PathQueue::take_bbr_updates`] call.
+    bbr_updates: Vec<BbrUpdate>,
     /// Transfers whose resolved `finished` stamp we have not yet passed,
     /// oldest first — the work `flush`/`abort` can still cancel.
     inflight: Vec<InFlight>,
@@ -105,6 +118,9 @@ impl PathQueue {
             next_id: 0,
             rng,
             faults: PathFaults::none(),
+            loss_channel: None,
+            bbr: None,
+            bbr_updates: Vec::new(),
             inflight: Vec::new(),
             bytes_delivered: 0,
             bytes_dropped: 0,
@@ -125,6 +141,75 @@ impl PathQueue {
         &self.faults
     }
 
+    /// Choose the best-effort loss model (builder style). The default
+    /// [`LossChannel::Declared`] keeps the legacy i.i.d. roll and is
+    /// byte-identical to never calling this — the Gilbert–Elliott chain
+    /// draws from a *split* RNG stream, so the main stream's draws are
+    /// untouched either way.
+    pub fn with_loss_channel(mut self, channel: LossChannel) -> PathQueue {
+        self.loss_channel = match channel {
+            LossChannel::Declared => None,
+            ge @ LossChannel::GilbertElliott { .. } => {
+                Some(GeChain::new(ge, self.rng.split(GE_RNG_STREAM)))
+            }
+        };
+        self
+    }
+
+    /// Attach a BBR-style capacity estimator (builder style). Once the
+    /// estimator has a delivery-rate sample,
+    /// [`PathQueue::estimate_completion`] answers from the *measured*
+    /// bottleneck instead of the declared path model — which is how
+    /// every scheduler comparing completion estimates (content-aware
+    /// included) reads the measurement. Consumes no RNG; a queue
+    /// without BBR behaves byte-identically to one built before this
+    /// option existed.
+    pub fn with_bbr(mut self, config: BbrConfig) -> PathQueue {
+        self.bbr = Some(BbrState::new(config));
+        self
+    }
+
+    /// The path's BBR state, when [`PathQueue::with_bbr`] enabled it.
+    pub fn bbr(&self) -> Option<&BbrState> {
+        self.bbr.as_ref()
+    }
+
+    /// Drain the BBR updates recorded since the last call (one per
+    /// delivered transfer). The multipath session defers these into
+    /// trace events under its ordering discipline.
+    pub fn take_bbr_updates(&mut self) -> Vec<BbrUpdate> {
+        std::mem::take(&mut self.bbr_updates)
+    }
+
+    /// Advance the loss channel's chain to `to` without submitting
+    /// anything. A no-op for [`LossChannel::Declared`]. Because the
+    /// chain is time-driven and idempotent, advancing eagerly here and
+    /// lazily at the next submission roll the *same* tick sequence —
+    /// the multipath session uses this to discover state flips as its
+    /// clock passes them instead of retroactively at the next submit.
+    pub fn advance_loss_channel(&mut self, to: SimTime) {
+        if let Some(chain) = &mut self.loss_channel {
+            chain.advance_to(to);
+        }
+    }
+
+    /// Whether the loss channel currently sits in its bursty (Bad)
+    /// state — `false` for [`LossChannel::Declared`]. Non-advancing
+    /// peek; reflects the chain state as of the last submission.
+    pub fn loss_burst_active(&self) -> bool {
+        self.loss_channel.as_ref().is_some_and(GeChain::bursty)
+    }
+
+    /// Drain the loss-channel state flips recorded since the last call,
+    /// `(when, now bursty)` in time order. Empty for
+    /// [`LossChannel::Declared`].
+    pub fn take_loss_transitions(&mut self) -> Vec<(SimTime, bool)> {
+        match &mut self.loss_channel {
+            Some(chain) => chain.take_transitions(),
+            None => Vec::new(),
+        }
+    }
+
     /// The wrapped path.
     pub fn path(&self) -> &PathModel {
         &self.path
@@ -137,8 +222,23 @@ impl PathQueue {
 
     /// Estimated completion time if `bytes` were enqueued now — the
     /// quantity schedulers compare across paths.
+    ///
+    /// With BBR attached and at least one delivery-rate sample in its
+    /// window, the answer comes from the measured bottleneck (plus one
+    /// RTT of request latency from idle); otherwise from the declared
+    /// path model. The estimate never changes what a transfer actually
+    /// costs — [`PathQueue::submit`] always runs the physical model —
+    /// only how schedulers rank the paths.
     pub fn estimate_completion(&self, bytes: u64, now: SimTime) -> SimTime {
         let start = self.available_at(now);
+        if let Some(bw) = self.bbr.as_ref().and_then(BbrState::btl_bw) {
+            let bulk = SimDuration::from_secs_f64(bytes as f64 * 8.0 / bw);
+            return if start > now {
+                start + bulk
+            } else {
+                start + self.path.rtt + bulk
+            };
+        }
         if start > now {
             start + self.path.transfer_time_warm(bytes, start, 1.0)
         } else {
@@ -171,7 +271,8 @@ impl PathQueue {
         }
 
         let share = self.faults.bandwidth_factor_at(start);
-        let duration = if start > now {
+        let warm = start > now;
+        let duration = if warm {
             self.path.transfer_time_warm(bytes, start, share)
         } else {
             self.path.transfer_time(bytes, start, share)
@@ -184,7 +285,15 @@ impl PathQueue {
         let outcome = match reliability {
             Reliability::Reliable => TransferOutcome::Delivered,
             Reliability::BestEffort => {
-                let loss = (self.path.loss + self.faults.extra_loss_at(start)).min(0.99);
+                // Declared channel: the path's flat loss rate (legacy
+                // behaviour, bit-for-bit). GE channel: the chain's
+                // state-dependent loss at the start instant, advanced on
+                // its own split RNG stream.
+                let base_loss = match &mut self.loss_channel {
+                    Some(chain) => chain.loss_at(start),
+                    None => self.path.loss,
+                };
+                let loss = (base_loss + self.faults.extra_loss_at(start)).min(0.99);
                 if self
                     .path
                     .best_effort_survives_with_loss(bytes, loss, &mut self.rng)
@@ -196,6 +305,25 @@ impl PathQueue {
             }
         };
         self.busy_until = finished;
+        // Feed the capacity estimator from completed-transfer ACK
+        // accounting: the delivered bytes over the transfer's *bulk*
+        // interval, stamped at completion. Cold transfers pay a
+        // request-RTT + slow-start ramp before data flows; sampling
+        // across it would systematically undershoot the wire rate, so
+        // the startup latency is excluded from the interval.
+        if let Some(bbr) = &mut self.bbr {
+            bbr.on_rtt_sample(self.path.rtt, finished);
+            if outcome == TransferOutcome::Delivered {
+                let interval = if warm {
+                    duration
+                } else {
+                    duration - self.path.startup_latency(bytes)
+                };
+                if let Some(update) = bbr.on_ack(bytes, interval, finished) {
+                    self.bbr_updates.push(update);
+                }
+            }
+        }
         match outcome {
             TransferOutcome::Delivered => self.bytes_delivered += bytes,
             TransferOutcome::Dropped => self.bytes_dropped += bytes,
@@ -506,6 +634,101 @@ mod tests {
         assert!(next.finished.as_secs_f64() < 1.1, "path freed by the abort");
         // Aborting a transfer that already resolved is a no-op.
         assert!(!q.abort(next.id, SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn declared_channel_preserves_rng_stream() {
+        // `.with_loss_channel(Declared)` must be byte-identical to never
+        // calling it: same submissions, same RNG draws, same outcomes.
+        // This is the disabled-channel half of the GE determinism
+        // contract (the seed-77 golden run pins the full stack).
+        let lossy = || {
+            PathModel::new(
+                "lossy",
+                BandwidthTrace::constant(8e6),
+                SimDuration::from_millis(10),
+                0.03,
+            )
+        };
+        let mut bare = PathQueue::new(lossy(), SimRng::new(9));
+        let mut declared = PathQueue::new(lossy(), SimRng::new(9))
+            .with_loss_channel(crate::bbr::LossChannel::Declared);
+        for i in 0..40 {
+            let t = SimTime::from_secs(i);
+            let a = bare.submit(200_000, t, Reliability::BestEffort);
+            let b = declared.submit(200_000, t, Reliability::BestEffort);
+            assert_eq!(a, b, "submission {i} diverged");
+        }
+        assert!(!declared.loss_burst_active());
+        assert!(declared.take_loss_transitions().is_empty());
+    }
+
+    #[test]
+    fn ge_channel_drops_burst_windows() {
+        // A chain pinned in a heavy-loss Bad state (p_bg = 0) kills
+        // best-effort chunks that the Good state would deliver.
+        let clean_path = || {
+            PathModel::new(
+                "ge",
+                BandwidthTrace::constant(8e6),
+                SimDuration::from_millis(10),
+                0.001,
+            )
+        };
+        let sticky_bad = crate::bbr::LossChannel::GilbertElliott {
+            p_gb: 1.0,
+            p_bg: 0.0,
+            loss_good: 0.0,
+            loss_bad: 0.12,
+        };
+        let mut q = PathQueue::new(clean_path(), SimRng::new(4)).with_loss_channel(sticky_bad);
+        // First submission at t=0: chain has not ticked, still Good with
+        // zero loss → guaranteed delivery.
+        let first = q.submit(200_000, SimTime::ZERO, Reliability::BestEffort);
+        assert_eq!(first.outcome, TransferOutcome::Delivered);
+        assert!(!q.loss_burst_active());
+        // After the first tick the chain is Bad forever; 12 % loss kills
+        // essentially every best-effort chunk.
+        let mut dropped = 0;
+        for i in 1..40u64 {
+            let c = q.submit(200_000, SimTime::from_secs(i), Reliability::BestEffort);
+            if c.outcome == TransferOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!(q.loss_burst_active(), "chain pinned Bad");
+        assert!(dropped > 35, "burst loss must drop chunks: {dropped}/39");
+        let transitions = q.take_loss_transitions();
+        assert_eq!(transitions.len(), 1, "exactly one Good→Bad flip");
+        assert!(transitions[0].1, "flip entered the bursty state");
+    }
+
+    #[test]
+    fn bbr_estimate_tracks_measured_rate() {
+        use crate::bbr::BbrConfig;
+        // Declared 25 Mbps, but BBR has only measured what transfers
+        // actually achieved — the estimate must come from the samples.
+        let mut q = queue(25e6).with_bbr(BbrConfig::default());
+        // Before any sample: declared-model estimate (unchanged).
+        let declared_est = q.estimate_completion(1_000_000, SimTime::ZERO);
+        let plain = queue(25e6);
+        assert_eq!(
+            declared_est,
+            plain.estimate_completion(1_000_000, SimTime::ZERO)
+        );
+        // One delivered transfer seeds the estimator.
+        let c = q.submit(1_000_000, SimTime::ZERO, Reliability::Reliable);
+        assert_eq!(c.outcome, TransferOutcome::Delivered);
+        let updates = q.take_bbr_updates();
+        assert_eq!(updates.len(), 1);
+        let measured = q.bbr().unwrap().btl_bw().unwrap();
+        assert!((updates[0].btl_bw_bps - measured).abs() < 1e-6);
+        // The measured estimate now answers scheduling queries: bytes at
+        // btl_bw plus one RTT from idle.
+        let now = SimTime::from_secs(10);
+        let est = q.estimate_completion(1_000_000, now);
+        let expect = now + q.path().rtt + SimDuration::from_secs_f64(1_000_000.0 * 8.0 / measured);
+        assert_eq!(est, expect);
     }
 
     #[test]

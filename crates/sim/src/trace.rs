@@ -286,6 +286,37 @@ pub enum TraceEvent {
         /// Backoff delay before the retry, in milliseconds.
         delay_ms: u64,
     },
+    /// A path's BBR-style estimator rolled into a new probe epoch.
+    ProbeEpochStarted {
+        /// When the epoch began.
+        at: SimTime,
+        /// The probed path index.
+        path: u32,
+        /// The epoch number (monotone per path).
+        epoch: u64,
+        /// The pacing gain in effect for the epoch.
+        gain: f64,
+    },
+    /// A path's BBR-style estimator absorbed a delivery-rate sample.
+    DeliveryRateSample {
+        /// When the sample landed (transfer completion).
+        at: SimTime,
+        /// The sampled path index.
+        path: u32,
+        /// The delivery-rate sample, bits/second.
+        rate_bps: f64,
+        /// The max-filtered bottleneck estimate after the sample.
+        btl_bw_bps: f64,
+    },
+    /// A path's Gilbert–Elliott loss channel switched state.
+    LossStateChanged {
+        /// When the chain flipped.
+        at: SimTime,
+        /// The affected path index.
+        path: u32,
+        /// `true` when the chain entered the Bad (bursty) state.
+        bursty: bool,
+    },
 
     // --- Pipeline -------------------------------------------------------
     /// The decode scheduler admitted a job to a decoder.
@@ -400,6 +431,9 @@ impl TraceEvent {
             | TraceEvent::PathUp { at, .. }
             | TraceEvent::TransferTimedOut { at, .. }
             | TraceEvent::RetryScheduled { at, .. }
+            | TraceEvent::ProbeEpochStarted { at, .. }
+            | TraceEvent::DeliveryRateSample { at, .. }
+            | TraceEvent::LossStateChanged { at, .. }
             | TraceEvent::DecodeAdmitted { at, .. }
             | TraceEvent::CacheHit { at, .. }
             | TraceEvent::CacheEvicted { at, .. }
@@ -428,7 +462,10 @@ impl TraceEvent {
             | TraceEvent::PathDown { .. }
             | TraceEvent::PathUp { .. }
             | TraceEvent::TransferTimedOut { .. }
-            | TraceEvent::RetryScheduled { .. } => Subsystem::Net,
+            | TraceEvent::RetryScheduled { .. }
+            | TraceEvent::ProbeEpochStarted { .. }
+            | TraceEvent::DeliveryRateSample { .. }
+            | TraceEvent::LossStateChanged { .. } => Subsystem::Net,
             TraceEvent::DecodeAdmitted { .. }
             | TraceEvent::CacheHit { .. }
             | TraceEvent::CacheEvicted { .. } => Subsystem::Pipeline,
@@ -460,12 +497,15 @@ impl TraceEvent {
             | TraceEvent::PathAssigned { .. }
             | TraceEvent::TransferFinished { .. }
             | TraceEvent::BandwidthUpdated { .. }
-            | TraceEvent::RetryScheduled { .. } => TraceLevel::Decisions,
+            | TraceEvent::RetryScheduled { .. }
+            | TraceEvent::ProbeEpochStarted { .. }
+            | TraceEvent::LossStateChanged { .. } => TraceLevel::Decisions,
             TraceEvent::DecodeAdmitted { .. }
             | TraceEvent::CacheHit { .. }
             | TraceEvent::CacheEvicted { .. }
             | TraceEvent::EdgeCacheHit { .. }
-            | TraceEvent::EdgeCacheMiss { .. } => TraceLevel::Verbose,
+            | TraceEvent::EdgeCacheMiss { .. }
+            | TraceEvent::DeliveryRateSample { .. } => TraceLevel::Verbose,
         }
     }
 }

@@ -1,0 +1,176 @@
+//! Measured capacity: BBR-style delivery-rate probing versus declared
+//! path capacity, and Gilbert–Elliott bursty loss versus i.i.d. loss.
+//!
+//! Part 1 sweeps a (bottleneck × chunk size) grid and reports how fast
+//! the windowed max-filter converges onto the true bottleneck — the
+//! acceptance bar is within 10% inside 10 probe epochs.
+//!
+//! Part 2 streams through a mid-run degradation under the declared
+//! channel and under a bursty Gilbert–Elliott channel: the same mean
+//! loss clustered into bursts lands on different chunks, so delivered
+//! tiles — and QoE — shift even though nothing about the mean changed.
+//!
+//! Part 3 moves to the edge: the origin backhaul probed by BBR and
+//! failed by a bursty chain. The estimate self-clocks onto the true
+//! origin rate (probe epochs climb it, cruise epochs hold it), so QoE
+//! matches declared pacing when the declared number is honest — which
+//! is exactly why `Declared` stays the default.
+//!
+//! Everything is a pure function of `(config, seed)`: rerunning prints
+//! identical bytes.
+//!
+//! ```sh
+//! cargo run --example capacity_probe
+//! ```
+
+use sperke_core::{BbrConfig, FaultScript, LossChannel, RecoveryPolicy, SchedulerChoice, Sperke};
+use sperke_hmp::Behavior;
+use sperke_net::{BandwidthTrace, PathModel, PathQueue, Reliability};
+use sperke_sim::{SimDuration, SimRng, SimTime};
+
+/// Drive back-to-back transfers of `bytes` through a constant-rate
+/// path with BBR enabled; return (epochs until the estimate first came
+/// within 10% of truth, final relative error).
+fn probe_convergence(bottleneck_bps: f64, bytes: u64) -> (Option<u64>, f64) {
+    let path = PathModel::new(
+        "probe",
+        BandwidthTrace::constant(bottleneck_bps),
+        SimDuration::from_millis(30),
+        0.0,
+    );
+    let mut q = PathQueue::new(path, SimRng::new(7)).with_bbr(BbrConfig::default());
+    let mut now = SimTime::ZERO;
+    let mut converged_at = None;
+    let mut final_err = f64::INFINITY;
+    while now < SimTime::from_secs(12) {
+        let c = q.submit(bytes, now, Reliability::Reliable);
+        now = c.finished;
+        q.take_bbr_updates();
+        let bbr = q.bbr().expect("probing enabled");
+        if let Some(est) = bbr.btl_bw() {
+            final_err = (est - bottleneck_bps).abs() / bottleneck_bps;
+            if final_err <= 0.10 && converged_at.is_none() {
+                converged_at = Some(bbr.epoch());
+            }
+        }
+    }
+    (converged_at, final_err)
+}
+
+/// A bursty channel harsh enough to matter: ~25% of the time in the
+/// bad state, where 30% packet loss kills any best-effort chunk.
+fn harsh_bursts() -> LossChannel {
+    LossChannel::GilbertElliott {
+        p_gb: 0.05,
+        p_bg: 0.15,
+        loss_good: 0.001,
+        loss_bad: 0.3,
+    }
+}
+
+fn client_rig(loss: LossChannel) -> Sperke {
+    let paths = vec![
+        PathModel::new(
+            "wifi",
+            BandwidthTrace::constant(40e6),
+            SimDuration::from_millis(15),
+            0.005,
+        ),
+        PathModel::new(
+            "lte",
+            BandwidthTrace::constant(10e6),
+            SimDuration::from_millis(60),
+            0.01,
+        ),
+    ];
+    Sperke::builder(42)
+        .duration(SimDuration::from_secs(15))
+        .behavior(Behavior::Explorer)
+        .paths(paths)
+        .scheduler(SchedulerChoice::ContentAware)
+        .with_faults(FaultScript::none().degrade(
+            0,
+            SimTime::from_secs(3),
+            SimTime::from_secs(13),
+            0.04,
+            0.0,
+        ))
+        .with_resilience(RecoveryPolicy::default())
+        .with_fallback()
+        .with_loss_channel(loss)
+}
+
+fn main() {
+    println!("Part 1 — estimate convergence on constant bottlenecks");
+    println!(
+        "{:<12} {:>10} {:>16} {:>12}",
+        "bottleneck", "chunk", "epochs to <10%", "final error"
+    );
+    for &bw in &[8e6, 25e6, 80e6] {
+        for &bytes in &[50_000u64, 250_000, 1_000_000] {
+            let (epochs, err) = probe_convergence(bw, bytes);
+            println!(
+                "{:>7.0} Mbps {:>7} KB {:>16} {:>11.2}%",
+                bw / 1e6,
+                bytes / 1000,
+                epochs.map_or("never".into(), |e| format!("epoch {e}")),
+                err * 100.0,
+            );
+        }
+    }
+
+    println!();
+    println!("Part 2 — client QoE through a 10 s WiFi degradation");
+    println!(
+        "{:<30} {:>8} {:>9} {:>8}",
+        "loss model", "score", "blank", "stalls"
+    );
+    for (label, loss) in [
+        ("declared i.i.d. loss", LossChannel::Declared),
+        ("Gilbert-Elliott bursts", harsh_bursts()),
+    ] {
+        let r = client_rig(loss).run();
+        println!(
+            "{:<30} {:>8.2} {:>8.1}% {:>8}",
+            label,
+            r.qoe.score,
+            r.qoe.mean_blank_fraction * 100.0,
+            r.qoe.stall_count,
+        );
+    }
+
+    println!();
+    println!("Part 3 — edge origin: bursty backhaul, probed vs declared pacing");
+    println!(
+        "{:<30} {:>8} {:>9} {:>8}",
+        "origin", "qoe", "retries", "late"
+    );
+    for (label, loss, bbr) in [
+        ("declared", LossChannel::Declared, false),
+        ("declared + BBR pacing", LossChannel::Declared, true),
+        ("bursty", LossChannel::bursty_default(), false),
+        ("bursty + BBR pacing", LossChannel::bursty_default(), true),
+    ] {
+        let mut b = Sperke::edge_builder(7)
+            .clients(12)
+            .duration(SimDuration::from_secs(12))
+            .with_origin_loss(loss);
+        if bbr {
+            b = b.with_bbr();
+        }
+        let r = b.run();
+        println!(
+            "{:<30} {:>8.2} {:>9} {:>7.1}%",
+            label,
+            r.qoe_score,
+            r.origin_retries,
+            r.late_stream_fraction * 100.0,
+        );
+    }
+
+    println!();
+    println!("The estimator converges inside the 10-epoch budget on every grid point.");
+    println!("Bursty loss shifts which chunks die even at a similar mean rate, and the");
+    println!("burst chain drives origin retries at the edge; measured pacing tracks the");
+    println!("true backhaul rate, so it costs nothing when the declared number is honest.");
+}

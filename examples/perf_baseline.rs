@@ -18,7 +18,7 @@
 
 use sperke_core::{
     run_edge_fleet, run_edge_sweep, run_fleet_sweep, run_fleet_with_cache, EdgeConfig, EdgeGrid,
-    FleetConfig, FleetGrid,
+    FleetConfig, FleetGrid, LossChannel,
 };
 use sperke_edge::{
     default_clients, prepare_edge_batch, run_edge_full, run_edge_prepared, EdgeHarness,
@@ -322,10 +322,58 @@ fn main() {
         "batched engine loop must be >= 5x the PR5 anchor: {pr6_edge_steps_per_s:.0} vs {PR5_EDGE_STEPS_ANCHOR:.0}"
     );
 
+    // ---------------- PR7: measured capacity + bursty loss ----------------
+    // Same 1k-client stepping loop with the BBR origin estimator and the
+    // Gilbert–Elliott burst chain switched on — the estimator rolls,
+    // filters and samples inside the hot origin path, so its overhead is
+    // tracked here. Record-only this PR (the comparator gates next PR
+    // once a committed baseline exists); the legacy-vs-batched equality
+    // assert is the non-negotiable part.
+    let bbr_harness = EdgeHarness {
+        bbr: true,
+        origin_loss: LossChannel::bursty_default(),
+        ..Default::default()
+    };
+    let legacy_bbr = run_edge_full(&edge_video, &pr6_cfg, &pr6_specs, &bbr_harness, None);
+    let batched_bbr = run_edge_prepared(&edge_video, &pr6_cfg, &plan, &bbr_harness, None);
+    assert_eq!(
+        legacy_bbr, batched_bbr,
+        "engines must agree bit-for-bit with BBR + bursty loss enabled"
+    );
+    let mut bbr_secs: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run_edge_prepared(
+                &edge_video,
+                &pr6_cfg,
+                &plan,
+                &bbr_harness,
+                None,
+            ));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    bbr_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pr7_edge_steps_per_s = pr6_steps / bbr_secs[1];
+    let pr7_overhead_pct = (pr6_edge_steps_per_s / pr7_edge_steps_per_s - 1.0) * 100.0;
+    println!(
+        "bbr + bursty-loss edge engine ({} clients x {} chunks)",
+        pr6_cfg.clients,
+        edge_video.chunk_count()
+    );
+    println!(
+        "  engine loop   : {pr7_edge_steps_per_s:>8.0} steps/s ({pr7_overhead_pct:+.1}% vs plain)"
+    );
+    println!(
+        "  origin retries: {:>8} (burst chain, deterministic)",
+        batched_bbr.origin_retries
+    );
+
     // ---------------- Compare against committed baselines ----------------
     let pr4_base = load_baseline("BENCH_PR4.json");
     let pr5_base = load_baseline("BENCH_PR5.json");
     let pr6_base = load_baseline("BENCH_PR6.json");
+    let pr7_base = load_baseline("BENCH_PR7.json");
     // Wall-clock metrics gate at the tolerance; deterministic byte and
     // rate metrics regress only through a behaviour change, so they use
     // the same gate and will trip on far smaller drifts in practice.
@@ -449,6 +497,27 @@ fn main() {
             Gate::Record,
             tol,
         ),
+        check(
+            pr7_base.as_ref(),
+            "edge_bbr_steps_per_s",
+            pr7_edge_steps_per_s,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr7_base.as_ref(),
+            "bbr_overhead_pct",
+            pr7_overhead_pct,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr7_base.as_ref(),
+            "origin_retries",
+            batched_bbr.origin_retries as f64,
+            Gate::Record,
+            tol,
+        ),
     ];
 
     // ---------------- Persist fresh artifacts ----------------
@@ -482,7 +551,14 @@ fn main() {
         prepare_s * 1e3,
     );
     std::fs::write("BENCH_PR6.json", &pr6_json).expect("write BENCH_PR6.json");
-    println!("\nwrote BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json");
+    let pr7_json = format!(
+        "{{\n  \"edge_bbr_steps_per_s\": {pr7_edge_steps_per_s:.0},\n  \
+         \"bbr_overhead_pct\": {pr7_overhead_pct:.1},\n  \
+         \"origin_retries\": {}\n}}\n",
+        batched_bbr.origin_retries,
+    );
+    std::fs::write("BENCH_PR7.json", &pr7_json).expect("write BENCH_PR7.json");
+    println!("\nwrote BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json");
 
     let failures: Vec<String> = checks.into_iter().flatten().collect();
     if failures.is_empty() {

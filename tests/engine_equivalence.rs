@@ -21,6 +21,7 @@ use sperke_core::{
     Sperke,
 };
 use sperke_edge::{default_clients, run_edge_batched, run_edge_full, EdgeConfig, EdgeHarness};
+use sperke_net::LossChannel;
 use sperke_sim::trace::{TraceConfig, TraceLevel, TraceSink};
 use sperke_sim::SimDuration;
 use sperke_video::{VideoModel, VideoModelBuilder};
@@ -118,6 +119,69 @@ proptest! {
             prop_assert_eq!(
                 legacy_trace.digest(), trace.digest(),
                 "edge trace digest diverged at {} workers", workers
+            );
+        }
+    }
+
+    /// Edge with measured capacity and bursty loss: BBR pacing and the
+    /// Gilbert–Elliott origin channel live in the shared apply code, so
+    /// their state machines must replay byte-identically through the
+    /// batched engine — including the new ProbeEpochStarted /
+    /// DeliveryRateSample / LossStateChanged events.
+    #[test]
+    fn edge_engines_agree_with_bbr_and_bursty_loss(
+        clients in 1usize..10,
+        cap in 1usize..12,
+        bbr: bool,
+        loss_pick in 0usize..3,
+        p_gb in 0.05f64..0.5,
+        p_bg in 0.05f64..0.5,
+        seed in 0u64..200,
+    ) {
+        let v = video(3, 6);
+        let cfg = EdgeConfig {
+            clients,
+            max_clients: cap,
+            seed,
+            ..Default::default()
+        };
+        let specs = default_clients(&cfg);
+        let origin_loss = match loss_pick {
+            0 => LossChannel::Declared,
+            1 => LossChannel::bursty_default(),
+            _ => LossChannel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good: 0.001,
+                loss_bad: 0.3,
+            },
+        };
+        let harness_for = |sink: &TraceSink| EdgeHarness {
+            trace: sink.clone(),
+            bbr,
+            origin_loss,
+            ..Default::default()
+        };
+
+        let legacy_sink = TraceSink::new(TraceConfig::new(TraceLevel::Verbose));
+        let legacy = run_edge_full(&v, &cfg, &specs, &harness_for(&legacy_sink), None);
+        let legacy_trace = legacy_sink.snapshot();
+
+        for workers in WORKER_COUNTS {
+            let sink = TraceSink::new(TraceConfig::new(TraceLevel::Verbose));
+            let batched = run_edge_batched(&v, &cfg, &specs, &harness_for(&sink), None, workers);
+            let trace = sink.snapshot();
+            prop_assert_eq!(
+                &legacy, &batched,
+                "bbr/ge edge reports diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                legacy_trace.to_jsonl(), trace.to_jsonl(),
+                "bbr/ge edge trace JSONL diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                legacy_trace.digest(), trace.digest(),
+                "bbr/ge edge trace digest diverged at {} workers", workers
             );
         }
     }
