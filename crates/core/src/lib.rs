@@ -34,6 +34,7 @@
 
 pub mod builder;
 pub mod edge;
+pub mod federation;
 pub mod fleet;
 pub mod sweep;
 
@@ -42,9 +43,14 @@ pub use edge::{
     run_edge_fleet, run_edge_sweep, run_edge_sweep_batched, EdgeBuilder, EdgeGrid, EdgeRunReport,
     EdgeSweepPoint,
 };
+pub use federation::{
+    run_federation_sweep, FederationBuilder, FederationGrid, FederationSweepPoint,
+};
 pub use fleet::{run_fleet, run_fleet_batched, run_fleet_with_cache, FleetConfig, FleetReport};
 pub use sperke_edge::{
-    run_edge_batched, EdgeClientSpec, EdgeConfig, EdgeHarness, EdgeReport, TileCache,
+    flash_crowd_clients, run_edge_batched, run_federation, zipf_catalog_clients, EdgeClientSpec,
+    EdgeConfig, EdgeHarness, EdgeReport, FederationConfig, FederationHarness, FederationReport,
+    FederationRunReport, NodeSpec, TileCache,
 };
 pub use sperke_net::{
     BbrConfig, BbrState, FaultScript, FaultSpec, LossChannel, PathFaults, RecoveryPolicy,

@@ -25,8 +25,9 @@
 //! `tests/engine_equivalence.rs` pins the end-to-end claim.
 
 use crate::server::{
-    client_head, decide_choices, display_gaze, edge_horizon, finish_edge_run, ClientState,
-    EdgeClientSpec, EdgeConfig, EdgeEvent, EdgeHarness, EdgeReport, EdgeSched, EdgeWorld,
+    client_head, crowd_slot, decide_choices, display_gaze, edge_horizon, finish_edge_run,
+    ClientState, EdgeClientSpec, EdgeConfig, EdgeEvent, EdgeHarness, EdgeReport, EdgeSched,
+    EdgeWorld,
 };
 use sperke_geo::{visible_tiles_batch, Orientation, TileId, Viewport, VisibilityScratch};
 use sperke_hmp::{AttentionModel, ForecastScratch};
@@ -39,14 +40,14 @@ use std::cell::RefCell;
 
 /// Everything the sense phase computes for one client, independent of
 /// every other client and of the world's mutable state.
-struct ClientBatch {
-    head: sperke_hmp::HeadTrace,
+pub(crate) struct ClientBatch {
+    pub(crate) head: sperke_hmp::HeadTrace,
     /// Crowd gaze reports (admitted clients, prefetch runs only).
-    reports: Vec<(SimTime, ChunkTime, Vec<TileId>)>,
+    pub(crate) reports: Vec<(SimTime, ChunkTime, Vec<TileId>)>,
     /// Per-chunk stochastic selections (admitted clients only).
-    decides: Vec<Vec<StochasticChoice>>,
+    pub(crate) decides: Vec<Vec<StochasticChoice>>,
     /// Per-chunk display coverage lists (admitted clients only).
-    displays: Vec<Vec<(TileId, f64)>>,
+    pub(crate) displays: Vec<Vec<(TileId, f64)>>,
 }
 
 /// Per-worker sense-phase scratch: forecast tables, visibility counts,
@@ -108,80 +109,102 @@ pub fn prepare_edge_batch(
     let mut specs = clients.to_vec();
     specs.sort_by_key(EdgeClientSpec::canonical_key);
 
-    let chunks = video.chunk_count();
     let session = video.duration() + SimDuration::from_secs(5);
     let attention = AttentionModel::generic(config.seed);
     let report_delay = CrowdAggregator::new(*video.grid(), video.chunk_duration()).report_delay;
 
     let specs_ref = &specs;
     let batches = parallel_indexed(specs.len(), workers, |i| {
-        let spec = &specs_ref[i];
-        let head = client_head(&attention, spec, session);
-        let admitted = i < config.max_clients;
-        if !admitted {
-            return ClientBatch {
-                head,
-                reports: Vec::new(),
-                decides: Vec::new(),
-                displays: Vec::new(),
-            };
-        }
-        SCRATCH.with(|s| {
-            let (fscratch, vscratch, hist) = &mut *s.borrow_mut();
-            let mut decides = Vec::with_capacity(chunks as usize);
-            for c in 0..chunks {
-                let display =
-                    SimTime::ZERO + spec.arrival + video.chunk_duration() * (c + 1) as u64;
-                let decide_at = SimTime::from_nanos(
-                    display
-                        .as_nanos()
-                        .saturating_sub(config.fetch_lead.as_nanos()),
-                );
-                decides.push(decide_choices(
-                    video, spec, &head, c, decide_at, fscratch, hist,
-                ));
-            }
-            let gazes: Vec<Orientation> =
-                (0..chunks).map(|c| display_gaze(video, &head, c)).collect();
-            let mut displays: Vec<Vec<(TileId, f64)>> = vec![Vec::new(); chunks as usize];
-            if !gazes.is_empty() {
-                let proto = Viewport::headset(gazes[0]);
-                visible_tiles_batch(
-                    video.grid(),
-                    proto.hfov,
-                    proto.vfov,
-                    &gazes,
-                    12,
-                    vscratch,
-                    |pose, list| displays[pose] = list.to_vec(),
-                );
-            }
-            // The crowd only matters when the prefetcher runs; skipping
-            // ingest otherwise cannot change any output (the aggregator
-            // is read exclusively by prefetch events).
-            let reports = if config.prefetch {
-                viewer_reports(
-                    video.grid(),
-                    video.chunk_duration(),
-                    report_delay,
-                    &LiveViewer {
-                        trace: head.clone(),
-                        latency: spec.arrival,
-                    },
-                    chunks,
-                )
-            } else {
-                Vec::new()
-            };
-            ClientBatch {
-                head,
-                reports,
-                decides,
-                displays,
-            }
-        })
+        sense_client(
+            video,
+            config,
+            &attention,
+            &specs_ref[i],
+            i < config.max_clients,
+            session,
+            report_delay,
+        )
     });
     EdgePlan { specs, batches }
+}
+
+/// The pure per-client sense kernel: head trace, per-chunk decide
+/// selections, display coverage lists and crowd gaze reports, all as a
+/// function of `(video, config, spec)` alone. Shared by the batched
+/// edge engine and the federation engine — both shard it across worker
+/// threads and merge by index, which is what makes their outputs
+/// worker-count blind.
+pub(crate) fn sense_client(
+    video: &VideoModel,
+    config: &EdgeConfig,
+    attention: &AttentionModel,
+    spec: &EdgeClientSpec,
+    admitted: bool,
+    session: SimDuration,
+    report_delay: SimDuration,
+) -> ClientBatch {
+    let chunks = video.chunk_count();
+    let head = client_head(attention, spec, session);
+    if !admitted {
+        return ClientBatch {
+            head,
+            reports: Vec::new(),
+            decides: Vec::new(),
+            displays: Vec::new(),
+        };
+    }
+    SCRATCH.with(|s| {
+        let (fscratch, vscratch, hist) = &mut *s.borrow_mut();
+        let mut decides = Vec::with_capacity(chunks as usize);
+        for c in 0..chunks {
+            let display = SimTime::ZERO + spec.arrival + video.chunk_duration() * (c + 1) as u64;
+            let decide_at = SimTime::from_nanos(
+                display
+                    .as_nanos()
+                    .saturating_sub(config.fetch_lead.as_nanos()),
+            );
+            decides.push(decide_choices(
+                video, spec, &head, c, decide_at, fscratch, hist,
+            ));
+        }
+        let gazes: Vec<Orientation> = (0..chunks).map(|c| display_gaze(video, &head, c)).collect();
+        let mut displays: Vec<Vec<(TileId, f64)>> = vec![Vec::new(); chunks as usize];
+        if !gazes.is_empty() {
+            let proto = Viewport::headset(gazes[0]);
+            visible_tiles_batch(
+                video.grid(),
+                proto.hfov,
+                proto.vfov,
+                &gazes,
+                12,
+                vscratch,
+                |pose, list| displays[pose] = list.to_vec(),
+            );
+        }
+        // The crowd only matters when the prefetcher runs; skipping
+        // ingest otherwise cannot change any output (the aggregator
+        // is read exclusively by prefetch events).
+        let reports = if config.prefetch {
+            viewer_reports(
+                video.grid(),
+                video.chunk_duration(),
+                report_delay,
+                &LiveViewer {
+                    trace: head.clone(),
+                    latency: spec.arrival,
+                },
+                chunks,
+            )
+        } else {
+            Vec::new()
+        };
+        ClientBatch {
+            head,
+            reports,
+            decides,
+            displays,
+        }
+    })
 }
 
 /// Run the stateful engine over a prepared plan: assemble the world,
@@ -201,7 +224,7 @@ pub fn run_edge_prepared(
     // --- Assemble world state in canonical index order (sequential, so
     // WRR registration and crowd report order match legacy exactly).
     let mut egress = WrrLink::new(config.egress_bps);
-    let mut crowd = CrowdAggregator::new(*video.grid(), video.chunk_duration());
+    let mut crowds: Vec<(u16, CrowdAggregator)> = Vec::new();
     let states: Vec<ClientState> = plan
         .batches
         .iter()
@@ -210,7 +233,13 @@ pub fn run_edge_prepared(
             let spec = specs[i];
             let admitted = i < config.max_clients;
             let link_id = admitted.then(|| egress.add_client(spec.weight));
-            crowd.ingest_reports(batch.reports.clone());
+            crowd_slot(
+                &mut crowds,
+                video.grid(),
+                video.chunk_duration(),
+                spec.content,
+            )
+            .ingest_reports(batch.reports.clone());
             ClientState::new(spec, batch.head.clone(), admitted, link_id)
         })
         .collect();
@@ -220,19 +249,27 @@ pub fn run_edge_prepared(
     let first_arrival = specs.first().expect("non-empty").arrival;
     let last_arrival = specs.last().expect("non-empty").arrival;
 
-    let mut world = EdgeWorld::new(video, *config, states, egress, crowd, harness);
+    let mut world = EdgeWorld::new(video, *config, states, egress, crowds, harness);
     world.precompute_sizes();
 
-    // --- Prefetch plans: the crowd is fully ingested and event times
-    // are static, so the predicted tiles per chunk are known up front.
+    // --- Prefetch plans: the crowds are fully ingested and event times
+    // are static, so the predicted tiles per chunk (per content group)
+    // are known up front.
     let report_lag = first_arrival + SimDuration::from_millis(250) + video.chunk_duration();
-    let prefetch_tiles: Vec<Vec<TileId>> = if config.prefetch {
+    let prefetch_groups: Vec<Vec<(u16, Vec<TileId>)>> = if config.prefetch {
         (0..chunks)
             .map(|c| {
                 let at = video.chunk_start(ChunkTime(c)) + report_lag;
                 world
-                    .crowd
-                    .predicted_tiles(at, ChunkTime(c), config.prefetch_k)
+                    .crowds
+                    .iter()
+                    .map(|(content, crowd)| {
+                        (
+                            *content,
+                            crowd.predicted_tiles(at, ChunkTime(c), config.prefetch_k),
+                        )
+                    })
+                    .collect()
             })
             .collect()
     } else {
@@ -302,7 +339,7 @@ pub fn run_edge_prepared(
             } => world.apply_origin_retry(chunk, tile, layer, attempt, &mut sched),
             EdgeEvent::Prefetch { chunk } => {
                 if config.prefetch {
-                    world.apply_prefetch(chunk, &prefetch_tiles[chunk as usize], &mut sched);
+                    world.apply_prefetch(chunk, &prefetch_groups[chunk as usize], &mut sched);
                 }
             }
         }

@@ -35,10 +35,15 @@
 
 pub mod batch;
 pub mod cache;
+pub mod federation;
 pub mod server;
 
 pub use batch::{prepare_edge_batch, run_edge_batched, run_edge_prepared, EdgePlan};
 pub use cache::{CacheKey, TileCache, TileCacheStats};
+pub use federation::{
+    flash_crowd_clients, run_federation, zipf_catalog_clients, FederationConfig, FederationHarness,
+    FederationReport, FederationRunReport, NodeSpec,
+};
 pub use server::{
     default_clients, run_edge, run_edge_full, run_edge_traced, EdgeClientSpec, EdgeConfig,
     EdgeHarness, EdgeReport,

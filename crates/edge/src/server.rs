@@ -33,7 +33,7 @@
 
 use crate::cache::{CacheKey, TileCache, TileCacheStats};
 use serde::{Deserialize, Serialize};
-use sperke_geo::{Orientation, TileId, Viewport, VisibilityCache};
+use sperke_geo::{Orientation, TileGrid, TileId, Viewport, VisibilityCache};
 use sperke_hmp::{
     generate_ensemble_member, AttentionModel, ForecastScratch, FusedForecaster, HeadTrace,
 };
@@ -119,18 +119,26 @@ pub struct EdgeClientSpec {
     pub weight: u32,
     /// Its planning budget, bits/second.
     pub budget_bps: f64,
+    /// Which catalog title the client watches. Titles share one encoding
+    /// profile (the run's [`VideoModel`]) but occupy disjoint cache
+    /// namespaces and disjoint crowd heatmaps; `0` is the single-title
+    /// default and changes nothing.
+    pub content: u16,
 }
 
 impl EdgeClientSpec {
-    /// The canonical total order: arrival, then seed, weight and budget
-    /// bits. Runs sort client sets by this key, so the trace and report
-    /// are invariant to the order clients were supplied in.
-    pub(crate) fn canonical_key(&self) -> (u64, u64, u32, u64) {
+    /// The canonical total order: arrival, then seed, weight, budget
+    /// bits and content. Runs sort client sets by this key, so the
+    /// trace and report are invariant to the order clients were
+    /// supplied in. Content sorts last: single-title populations order
+    /// exactly as they did before the field existed.
+    pub(crate) fn canonical_key(&self) -> (u64, u64, u32, u64, u16) {
         (
             self.arrival.as_nanos(),
             self.seed,
             self.weight,
             self.budget_bps.to_bits(),
+            self.content,
         )
     }
 }
@@ -145,8 +153,24 @@ pub fn default_clients(config: &EdgeConfig) -> Vec<EdgeClientSpec> {
             seed: config.seed.wrapping_add(i as u64),
             weight: if i % 4 == 3 { 2 } else { 1 },
             budget_bps: config.per_client_budget_bps,
+            content: 0,
         })
         .collect()
+}
+
+/// Content-namespace salt: the catalog title occupies the top 16 bits
+/// of a cache key's chunk field, so titles never collide in shared
+/// caches (edge or regional). Identity for title 0.
+pub(crate) const CONTENT_SHIFT: u32 = 16;
+
+/// Fold a title into a chunk index to form the cache-key namespace.
+pub(crate) fn salted_chunk(chunk: u32, content: u16) -> u32 {
+    chunk | (content as u32) << CONTENT_SHIFT
+}
+
+/// The chunk index back out of a salted cache-key chunk field.
+pub(crate) fn chunk_of(salted: u32) -> u32 {
+    salted & ((1 << CONTENT_SHIFT) - 1)
 }
 
 /// Non-serializable run dependencies: trace sink, fault script,
@@ -215,16 +239,51 @@ impl EdgeReport {
     }
 }
 
+/// What the upstream tier decided about one origin-fetch attempt. The
+/// default [`UpstreamDecision::Local`] keeps the fetch on the world's
+/// own origin path (the single-edge model); a federation scheduler
+/// intercepts it and answers from the regional tier instead.
+pub(crate) enum UpstreamDecision {
+    /// No upstream tier: run the world's own origin backhaul logic.
+    Local,
+    /// The tier will deliver the object at `at` (regional hit, or a
+    /// miss forwarded through the shared origin).
+    Deliver(SimTime),
+    /// The tier's origin leg is down; retry as `attempt` at `at`.
+    Retry {
+        /// When the retry fires.
+        at: SimTime,
+        /// The upcoming attempt number.
+        attempt: u32,
+    },
+    /// The tier abandoned the fetch (retry budget exhausted).
+    Failed,
+}
+
 /// The scheduling surface the edge world's handlers need: current time
 /// plus the ability to post future events. Implemented by the legacy
 /// [`Scheduler`] (heap-backed [`Simulation`]) and by the batched
 /// engine's replay cursor, so both engines execute the *same* stateful
-/// apply code — bit-exact equivalence by construction.
+/// apply code — bit-exact equivalence by construction. A federation
+/// scheduler additionally overrides [`EdgeSched::fetch_upstream`] to
+/// route origin fetches through the shared regional tier.
 pub(crate) trait EdgeSched {
     /// The current simulation time.
     fn now(&self) -> SimTime;
     /// Schedule `event` at absolute time `at`.
     fn at(&mut self, at: SimTime, event: EdgeEvent);
+    /// Ask the upstream tier (if any) to resolve an origin fetch. The
+    /// default says "no tier": the world's own backhaul code runs,
+    /// keeping every single-edge engine byte-identical by construction.
+    fn fetch_upstream(
+        &mut self,
+        _key: CacheKey,
+        _bytes: u64,
+        _attempt: u32,
+        _now: SimTime,
+    ) -> UpstreamDecision {
+        UpstreamDecision::Local
+    }
 }
 
 impl EdgeSched for Scheduler<'_, EdgeEvent> {
@@ -286,6 +345,25 @@ impl ClientState {
             planned: HashMap::new(),
         }
     }
+}
+
+/// The aggregator for one catalog title inside a content-sorted group
+/// list, created on first use. Insertion keeps the list sorted by
+/// content id, so group order is a pure function of the client set.
+pub(crate) fn crowd_slot<'c>(
+    crowds: &'c mut Vec<(u16, CrowdAggregator)>,
+    grid: &TileGrid,
+    chunk_duration: SimDuration,
+    content: u16,
+) -> &'c mut CrowdAggregator {
+    let idx = match crowds.binary_search_by_key(&content, |e| e.0) {
+        Ok(i) => i,
+        Err(i) => {
+            crowds.insert(i, (content, CrowdAggregator::new(*grid, chunk_duration)));
+            i
+        }
+    };
+    &mut crowds[idx].1
 }
 
 /// The head trace the edge assigns to a client spec: one deterministic
@@ -368,7 +446,9 @@ pub(crate) struct EdgeWorld<'a> {
     origin_ge: Option<GeChain>,
     faults: PathFaults,
     recovery: RecoveryPolicy,
-    pub(crate) crowd: CrowdAggregator,
+    /// Crowd aggregators per catalog title, sorted by content id. A
+    /// single-title run holds exactly one entry under content 0.
+    pub(crate) crowds: Vec<(u16, CrowdAggregator)>,
     vis: VisibilityCache,
     trace: TraceSink,
     pending: HashMap<StreamId, PendingStream>,
@@ -394,15 +474,20 @@ pub(crate) struct EdgeWorld<'a> {
 }
 
 impl<'a> EdgeWorld<'a> {
-    /// A fresh world over pre-built client states, egress and crowd.
+    /// A fresh world over pre-built client states, egress and crowd
+    /// aggregators (one per catalog title, sorted by content id).
     pub(crate) fn new(
         video: &'a VideoModel,
         config: EdgeConfig,
         clients: Vec<ClientState>,
         egress: WrrLink,
-        crowd: CrowdAggregator,
+        crowds: Vec<(u16, CrowdAggregator)>,
         harness: &EdgeHarness,
     ) -> EdgeWorld<'a> {
+        assert!(
+            video.chunk_count() <= 1 << CONTENT_SHIFT,
+            "chunk indices must fit under the content salt"
+        );
         EdgeWorld {
             video,
             config,
@@ -421,7 +506,7 @@ impl<'a> EdgeWorld<'a> {
             },
             faults: harness.faults.compile_for(0),
             recovery: harness.recovery,
-            crowd,
+            crowds,
             vis: harness.vis.clone(),
             trace: harness.trace.clone(),
             pending: HashMap::new(),
@@ -459,9 +544,9 @@ impl<'a> EdgeWorld<'a> {
 }
 
 impl EdgeWorld<'_> {
-    fn key_of(cell: CellId, layer: u8) -> CacheKey {
+    fn key_of(cell: CellId, layer: u8, content: u16) -> CacheKey {
         CacheKey {
-            chunk: cell.time.0,
+            chunk: salted_chunk(cell.time.0, content),
             tile: cell.tile.0,
             layer,
         }
@@ -530,7 +615,8 @@ impl EdgeWorld<'_> {
         now: SimTime,
         sched: &mut impl EdgeSched,
     ) {
-        let key = Self::key_of(cell, layer);
+        let content = self.clients[client as usize].spec.content;
+        let key = Self::key_of(cell, layer, content);
         let bytes = self.layer_bytes(cell, layer);
         let deadline = self.display_wall(client, cell.time.0);
         if let Some(fl) = self.inflight.get_mut(&key) {
@@ -586,6 +672,41 @@ impl EdgeWorld<'_> {
         now: SimTime,
         sched: &mut impl EdgeSched,
     ) {
+        // A federation scheduler resolves the fetch at the regional
+        // tier; the default Local answer falls through to the world's
+        // own origin path untouched.
+        match sched.fetch_upstream(key, bytes, attempt, now) {
+            UpstreamDecision::Local => {}
+            UpstreamDecision::Deliver(at) => {
+                sched.at(
+                    at,
+                    EdgeEvent::OriginArrived {
+                        chunk: key.chunk,
+                        tile: key.tile,
+                        layer: key.layer,
+                    },
+                );
+                return;
+            }
+            UpstreamDecision::Retry { at, attempt } => {
+                self.origin_retries += 1;
+                sched.at(
+                    at,
+                    EdgeEvent::OriginRetry {
+                        chunk: key.chunk,
+                        tile: key.tile,
+                        layer: key.layer,
+                        attempt,
+                    },
+                );
+                return;
+            }
+            UpstreamDecision::Failed => {
+                self.inflight.remove(&key);
+                self.origin_failed_bytes += bytes;
+                return;
+            }
+        }
         // Tick the burst chain up to `now` first and surface any state
         // flips. Flip stamps lie in (last tick, now], and this world
         // never emits an event stamped later than the current event
@@ -806,49 +927,55 @@ impl EdgeWorld<'_> {
 
     fn handle_prefetch(&mut self, chunk: u32, sched: &mut impl EdgeSched) {
         let now = sched.now();
-        let tiles = self
-            .crowd
-            .predicted_tiles(now, ChunkTime(chunk), self.config.prefetch_k);
-        self.apply_prefetch(chunk, &tiles, sched);
+        let k = self.config.prefetch_k;
+        let groups: Vec<(u16, Vec<TileId>)> = self
+            .crowds
+            .iter()
+            .map(|(content, agg)| (*content, agg.predicted_tiles(now, ChunkTime(chunk), k)))
+            .collect();
+        self.apply_prefetch(chunk, &groups, sched);
     }
 
-    /// The stateful half of a prefetch: pull the crowd's tiles that are
-    /// neither cached nor already on the wire.
+    /// The stateful half of a prefetch: per catalog title (sorted by
+    /// content id), pull the crowd's tiles that are neither cached nor
+    /// already on the wire.
     pub(crate) fn apply_prefetch(
         &mut self,
         chunk: u32,
-        tiles: &[TileId],
+        groups: &[(u16, Vec<TileId>)],
         sched: &mut impl EdgeSched,
     ) {
         let now = sched.now();
         let t = ChunkTime(chunk);
-        for &tile in tiles {
-            for layer in 0..=self.config.prefetch_layers {
-                let cell = CellId::new(tile, t);
-                let key = Self::key_of(cell, layer);
-                if self.cache.is_disabled()
-                    || self.cache.contains(key)
-                    || self.inflight.contains_key(&key)
-                {
-                    continue;
-                }
-                let bytes = self.layer_bytes(cell, layer);
-                self.cache.record_prefetch(bytes);
-                self.trace.emit(TraceEvent::EdgePrefetch {
-                    at: now,
-                    tile: key.tile,
-                    chunk: key.chunk,
-                    layer,
-                    bytes,
-                });
-                self.inflight.insert(
-                    key,
-                    Inflight {
+        for (content, tiles) in groups {
+            for &tile in tiles {
+                for layer in 0..=self.config.prefetch_layers {
+                    let cell = CellId::new(tile, t);
+                    let key = Self::key_of(cell, layer, *content);
+                    if self.cache.is_disabled()
+                        || self.cache.contains(key)
+                        || self.inflight.contains_key(&key)
+                    {
+                        continue;
+                    }
+                    let bytes = self.layer_bytes(cell, layer);
+                    self.cache.record_prefetch(bytes);
+                    self.trace.emit(TraceEvent::EdgePrefetch {
+                        at: now,
+                        tile: key.tile,
+                        chunk: key.chunk,
+                        layer,
                         bytes,
-                        waiters: Vec::new(),
-                    },
-                );
-                self.start_origin_fetch(key, bytes, 1, now, sched);
+                    });
+                    self.inflight.insert(
+                        key,
+                        Inflight {
+                            bytes,
+                            waiters: Vec::new(),
+                        },
+                    );
+                    self.start_origin_fetch(key, bytes, 1, now, sched);
+                }
             }
         }
     }
@@ -869,13 +996,15 @@ impl EdgeWorld<'_> {
         }
     }
 
-    /// An origin fetch landed: account it, cache it, fan it out.
+    /// An origin fetch landed: account it, cache it, fan it out. The
+    /// event's `chunk` is the content-salted cache-key field; the cell
+    /// the waiters consume is the unsalted chunk index.
     pub(crate) fn apply_origin_arrived(&mut self, chunk: u32, tile: u16, layer: u8, now: SimTime) {
         let key = CacheKey { chunk, tile, layer };
         if let Some(fl) = self.inflight.remove(&key) {
             self.origin_bytes += fl.bytes;
             self.cache.insert(key, fl.bytes);
-            let cell = CellId::new(TileId(tile), ChunkTime(chunk));
+            let cell = CellId::new(TileId(tile), ChunkTime(chunk_of(chunk)));
             for (client, _) in fl.waiters {
                 self.submit_egress(client, cell, layer, fl.bytes, now);
             }
@@ -896,6 +1025,77 @@ impl EdgeWorld<'_> {
         if let Some(bytes) = self.inflight.get(&key).map(|fl| fl.bytes) {
             self.start_origin_fetch(key, bytes, attempt, now, sched);
         }
+    }
+}
+
+/// What a crash-stop node failure wrote off: egress streams that were
+/// on the wire at death (their bytes never reach a client) and fetches
+/// still in flight (folded into the node's failed-origin ledger).
+pub(crate) struct NodeWreckage {
+    /// Bytes of submitted egress streams lost mid-transfer.
+    pub(crate) lost_egress_bytes: u64,
+    /// Number of egress streams lost mid-transfer.
+    pub(crate) lost_streams: u64,
+}
+
+impl EdgeWorld<'_> {
+    /// Crash-stop this node at `now`: deliver everything that finished
+    /// by `now`, discard every egress stream still on the wire, and
+    /// write off in-flight origin fetches as failed (the same settling
+    /// [`finish_edge_run`] applies at the horizon). The world stays
+    /// consistent for report assembly; it just never makes progress
+    /// again because no further events are routed to it.
+    pub(crate) fn abandon(&mut self, now: SimTime) -> NodeWreckage {
+        self.drain_egress(now);
+        let mut lost_egress_bytes = 0;
+        let mut lost_streams = 0;
+        for done in self.egress.drain() {
+            if self.pending.remove(&done.id).is_some() {
+                lost_egress_bytes += done.bytes;
+                lost_streams += 1;
+            }
+        }
+        for (_, fl) in self.inflight.drain() {
+            self.origin_failed_bytes += fl.bytes;
+        }
+        NodeWreckage {
+            lost_egress_bytes,
+            lost_streams,
+        }
+    }
+
+    /// Detach a client's session state (for re-homing onto a survivor).
+    /// The client stays in the vector — indices are global across a
+    /// federation — but no longer holds an egress queue here.
+    pub(crate) fn take_client_session(
+        &mut self,
+        client: u32,
+    ) -> (HashMap<CellId, u32>, HashMap<CellId, u8>) {
+        let state = &mut self.clients[client as usize];
+        state.admitted = false;
+        state.link_id = None;
+        (
+            std::mem::take(&mut state.delivered),
+            std::mem::take(&mut state.planned),
+        )
+    }
+
+    /// Install a re-homed client's session: admit it, give it a fresh
+    /// egress queue at its spec weight, and restore what it had already
+    /// received and planned so delivery continues where it left off.
+    pub(crate) fn install_client_session(
+        &mut self,
+        client: u32,
+        delivered: HashMap<CellId, u32>,
+        planned: HashMap<CellId, u8>,
+    ) {
+        let weight = self.clients[client as usize].spec.weight;
+        let link_id = self.egress.add_client(weight);
+        let state = &mut self.clients[client as usize];
+        state.admitted = true;
+        state.link_id = Some(link_id);
+        state.delivered = delivered;
+        state.planned = planned;
     }
 }
 
@@ -965,7 +1165,7 @@ pub fn run_edge_full(
     let chunks = video.chunk_count();
     let session = video.duration() + SimDuration::from_secs(5);
     let mut egress = WrrLink::new(config.egress_bps);
-    let mut crowd = CrowdAggregator::new(*video.grid(), video.chunk_duration());
+    let mut crowds: Vec<(u16, CrowdAggregator)> = Vec::new();
     let attention = AttentionModel::generic(config.seed);
     let states: Vec<ClientState> = specs
         .iter()
@@ -977,10 +1177,16 @@ pub fn run_edge_full(
             let head = client_head(&attention, spec, session);
             let link_id = admitted.then(|| egress.add_client(spec.weight));
             if admitted {
-                // Attached clients report their gaze to the crowd model;
-                // their latency is their arrival offset, so reports only
-                // become visible once they have actually watched.
-                crowd.ingest(
+                // Attached clients report their gaze to their title's
+                // crowd model; their latency is their arrival offset, so
+                // reports only become visible once they actually watched.
+                crowd_slot(
+                    &mut crowds,
+                    video.grid(),
+                    video.chunk_duration(),
+                    spec.content,
+                )
+                .ingest(
                     &LiveViewer {
                         trace: head.clone(),
                         latency: spec.arrival,
@@ -997,7 +1203,7 @@ pub fn run_edge_full(
     let first_arrival = specs.first().expect("non-empty").arrival;
     let last_arrival = specs.last().expect("non-empty").arrival;
 
-    let mut world = EdgeWorld::new(video, *config, states, egress, crowd, harness);
+    let mut world = EdgeWorld::new(video, *config, states, egress, crowds, harness);
 
     let mut sim = Simulation::new();
     for (i, spec) in specs.iter().enumerate() {

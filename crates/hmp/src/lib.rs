@@ -107,6 +107,47 @@ mod proptests {
             }
         }
 
+        /// `Heatmap::top_k`'s order is explicitly total — raw count
+        /// descending, ties by ascending tile index — so it matches the
+        /// independently-computed specification exactly and never
+        /// depends on the order observations were recorded in. Pinned
+        /// because cross-edge heatmap sharing folds reports from many
+        /// nodes and relies on the cut being permutation-invariant.
+        #[test]
+        fn top_k_tie_break_is_total_and_record_order_invariant(
+            views in proptest::collection::vec(0u16..8, 1..24),
+            rot in 0usize..24,
+            k in 1usize..9,
+        ) {
+            let grid = sperke_geo::TileGrid::new(2, 4);
+            let chunk = sperke_video::ChunkTime(0);
+            let record_all = |order: &[u16]| {
+                let mut map = Heatmap::empty(grid, SimDuration::from_secs(1), 1);
+                for &t in order {
+                    map.record(chunk, &[sperke_geo::TileId(t)]);
+                }
+                map
+            };
+            let map = record_all(&views);
+            // Reference order computed independently of the Heatmap:
+            // count descending, then tile index ascending.
+            let mut counts = [0u32; 8];
+            for &t in &views {
+                counts[t as usize] += 1;
+            }
+            let mut spec: Vec<u16> = (0..8).collect();
+            spec.sort_by(|&a, &b| {
+                counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b))
+            });
+            let expect: Vec<sperke_geo::TileId> =
+                spec.into_iter().take(k).map(sperke_geo::TileId).collect();
+            prop_assert_eq!(map.top_k(chunk, k), expect);
+            // Recording order never perturbs the cut.
+            let mut rotated = views.clone();
+            rotated.rotate_left(rot % views.len());
+            prop_assert_eq!(map.top_k(chunk, k), record_all(&rotated).top_k(chunk, k));
+        }
+
         /// The wire codec round-trips any generated trace within the
         /// quantization bound.
         #[test]

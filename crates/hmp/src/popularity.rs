@@ -122,15 +122,32 @@ impl Heatmap {
         self.ranked_tiles(t)[0].0
     }
 
-    /// The `k` most-viewed tiles for chunk `t`, best first (ties by id,
-    /// so the cut is deterministic) — the prefetch working set an edge
-    /// server pre-warms for a crowd.
+    /// The `k` most-viewed tiles for chunk `t`, best first — the prefetch
+    /// working set an edge server pre-warms for a crowd.
+    ///
+    /// The ordering is explicitly total: raw view count descending, ties
+    /// broken by ascending tile index, compared as integers so no float
+    /// round-trip can perturb the cut. Because every probability at a
+    /// chunk shares one denominator (the viewer count), this is the same
+    /// order [`Heatmap::ranked_tiles`] produces — but it stays total under
+    /// any sequence of [`Heatmap::merge`]s, which cross-edge heatmap
+    /// sharing relies on for order-independent prefetch digests. With no
+    /// observations the solid-angle prior ranking is used instead.
     pub fn top_k(&self, t: ChunkTime, k: usize) -> Vec<TileId> {
-        self.ranked_tiles(t)
-            .into_iter()
-            .take(k)
-            .map(|(tile, _)| tile)
-            .collect()
+        let idx = t.index().min(self.counts.len() - 1);
+        if self.viewers[idx] == 0 {
+            return self
+                .ranked_tiles(t)
+                .into_iter()
+                .take(k)
+                .map(|(tile, _)| tile)
+                .collect();
+        }
+        let counts = &self.counts[idx];
+        let mut tiles: Vec<TileId> = self.grid.tiles().collect();
+        tiles.sort_by(|a, b| counts[b.index()].cmp(&counts[a.index()]).then(a.cmp(b)));
+        tiles.truncate(k);
+        tiles
     }
 
     /// Shannon entropy (bits) of the normalized tile distribution at `t`:
@@ -308,6 +325,54 @@ mod tests {
         let stage_tile = grid.tile_of_direction(att.hotspots()[0].position(4.0).direction());
         let p = map.tile_probability(ChunkTime(4), stage_tile);
         assert!(p > 0.5, "stage tile only at p={p}");
+    }
+
+    #[test]
+    fn top_k_order_is_total_and_matches_ranked_tiles() {
+        let grid = TileGrid::new(2, 4);
+        let mut map = Heatmap::empty(grid, SimDuration::from_secs(1), 1);
+        // Deliberate count ties: tiles 1 and 5 both at 1, tiles 2 and 6
+        // both at 2 — the cut must order ties by ascending tile index.
+        map.record(ChunkTime(0), &[TileId(2), TileId(6), TileId(1)]);
+        map.record(ChunkTime(0), &[TileId(2), TileId(6), TileId(5)]);
+        let top = map.top_k(ChunkTime(0), 4);
+        assert_eq!(top, vec![TileId(2), TileId(6), TileId(1), TileId(5)]);
+        // The integer order agrees with the float ranking end to end.
+        let ranked: Vec<TileId> = map
+            .ranked_tiles(ChunkTime(0))
+            .into_iter()
+            .map(|(tile, _)| tile)
+            .collect();
+        assert_eq!(map.top_k(ChunkTime(0), 8), ranked);
+        // Unobserved chunks fall back to the prior ranking.
+        let empty = Heatmap::empty(grid, SimDuration::from_secs(1), 1);
+        let prior: Vec<TileId> = empty
+            .ranked_tiles(ChunkTime(0))
+            .into_iter()
+            .take(3)
+            .map(|(tile, _)| tile)
+            .collect();
+        assert_eq!(empty.top_k(ChunkTime(0), 3), prior);
+    }
+
+    #[test]
+    fn top_k_invariant_under_merge_order() {
+        let grid = TileGrid::new(4, 6);
+        let mut parts: Vec<Heatmap> = Vec::new();
+        for yaw in [0.0, 90.0, -90.0, 180.0] {
+            let traces: Vec<HeadTrace> = (0..3).map(|_| fixed_trace(yaw)).collect();
+            parts.push(Heatmap::build(grid, SimDuration::from_secs(1), 2, &traces));
+        }
+        let fold = |order: &[usize]| {
+            let mut acc = Heatmap::empty(grid, SimDuration::from_secs(1), 2);
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc.top_k(ChunkTime(0), 6)
+        };
+        let forward = fold(&[0, 1, 2, 3]);
+        assert_eq!(forward, fold(&[3, 2, 1, 0]));
+        assert_eq!(forward, fold(&[2, 0, 3, 1]));
     }
 
     #[test]

@@ -80,6 +80,25 @@ impl CrowdAggregator {
         self.reports.extend(reports);
     }
 
+    /// Append precomputed reports with every wall availability shifted
+    /// `delay` later — a remote viewer whose gaze stream crosses an
+    /// inter-edge sync link before it reaches this aggregator. Because a
+    /// report's wall time is linear in the viewer's latency, shifting by
+    /// `delay` is exactly equivalent to re-ingesting the viewer with
+    /// `latency + delay`; sharing one [`viewer_reports`] computation
+    /// across edges therefore stays bit-exact.
+    pub fn ingest_reports_delayed(
+        &mut self,
+        reports: &[(SimTime, ChunkTime, Vec<TileId>)],
+        delay: SimDuration,
+    ) {
+        self.reports.extend(
+            reports
+                .iter()
+                .map(|(wall, chunk, tiles)| (*wall + delay, *chunk, tiles.clone())),
+        );
+    }
+
     /// Build the heatmap visible to the server at wall time `now`,
     /// covering `chunks` chunk times.
     pub fn heatmap_at(&self, now: SimTime, chunks: u32) -> Heatmap {
@@ -314,6 +333,28 @@ mod tests {
             batched.ingest_reports(reports);
         }
         assert_eq!(direct.reports, batched.reports);
+    }
+
+    #[test]
+    fn delayed_ingest_equals_added_latency() {
+        let grid = TileGrid::new(4, 6);
+        let cd = SimDuration::from_secs(1);
+        let (lows, _) = population(19);
+        let delay = SimDuration::from_millis(150);
+        let mut shifted = CrowdAggregator::new(grid, cd);
+        let mut slower = CrowdAggregator::new(grid, cd);
+        for v in &lows {
+            let reports = viewer_reports(&grid, cd, shifted.report_delay, v, 12);
+            shifted.ingest_reports_delayed(&reports, delay);
+            slower.ingest(
+                &LiveViewer {
+                    trace: v.trace.clone(),
+                    latency: v.latency + delay,
+                },
+                12,
+            );
+        }
+        assert_eq!(shifted.reports, slower.reports);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod fault;
 pub mod multipath;
 pub mod mux;
 pub mod path;
+pub mod pipe;
 pub mod priority;
 pub mod shaper;
 pub mod transfer;
@@ -47,6 +48,7 @@ pub use multipath::{
 };
 pub use mux::{weight_of, MuxLink, StreamCompletion, StreamId};
 pub use path::PathModel;
+pub use pipe::SerialLink;
 pub use priority::{ChunkPriority, Reliability, SpatialPriority, TemporalPriority};
 pub use shaper::TokenBucket;
 pub use transfer::{Completion, PathQueue, TransferId, TransferOutcome};

@@ -1,0 +1,106 @@
+//! A serialized point-to-point backhaul leg.
+//!
+//! [`SerialLink`] is the minimal wire model the edge↔regional and
+//! regional↔origin tiers of a federation are built from: one FIFO pipe
+//! with a fixed capacity and a fixed propagation delay. Transfers are
+//! paced back to back — each starts when the pipe frees up — and the
+//! whole model is three `f64` operations per transfer, so it composes
+//! cheaply into per-node arrays.
+//!
+//! The arithmetic is kept *identical* to the single-edge origin path in
+//! `sperke-edge` (`start = max(now, busy)`, `wire = bytes·8 / rate`,
+//! `arrival = start + wire + rtt`), so a degenerate federation tier
+//! (infinite regional capacity, zero regional RTT) reproduces the plain
+//! edge server's origin timings bit for bit.
+
+use sperke_sim::{SimDuration, SimTime};
+
+/// A FIFO pipe with fixed capacity and propagation delay. Transfers
+/// serialize: each occupies the wire for `bytes × 8 / rate` seconds
+/// starting when the pipe is next free, and lands `rtt` later.
+#[derive(Debug, Clone)]
+pub struct SerialLink {
+    rate_bps: f64,
+    rtt: SimDuration,
+    busy_until: SimTime,
+    delivered_bytes: u64,
+}
+
+impl SerialLink {
+    /// A link of `rate_bps` capacity and `rtt` propagation delay.
+    /// `f64::INFINITY` models an unconstrained (zero-serialization)
+    /// wire; the rate must otherwise be positive.
+    pub fn new(rate_bps: f64, rtt: SimDuration) -> SerialLink {
+        assert!(rate_bps > 0.0, "link rate must be positive");
+        SerialLink {
+            rate_bps,
+            rtt,
+            busy_until: SimTime::ZERO,
+            delivered_bytes: 0,
+        }
+    }
+
+    /// Submit `bytes` at `now`; returns the arrival time at the far end.
+    /// The wire is occupied from `max(now, busy)` for the serialization
+    /// time, so back-to-back submissions queue FIFO.
+    pub fn transmit(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        let start = now.max(self.busy_until);
+        let wire = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.rate_bps);
+        self.busy_until = start + wire;
+        self.delivered_bytes += bytes;
+        self.busy_until + self.rtt
+    }
+
+    /// When the wire next frees up.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total bytes ever transmitted.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// The link's capacity in bits/second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// The link's propagation delay.
+    pub fn rtt(&self) -> SimDuration {
+        self.rtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_serialize_fifo() {
+        let mut link = SerialLink::new(8e6, SimDuration::from_millis(10));
+        // 1 MB at 8 Mbit/s = 1 s on the wire.
+        let a = link.transmit(1_000_000, SimTime::ZERO);
+        assert_eq!(a, SimTime::from_millis(1010));
+        // Submitted while busy: queues behind the first transfer.
+        let b = link.transmit(1_000_000, SimTime::from_millis(500));
+        assert_eq!(b, SimTime::from_millis(2010));
+        assert_eq!(link.delivered_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn idle_gap_resets_the_start() {
+        let mut link = SerialLink::new(8e6, SimDuration::ZERO);
+        link.transmit(1_000_000, SimTime::ZERO);
+        let late = link.transmit(1_000_000, SimTime::from_secs(5));
+        assert_eq!(late, SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn infinite_rate_is_pure_delay() {
+        let mut link = SerialLink::new(f64::INFINITY, SimDuration::from_millis(30));
+        let at = link.transmit(123_456_789, SimTime::from_secs(2));
+        assert_eq!(at, SimTime::from_secs(2) + SimDuration::from_millis(30));
+        assert_eq!(link.busy_until(), SimTime::from_secs(2));
+    }
+}

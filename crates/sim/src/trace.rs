@@ -66,17 +66,20 @@ pub enum Subsystem {
     Pipeline,
     /// The multi-client edge server (`sperke-edge`).
     Edge,
+    /// The multi-edge federation tier (`sperke-edge::federation`).
+    Federation,
 }
 
 impl Subsystem {
     /// All subsystems, in declaration order.
-    pub const ALL: [Subsystem; 6] = [
+    pub const ALL: [Subsystem; 7] = [
         Subsystem::Sim,
         Subsystem::Net,
         Subsystem::Vra,
         Subsystem::Player,
         Subsystem::Pipeline,
         Subsystem::Edge,
+        Subsystem::Federation,
     ];
 
     /// Stable lowercase name.
@@ -88,6 +91,7 @@ impl Subsystem {
             Subsystem::Player => "player",
             Subsystem::Pipeline => "pipeline",
             Subsystem::Edge => "edge",
+            Subsystem::Federation => "federation",
         }
     }
 
@@ -99,6 +103,7 @@ impl Subsystem {
             Subsystem::Player => 3,
             Subsystem::Pipeline => 4,
             Subsystem::Edge => 5,
+            Subsystem::Federation => 6,
         }
     }
 }
@@ -410,6 +415,60 @@ pub enum TraceEvent {
         /// The layer's size in bytes.
         bytes: u64,
     },
+
+    // --- Federation -----------------------------------------------------
+    /// An edge node's miss was served out of the shared regional cache
+    /// (cooperative hit: some sibling already pulled the object).
+    RegionalCacheHit {
+        /// Lookup time.
+        at: SimTime,
+        /// The requesting edge node's index.
+        node: u32,
+        /// The tile requested.
+        tile: u16,
+        /// The (content-salted) chunk key requested.
+        chunk: u32,
+        /// The SVC layer requested.
+        layer: u8,
+        /// The layer's size in bytes.
+        bytes: u64,
+    },
+    /// An edge node's miss also missed the regional tier and was
+    /// forwarded to the shared origin backhaul.
+    RegionalCacheMiss {
+        /// Lookup time.
+        at: SimTime,
+        /// The requesting edge node's index.
+        node: u32,
+        /// The tile requested.
+        tile: u16,
+        /// The (content-salted) chunk key requested.
+        chunk: u32,
+        /// The SVC layer requested.
+        layer: u8,
+        /// The layer's size in bytes.
+        bytes: u64,
+    },
+    /// An edge node crashed (crash-stop): in-flight work is written off
+    /// and its clients are re-homed onto the surviving nodes.
+    NodeFailed {
+        /// Crash time.
+        at: SimTime,
+        /// The failed node's index.
+        node: u32,
+    },
+    /// A client was deterministically re-homed after its edge node
+    /// failed.
+    ClientRehomed {
+        /// Re-homing time (the crash time).
+        at: SimTime,
+        /// The re-homed client's id.
+        client: u32,
+        /// The failed node it was homed on.
+        from_node: u32,
+        /// The surviving node it now lives on.
+        to_node: u32,
+    },
 }
 
 impl TraceEvent {
@@ -441,7 +500,11 @@ impl TraceEvent {
             | TraceEvent::ClientThrottled { at, .. }
             | TraceEvent::EdgeCacheHit { at, .. }
             | TraceEvent::EdgeCacheMiss { at, .. }
-            | TraceEvent::EdgePrefetch { at, .. } => at,
+            | TraceEvent::EdgePrefetch { at, .. }
+            | TraceEvent::RegionalCacheHit { at, .. }
+            | TraceEvent::RegionalCacheMiss { at, .. }
+            | TraceEvent::NodeFailed { at, .. }
+            | TraceEvent::ClientRehomed { at, .. } => at,
         }
     }
 
@@ -474,6 +537,10 @@ impl TraceEvent {
             | TraceEvent::EdgeCacheHit { .. }
             | TraceEvent::EdgeCacheMiss { .. }
             | TraceEvent::EdgePrefetch { .. } => Subsystem::Edge,
+            TraceEvent::RegionalCacheHit { .. }
+            | TraceEvent::RegionalCacheMiss { .. }
+            | TraceEvent::NodeFailed { .. }
+            | TraceEvent::ClientRehomed { .. } => Subsystem::Federation,
         }
     }
 
@@ -489,7 +556,9 @@ impl TraceEvent {
             | TraceEvent::PathUp { .. }
             | TraceEvent::TransferTimedOut { .. }
             | TraceEvent::ClientAdmitted { .. }
-            | TraceEvent::ClientThrottled { .. } => TraceLevel::Events,
+            | TraceEvent::ClientThrottled { .. }
+            | TraceEvent::NodeFailed { .. }
+            | TraceEvent::ClientRehomed { .. } => TraceLevel::Events,
             TraceEvent::EdgePrefetch { .. } => TraceLevel::Decisions,
             TraceEvent::BufferLevel { .. }
             | TraceEvent::AbrDecision { .. }
@@ -505,6 +574,8 @@ impl TraceEvent {
             | TraceEvent::CacheEvicted { .. }
             | TraceEvent::EdgeCacheHit { .. }
             | TraceEvent::EdgeCacheMiss { .. }
+            | TraceEvent::RegionalCacheHit { .. }
+            | TraceEvent::RegionalCacheMiss { .. }
             | TraceEvent::DeliveryRateSample { .. } => TraceLevel::Verbose,
         }
     }
@@ -515,7 +586,7 @@ impl TraceEvent {
 #[derive(Debug, Clone)]
 pub struct TraceConfig {
     level: TraceLevel,
-    overrides: [Option<TraceLevel>; 6],
+    overrides: [Option<TraceLevel>; 7],
     capacity: usize,
 }
 
@@ -525,7 +596,7 @@ impl TraceConfig {
     pub fn new(level: TraceLevel) -> TraceConfig {
         TraceConfig {
             level,
-            overrides: [None; 6],
+            overrides: [None; 7],
             capacity: 1 << 16,
         }
     }

@@ -17,11 +17,12 @@
 //! branch), never a failure: the write at the end creates it.
 
 use sperke_core::{
-    run_edge_fleet, run_edge_sweep, run_fleet_sweep, run_fleet_with_cache, EdgeConfig, EdgeGrid,
-    FleetConfig, FleetGrid, LossChannel,
+    run_edge_fleet, run_edge_sweep, run_federation, run_fleet_sweep, run_fleet_with_cache,
+    EdgeConfig, EdgeGrid, FederationConfig, FederationHarness, FleetConfig, FleetGrid, LossChannel,
 };
 use sperke_edge::{
-    default_clients, prepare_edge_batch, run_edge_full, run_edge_prepared, EdgeHarness,
+    default_clients, flash_crowd_clients, prepare_edge_batch, run_edge_full, run_edge_prepared,
+    EdgeHarness,
 };
 use sperke_geo::{Orientation, TileGrid, Viewport, VisibilityCache};
 use sperke_sim::SimDuration;
@@ -369,11 +370,73 @@ fn main() {
         batched_bbr.origin_retries
     );
 
+    // ---------------- PR8: edge federation ----------------
+    // A 4-node federation absorbing a 128-client flash crowd over the
+    // shared regional tier. Record-only this PR (the comparator gates
+    // next PR once a committed baseline exists); the cooperative-origin
+    // savings assert is the non-negotiable part — the regional tier must
+    // beat four isolated edges on origin bytes.
+    let fed_video = VideoModelBuilder::new(7)
+        .duration(SimDuration::from_secs(8))
+        .build();
+    let mut fed_cfg = FederationConfig::default();
+    fed_cfg.nodes = 4;
+    let fed_clients = flash_crowd_clients(
+        &fed_cfg.node,
+        32,
+        96,
+        SimDuration::from_secs(2),
+        SimDuration::from_millis(50),
+    );
+    let fed_harness = FederationHarness::default();
+    let coop = run_federation(&fed_video, &fed_cfg, &fed_clients, &fed_harness, None, 0).report;
+    let iso_cfg = FederationConfig {
+        regional_bytes: 0,
+        share_heatmaps: false,
+        ..fed_cfg.clone()
+    };
+    let iso = run_federation(&fed_video, &iso_cfg, &fed_clients, &fed_harness, None, 0).report;
+    let fed_savings_pct =
+        100.0 * (1.0 - coop.origin_demand_bytes() as f64 / iso.origin_demand_bytes().max(1) as f64);
+    assert!(
+        coop.origin_demand_bytes() * 2 <= iso.origin_demand_bytes(),
+        "cooperative federation must at least halve isolated origin demand"
+    );
+    let fed_hit_pct = 100.0 * coop.regional.hits as f64
+        / (coop.regional.hits + coop.regional.misses).max(1) as f64;
+    let mut fed_secs: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run_federation(
+                &fed_video,
+                &fed_cfg,
+                &fed_clients,
+                &fed_harness,
+                None,
+                0,
+            ));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    fed_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let fed_steps = fed_clients.len() as f64 * fed_video.chunk_count() as f64;
+    let fed_steps_per_s = fed_steps / fed_secs[1];
+    println!(
+        "federation ({} nodes x {} clients x {} chunks)",
+        fed_cfg.nodes,
+        fed_clients.len(),
+        fed_video.chunk_count()
+    );
+    println!("  throughput     : {fed_steps_per_s:>8.0} steps/s");
+    println!("  origin savings : {fed_savings_pct:>8.1} % vs isolated edges");
+    println!("  regional hits  : {fed_hit_pct:>8.1} %");
+
     // ---------------- Compare against committed baselines ----------------
     let pr4_base = load_baseline("BENCH_PR4.json");
     let pr5_base = load_baseline("BENCH_PR5.json");
     let pr6_base = load_baseline("BENCH_PR6.json");
     let pr7_base = load_baseline("BENCH_PR7.json");
+    let pr8_base = load_baseline("BENCH_PR8.json");
     // Wall-clock metrics gate at the tolerance; deterministic byte and
     // rate metrics regress only through a behaviour change, so they use
     // the same gate and will trip on far smaller drifts in practice.
@@ -518,6 +581,27 @@ fn main() {
             Gate::Record,
             tol,
         ),
+        check(
+            pr8_base.as_ref(),
+            "federation_steps_per_s",
+            fed_steps_per_s,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr8_base.as_ref(),
+            "federation_origin_savings_pct",
+            fed_savings_pct,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr8_base.as_ref(),
+            "regional_hit_rate_pct",
+            fed_hit_pct,
+            Gate::Record,
+            tol,
+        ),
     ];
 
     // ---------------- Persist fresh artifacts ----------------
@@ -558,7 +642,15 @@ fn main() {
         batched_bbr.origin_retries,
     );
     std::fs::write("BENCH_PR7.json", &pr7_json).expect("write BENCH_PR7.json");
-    println!("\nwrote BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json");
+    let pr8_json = format!(
+        "{{\n  \"federation_steps_per_s\": {fed_steps_per_s:.0},\n  \
+         \"federation_origin_savings_pct\": {fed_savings_pct:.1},\n  \
+         \"regional_hit_rate_pct\": {fed_hit_pct:.1}\n}}\n"
+    );
+    std::fs::write("BENCH_PR8.json", &pr8_json).expect("write BENCH_PR8.json");
+    println!(
+        "\nwrote BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json, BENCH_PR8.json"
+    );
 
     let failures: Vec<String> = checks.into_iter().flatten().collect();
     if failures.is_empty() {

@@ -91,6 +91,7 @@ fn specs_from(raw: &[(u64, u64, u32, u64)]) -> Vec<EdgeClientSpec> {
             seed,
             weight,
             budget_bps: mbps as f64 * 1e6,
+            content: 0,
         })
         .collect()
 }

@@ -13,9 +13,11 @@
 //! then paste the printed constants over the `GOLDEN_*` values below.
 
 use sperke_core::{
-    run_fleet_sweep, run_fleet_sweep_batched, FleetConfig, FleetGrid, FleetSweepPoint, RunReport,
-    SchedulerChoice, Sperke, SweepReport, TraceLevel,
+    run_federation, run_fleet_sweep, run_fleet_sweep_batched, FederationConfig, FederationHarness,
+    FleetConfig, FleetGrid, FleetSweepPoint, RunReport, SchedulerChoice, Sperke, SweepReport,
+    TraceLevel,
 };
+use sperke_edge::{flash_crowd_clients, FederationRunReport};
 use sperke_hmp::Behavior;
 use sperke_sim::SimDuration;
 use sperke_video::VideoModelBuilder;
@@ -126,7 +128,56 @@ fn batched_engine_reproduces_golden_sweep_digest() {
     assert_eq!(report.points()[0].trace_digest, GOLDEN_SWEEP_POINT0_DIGEST);
 }
 
-/// Prints fresh golden constants for BOTH goldens (session and sweep).
+/// The exact federation the federation goldens were captured from: a
+/// seed-77 4-node federation absorbing a 64-client flash crowd (16
+/// steady arrivals, 48 surging in at 3 s on a 100 ms cadence), run on
+/// 3 sense workers so worker-blindness stays under golden coverage.
+fn golden_federation() -> FederationRunReport {
+    let video = VideoModelBuilder::new(77)
+        .duration(SimDuration::from_secs(10))
+        .build();
+    let mut config = FederationConfig::default();
+    config.node.seed = 77;
+    config.seed = 77;
+    config.nodes = 4;
+    let clients = flash_crowd_clients(
+        &config.node,
+        16,
+        48,
+        SimDuration::from_secs(3),
+        SimDuration::from_millis(100),
+    );
+    let harness = FederationHarness {
+        trace: TraceLevel::Verbose,
+        ..Default::default()
+    };
+    run_federation(&video, &config, &clients, &harness, None, 3)
+}
+
+const GOLDEN_FED_DIGEST: u64 = 0xd76f325f1ff941e4;
+const GOLDEN_FED_CLIENTS: usize = 64;
+const GOLDEN_FED_ORIGIN_BYTES: u64 = 25714904;
+const GOLDEN_FED_REGIONAL_HIT_BYTES: u64 = 65627245;
+
+#[test]
+fn seed_77_federation_matches_golden_digest() {
+    let run = golden_federation();
+    assert_eq!(
+        run.combined_digest(),
+        GOLDEN_FED_DIGEST,
+        "federation trace digest drifted — if the behaviour change is \
+         intentional, regenerate with \
+         `cargo test --test golden_trace -- --ignored --nocapture`"
+    );
+    assert_eq!(run.report.clients, GOLDEN_FED_CLIENTS);
+    assert_eq!(run.report.origin_bytes, GOLDEN_FED_ORIGIN_BYTES);
+    assert_eq!(run.report.regional.hit_bytes, GOLDEN_FED_REGIONAL_HIT_BYTES);
+    assert_eq!(run.report.origin_failed_bytes, 0);
+    assert_eq!(run.report.failed_nodes, 0);
+}
+
+/// Prints fresh golden constants for ALL goldens (session, sweep, and
+/// federation).
 /// Run with `cargo test --test golden_trace -- --ignored --nocapture`
 /// and paste the output over the `GOLDEN_*` constants above.
 #[test]
@@ -157,5 +208,19 @@ fn regenerate_golden_constants() {
     println!(
         "const GOLDEN_SWEEP_POINT0_DIGEST: u64 = {:#018x};",
         sweep.points()[0].trace_digest
+    );
+    let fed = golden_federation();
+    println!(
+        "const GOLDEN_FED_DIGEST: u64 = {:#018x};",
+        fed.combined_digest()
+    );
+    println!("const GOLDEN_FED_CLIENTS: usize = {};", fed.report.clients);
+    println!(
+        "const GOLDEN_FED_ORIGIN_BYTES: u64 = {};",
+        fed.report.origin_bytes
+    );
+    println!(
+        "const GOLDEN_FED_REGIONAL_HIT_BYTES: u64 = {};",
+        fed.report.regional.hit_bytes
     );
 }
