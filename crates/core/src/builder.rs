@@ -438,9 +438,12 @@ impl Sperke {
             let forecaster = self.build_forecaster();
             with_sched!(&forecaster)
         };
+        // `player` carries the last live clone of the sink; drop it so
+        // `into_trace` takes the zero-copy move instead of a snapshot.
+        drop(player);
         RunReport {
             session,
-            trace: sink.snapshot(),
+            trace: sink.into_trace(),
         }
     }
 }

@@ -218,9 +218,10 @@ impl EdgeBuilder {
             origin_loss: self.origin_loss,
         };
         let report = run_edge_full(&video, &self.config, &self.client_set(), &harness, metrics);
+        drop(harness);
         EdgeRunReport {
             report,
-            trace: sink.snapshot(),
+            trace: sink.into_trace(),
         }
     }
 
@@ -248,9 +249,10 @@ impl EdgeBuilder {
             None,
             workers,
         );
+        drop(harness);
         EdgeRunReport {
             report,
-            trace: sink.snapshot(),
+            trace: sink.into_trace(),
         }
     }
 }

@@ -1,0 +1,313 @@
+//! Guard-banded direction→tile classification.
+//!
+//! [`TileGrid::tile_of_direction`] costs two normalizations, an
+//! `atan2` and an `asin` per query. Ray-grid visibility sampling
+//! (256 rays per pose at the default density) spends most of the
+//! edge-simulation sense phase inside exactly that chain. A
+//! [`TileClassifier`] answers the same query with a handful of
+//! multiply-compares — and it answers it **bit-identically**, which the
+//! golden traces require.
+//!
+//! # Why comparisons can be exact
+//!
+//! The equirect tile of a direction depends only on which yaw sector
+//! and pitch band the direction falls in. Sector membership is a sign
+//! test against the boundary direction (a 2-D cross product); band
+//! membership is a comparison of `z/|v|` against the sine of the
+//! boundary pitch. Those tests involve rounding, and the exact path
+//! (`normalize → normalize → atan2/asin → scale → floor`) involves
+//! different rounding, so the two formulations could disagree — but
+//! only for directions within a few ulps (≲1e-14 radians) of a tile
+//! boundary. The classifier therefore keeps a **guard band** of 1e-9
+//! radians around every boundary: queries inside any band take the
+//! original exact path, queries outside are decided by comparisons that
+//! provably agree with it (libm's `atan2`/`asin` are well under 1e-9
+//! away from correctly rounded, and the floor-chain's flip points sit
+//! within a few ulps of the true boundary). The band is ~10⁵× wider
+//! than any rounding effect yet a 16×16 ray grid virtually never lands
+//! in it, so the fast path serves ≫99.9% of real queries.
+//!
+//! The classifier accepts **unnormalized** vectors: callers that build
+//! rays as `f + l·x + u·y` skip their own `normalized()` too (the
+//! fallback normalizes exactly like the original call chain did).
+
+use crate::tiling::{TileGrid, TileId};
+use crate::vector::Vec3;
+use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+/// Half-width of the guard band: queries closer than this (radians for
+/// yaw sectors, in `sin(pitch)` units for pitch bands — the two scales
+/// differ by at most ~2.6× for the band boundaries of practical grids)
+/// to a tile boundary are answered by the exact path.
+const GUARD: f64 = 1e-9;
+
+/// Precomputed boundary tables mapping directions to tiles of one
+/// [`TileGrid`], bit-identical to
+/// `grid.tile_of_direction(v.normalized())` by construction (see the
+/// module docs for the argument; the test suite fuzzes it).
+#[derive(Debug, Clone)]
+pub struct TileClassifier {
+    grid: TileGrid,
+    /// `(cos θ_k, sin θ_k)` for the yaw sector boundaries
+    /// `θ_k = −π + k·2π/cols`, `k = 0..cols`. Empty when `cols < 3`
+    /// (those cases use dedicated tests below).
+    col_bounds: Vec<(f64, f64)>,
+    /// `sin(pitch_m)` for the pitch band boundaries
+    /// `pitch_m = π/2 − m·π/rows`, `m = 1..rows`, strictly decreasing.
+    row_sins: Vec<f64>,
+}
+
+impl TileClassifier {
+    /// Tabulate the boundaries of `grid`.
+    pub fn new(grid: TileGrid) -> TileClassifier {
+        let cols = grid.cols as usize;
+        let rows = grid.rows as usize;
+        let col_bounds = if cols >= 3 {
+            (0..cols)
+                .map(|k| {
+                    let th = -PI + k as f64 * (TAU / cols as f64);
+                    (th.cos(), th.sin())
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let row_sins = (1..rows)
+            .map(|m| (FRAC_PI_2 - m as f64 * (PI / rows as f64)).sin())
+            .collect();
+        TileClassifier {
+            grid,
+            col_bounds,
+            row_sins,
+        }
+    }
+
+    /// The grid the tables were built for.
+    pub fn grid(&self) -> TileGrid {
+        self.grid
+    }
+
+    /// The exact path the classifier must agree with.
+    #[cold]
+    fn exact(&self, v: Vec3) -> TileId {
+        self.grid.tile_of_direction(v.normalized())
+    }
+
+    /// The tile containing direction `v` (which need not be
+    /// normalized); returns exactly what
+    /// `grid.tile_of_direction(v.normalized())` returns.
+    #[inline]
+    pub fn classify(&self, v: Vec3) -> TileId {
+        let (x, y, z) = (v.x, v.y, v.z);
+        let n2 = x * x + y * y + z * z;
+        // Degenerate or non-finite input: defer to the original chain
+        // (which maps near-zero vectors to +X, NaN to tile 0).
+        if !(n2.is_finite() && n2 >= 1e-24) {
+            return self.exact(v);
+        }
+
+        // Yaw sector from the (x, y) components alone: membership in
+        // sector k is a sign pattern over cross products against the
+        // boundary directions. All comparisons carry a guard of
+        // GUARD·(|x|+|y|), an angular band ≥ GUARD/√2 radians.
+        let cols = self.grid.cols;
+        let col = if cols == 1 {
+            0u16
+        } else if cols == 2 {
+            // Boundaries at yaw 0 and ±π: both have y = 0.
+            if y.abs() <= GUARD * (x.abs() + y.abs()) {
+                return self.exact(v);
+            }
+            if y < 0.0 {
+                0 // yaw ∈ (−π, 0) → u ∈ (0, 0.5)
+            } else {
+                1
+            }
+        } else {
+            let g = GUARD * (x.abs() + y.abs());
+            let nb = self.col_bounds.len();
+            // c_k = sin(yaw − θ_k)·r flips sign exactly once around the
+            // circle (+ arc then − arc, each spanning π > sector width),
+            // so sector k is the single +→− transition.
+            let mut col = u16::MAX;
+            let mut first = 0.0f64;
+            let mut prev = 0.0f64;
+            for (k, &(ck, sk)) in self.col_bounds.iter().enumerate() {
+                let c = ck * y - sk * x;
+                if c.abs() <= g {
+                    return self.exact(v);
+                }
+                if k == 0 {
+                    first = c;
+                } else if prev > 0.0 && c < 0.0 {
+                    col = (k - 1) as u16;
+                }
+                prev = c;
+            }
+            if col == u16::MAX {
+                // The transition wraps: sector nb−1 spans up to +π.
+                if prev > 0.0 && first < 0.0 {
+                    (nb - 1) as u16
+                } else {
+                    return self.exact(v);
+                }
+            } else {
+                col
+            }
+        };
+
+        // Pitch band from z/|v| against the boundary sines. Band
+        // boundaries of an r-row grid satisfy |pitch_m| ≤ π/2 − π/r, so
+        // d(sin)/d(pitch) ≥ sin(π/r) and the GUARD in sin-space covers
+        // an angular band within ~2.6× of GUARD for r ≤ 8 (wider rows
+        // are even safer). The pole clamps in the exact path only bite
+        // strictly inside the extreme bands, never at a boundary.
+        let row = if self.row_sins.is_empty() {
+            0u16
+        } else {
+            let zn = z / n2.sqrt();
+            let mut row = 0u16;
+            for &zm in &self.row_sins {
+                if (zn - zm).abs() <= GUARD {
+                    return self.exact(v);
+                }
+                if zn < zm {
+                    row += 1;
+                }
+            }
+            row
+        };
+
+        self.grid.id_at(row, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orientation::Orientation;
+
+    fn grids() -> Vec<TileGrid> {
+        vec![
+            TileGrid::new(2, 4),
+            TileGrid::new(4, 6),
+            TileGrid::new(3, 7),
+            TileGrid::new(1, 1),
+            TileGrid::new(1, 2),
+            TileGrid::new(2, 2),
+            TileGrid::new(8, 12),
+            TileGrid::new(5, 3),
+        ]
+    }
+
+    #[test]
+    fn matches_exact_on_angle_sweep() {
+        for grid in grids() {
+            let cls = TileClassifier::new(grid);
+            for i in 0..360 {
+                for j in 0..90 {
+                    let yaw = (i as f64 - 180.0).to_radians() + 1e-4;
+                    let pitch = (j as f64 * 2.0 - 89.0).to_radians() + 3e-5;
+                    let d = Orientation::new(yaw, pitch, 0.0).direction() * 1.37;
+                    assert_eq!(
+                        cls.classify(d),
+                        grid.tile_of_direction(d.normalized()),
+                        "grid {grid:?} yaw {yaw} pitch {pitch}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exact_at_and_near_boundaries() {
+        // Directions straddling every yaw sector and pitch band
+        // boundary at offsets spanning deep inside the guard band to
+        // far outside it.
+        let offsets = [
+            0.0, 1e-16, -1e-16, 1e-12, -1e-12, 1e-10, -1e-10, 2e-9, -2e-9, 1e-7, -1e-7, 1e-3, -1e-3,
+        ];
+        for grid in grids() {
+            let cls = TileClassifier::new(grid);
+            for k in 0..grid.cols {
+                let th = -PI + k as f64 * (TAU / grid.cols as f64);
+                for &dy in &offsets {
+                    for &pitch in &[-1.2, -0.3, 0.0, 0.4, 1.1] {
+                        let d = Orientation::new(th + dy, pitch, 0.0).direction();
+                        assert_eq!(
+                            cls.classify(d),
+                            grid.tile_of_direction(d.normalized()),
+                            "grid {grid:?} col boundary {k} offset {dy}"
+                        );
+                    }
+                }
+            }
+            for m in 1..grid.rows {
+                let pm = FRAC_PI_2 - m as f64 * (PI / grid.rows as f64);
+                for &dp in &offsets {
+                    for &yaw in &[-3.0, -0.7, 0.0, 0.2, 2.9] {
+                        let d = Orientation::new(yaw, pm + dp, 0.0).direction();
+                        assert_eq!(
+                            cls.classify(d),
+                            grid.tile_of_direction(d.normalized()),
+                            "grid {grid:?} row boundary {m} offset {dp}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exact_at_poles_wrap_and_degenerates() {
+        let vecs = [
+            Vec3::Z,
+            -Vec3::Z,
+            Vec3::new(1e-14, -3e-15, 0.9),
+            Vec3::new(-1e-300, 1e-300, -1.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(-1.0, -0.0, 0.0),
+            Vec3::new(-1.0, 1e-13, 0.3),
+            Vec3::new(-1.0, -1e-13, -0.3),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1e-20, 0.0, 0.0),
+            Vec3::X,
+            Vec3::Y,
+            -Vec3::Y,
+        ];
+        for grid in grids() {
+            let cls = TileClassifier::new(grid);
+            for &v in &vecs {
+                assert_eq!(
+                    cls.classify(v),
+                    grid.tile_of_direction(v.normalized()),
+                    "grid {grid:?} v {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_pseudorandom_raw_vectors() {
+        // Raw (unnormalized) vectors like the ray loop produces,
+        // driven by a deterministic LCG.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 6.0 - 3.0
+        };
+        for grid in grids() {
+            let cls = TileClassifier::new(grid);
+            for _ in 0..20_000 {
+                let v = Vec3::new(next(), next(), next());
+                assert_eq!(
+                    cls.classify(v),
+                    grid.tile_of_direction(v.normalized()),
+                    "grid {grid:?} v {v:?}"
+                );
+            }
+        }
+    }
+}

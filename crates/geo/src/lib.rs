@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod angles;
+pub mod classifier;
 pub mod cube_tiling;
 pub mod orientation;
 pub mod projection;
@@ -29,6 +30,7 @@ pub mod vector;
 pub mod viewport;
 pub mod viscache;
 
+pub use classifier::TileClassifier;
 pub use cube_tiling::CubeTileGrid;
 pub use orientation::{Orientation, Quat};
 pub use projection::{CubeFace, CubeMap, Equirect, OffsetCubeMap, PixelBudget, Uv};

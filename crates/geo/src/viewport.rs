@@ -5,6 +5,7 @@
 //! extents; its key operation is computing which tiles of a [`TileGrid`]
 //! are visible, and with what share of the screen.
 
+use crate::classifier::TileClassifier;
 use crate::orientation::Orientation;
 use crate::tiling::{TileGrid, TileId};
 use crate::vector::Vec3;
@@ -96,10 +97,10 @@ impl Viewport {
     ///
     /// Per-call invariants — the orientation basis, the tangents of the
     /// half-FoVs, and the per-row screen coordinate `sy` — are hoisted
-    /// out of the inner loop. The per-sample arithmetic is kept
-    /// operation-for-operation identical to [`Viewport::ray`] followed
-    /// by [`TileGrid::tile_of_direction`], so results are bit-identical
-    /// to the naive formulation (golden traces depend on this).
+    /// out of the inner loop. Each raw (unnormalized) ray is binned by
+    /// a cached [`TileClassifier`], whose result is bit-identical to
+    /// [`Viewport::ray`] followed by [`TileGrid::tile_of_direction`]
+    /// (golden traces depend on this; see `classifier` module docs).
     pub fn visible_tiles_into(
         &self,
         grid: &TileGrid,
@@ -108,9 +109,7 @@ impl Viewport {
         out: &mut Vec<(TileId, f64)>,
     ) {
         assert!(samples >= 2, "need at least a 2x2 sample grid");
-        let counts = &mut scratch.counts;
-        counts.clear();
-        counts.resize(grid.tile_count(), 0);
+        let (cls, counts) = scratch.for_grid(grid);
         let n = samples;
         // Hoisted invariants: `ray` recomputes these for every sample.
         let (f, l, u) = self.orientation.basis();
@@ -124,8 +123,7 @@ impl Viewport {
             let uy = u * (tan_v * sy);
             for ix in 0..n {
                 let sx = (ix as f64 + 0.5) / n as f64 * 2.0 - 1.0;
-                let dir = (f + l * (tan_h * sx) + uy).normalized();
-                counts[grid.tile_of_direction(dir).index()] += 1;
+                counts[cls.classify(f + l * (tan_h * sx) + uy).index()] += 1;
             }
         }
         let total = (n * n) as f64;
@@ -143,13 +141,45 @@ impl Viewport {
     /// Just the set of visible tile ids (sorted by id), using the default
     /// sampling density.
     pub fn visible_tile_set(&self, grid: &TileGrid) -> Vec<TileId> {
-        let mut tiles: Vec<TileId> = self
-            .visible_tiles(grid, 16)
-            .into_iter()
-            .map(|(t, _)| t)
-            .collect();
-        tiles.sort();
+        let mut tiles = Vec::new();
+        self.visible_tile_set_into(grid, &mut VisibilityScratch::new(), &mut tiles);
         tiles
+    }
+
+    /// Scratch-reusing form of [`Viewport::visible_tile_set`]: the set
+    /// of tiles with at least one ray hit, in ascending id order (the
+    /// order a coverage sort followed by an id sort would produce), at
+    /// the same default sampling density. Skips the coverage fractions
+    /// and both sorts entirely — hit tiles are read straight out of the
+    /// count buffer in index order — so the result is identical to
+    /// `visible_tile_set` by construction.
+    pub fn visible_tile_set_into(
+        &self,
+        grid: &TileGrid,
+        scratch: &mut VisibilityScratch,
+        out: &mut Vec<TileId>,
+    ) {
+        let (cls, counts) = scratch.for_grid(grid);
+        let n = 16u32;
+        let (f, l, u) = self.orientation.basis();
+        let tan_h = (self.hfov / 2.0).tan();
+        let tan_v = (self.vfov / 2.0).tan();
+        for iy in 0..n {
+            let sy = (iy as f64 + 0.5) / n as f64 * 2.0 - 1.0;
+            let uy = u * (tan_v * sy);
+            for ix in 0..n {
+                let sx = (ix as f64 + 0.5) / n as f64 * 2.0 - 1.0;
+                counts[cls.classify(f + l * (tan_h * sx) + uy).index()] += 1;
+            }
+        }
+        out.clear();
+        out.extend(
+            counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, _)| TileId(i as u16)),
+        );
     }
 
     /// Fraction of the screen covered by `tile` (0 when off screen).
@@ -222,15 +252,12 @@ pub fn visible_tiles_batch(
     let total = (n * n) as f64;
     let mut out: Vec<(TileId, f64)> = Vec::new();
     for (pose, &orientation) in orientations.iter().enumerate() {
-        let counts = &mut scratch.counts;
-        counts.clear();
-        counts.resize(grid.tile_count(), 0);
+        let (cls, counts) = scratch.for_grid(grid);
         let (f, l, u) = orientation.basis();
         for &y in &ys {
             let uy = u * y;
             for &x in &xs {
-                let dir = (f + l * x + uy).normalized();
-                counts[grid.tile_of_direction(dir).index()] += 1;
+                counts[cls.classify(f + l * x + uy).index()] += 1;
             }
         }
         out.clear();
@@ -254,12 +281,27 @@ pub fn visible_tiles_batch(
 #[derive(Debug, Clone, Default)]
 pub struct VisibilityScratch {
     counts: Vec<u32>,
+    classifier: Option<TileClassifier>,
 }
 
 impl VisibilityScratch {
     /// An empty scratch; buffers grow on first use.
     pub fn new() -> VisibilityScratch {
         VisibilityScratch::default()
+    }
+
+    /// The cached classifier for `grid` (rebuilt if the grid changed
+    /// since the last query) plus the zeroed count buffer.
+    fn for_grid(&mut self, grid: &TileGrid) -> (&TileClassifier, &mut Vec<u32>) {
+        if self.classifier.as_ref().map(|c| c.grid()) != Some(*grid) {
+            self.classifier = Some(TileClassifier::new(*grid));
+        }
+        self.counts.clear();
+        self.counts.resize(grid.tile_count(), 0);
+        (
+            self.classifier.as_ref().expect("just set"),
+            &mut self.counts,
+        )
     }
 }
 

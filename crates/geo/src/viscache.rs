@@ -11,18 +11,51 @@
 //! cache hit is bit-identical to recomputation by construction — the
 //! golden trace digests cannot tell the difference.
 //!
-//! The cache is deliberately **not** `Send`/`Sync` (it is an
-//! `Rc<RefCell<..>>` handle, like `TraceSink`): every simulation in this
-//! workspace is single-threaded and deterministic, and parallel sweeps
-//! get one cache per worker-built world. Per-thread caches mean the hit
-//! pattern can differ with worker count, but results never can, so the
-//! sweep harness's byte-determinism across 1/2/8 workers is preserved.
+//! The handle is an `Arc<Mutex<..>>` (like `TraceSink`), so a world
+//! holding one is `Send` and the parallel federation replay can move
+//! node worlds across worker threads between windows. Determinism does
+//! not depend on the hit pattern: the key is the exact bit pattern and
+//! the stored value the exact computed result, so a hit and a
+//! recomputation are indistinguishable. Parallel sweeps still build one
+//! cache per worker world, keeping lock contention at zero.
 
 use crate::tiling::{TileGrid, TileId};
 use crate::viewport::{Viewport, VisibilityScratch};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A fast multiply-rotate hasher for [`VisKey`] lookups (FxHash-style).
+/// The memo map sits on the per-display hot path, where SipHash over
+/// the 46-byte key costs more than the rest of a cache hit combined;
+/// keys are trusted simulation state, so DoS hardening buys nothing.
+/// Purely an internal detail: hit patterns and results are unchanged.
+#[derive(Default)]
+struct VisKeyHasher(u64);
+
+impl Hasher for VisKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(n as u64);
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n)
+            .wrapping_mul(0x517c_c1b7_2722_0a95)
+            .rotate_left(5);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type VisKeyMap = HashMap<VisKey, Entry, BuildHasherDefault<VisKeyHasher>>;
 
 /// Exact memoization key: the f64 bit patterns of the viewport's
 /// orientation and FoV extents, the grid shape, and the sample density.
@@ -73,7 +106,7 @@ pub struct VisCacheStats {
 
 #[derive(Debug)]
 struct Entry {
-    tiles: Rc<[(TileId, f64)]>,
+    tiles: Arc<[(TileId, f64)]>,
     /// Monotone use tick; strictly increasing over touches, so LRU
     /// eviction has a unique, deterministic victim.
     last_used: u64,
@@ -83,7 +116,7 @@ struct Entry {
 struct CacheInner {
     capacity: usize,
     tick: u64,
-    entries: HashMap<VisKey, Entry>,
+    entries: VisKeyMap,
     scratch: VisibilityScratch,
     hits: u64,
     misses: u64,
@@ -92,7 +125,7 @@ struct CacheInner {
 
 /// A bounded LRU memo of exact [`Viewport::visible_tiles`] results.
 ///
-/// The handle is cheap to clone (`Rc`); clones share one cache, which
+/// The handle is cheap to clone (`Arc`); clones share one cache, which
 /// is how a cache is threaded through a session's subsystems. See the
 /// [module docs](self) for the bit-exactness and threading contract.
 ///
@@ -109,7 +142,13 @@ struct CacheInner {
 /// ```
 #[derive(Debug, Clone)]
 pub struct VisibilityCache {
-    inner: Option<Rc<RefCell<CacheInner>>>,
+    inner: Option<Arc<Mutex<CacheInner>>>,
+}
+
+/// Lock the cache state, surviving a poisoned mutex (a panicking
+/// worker must not mask the original failure with a second one).
+fn lock(inner: &Mutex<CacheInner>) -> MutexGuard<'_, CacheInner> {
+    inner.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Default LRU bound: generously covers a session's working set of
@@ -131,10 +170,13 @@ impl VisibilityCache {
             "capacity must be positive; use disabled() to turn caching off"
         );
         VisibilityCache {
-            inner: Some(Rc::new(RefCell::new(CacheInner {
+            inner: Some(Arc::new(Mutex::new(CacheInner {
                 capacity,
                 tick: 0,
-                entries: HashMap::with_capacity(capacity.min(1024)),
+                entries: VisKeyMap::with_capacity_and_hasher(
+                    capacity.min(1024),
+                    BuildHasherDefault::default(),
+                ),
                 scratch: VisibilityScratch::new(),
                 hits: 0,
                 misses: 0,
@@ -155,32 +197,32 @@ impl VisibilityCache {
     }
 
     /// Memoized [`Viewport::visible_tiles`]: bit-identical results, with
-    /// repeat queries answered by an `Rc` clone (no recomputation, no
+    /// repeat queries answered by an `Arc` clone (no recomputation, no
     /// allocation).
     pub fn visible_tiles(
         &self,
         viewport: &Viewport,
         grid: &TileGrid,
         samples: u32,
-    ) -> Rc<[(TileId, f64)]> {
+    ) -> Arc<[(TileId, f64)]> {
         let inner = match &self.inner {
-            None => return Rc::from(viewport.visible_tiles(grid, samples)),
+            None => return Arc::from(viewport.visible_tiles(grid, samples)),
             Some(inner) => inner,
         };
-        let mut inner = inner.borrow_mut();
         let key = VisKey::new(viewport, grid, samples);
+        let mut inner = lock(inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.entries.get_mut(&key) {
             entry.last_used = tick;
-            let tiles = Rc::clone(&entry.tiles);
+            let tiles = Arc::clone(&entry.tiles);
             inner.hits += 1;
             return tiles;
         }
         inner.misses += 1;
         let mut out = Vec::new();
         viewport.visible_tiles_into(grid, samples, &mut inner.scratch, &mut out);
-        let tiles: Rc<[(TileId, f64)]> = Rc::from(out);
+        let tiles: Arc<[(TileId, f64)]> = Arc::from(out);
         if inner.entries.len() >= inner.capacity {
             // Evict the least-recently-used entry. Ticks are unique, so
             // the victim is deterministic regardless of map iteration
@@ -199,7 +241,7 @@ impl VisibilityCache {
         inner.entries.insert(
             key,
             Entry {
-                tiles: Rc::clone(&tiles),
+                tiles: Arc::clone(&tiles),
                 last_used: tick,
             },
         );
@@ -224,7 +266,7 @@ impl VisibilityCache {
         match &self.inner {
             None => VisCacheStats::default(),
             Some(inner) => {
-                let inner = inner.borrow();
+                let inner = lock(inner);
                 VisCacheStats {
                     hits: inner.hits,
                     misses: inner.misses,
@@ -239,7 +281,7 @@ impl VisibilityCache {
     /// Drop every memoized entry (counters survive).
     pub fn clear(&self) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().entries.clear();
+            lock(inner).entries.clear();
         }
     }
 }
@@ -266,7 +308,7 @@ mod tests {
             assert_eq!(a.1.to_bits(), b.1.to_bits());
         }
         assert!(
-            Rc::ptr_eq(&miss, &hit),
+            Arc::ptr_eq(&miss, &hit),
             "a hit shares the stored allocation"
         );
         let s = cache.stats();
@@ -332,7 +374,7 @@ mod tests {
         let a = cache.visible_tiles(&v, &grid, 16);
         let b = cache.visible_tiles(&v, &grid, 16);
         assert!(!cache.is_enabled());
-        assert!(!Rc::ptr_eq(&a, &b), "no memoization when disabled");
+        assert!(!Arc::ptr_eq(&a, &b), "no memoization when disabled");
         assert_eq!(cache.stats(), VisCacheStats::default());
     }
 

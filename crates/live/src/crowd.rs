@@ -14,7 +14,7 @@
 //! `v + L_hi` — by which point the crowd's gaze at `v` is long known.
 
 use serde::{Deserialize, Serialize};
-use sperke_geo::{TileGrid, TileId, Viewport, VisibilityCache};
+use sperke_geo::{TileGrid, TileId, Viewport, VisibilityCache, VisibilityScratch};
 use sperke_hmp::{FusedForecaster, HeadTrace, Heatmap};
 use sperke_sim::{SimDuration, SimTime};
 use sperke_video::ChunkTime;
@@ -142,12 +142,17 @@ pub fn viewer_reports(
     viewer: &LiveViewer,
     chunks: u32,
 ) -> Vec<(SimTime, ChunkTime, Vec<TileId>)> {
+    // One scratch (ray-hit counts + boundary classifier) serves every
+    // chunk; `visible_tile_set_into` returns the identical tile set to
+    // `visible_tile_set` without sorting or coverage fractions.
+    let mut scratch = VisibilityScratch::new();
     (0..chunks)
         .map(|c| {
             let video_time = SimTime::ZERO + chunk_duration * c as u64;
             let wall = video_time + viewer.latency + report_delay;
             let gaze = viewer.trace.at(video_time + chunk_duration / 2);
-            let tiles = Viewport::headset(gaze).visible_tile_set(grid);
+            let mut tiles = Vec::new();
+            Viewport::headset(gaze).visible_tile_set_into(grid, &mut scratch, &mut tiles);
             (wall, ChunkTime(c), tiles)
         })
         .collect()

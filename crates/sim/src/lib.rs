@@ -54,7 +54,8 @@ pub use rng::SimRng;
 pub use runner::{RunOutcome, Scheduler, Simulation, World};
 pub use schedule::ReplayQueue;
 pub use sweep::{
-    parallel_indexed, run_sweep, PointOutcome, SweepPlan, SweepPoint, SweepReport, SweepSummary,
+    default_threads, parallel_indexed, run_sweep, PointOutcome, SweepPlan, SweepPoint, SweepReport,
+    SweepSummary,
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::{

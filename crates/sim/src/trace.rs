@@ -31,10 +31,9 @@
 use crate::metrics::{Counter, Histogram, TimeSeries};
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// How much detail a subsystem records. Levels are cumulative: enabling
 /// [`TraceLevel::Verbose`] also records everything below it.
@@ -732,9 +731,21 @@ struct SinkInner {
 /// A shared handle to the trace buffer. Cloning is cheap (a reference
 /// count); a disabled sink carries no allocation at all, so passing one
 /// through hot paths and emitting into it costs a single branch.
+///
+/// The buffer sits behind an `Arc<Mutex<..>>`, so a sink (and anything
+/// holding one, like an edge world) is `Send`: the parallel federation
+/// replay moves node worlds across worker threads between windows.
+/// Within a window each sink is only touched from one thread, so the
+/// lock is never contended and event order stays deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSink {
-    inner: Option<Rc<RefCell<SinkInner>>>,
+    inner: Option<Arc<Mutex<SinkInner>>>,
+}
+
+/// Lock a sink's state, surviving a poisoned mutex (a panicking worker
+/// must not mask the original failure with a second one).
+fn lock(inner: &Mutex<SinkInner>) -> MutexGuard<'_, SinkInner> {
+    inner.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 impl TraceSink {
@@ -748,7 +759,7 @@ impl TraceSink {
     /// [`TraceSink::with_level`] to get the no-op sink for `Off`.
     pub fn new(config: TraceConfig) -> TraceSink {
         TraceSink {
-            inner: Some(Rc::new(RefCell::new(SinkInner {
+            inner: Some(Arc::new(Mutex::new(SinkInner {
                 config,
                 events: VecDeque::new(),
                 dropped: 0,
@@ -779,7 +790,7 @@ impl TraceSink {
     pub fn enabled(&self, subsystem: Subsystem, level: TraceLevel) -> bool {
         match &self.inner {
             None => false,
-            Some(inner) => inner.borrow().config.level_for(subsystem) >= level,
+            Some(inner) => lock(inner).config.level_for(subsystem) >= level,
         }
     }
 
@@ -788,7 +799,7 @@ impl TraceSink {
     #[inline]
     pub fn emit(&self, event: TraceEvent) {
         let Some(inner) = &self.inner else { return };
-        let mut inner = inner.borrow_mut();
+        let mut inner = lock(inner);
         if inner.config.level_for(event.subsystem()) < event.level() {
             return;
         }
@@ -802,16 +813,14 @@ impl TraceSink {
     /// Access the shared [`MetricsRegistry`]; returns `None` (without
     /// calling `f`) on a disabled sink.
     pub fn metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
-        self.inner
-            .as_ref()
-            .map(|inner| f(&mut inner.borrow_mut().metrics))
+        self.inner.as_ref().map(|inner| f(&mut lock(inner).metrics))
     }
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
         self.inner
             .as_ref()
-            .map_or(0, |inner| inner.borrow().events.len())
+            .map_or(0, |inner| lock(inner).events.len())
     }
 
     /// True when nothing has been recorded (always true when disabled).
@@ -830,7 +839,7 @@ impl TraceSink {
                 metrics: MetricsRegistry::new(),
             },
             Some(inner) => {
-                let inner = inner.borrow();
+                let inner = lock(inner);
                 Trace {
                     level: inner.config.level,
                     events: inner.events.iter().cloned().collect(),
@@ -838,6 +847,37 @@ impl TraceSink {
                     metrics: inner.metrics.clone(),
                 }
             }
+        }
+    }
+
+    /// Consume the sink, moving the captured trace out without cloning
+    /// a single event. When this is the last handle (the common
+    /// end-of-run case: schedulers and worlds have been dropped), the
+    /// ring buffer is transferred wholesale; if other handles are still
+    /// alive the call degrades to a [`TraceSink::snapshot`] copy.
+    pub fn into_trace(self) -> Trace {
+        match self.inner {
+            None => Trace {
+                level: TraceLevel::Off,
+                events: Vec::new(),
+                dropped: 0,
+                metrics: MetricsRegistry::new(),
+            },
+            Some(inner) => match Arc::try_unwrap(inner) {
+                Ok(mutex) => {
+                    let inner = mutex.into_inner().unwrap_or_else(|p| p.into_inner());
+                    Trace {
+                        level: inner.config.level,
+                        events: inner.events.into(),
+                        dropped: inner.dropped,
+                        metrics: inner.metrics,
+                    }
+                }
+                Err(shared) => TraceSink {
+                    inner: Some(shared),
+                }
+                .snapshot(),
+            },
         }
     }
 }
@@ -895,11 +935,31 @@ impl Trace {
     /// is fully deterministic (ordered keys, stable float formatting), so
     /// identical runs produce byte-identical output.
     pub fn to_jsonl(&self) -> String {
-        self.events
-            .iter()
-            .map(|e| serde_json::to_string(e).expect("trace event serializes"))
-            .collect::<Vec<_>>()
-            .join("\n")
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            e.write_json(&mut out);
+        }
+        out
+    }
+
+    /// Stream the JSONL export into any [`std::fmt::Write`] — the same
+    /// bytes as [`Trace::to_jsonl`] without materializing the whole
+    /// document. Events serialize one at a time into a single reusable
+    /// buffer, so memory stays bounded by the longest event line.
+    pub fn write_jsonl(&self, out: &mut impl std::fmt::Write) -> std::fmt::Result {
+        let mut buf = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.write_char('\n')?;
+            }
+            buf.clear();
+            e.write_json(&mut buf);
+            out.write_str(&buf)?;
+        }
+        Ok(())
     }
 
     /// The recorded events sorted by timestamp, ties broken by emission
@@ -922,18 +982,37 @@ impl Trace {
     /// [`Trace::events_ordered`]): guaranteed nondecreasing `at` fields,
     /// byte-identical across identical runs.
     pub fn to_jsonl_ordered(&self) -> String {
-        self.events_ordered()
-            .iter()
-            .map(|e| serde_json::to_string(e).expect("trace event serializes"))
-            .collect::<Vec<_>>()
-            .join("\n")
+        let mut out = String::new();
+        for (i, e) in self.events_ordered().into_iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            e.write_json(&mut out);
+        }
+        out
     }
 
     /// A stable 64-bit fingerprint of the trace: FNV-1a over the JSONL
     /// bytes, folded with the dropped count. Identical seeds and levels
     /// produce identical digests across runs and platforms.
+    ///
+    /// Hashes incrementally — each event serializes into one reusable
+    /// buffer whose bytes feed the hash directly, so the digest of an
+    /// arbitrarily long trace allocates only that buffer (the value is
+    /// identical to hashing the full [`Trace::to_jsonl`] string).
     pub fn digest(&self) -> u64 {
-        let mut h = fnv1a64(self.to_jsonl().as_bytes());
+        let mut h = FNV_OFFSET;
+        let mut buf = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                h = fnv1a64_step(h, b'\n');
+            }
+            buf.clear();
+            e.write_json(&mut buf);
+            for &b in buf.as_bytes() {
+                h = fnv1a64_step(h, b);
+            }
+        }
         for b in self.dropped.to_le_bytes() {
             h = fnv1a64_step(h, b);
         }
@@ -1040,6 +1119,59 @@ mod tests {
         let clone = sink.clone();
         clone.emit(stall(1, 0));
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn streaming_jsonl_matches_per_event_to_string_construction() {
+        // Pins the streaming serializer (reusable buffer + incremental
+        // digest) byte-for-byte against the original construction:
+        // serde_json::to_string per event, joined with '\n', hashed as
+        // one buffer. Goldens across the workspace depend on these bytes.
+        let sink = TraceSink::new(TraceConfig::new(TraceLevel::Verbose).capacity(4));
+        sink.emit(TraceEvent::StallStarted {
+            at: SimTime::from_millis(2500),
+            chunk: 3,
+        });
+        sink.emit(cache_hit(1)); // out-of-order timestamp for the ordered view
+        sink.emit(TraceEvent::AbrDecision {
+            at: SimTime::from_secs(4),
+            chunk: 9,
+            chosen: 1,
+            buffer_ms: 125,
+            bandwidth_bps: 2.5e6,
+            candidates: Vec::new(),
+        });
+        for i in 0..3 {
+            sink.emit(stall(5 + i, i as u32)); // overflow the ring → dropped > 0
+        }
+        let trace = sink.into_trace();
+        assert_eq!(trace.dropped(), 2);
+
+        let legacy: Vec<String> = trace
+            .events()
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect();
+        let legacy_jsonl = legacy.join("\n");
+        assert_eq!(trace.to_jsonl(), legacy_jsonl);
+
+        let mut streamed = String::new();
+        trace.write_jsonl(&mut streamed).unwrap();
+        assert_eq!(streamed, legacy_jsonl);
+
+        let legacy_ordered = trace
+            .events_ordered()
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(trace.to_jsonl_ordered(), legacy_ordered);
+
+        let mut h = fnv1a64(legacy_jsonl.as_bytes());
+        for b in trace.dropped().to_le_bytes() {
+            h = fnv1a64_step(h, b);
+        }
+        assert_eq!(trace.digest(), h);
     }
 
     #[test]

@@ -431,12 +431,81 @@ fn main() {
     println!("  origin savings : {fed_savings_pct:>8.1} % vs isolated edges");
     println!("  regional hits  : {fed_hit_pct:>8.1} %");
 
+    // ---------------- PR9: parallel replay + streaming digests ----------------
+    // Same 4-node flash-crowd scenario as PR8, re-measured on both
+    // replay engines. `workers = 1` is the serial oracle (the
+    // production path on single-core hosts); the hard gate pins it at
+    // >= 1.5x the PR8 committed anchor — the guard-banded tile
+    // classifier alone clears that on one core. `workers = 8` runs the
+    // windowed parallel engine; its number is recorded for multi-core
+    // hosts but not gated (on a single-core container it measures pure
+    // windowing overhead, not speedup).
+    const PR8_FED_STEPS_ANCHOR: f64 = 11_135.0;
+    let time_fed = |workers: usize| -> f64 {
+        let mut secs: Vec<f64> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(run_federation(
+                    &fed_video,
+                    &fed_cfg,
+                    &fed_clients,
+                    &fed_harness,
+                    None,
+                    workers,
+                ));
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        fed_steps / secs[1]
+    };
+    let pr9_serial_steps_per_s = time_fed(1);
+    let pr9_parallel_steps_per_s = time_fed(8);
+    let pr9_speedup = pr9_serial_steps_per_s / PR8_FED_STEPS_ANCHOR;
+    assert!(
+        pr9_serial_steps_per_s >= 1.5 * PR8_FED_STEPS_ANCHOR,
+        "federation replay must be >= 1.5x the PR8 anchor: \
+         {pr9_serial_steps_per_s:.0} vs {PR8_FED_STEPS_ANCHOR:.0}"
+    );
+    // Streaming digest throughput: hash every trace of a verbose
+    // federation run through the incremental per-event path.
+    let fed_traced = FederationHarness {
+        trace: sperke_sim::trace::TraceLevel::Verbose,
+        ..Default::default()
+    };
+    let traced_run = run_federation(&fed_video, &fed_cfg, &fed_clients, &fed_traced, None, 0);
+    let traces: Vec<&sperke_sim::trace::Trace> = std::iter::once(&traced_run.trace)
+        .chain(traced_run.node_traces.iter())
+        .collect();
+    let digest_bytes: usize = traces.iter().map(|t| t.to_jsonl().len()).sum();
+    let mut digest_secs: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for t in &traces {
+                std::hint::black_box(t.digest());
+            }
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    digest_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let digest_mb_per_s = digest_bytes as f64 / 1e6 / digest_secs[2];
+    println!("parallel replay + streaming digest");
+    println!(
+        "  serial replay  : {pr9_serial_steps_per_s:>8.0} steps/s ({pr9_speedup:.1}x PR8 anchor {PR8_FED_STEPS_ANCHOR:.0})"
+    );
+    println!("  windowed x8    : {pr9_parallel_steps_per_s:>8.0} steps/s (record-only)");
+    println!(
+        "  trace digest   : {digest_mb_per_s:>8.1} MB/s over {:.1} MB of JSONL",
+        digest_bytes as f64 / 1e6
+    );
+
     // ---------------- Compare against committed baselines ----------------
     let pr4_base = load_baseline("BENCH_PR4.json");
     let pr5_base = load_baseline("BENCH_PR5.json");
     let pr6_base = load_baseline("BENCH_PR6.json");
     let pr7_base = load_baseline("BENCH_PR7.json");
     let pr8_base = load_baseline("BENCH_PR8.json");
+    let pr9_base = load_baseline("BENCH_PR9.json");
     // Wall-clock metrics gate at the tolerance; deterministic byte and
     // rate metrics regress only through a behaviour change, so they use
     // the same gate and will trip on far smaller drifts in practice.
@@ -602,6 +671,27 @@ fn main() {
             Gate::Record,
             tol,
         ),
+        check(
+            pr9_base.as_ref(),
+            "federation_steps_per_s",
+            pr9_serial_steps_per_s,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr9_base.as_ref(),
+            "federation_parallel_steps_per_s",
+            pr9_parallel_steps_per_s,
+            Gate::Record,
+            tol,
+        ),
+        check(
+            pr9_base.as_ref(),
+            "digest_mb_per_s",
+            digest_mb_per_s,
+            Gate::Record,
+            tol,
+        ),
     ];
 
     // ---------------- Persist fresh artifacts ----------------
@@ -648,8 +738,16 @@ fn main() {
          \"regional_hit_rate_pct\": {fed_hit_pct:.1}\n}}\n"
     );
     std::fs::write("BENCH_PR8.json", &pr8_json).expect("write BENCH_PR8.json");
+    let pr9_json = format!(
+        "{{\n  \"federation_steps_per_s\": {pr9_serial_steps_per_s:.0},\n  \
+         \"federation_parallel_steps_per_s\": {pr9_parallel_steps_per_s:.0},\n  \
+         \"speedup_vs_pr8_anchor\": {pr9_speedup:.1},\n  \
+         \"digest_mb_per_s\": {digest_mb_per_s:.1}\n}}\n"
+    );
+    std::fs::write("BENCH_PR9.json", &pr9_json).expect("write BENCH_PR9.json");
     println!(
-        "\nwrote BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json, BENCH_PR8.json"
+        "\nwrote BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json, \
+         BENCH_PR8.json, BENCH_PR9.json"
     );
 
     let failures: Vec<String> = checks.into_iter().flatten().collect();

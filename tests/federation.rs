@@ -347,6 +347,49 @@ proptest! {
         prop_assert_eq!(&r.report, &base.report);
     }
 
+    /// Contract 1, resilience half: with randomized node-crash scripts
+    /// and origin backhaul outages (which spin up retry barriers inside
+    /// the windowed engine), the parallel replay stays byte-identical
+    /// to the `workers = 1` serial oracle at every worker count.
+    #[test]
+    fn windowed_replay_matches_serial_oracle_under_failures(
+        raw in proptest::collection::vec((0u64..3000, 0u64..500, 1u32..3, 4u64..10, 0u16..3), 2..7),
+        nodes in 2usize..4,
+        fail_node in 0usize..4,
+        fail_at_s in 1u64..8,
+        origin_down_s in 0u64..6,
+        share: bool,
+        seed in 0u64..50,
+    ) {
+        let specs = fed_specs(&raw);
+        let v = video(5);
+        let mut cfg = FederationConfig::default();
+        cfg.node.seed = seed;
+        cfg.seed = seed;
+        cfg.nodes = nodes;
+        cfg.share_heatmaps = share;
+        let mut harness = traced(TraceLevel::Verbose);
+        harness.node_faults = FaultScript::none().link_down(
+            fail_node % nodes,
+            SimTime::from_secs(fail_at_s),
+            SimTime::from_secs(fail_at_s + 60),
+        );
+        if origin_down_s > 0 {
+            harness.origin_faults = FaultScript::none().link_down(
+                0,
+                SimTime::from_secs(origin_down_s),
+                SimTime::from_millis(origin_down_s * 1000 + 800),
+            );
+        }
+        let base = run_federation(&v, &cfg, &specs, &harness, None, 1);
+        for workers in [2usize, 8] {
+            let r = run_federation(&v, &cfg, &specs, &harness, None, workers);
+            prop_assert_eq!(r.combined_jsonl(), base.combined_jsonl());
+            prop_assert_eq!(r.combined_digest(), base.combined_digest());
+            prop_assert_eq!(&r.report, &base.report);
+        }
+    }
+
     /// Contract 1, node half: declaring heterogeneous nodes in any
     /// order yields byte-identical traces — node indices come from the
     /// canonical layout, never from declaration order.

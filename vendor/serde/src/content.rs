@@ -1,5 +1,7 @@
 //! The JSON-shaped data model all (de)serialization flows through.
 
+use std::fmt::Write as _;
+
 /// A dynamically typed JSON value.
 ///
 /// Maps preserve insertion order (struct field declaration order), so
@@ -46,4 +48,83 @@ impl Content {
             Content::Map(_) => "object",
         }
     }
+
+    /// Append the compact JSON encoding of `self` to `out`.
+    ///
+    /// This is the single definition of the crate's JSON text form:
+    /// `serde_json`'s writer and every streaming
+    /// [`Serialize::write_json`](crate::Serialize::write_json) fast
+    /// path produce exactly these bytes (the trace-digest goldens
+    /// depend on that).
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Content::Null => out.push_str("null"),
+            Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Content::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Content::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Content::F64(v) => write_json_f64(*v, out),
+            Content::Str(s) => write_json_str(s, out),
+            Content::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Content::Map(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_str(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Append the JSON number token for `v`: `null` for non-finite values,
+/// otherwise Rust's shortest round-trip `Display` with a `.0` suffix
+/// for integral values (so the token stays a float, matching
+/// serde_json's output).
+pub fn write_json_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{v}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+/// Append the quoted, escaped JSON string token for `s`.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }

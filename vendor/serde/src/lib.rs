@@ -25,7 +25,7 @@ mod content;
 mod de;
 mod ser;
 
-pub use content::Content;
+pub use content::{write_json_f64, write_json_str, Content};
 pub use de::{missing_field, DeError, Deserialize};
 pub use ser::Serialize;
 

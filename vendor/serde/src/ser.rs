@@ -1,22 +1,43 @@
 //! The `Serialize` trait and impls for std types.
 
-use crate::content::Content;
+use crate::content::{write_json_f64, write_json_str, Content};
+use std::fmt::Write as _;
 
 /// Types that can lower themselves into a [`Content`] tree.
 pub trait Serialize {
     /// Convert `self` into the JSON data model.
     fn to_content(&self) -> Content;
+
+    /// Append the compact JSON encoding of `self` to `out`, producing
+    /// exactly the bytes of `self.to_content().write_json(out)` without
+    /// materializing the [`Content`] tree.
+    ///
+    /// The default goes through `to_content`, so overriding is purely a
+    /// performance choice; every impl in this crate (and the derive
+    /// macro) overrides it to stream directly. Byte equality between
+    /// the two paths is pinned by tests in the workspace's trace layer.
+    fn write_json(&self, out: &mut String) {
+        self.to_content().write_json(out);
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_content(&self) -> Content {
         (**self).to_content()
     }
+
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for Box<T> {
     fn to_content(&self) -> Content {
         (**self).to_content()
+    }
+
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
     }
 }
 
@@ -25,6 +46,10 @@ macro_rules! ser_unsigned {
         impl Serialize for $t {
             fn to_content(&self) -> Content {
                 Content::U64(*self as u64)
+            }
+
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{}", *self as u64);
             }
         }
     )*};
@@ -42,6 +67,12 @@ macro_rules! ser_signed {
                     Content::I64(v)
                 }
             }
+
+            // Display of `i64` matches the U64/I64 split: non-negative
+            // values print the same digits either way.
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{}", *self as i64);
+            }
         }
     )*};
 }
@@ -51,11 +82,19 @@ impl Serialize for f64 {
     fn to_content(&self) -> Content {
         Content::F64(*self)
     }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_f64(*self, out);
+    }
 }
 
 impl Serialize for f32 {
     fn to_content(&self) -> Content {
         Content::F64(*self as f64)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_f64(*self as f64, out);
     }
 }
 
@@ -63,11 +102,19 @@ impl Serialize for bool {
     fn to_content(&self) -> Content {
         Content::Bool(*self)
     }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
 }
 
 impl Serialize for char {
     fn to_content(&self) -> Content {
         Content::Str(self.to_string())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self.encode_utf8(&mut [0u8; 4]), out);
     }
 }
 
@@ -75,11 +122,19 @@ impl Serialize for str {
     fn to_content(&self) -> Content {
         Content::Str(self.to_string())
     }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
 }
 
 impl Serialize for String {
     fn to_content(&self) -> Content {
         Content::Str(self.clone())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
     }
 }
 
@@ -90,11 +145,36 @@ impl<T: Serialize> Serialize for Option<T> {
             None => Content::Null,
         }
     }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_json_seq<'a, T: Serialize + 'a>(
+    items: impl IntoIterator<Item = &'a T>,
+    out: &mut String,
+) {
+    out.push('[');
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_content(&self) -> Content {
         Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
     }
 }
 
@@ -102,11 +182,19 @@ impl<T: Serialize> Serialize for [T] {
     fn to_content(&self) -> Content {
         Content::Seq(self.iter().map(Serialize::to_content).collect())
     }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_content(&self) -> Content {
         Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
     }
 }
 
@@ -115,6 +203,20 @@ macro_rules! ser_tuple {
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_content(&self) -> Content {
                 Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$n.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
             }
         }
     )*};
@@ -130,6 +232,19 @@ impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
     fn to_content(&self) -> Content {
         Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
     }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(k, out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
 }
 
 impl<V: Serialize> Serialize for std::collections::BTreeMap<u64, V> {
@@ -140,10 +255,31 @@ impl<V: Serialize> Serialize for std::collections::BTreeMap<u64, V> {
                 .collect(),
         )
     }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Decimal digits never need escaping, so the quoted key
+            // matches `write_json_str(&k.to_string(), ..)` exactly.
+            out.push('"');
+            let _ = write!(out, "{k}");
+            out.push('"');
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
 }
 
 impl Serialize for Content {
     fn to_content(&self) -> Content {
         self.clone()
+    }
+
+    fn write_json(&self, out: &mut String) {
+        Content::write_json(self, out);
     }
 }

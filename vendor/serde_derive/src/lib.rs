@@ -211,6 +211,126 @@ fn parse_enum_body(tokens: &[TokenTree], i: usize) -> Vec<Variant> {
 
 // ------------------------------------------------------------- generation
 
+/// A Rust string literal whose value is `s` (escaping `"` and `\`).
+fn rust_str_lit(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Statements streaming `{prefix}"f1":v1,"f2":v2{suffix}` for named
+/// fields, with `access` mapping a field name to the expression that
+/// borrows it (`&self.f` for structs, `f` for enum binders).
+fn stream_named_fields(
+    fields: &[String],
+    prefix: &str,
+    suffix: &str,
+    access: impl Fn(&str) -> String,
+) -> String {
+    if fields.is_empty() {
+        return format!("__out.push_str({});", rust_str_lit(&format!("{prefix}{{}}{suffix}")));
+    }
+    let mut stmts = Vec::new();
+    for (i, f) in fields.iter().enumerate() {
+        let sep = if i == 0 {
+            format!("{prefix}{{\"{f}\":")
+        } else {
+            format!(",\"{f}\":")
+        };
+        stmts.push(format!("__out.push_str({});", rust_str_lit(&sep)));
+        stmts.push(format!(
+            "::serde::Serialize::write_json({}, __out);",
+            access(f)
+        ));
+    }
+    stmts.push(format!("__out.push_str({});", rust_str_lit(&format!("}}{suffix}"))));
+    stmts.join(" ")
+}
+
+/// The body of the generated streaming `write_json`, producing exactly
+/// the bytes `Content::write_json` emits for the `to_content` tree
+/// (field/variant names are plain identifiers, so key escaping is a
+/// no-op and keys can be baked into the generated literals).
+fn gen_serialize_stream(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            stream_named_fields(fields, "", "", |f| format!("&self.{f}"))
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::write_json(&self.0, __out);".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let mut stmts = vec!["__out.push('[');".to_string()];
+            for i in 0..*n {
+                if i > 0 {
+                    stmts.push("__out.push(',');".to_string());
+                }
+                stmts.push(format!("::serde::Serialize::write_json(&self.{i}, __out);"));
+            }
+            stmts.push("__out.push(']');".to_string());
+            stmts.join(" ")
+        }
+        Shape::Struct(Fields::Unit) => "__out.push_str(\"null\");".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => {{ __out.push_str({}); }}",
+                            rust_str_lit(&format!("\"{vn}\""))
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => {{ __out.push_str({}); \
+                             ::serde::Serialize::write_json(f0, __out); __out.push('}}'); }}",
+                            rust_str_lit(&format!("{{\"{vn}\":"))
+                        ),
+                        Fields::Tuple(n) => {
+                            let mut stmts = vec![format!(
+                                "__out.push_str({});",
+                                rust_str_lit(&format!("{{\"{vn}\":["))
+                            )];
+                            for i in 0..*n {
+                                if i > 0 {
+                                    stmts.push("__out.push(',');".to_string());
+                                }
+                                stmts.push(format!("::serde::Serialize::write_json(f{i}, __out);"));
+                            }
+                            stmts.push("__out.push_str(\"]}\");".to_string());
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            format!(
+                                "{name}::{vn}({}) => {{ {} }}",
+                                binders.join(", "),
+                                stmts.join(" ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let body = stream_named_fields(
+                                fields,
+                                &format!("{{\"{vn}\":"),
+                                "}",
+                                |f| f.to_string(),
+                            );
+                            format!("{name}::{vn} {{ {binders} }} => {{ {body} }}")
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    }
+}
+
 fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
@@ -284,11 +404,13 @@ fn gen_serialize(item: &Item) -> String {
             format!("match self {{ {} }}", arms.join(" "))
         }
     };
+    let stream_body = gen_serialize_stream(item);
     format!(
         "#[automatically_derived]\n\
          #[allow(clippy::all)]\n\
          impl ::serde::Serialize for {name} {{\n\
              fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+             fn write_json(&self, __out: &mut ::std::string::String) {{ {stream_body} }}\n\
          }}"
     )
 }

@@ -43,9 +43,13 @@ impl From<serde::DeError> for Error {
 }
 
 /// Serialize `value` to a compact JSON string.
+///
+/// Streams through [`Serialize::write_json`] — no intermediate
+/// [`Content`] tree for types that override it (the derive macro
+/// always does), and byte-identical output either way.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write::compact(&value.to_content(), &mut out);
+    value.write_json(&mut out);
     Ok(out)
 }
 

@@ -1,38 +1,12 @@
 //! JSON text emission.
+//!
+//! Compact output is defined once, in `serde::Content::write_json`;
+//! this module only adds the pretty printer on top of it.
 
-use serde::Content;
+use serde::{write_json_str, Content};
 
 pub(crate) fn compact(c: &Content, out: &mut String) {
-    match c {
-        Content::Null => out.push_str("null"),
-        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Content::U64(v) => out.push_str(&v.to_string()),
-        Content::I64(v) => out.push_str(&v.to_string()),
-        Content::F64(v) => push_f64(*v, out),
-        Content::Str(s) => push_escaped(s, out),
-        Content::Seq(items) => {
-            out.push('[');
-            for (i, item) in items.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                compact(item, out);
-            }
-            out.push(']');
-        }
-        Content::Map(entries) => {
-            out.push('{');
-            for (i, (k, v)) in entries.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                push_escaped(k, out);
-                out.push(':');
-                compact(v, out);
-            }
-            out.push('}');
-        }
-    }
+    c.write_json(out);
 }
 
 pub(crate) fn pretty(c: &Content, out: &mut String, indent: usize) {
@@ -57,7 +31,7 @@ pub(crate) fn pretty(c: &Content, out: &mut String, indent: usize) {
                     out.push_str(",\n");
                 }
                 push_indent(out, indent + 1);
-                push_escaped(k, out);
+                write_json_str(k, out);
                 out.push_str(": ");
                 pretty(v, out, indent + 1);
             }
@@ -73,37 +47,4 @@ fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
     }
-}
-
-fn push_f64(v: f64, out: &mut String) {
-    if !v.is_finite() {
-        out.push_str("null");
-        return;
-    }
-    // Rust's Display for f64 is the shortest round-trip representation;
-    // add a `.0` for integral values so the token stays a float, matching
-    // serde_json's output.
-    let s = v.to_string();
-    out.push_str(&s);
-    if !s.contains(['.', 'e', 'E']) {
-        out.push_str(".0");
-    }
-}
-
-fn push_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
