@@ -15,7 +15,7 @@ use sperke_player::{run_session, PlannerKind, PlayerConfig, SessionResult};
 use sperke_sim::trace::{Trace, TraceLevel, TraceSink};
 use sperke_sim::{SimDuration, SimRng};
 use sperke_video::{Ladder, VideoModel, VideoModelBuilder};
-use sperke_vra::{BufferBased, Mpc, RateBased, SperkeConfig};
+use sperke_vra::{AbrPolicyKind, BufferBased, Mpc, RateBased, SperkeConfig};
 
 /// Which inner ABR drives the super-chunk quality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -286,6 +286,19 @@ impl Sperke {
     /// Use the Sperke planner with an explicit configuration.
     pub fn sperke_planner(mut self, config: SperkeConfig) -> Self {
         self.player.planner = PlannerKind::Sperke(config);
+        self
+    }
+
+    /// Select a viewport-adaptation policy from the rival suite
+    /// ([`sperke_vra::policy`]). [`AbrPolicyKind::Sperke`] routes to the
+    /// full three-part Sperke planner (its richest form); every other
+    /// kind runs through the tile-aware [`sperke_vra::PolicyVra`]
+    /// wrapper with default planner tuning.
+    pub fn abr_policy(mut self, kind: AbrPolicyKind) -> Self {
+        self.player.planner = match kind {
+            AbrPolicyKind::Sperke => PlannerKind::Sperke(SperkeConfig::default()),
+            other => PlannerKind::Policy(other, SperkeConfig::default()),
+        };
         self
     }
 
@@ -694,6 +707,17 @@ mod tests {
             "an identical rerun replays from the memo"
         );
         assert_eq!(first.session.qoe, second.session.qoe);
+    }
+
+    #[test]
+    fn every_abr_policy_runs_through_the_builder() {
+        for kind in AbrPolicyKind::all() {
+            let r = Sperke::builder(7)
+                .duration(SimDuration::from_secs(6))
+                .abr_policy(kind)
+                .run();
+            assert_eq!(r.qoe.chunks, 6, "{} died", kind.name());
+        }
     }
 
     #[test]

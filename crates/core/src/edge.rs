@@ -19,6 +19,7 @@ use sperke_sim::sweep::{run_sweep, SweepPlan, SweepReport};
 use sperke_sim::trace::{Trace, TraceLevel, TraceSink};
 use sperke_sim::{MetricsRegistry, SimDuration};
 use sperke_video::VideoModel;
+use sperke_vra::AbrPolicyKind;
 
 /// Run the edge experiment: defaults everywhere but `(config, video)`.
 /// Equivalent to [`sperke_edge::run_edge`]; re-exported here so the
@@ -55,6 +56,7 @@ pub struct EdgeBuilder {
     vis: VisibilityCache,
     bbr: bool,
     origin_loss: LossChannel,
+    policy: Option<AbrPolicyKind>,
 }
 
 impl Sperke {
@@ -83,6 +85,7 @@ impl Sperke {
             vis: VisibilityCache::default(),
             bbr: false,
             origin_loss: LossChannel::Declared,
+            policy: None,
         }
     }
 }
@@ -182,6 +185,14 @@ impl EdgeBuilder {
         self
     }
 
+    /// Plan every client decide with a rival viewport-adaptation
+    /// policy. [`AbrPolicyKind::Knapsack`] and [`AbrPolicyKind::Sperke`]
+    /// reproduce the default hardwired selector byte-for-byte.
+    pub fn abr_policy(mut self, kind: AbrPolicyKind) -> Self {
+        self.policy = Some(kind);
+        self
+    }
+
     /// The video this experiment streams (seeded by the config seed).
     pub fn build_video(&self) -> VideoModel {
         sperke_video::VideoModelBuilder::new(self.config.seed)
@@ -216,6 +227,7 @@ impl EdgeBuilder {
             vis: self.vis.clone(),
             bbr: self.bbr,
             origin_loss: self.origin_loss,
+            policy: self.policy,
         };
         let report = run_edge_full(&video, &self.config, &self.client_set(), &harness, metrics);
         drop(harness);
@@ -240,6 +252,7 @@ impl EdgeBuilder {
             vis: self.vis.clone(),
             bbr: self.bbr,
             origin_loss: self.origin_loss,
+            policy: self.policy,
         };
         let report = run_edge_batched(
             &video,
@@ -354,6 +367,41 @@ pub fn run_edge_sweep(
     run_sweep(&plan, threads, |_index, config| {
         let harness = WORKER_VIS.with(|vis| EdgeHarness {
             vis: vis.clone(),
+            ..Default::default()
+        });
+        EdgeSweepPoint {
+            config: *config,
+            report: run_edge_full(
+                video,
+                config,
+                &sperke_edge::default_clients(config),
+                &harness,
+                None,
+            ),
+        }
+    })
+}
+
+/// [`run_edge_sweep`] with every client decide planned by a rival
+/// viewport-adaptation policy. [`AbrPolicyKind::Knapsack`] and
+/// [`AbrPolicyKind::Sperke`] reproduce [`run_edge_sweep`]
+/// byte-for-byte; the merged report is byte-identical for any worker
+/// count.
+pub fn run_edge_sweep_policy(
+    video: &VideoModel,
+    grid: &EdgeGrid,
+    policy: AbrPolicyKind,
+    threads: usize,
+) -> SweepReport<EdgeSweepPoint> {
+    thread_local! {
+        static WORKER_VIS: VisibilityCache =
+            VisibilityCache::new(4 * DEFAULT_VIS_CACHE_CAPACITY);
+    }
+    let plan = grid.plan();
+    run_sweep(&plan, threads, |_index, config| {
+        let harness = WORKER_VIS.with(|vis| EdgeHarness {
+            vis: vis.clone(),
+            policy: Some(policy),
             ..Default::default()
         });
         EdgeSweepPoint {
@@ -486,6 +534,41 @@ mod tests {
         let batched_sweep = run_edge_sweep_batched(&v, &grid, 2);
         assert_eq!(legacy_sweep.to_jsonl(), batched_sweep.to_jsonl());
         assert_eq!(legacy_sweep.digest(), batched_sweep.digest());
+    }
+
+    #[test]
+    fn policy_edge_builder_and_sweep_collapse_to_legacy() {
+        let base = Sperke::edge_builder(13)
+            .clients(5)
+            .duration(SimDuration::from_secs(8));
+        let legacy = base.clone().run();
+        assert_eq!(
+            legacy,
+            base.clone().abr_policy(AbrPolicyKind::Knapsack).run(),
+            "knapsack builder diverged from legacy"
+        );
+        let qer = base.clone().abr_policy(AbrPolicyKind::qer_default());
+        let qer_legacy = qer.run();
+        assert_eq!(
+            qer_legacy,
+            qer.run_batched(4).report,
+            "qer batched diverged from qer legacy"
+        );
+
+        let v = video();
+        let grid = EdgeGrid::new(EdgeConfig {
+            clients: 4,
+            ..Default::default()
+        })
+        .cache_axis(vec![0, 128 << 20])
+        .seed_axis(vec![7]);
+        let legacy_sweep = run_edge_sweep(&v, &grid, 2);
+        let knap_sweep = run_edge_sweep_policy(&v, &grid, AbrPolicyKind::Knapsack, 2);
+        assert_eq!(legacy_sweep.to_jsonl(), knap_sweep.to_jsonl());
+        let serial = run_edge_sweep_policy(&v, &grid, AbrPolicyKind::transition_default(), 1);
+        let parallel = run_edge_sweep_policy(&v, &grid, AbrPolicyKind::transition_default(), 4);
+        assert_eq!(serial.to_jsonl(), parallel.to_jsonl());
+        assert_eq!(serial.digest(), parallel.digest());
     }
 
     #[test]

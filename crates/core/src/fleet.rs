@@ -22,7 +22,7 @@ use sperke_sim::{
     parallel_indexed, ReplayQueue, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, World,
 };
 use sperke_video::{CellId, ChunkId, ChunkTime, Quality, Scheme, VideoModel};
-use sperke_vra::select_stochastic;
+use sperke_vra::{select_stochastic, AbrPolicyKind, PolicyInput};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -149,6 +149,78 @@ fn fleet_selections(
         .collect()
 }
 
+/// Like [`fleet_selections`], but planned by a tile-aware policy from
+/// the viewport-adaptation suite instead of the hardwired knapsack.
+/// `prev` is the viewer's previous-window level vector, updated in
+/// place (decides run in chunk order per viewer in both engines, so
+/// temporal policies see identical state either way). With
+/// [`AbrPolicyKind::Knapsack`] — or any kind whose distinguishing knob
+/// is off — the output is byte-identical to [`fleet_selections`].
+#[allow(clippy::too_many_arguments)]
+fn fleet_selections_policy(
+    video: &VideoModel,
+    config: &FleetConfig,
+    trace: &HeadTrace,
+    start_offset: SimDuration,
+    chunk: u32,
+    now: SimTime,
+    scratch: &mut ForecastScratch,
+    history: &mut Vec<(SimTime, Orientation)>,
+    policy: AbrPolicyKind,
+    prev: &mut Vec<i8>,
+) -> Vec<FleetSelection> {
+    if !config.fov_guided {
+        // Full-panorama delivery has nothing for a tile policy to
+        // decide; keep the agnostic path identical.
+        return fleet_selections(
+            video,
+            config,
+            trace,
+            start_offset,
+            chunk,
+            now,
+            scratch,
+            history,
+        );
+    }
+    let t = ChunkTime(chunk);
+    let video_time = SimTime::ZERO + video.chunk_duration() * chunk as u64;
+    let own_now = SimTime::from_nanos(now.as_nanos().saturating_sub(start_offset.as_nanos()));
+    let budget = (config.per_viewer_budget_bps * video.chunk_duration().as_secs_f64() / 8.0) as u64;
+    trace.history_into(own_now, 50, history);
+    let forecast = FusedForecaster::motion_only().forecast_with(
+        video.grid(),
+        history,
+        own_now,
+        video_time,
+        t,
+        scratch,
+    );
+    let tile_count = video.grid().tile_count();
+    let plan = policy.decide(&PolicyInput {
+        video,
+        forecast: &forecast,
+        confidence: forecast.confidence(),
+        time: t,
+        buffer: config.fetch_lead,
+        budget_bytes: budget,
+        capacity_bps: Some(config.per_viewer_budget_bps),
+        scheme: Scheme::Avc,
+        min_probability: 0.05,
+        prev: (prev.len() == tile_count).then_some(prev.as_slice()),
+    });
+    *prev = plan.levels(tile_count);
+    plan.assignments
+        .into_iter()
+        .map(|a| FleetSelection {
+            tile: a.tile,
+            quality: a.quality,
+            prob: a.probability,
+            bytes: video.avc_bytes(ChunkId::new(a.quality, a.tile, t)),
+        })
+        .collect()
+}
+
 /// The gaze a fleet display samples: mid-chunk orientation.
 fn fleet_gaze(video: &VideoModel, trace: &HeadTrace, chunk: u32) -> Orientation {
     let video_time =
@@ -172,6 +244,11 @@ struct FleetWorld<'a> {
     /// Reusable forecast/history buffers for inline decides.
     fscratch: ForecastScratch,
     hist: Vec<(SimTime, Orientation)>,
+    /// When set, inline decides plan through this policy instead of the
+    /// hardwired knapsack ([`None`] keeps the legacy path untouched).
+    policy: Option<AbrPolicyKind>,
+    /// Per-viewer previous-window levels for temporal policies.
+    prev_levels: Vec<Vec<i8>>,
     // Accounting.
     egress_bytes: u64,
     utility_acc: f64,
@@ -216,6 +293,8 @@ impl FleetWorld<'_> {
             vis,
             fscratch: ForecastScratch::new(),
             hist: Vec::new(),
+            policy: None,
+            prev_levels: vec![Vec::new(); config.viewers],
             egress_bytes: 0,
             utility_acc: 0.0,
             blank_acc: 0.0,
@@ -283,16 +362,35 @@ impl World<FleetEvent> for FleetWorld<'_> {
         self.drain_egress(now);
         match event {
             FleetEvent::Decide { viewer, chunk } => {
-                let selections = fleet_selections(
-                    self.video,
-                    &self.config,
-                    &self.traces[viewer],
-                    self.start_offset[viewer],
-                    chunk,
-                    now,
-                    &mut self.fscratch,
-                    &mut self.hist,
-                );
+                let selections = match self.policy {
+                    None => fleet_selections(
+                        self.video,
+                        &self.config,
+                        &self.traces[viewer],
+                        self.start_offset[viewer],
+                        chunk,
+                        now,
+                        &mut self.fscratch,
+                        &mut self.hist,
+                    ),
+                    Some(kind) => {
+                        let mut prev = std::mem::take(&mut self.prev_levels[viewer]);
+                        let s = fleet_selections_policy(
+                            self.video,
+                            &self.config,
+                            &self.traces[viewer],
+                            self.start_offset[viewer],
+                            chunk,
+                            now,
+                            &mut self.fscratch,
+                            &mut self.hist,
+                            kind,
+                            &mut prev,
+                        );
+                        self.prev_levels[viewer] = prev;
+                        s
+                    }
+                };
                 self.apply_decide(viewer, chunk, &selections, now);
             }
             FleetEvent::Display { viewer, chunk } => {
@@ -322,6 +420,27 @@ pub fn run_fleet_with_cache(
     config: &FleetConfig,
     cache: VisibilityCache,
 ) -> FleetReport {
+    run_fleet_inner(video, config, cache, None)
+}
+
+/// Run the fleet experiment with a rival viewport-adaptation policy
+/// planning every decide. [`AbrPolicyKind::Knapsack`] (and
+/// [`AbrPolicyKind::Sperke`], whose fleet-side planner is the same
+/// stochastic selector) reproduces [`run_fleet`] byte-for-byte.
+pub fn run_fleet_policy(
+    video: &VideoModel,
+    config: &FleetConfig,
+    policy: AbrPolicyKind,
+) -> FleetReport {
+    run_fleet_inner(video, config, VisibilityCache::default(), Some(policy))
+}
+
+pub(crate) fn run_fleet_inner(
+    video: &VideoModel,
+    config: &FleetConfig,
+    cache: VisibilityCache,
+    policy: Option<AbrPolicyKind>,
+) -> FleetReport {
     assert!(config.viewers > 0);
     let attention = AttentionModel::generic(config.seed);
     let traces = generate_ensemble(
@@ -332,6 +451,7 @@ pub fn run_fleet_with_cache(
     );
 
     let mut world = FleetWorld::new(video, *config, &traces, cache);
+    world.policy = policy;
 
     let mut sim = Simulation::new();
     let chunks = video.chunk_count();
@@ -432,6 +552,29 @@ thread_local! {
 /// world schedules no dynamic events, so the replay is a pure cursor
 /// walk over the pre-sorted schedule.
 pub fn run_fleet_batched(video: &VideoModel, config: &FleetConfig, workers: usize) -> FleetReport {
+    run_fleet_batched_inner(video, config, workers, None)
+}
+
+/// The batched engine with a rival viewport-adaptation policy planning
+/// every sense-phase decide. Bit-identical to [`run_fleet_policy`] for
+/// any worker count: the per-viewer sense loop walks chunks in order,
+/// so temporal policies see the same previous-window state as the
+/// legacy engine's time-ordered decides.
+pub fn run_fleet_batched_policy(
+    video: &VideoModel,
+    config: &FleetConfig,
+    policy: AbrPolicyKind,
+    workers: usize,
+) -> FleetReport {
+    run_fleet_batched_inner(video, config, workers, Some(policy))
+}
+
+fn run_fleet_batched_inner(
+    video: &VideoModel,
+    config: &FleetConfig,
+    workers: usize,
+    policy: Option<AbrPolicyKind>,
+) -> FleetReport {
     assert!(config.viewers > 0);
     let cfg = *config;
     let chunks = video.chunk_count();
@@ -446,14 +589,20 @@ pub fn run_fleet_batched(video: &VideoModel, config: &FleetConfig, workers: usiz
         SCRATCH.with(|s| {
             let (fscratch, vscratch, hist) = &mut *s.borrow_mut();
             let mut selections = Vec::with_capacity(chunks as usize);
+            let mut prev: Vec<i8> = Vec::new();
             for c in 0..chunks {
                 let display = SimTime::ZERO + offset + video.chunk_duration() * (c + 1) as u64;
                 let decide = SimTime::from_nanos(
                     display.as_nanos().saturating_sub(cfg.fetch_lead.as_nanos()),
                 );
-                selections.push(fleet_selections(
-                    video, &cfg, &trace, offset, c, decide, fscratch, hist,
-                ));
+                selections.push(match policy {
+                    None => {
+                        fleet_selections(video, &cfg, &trace, offset, c, decide, fscratch, hist)
+                    }
+                    Some(kind) => fleet_selections_policy(
+                        video, &cfg, &trace, offset, c, decide, fscratch, hist, kind, &mut prev,
+                    ),
+                });
             }
             let gazes: Vec<Orientation> =
                 (0..chunks).map(|c| fleet_gaze(video, &trace, c)).collect();
@@ -695,6 +844,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn knapsack_policy_reproduces_legacy_fleet_bytes() {
+        let v = video();
+        let cfg = FleetConfig {
+            viewers: 8,
+            egress_bps: 80e6,
+            ..Default::default()
+        };
+        let legacy = run_fleet(&v, &cfg);
+        // The fleet planner has always been Sperke's stochastic
+        // selector, so both degenerate kinds must reproduce it exactly.
+        for kind in [AbrPolicyKind::Knapsack, AbrPolicyKind::Sperke] {
+            assert_eq!(
+                legacy,
+                run_fleet_policy(&v, &cfg, kind),
+                "{} diverged from legacy",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn policy_batched_engine_matches_legacy_for_every_kind() {
+        let v = video();
+        let cfg = FleetConfig {
+            viewers: 7,
+            egress_bps: 80e6,
+            ..Default::default()
+        };
+        for kind in AbrPolicyKind::all() {
+            let legacy = run_fleet_policy(&v, &cfg, kind);
+            for workers in [1usize, 2, 8] {
+                assert_eq!(
+                    legacy,
+                    run_fleet_batched_policy(&v, &cfg, kind, workers),
+                    "{} diverged at {workers} workers",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rival_policies_change_fleet_outcomes() {
+        let v = video();
+        let cfg = FleetConfig {
+            viewers: 8,
+            egress_bps: 80e6,
+            ..Default::default()
+        };
+        let knapsack = run_fleet_policy(&v, &cfg, AbrPolicyKind::Knapsack);
+        let qer = run_fleet_policy(&v, &cfg, AbrPolicyKind::qer_default());
+        let transition = run_fleet_policy(&v, &cfg, AbrPolicyKind::transition_default());
+        // Active rivals genuinely plan differently from the knapsack.
+        assert_ne!(qer, knapsack, "QER indistinguishable from knapsack");
+        assert_ne!(
+            transition, knapsack,
+            "transitioning indistinguishable from knapsack"
+        );
     }
 
     #[test]

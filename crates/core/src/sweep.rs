@@ -16,13 +16,17 @@
 //! changes wall-clock time, never a byte of the report.
 
 use crate::builder::Sperke;
-use crate::fleet::{run_fleet_batched, run_fleet_with_cache, FleetConfig, FleetReport};
+use crate::fleet::{
+    run_fleet_batched, run_fleet_batched_policy, run_fleet_inner, run_fleet_with_cache,
+    FleetConfig, FleetReport,
+};
 use serde::{Deserialize, Serialize};
 use sperke_geo::{VisibilityCache, DEFAULT_VIS_CACHE_CAPACITY};
 use sperke_player::QoeReport;
 use sperke_sim::sweep::{run_sweep, SweepPlan, SweepReport};
 use sperke_sim::SEED_PANEL;
 use sperke_video::VideoModel;
+use sperke_vra::AbrPolicyKind;
 
 /// A rectangular grid over [`FleetConfig`]: the cross product of an
 /// egress-bandwidth axis, a delivery-scheme axis and a seed axis, all
@@ -129,6 +133,44 @@ pub fn run_fleet_sweep(
     run_sweep(&plan, threads, |_index, config| FleetSweepPoint {
         config: *config,
         report: WORKER_VIS.with(|vis| run_fleet_with_cache(video, config, vis.clone())),
+    })
+}
+
+/// [`run_fleet_sweep`] with every FoV-guided point planned by a rival
+/// viewport-adaptation policy instead of the hardwired stochastic
+/// selector. [`AbrPolicyKind::Knapsack`] and [`AbrPolicyKind::Sperke`]
+/// reproduce [`run_fleet_sweep`] byte-for-byte; the merged report is
+/// byte-identical for any worker count.
+pub fn run_fleet_sweep_policy(
+    video: &VideoModel,
+    grid: &FleetGrid,
+    policy: AbrPolicyKind,
+    threads: usize,
+) -> SweepReport<FleetSweepPoint> {
+    thread_local! {
+        static WORKER_VIS: VisibilityCache =
+            VisibilityCache::new(4 * DEFAULT_VIS_CACHE_CAPACITY);
+    }
+    let plan = grid.plan();
+    run_sweep(&plan, threads, |_index, config| FleetSweepPoint {
+        config: *config,
+        report: WORKER_VIS.with(|vis| run_fleet_inner(video, config, vis.clone(), Some(policy))),
+    })
+}
+
+/// [`run_fleet_sweep_policy`] with every point executed by the batched
+/// engine. Byte-identical to the legacy policy sweep for any grid,
+/// policy and thread count.
+pub fn run_fleet_sweep_batched_policy(
+    video: &VideoModel,
+    grid: &FleetGrid,
+    policy: AbrPolicyKind,
+    threads: usize,
+) -> SweepReport<FleetSweepPoint> {
+    let plan = grid.plan();
+    run_sweep(&plan, threads, |_index, config| FleetSweepPoint {
+        config: *config,
+        report: run_fleet_batched_policy(video, config, policy, 1),
     })
 }
 
@@ -303,6 +345,29 @@ mod tests {
         let batched = run_fleet_sweep_batched(&v, &grid, 2);
         assert_eq!(legacy.to_jsonl(), batched.to_jsonl());
         assert_eq!(legacy.digest(), batched.digest());
+    }
+
+    #[test]
+    fn policy_sweeps_collapse_and_stay_thread_invariant() {
+        let v = video();
+        let grid = small_grid();
+        let legacy = run_fleet_sweep(&v, &grid, 2);
+        for kind in [AbrPolicyKind::Knapsack, AbrPolicyKind::Sperke] {
+            let policy = run_fleet_sweep_policy(&v, &grid, kind, 2);
+            assert_eq!(
+                legacy.to_jsonl(),
+                policy.to_jsonl(),
+                "{} sweep diverged from legacy",
+                kind.name()
+            );
+        }
+        let qer = AbrPolicyKind::qer_default();
+        let serial = run_fleet_sweep_policy(&v, &grid, qer, 1);
+        let parallel = run_fleet_sweep_policy(&v, &grid, qer, 4);
+        assert_eq!(serial.to_jsonl(), parallel.to_jsonl());
+        assert_eq!(serial.digest(), parallel.digest());
+        let batched = run_fleet_sweep_batched_policy(&v, &grid, qer, 2);
+        assert_eq!(serial.to_jsonl(), batched.to_jsonl());
     }
 
     #[test]

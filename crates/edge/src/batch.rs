@@ -25,9 +25,9 @@
 //! `tests/engine_equivalence.rs` pins the end-to-end claim.
 
 use crate::server::{
-    client_head, crowd_slot, decide_choices, display_gaze, edge_horizon, finish_edge_run,
-    ClientState, EdgeClientSpec, EdgeConfig, EdgeEvent, EdgeHarness, EdgeReport, EdgeSched,
-    EdgeWorld,
+    client_head, crowd_slot, decide_choices, decide_choices_policy, display_gaze, edge_horizon,
+    finish_edge_run, ClientState, EdgeClientSpec, EdgeConfig, EdgeEvent, EdgeHarness, EdgeReport,
+    EdgeSched, EdgeWorld,
 };
 use sperke_geo::{visible_tiles_batch, Orientation, TileId, Viewport, VisibilityScratch};
 use sperke_hmp::{AttentionModel, ForecastScratch};
@@ -35,7 +35,7 @@ use sperke_live::{viewer_reports, CrowdAggregator, LiveViewer};
 use sperke_net::WrrLink;
 use sperke_sim::{parallel_indexed, MetricsRegistry, ReplayQueue, SimDuration, SimTime};
 use sperke_video::{ChunkTime, VideoModel};
-use sperke_vra::StochasticChoice;
+use sperke_vra::{AbrPolicyKind, StochasticChoice};
 use std::cell::RefCell;
 
 /// Everything the sense phase computes for one client, independent of
@@ -105,6 +105,31 @@ pub fn prepare_edge_batch(
     clients: &[EdgeClientSpec],
     workers: usize,
 ) -> EdgePlan {
+    prepare_edge_batch_inner(video, config, clients, workers, None)
+}
+
+/// [`prepare_edge_batch`] with a rival viewport-adaptation policy
+/// planning every sense-phase decide. Pair with a matching
+/// [`EdgeHarness::policy`] when replaying (the replay itself never
+/// re-plans, but the inline legacy engine does — keeping both set makes
+/// the two engines interchangeable).
+pub fn prepare_edge_batch_policy(
+    video: &VideoModel,
+    config: &EdgeConfig,
+    clients: &[EdgeClientSpec],
+    workers: usize,
+    policy: AbrPolicyKind,
+) -> EdgePlan {
+    prepare_edge_batch_inner(video, config, clients, workers, Some(policy))
+}
+
+fn prepare_edge_batch_inner(
+    video: &VideoModel,
+    config: &EdgeConfig,
+    clients: &[EdgeClientSpec],
+    workers: usize,
+    policy: Option<AbrPolicyKind>,
+) -> EdgePlan {
     assert!(!clients.is_empty(), "at least one client required");
     let mut specs = clients.to_vec();
     specs.sort_by_key(EdgeClientSpec::canonical_key);
@@ -115,7 +140,7 @@ pub fn prepare_edge_batch(
 
     let specs_ref = &specs;
     let batches = parallel_indexed(specs.len(), workers, |i| {
-        sense_client(
+        sense_client_policy(
             video,
             config,
             &attention,
@@ -123,6 +148,7 @@ pub fn prepare_edge_batch(
             i < config.max_clients,
             session,
             report_delay,
+            policy,
         )
     });
     EdgePlan { specs, batches }
@@ -143,6 +169,33 @@ pub(crate) fn sense_client(
     session: SimDuration,
     report_delay: SimDuration,
 ) -> ClientBatch {
+    sense_client_policy(
+        video,
+        config,
+        attention,
+        spec,
+        admitted,
+        session,
+        report_delay,
+        None,
+    )
+}
+
+/// [`sense_client`] with an optional rival policy planning the decide
+/// selections. The per-client chunk loop runs in order, so temporal
+/// policies see the same previous-window state as the legacy engine's
+/// time-ordered inline decides.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sense_client_policy(
+    video: &VideoModel,
+    config: &EdgeConfig,
+    attention: &AttentionModel,
+    spec: &EdgeClientSpec,
+    admitted: bool,
+    session: SimDuration,
+    report_delay: SimDuration,
+    policy: Option<AbrPolicyKind>,
+) -> ClientBatch {
     let chunks = video.chunk_count();
     let head = client_head(attention, spec, session);
     if !admitted {
@@ -156,6 +209,7 @@ pub(crate) fn sense_client(
     SCRATCH.with(|s| {
         let (fscratch, vscratch, hist) = &mut *s.borrow_mut();
         let mut decides = Vec::with_capacity(chunks as usize);
+        let mut prev: Vec<i8> = Vec::new();
         for c in 0..chunks {
             let display = SimTime::ZERO + spec.arrival + video.chunk_duration() * (c + 1) as u64;
             let decide_at = SimTime::from_nanos(
@@ -163,9 +217,12 @@ pub(crate) fn sense_client(
                     .as_nanos()
                     .saturating_sub(config.fetch_lead.as_nanos()),
             );
-            decides.push(decide_choices(
-                video, spec, &head, c, decide_at, fscratch, hist,
-            ));
+            decides.push(match policy {
+                None => decide_choices(video, spec, &head, c, decide_at, fscratch, hist),
+                Some(kind) => decide_choices_policy(
+                    video, spec, &head, c, decide_at, fscratch, hist, kind, &mut prev,
+                ),
+            });
         }
         let gazes: Vec<Orientation> = (0..chunks).map(|c| display_gaze(video, &head, c)).collect();
         let mut displays: Vec<Vec<(TileId, f64)>> = vec![Vec::new(); chunks as usize];
@@ -361,7 +418,9 @@ pub fn run_edge_batched(
     metrics: Option<&mut MetricsRegistry>,
     workers: usize,
 ) -> EdgeReport {
-    let plan = prepare_edge_batch(video, config, clients, workers);
+    // The harness's policy knob drives the sense phase, so the batched
+    // engine stays interchangeable with the inline legacy one.
+    let plan = prepare_edge_batch_inner(video, config, clients, workers, harness.policy);
     run_edge_prepared(video, config, &plan, harness, metrics)
 }
 
@@ -418,6 +477,60 @@ mod tests {
                 batch_sink.snapshot().digest(),
                 "trace diverged at {workers} workers"
             );
+        }
+    }
+
+    #[test]
+    fn degenerate_policy_kinds_reproduce_legacy_edge_bytes() {
+        let v = video();
+        let cfg = EdgeConfig {
+            clients: 8,
+            ..Default::default()
+        };
+        let clients = default_clients(&cfg);
+        let legacy = run_edge_full(&v, &cfg, &clients, &EdgeHarness::default(), None);
+        for kind in [AbrPolicyKind::Knapsack, AbrPolicyKind::Sperke] {
+            let harness = EdgeHarness {
+                policy: Some(kind),
+                ..Default::default()
+            };
+            assert_eq!(
+                legacy,
+                run_edge_full(&v, &cfg, &clients, &harness, None),
+                "{} inline diverged from legacy",
+                kind.name()
+            );
+            assert_eq!(
+                legacy,
+                run_edge_batched(&v, &cfg, &clients, &harness, None, 4),
+                "{} batched diverged from legacy",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn policy_batched_matches_policy_legacy_for_every_kind() {
+        let v = video();
+        let cfg = EdgeConfig {
+            clients: 6,
+            ..Default::default()
+        };
+        let clients = default_clients(&cfg);
+        for kind in AbrPolicyKind::all() {
+            let harness = EdgeHarness {
+                policy: Some(kind),
+                ..Default::default()
+            };
+            let legacy = run_edge_full(&v, &cfg, &clients, &harness, None);
+            for workers in [1usize, 2, 8] {
+                assert_eq!(
+                    legacy,
+                    run_edge_batched(&v, &cfg, &clients, &harness, None, workers),
+                    "{} diverged at {workers} workers",
+                    kind.name()
+                );
+            }
         }
     }
 

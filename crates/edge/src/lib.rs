@@ -38,7 +38,9 @@ pub mod cache;
 pub mod federation;
 pub mod server;
 
-pub use batch::{prepare_edge_batch, run_edge_batched, run_edge_prepared, EdgePlan};
+pub use batch::{
+    prepare_edge_batch, prepare_edge_batch_policy, run_edge_batched, run_edge_prepared, EdgePlan,
+};
 pub use cache::{CacheKey, TileCache, TileCacheStats};
 pub use federation::{
     flash_crowd_clients, run_federation, zipf_catalog_clients, FederationConfig, FederationHarness,

@@ -48,7 +48,7 @@ use sperke_sim::{
     TraceSink, World,
 };
 use sperke_video::{CellId, CellSizes, ChunkTime, Layer, Quality, Scheme, VideoModel};
-use sperke_vra::{select_stochastic, StochasticChoice};
+use sperke_vra::{select_stochastic, AbrPolicyKind, PolicyInput, StochasticChoice};
 use std::collections::HashMap;
 
 /// Edge experiment parameters. Everything that shapes the run is here
@@ -195,6 +195,12 @@ pub struct EdgeHarness {
     /// behaviour; a Gilbert–Elliott channel adds seeded bursty failures
     /// on its own split RNG stream.
     pub origin_loss: LossChannel,
+    /// Viewport-adaptation policy planning client decides. `None` (the
+    /// default) keeps the legacy hardwired stochastic-knapsack path
+    /// byte-for-byte; [`AbrPolicyKind::Knapsack`] and
+    /// [`AbrPolicyKind::Sperke`] reproduce it exactly through the
+    /// policy machinery.
+    pub policy: Option<AbrPolicyKind>,
 }
 
 /// Aggregate outcome of an edge run.
@@ -406,6 +412,59 @@ pub(crate) fn decide_choices(
     select_stochastic(video, &forecast, t, budget, Scheme::svc_default(), 0.05)
 }
 
+/// Like [`decide_choices`], but planned by a tile-aware policy from the
+/// viewport-adaptation suite. `prev` is the client's previous-window
+/// level vector, updated in place — decides run in chunk order per
+/// client in both engines, so temporal policies see identical state
+/// either way. Degenerate kinds reproduce [`decide_choices`] exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide_choices_policy(
+    video: &VideoModel,
+    spec: &EdgeClientSpec,
+    head: &HeadTrace,
+    chunk: u32,
+    now: SimTime,
+    scratch: &mut ForecastScratch,
+    history: &mut Vec<(SimTime, Orientation)>,
+    policy: AbrPolicyKind,
+    prev: &mut Vec<i8>,
+) -> Vec<StochasticChoice> {
+    let t = ChunkTime(chunk);
+    let video_time = video.chunk_start(t);
+    let own_now = SimTime::from_nanos(now.as_nanos().saturating_sub(spec.arrival.as_nanos()));
+    let budget = (spec.budget_bps * video.chunk_duration().as_secs_f64() / 8.0) as u64;
+    head.history_into(own_now, 50, history);
+    let forecast = FusedForecaster::motion_only().forecast_with(
+        video.grid(),
+        history,
+        own_now,
+        video_time,
+        t,
+        scratch,
+    );
+    let tile_count = video.grid().tile_count();
+    let plan = policy.decide(&PolicyInput {
+        video,
+        forecast: &forecast,
+        confidence: forecast.confidence(),
+        time: t,
+        buffer: video.chunk_duration(),
+        budget_bytes: budget,
+        capacity_bps: Some(spec.budget_bps),
+        scheme: Scheme::svc_default(),
+        min_probability: 0.05,
+        prev: (prev.len() == tile_count).then_some(prev.as_slice()),
+    });
+    *prev = plan.levels(tile_count);
+    plan.assignments
+        .into_iter()
+        .map(|a| StochasticChoice {
+            tile: a.tile,
+            quality: a.quality,
+        })
+        .collect()
+}
+
 /// The gaze a display samples: mid-chunk orientation in video time.
 pub(crate) fn display_gaze(video: &VideoModel, head: &HeadTrace, chunk: u32) -> Orientation {
     let video_time = video.chunk_start(ChunkTime(chunk)) + video.chunk_duration() / 2;
@@ -459,6 +518,11 @@ pub(crate) struct EdgeWorld<'a> {
     /// Reusable forecast/history buffers for inline decides.
     fscratch: ForecastScratch,
     hist: Vec<(SimTime, Orientation)>,
+    /// Inline-decide policy override ([`EdgeHarness::policy`]); `None`
+    /// keeps the legacy knapsack path untouched.
+    policy: Option<AbrPolicyKind>,
+    /// Per-client previous-window levels for temporal policies.
+    prev_levels: Vec<Vec<i8>>,
     // Accounting.
     origin_bytes: u64,
     origin_failed_bytes: u64,
@@ -488,6 +552,7 @@ impl<'a> EdgeWorld<'a> {
             video.chunk_count() <= 1 << CONTENT_SHIFT,
             "chunk indices must fit under the content salt"
         );
+        let prev_levels = vec![Vec::new(); clients.len()];
         EdgeWorld {
             video,
             config,
@@ -513,6 +578,8 @@ impl<'a> EdgeWorld<'a> {
             sizes: None,
             fscratch: ForecastScratch::new(),
             hist: Vec::new(),
+            policy: harness.policy,
+            prev_levels,
             origin_bytes: 0,
             origin_failed_bytes: 0,
             origin_retries: 0,
@@ -831,15 +898,33 @@ impl EdgeWorld<'_> {
             return;
         }
         let now = sched.now();
-        let choices = decide_choices(
-            self.video,
-            &self.clients[client as usize].spec,
-            &self.clients[client as usize].head,
-            chunk,
-            now,
-            &mut self.fscratch,
-            &mut self.hist,
-        );
+        let choices = match self.policy {
+            None => decide_choices(
+                self.video,
+                &self.clients[client as usize].spec,
+                &self.clients[client as usize].head,
+                chunk,
+                now,
+                &mut self.fscratch,
+                &mut self.hist,
+            ),
+            Some(kind) => {
+                let mut prev = std::mem::take(&mut self.prev_levels[client as usize]);
+                let choices = decide_choices_policy(
+                    self.video,
+                    &self.clients[client as usize].spec,
+                    &self.clients[client as usize].head,
+                    chunk,
+                    now,
+                    &mut self.fscratch,
+                    &mut self.hist,
+                    kind,
+                    &mut prev,
+                );
+                self.prev_levels[client as usize] = prev;
+                choices
+            }
+        };
         self.apply_decide(client, chunk, &choices, sched);
     }
 

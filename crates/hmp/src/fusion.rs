@@ -74,6 +74,26 @@ impl TileForecast {
             .map(|(t, _)| t)
             .collect()
     }
+
+    /// How concentrated the forecast is, in `[0, 1]`: the probability
+    /// mass held by the top eighth of tiles (at least one) over the
+    /// total mass. A confident prediction piles its mass on the few
+    /// tiles of one viewport (→ 1); a diffuse one spreads it across the
+    /// panorama (→ the mass fraction those tiles would hold anyway).
+    /// Returns 0 for an empty or all-zero forecast. Drives
+    /// confidence-transitioning delivery policies.
+    pub fn confidence(&self) -> f64 {
+        if self.probs.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.probs.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let k = self.probs.len().div_ceil(8);
+        let top: f64 = self.ranked().iter().take(k).map(|&(_, p)| p).sum();
+        (top / total).clamp(0.0, 1.0)
+    }
 }
 
 /// Tuning for the fused forecaster.

@@ -21,8 +21,8 @@ use sperke_sim::trace::{Subsystem, TraceEvent, TraceLevel, TraceSink};
 use sperke_sim::{SimDuration, SimTime};
 use sperke_video::{CellId, ChunkForm, ChunkTime, Quality, Scheme, VideoModel};
 use sperke_vra::{
-    decide_upgrade, plan_fov_agnostic, upgrade_candidates, Abr, FetchPlan, PlanInput, SperkeConfig,
-    SperkeVra, UpgradeConfig, UpgradeDecision,
+    decide_upgrade, plan_fov_agnostic, upgrade_candidates, Abr, AbrPolicyKind, FetchPlan,
+    PlanInput, PolicyVra, SperkeConfig, SperkeVra, UpgradeConfig, UpgradeDecision,
 };
 
 /// Which planner drives fetching.
@@ -32,6 +32,10 @@ pub enum PlannerKind {
     Sperke(SperkeConfig),
     /// The §2 baseline: fetch the entire panorama every chunk.
     FovAgnostic,
+    /// A rival tile-aware policy from the viewport-adaptation suite
+    /// ([`sperke_vra::policy`]), run with the Sperke planner's shared
+    /// tuning (encoding policy, FoV threshold, urgency window).
+    Policy(AbrPolicyKind, SperkeConfig),
 }
 
 /// Player configuration.
@@ -121,6 +125,7 @@ pub struct SessionResult {
 enum PlannerState<A: Abr> {
     Sperke(Box<SperkeVra<A>>),
     Agnostic(A),
+    Policy(Box<PolicyVra>),
 }
 
 /// Run a streaming session of `video` for the viewer in `trace`.
@@ -201,6 +206,11 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
             PlannerState::Sperke(vra)
         }
         PlannerKind::FovAgnostic => PlannerState::Agnostic(abr),
+        PlannerKind::Policy(kind, cfg) => {
+            let mut vra = Box::new(PolicyVra::new(*kind, cfg.clone()));
+            vra.set_trace(sink.clone());
+            PlannerState::Policy(vra)
+        }
     };
 
     let mut now = SimTime::ZERO;
@@ -253,19 +263,25 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
 
         // --- Plan.
         let bw = estimator.conservative(0.9);
+        // Measured bottleneck capacity: the sum of per-path BBR
+        // estimates, when capacity probing is on and has sampled.
+        let measured = measured_capacity(net.paths());
+        let plan_input = PlanInput {
+            video,
+            forecast: &forecast,
+            time: t,
+            now,
+            buffer: buffer_level,
+            bandwidth_bps: bw,
+            measured_bps: measured,
+            bandwidth_forecast: vec![],
+            last_quality,
+        };
         let plan: FetchPlan = match &mut planner {
-            PlannerState::Sperke(vra) => vra.plan(&PlanInput {
-                video,
-                forecast: &forecast,
-                time: t,
-                now,
-                buffer: buffer_level,
-                bandwidth_bps: bw,
-                bandwidth_forecast: vec![],
-                last_quality,
-            }),
+            PlannerState::Sperke(vra) => vra.plan(&plan_input),
+            PlannerState::Policy(vra) => vra.plan(&plan_input),
             PlannerState::Agnostic(a) => {
-                let plan = plan_fov_agnostic(a, video, t, buffer_level, bw, last_quality);
+                let plan = plan_fov_agnostic(a, video, t, buffer_level, bw, measured, last_quality);
                 // The agnostic planner has no sink of its own; log its
                 // ABR choice here so both planners leave the same shape
                 // of decision record.
@@ -700,6 +716,21 @@ fn run_session_impl<A: Abr, S: MultipathScheduler, F: Forecaster>(
     }
 }
 
+/// Aggregate measured bottleneck bandwidth across paths: the sum of
+/// every path's BBR `btl_bw` estimate, or `None` until at least one
+/// path has probed a sample (or when probing is off everywhere).
+fn measured_capacity(paths: &[PathQueue]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut any = false;
+    for p in paths {
+        if let Some(bw) = p.bbr().and_then(|b| b.btl_bw()) {
+            total += bw;
+            any = true;
+        }
+    }
+    any.then_some(total)
+}
+
 /// Submit one chunk through the session, resiliently when a
 /// [`RecoveryPolicy`] is configured, naively otherwise.
 fn submit_chunk<S: MultipathScheduler>(
@@ -1080,6 +1111,57 @@ mod tests {
         assert!(resilient.qoe.score > naive.qoe.score);
         // The surviving path carried the failover traffic.
         assert!(resilient.path_bytes[1] > naive.path_bytes[1]);
+    }
+
+    #[test]
+    fn policy_knapsack_matches_stochastic_sperke_sessions() {
+        use sperke_vra::SelectionPolicy;
+        let v = video(12);
+        let tr = trace(12, 5);
+        let cfg = SperkeConfig {
+            selection: SelectionPolicy::Stochastic {
+                min_probability: 0.05,
+            },
+            ..Default::default()
+        };
+        let run_kind = |planner: PlannerKind| {
+            run(
+                &v,
+                &tr,
+                25e6,
+                PlayerConfig {
+                    planner,
+                    ..Default::default()
+                },
+            )
+        };
+        let sperke = run_kind(PlannerKind::Sperke(cfg.clone()));
+        let policy = run_kind(PlannerKind::Policy(AbrPolicyKind::Knapsack, cfg));
+        assert_eq!(sperke.qoe, policy.qoe, "knapsack ≠ stochastic Sperke");
+        assert_eq!(sperke.path_bytes, policy.path_bytes);
+    }
+
+    #[test]
+    fn every_policy_kind_streams_a_session() {
+        let v = video(10);
+        let tr = trace(10, 5);
+        for kind in AbrPolicyKind::all() {
+            let r = run(
+                &v,
+                &tr,
+                25e6,
+                PlayerConfig {
+                    planner: PlannerKind::Policy(kind, SperkeConfig::default()),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(r.qoe.chunks, 10, "{} died mid-session", kind.name());
+            assert!(
+                r.qoe.mean_viewport_utility > 0.0,
+                "{} showed nothing",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub struct AbrContext<'a> {
     pub buffer: SimDuration,
     /// Conservative bandwidth estimate, bits/second (`None` on startup).
     pub bandwidth_bps: Option<f64>,
+    /// Measured bottleneck-bandwidth estimate from the transport's BBR
+    /// probe (bits/second), when capacity probing is on. Takes
+    /// precedence over the declared `bandwidth_bps` for the
+    /// control-theoretic policies; `None` (probing off) preserves the
+    /// declared-capacity behaviour bit-for-bit.
+    pub measured_bps: Option<f64>,
     /// Bandwidth forecast for the next chunks (MPC lookahead); falls
     /// back to `bandwidth_bps` when empty.
     pub bandwidth_forecast: Vec<f64>,
@@ -35,6 +41,13 @@ impl AbrContext<'_> {
     /// The unit's bitrate at quality `q`.
     pub fn rate(&self, q: Quality) -> f64 {
         self.unit_bitrate[q.index()]
+    }
+
+    /// The capacity signal the lookahead policies plan against: the
+    /// measured BBR estimate when the probe is live, else the declared
+    /// estimate. `None` only before any estimate exists.
+    pub fn planning_bps(&self) -> Option<f64> {
+        self.measured_bps.or(self.bandwidth_bps)
     }
 
     /// Highest quality whose unit bitrate is at most `budget`.
@@ -197,7 +210,9 @@ impl Abr for Mpc {
     }
 
     fn choose(&mut self, ctx: &AbrContext<'_>) -> Quality {
-        let Some(bw0) = ctx.bandwidth_bps else {
+        // Plan against the measured BBR estimate when probing is live;
+        // the declared estimate alone can be stale or optimistic.
+        let Some(bw0) = ctx.planning_bps() else {
             return Quality::LOWEST;
         };
         let horizon = self.lookahead.max(1);
@@ -278,7 +293,8 @@ impl Abr for ExactMpc {
     }
 
     fn choose(&mut self, ctx: &AbrContext<'_>) -> Quality {
-        let Some(bw0) = ctx.bandwidth_bps else {
+        // Same capacity source as [`Mpc`]: measured-over-declared.
+        let Some(bw0) = ctx.planning_bps() else {
             return Quality::LOWEST;
         };
         let horizon = self.lookahead.max(1);
@@ -344,6 +360,7 @@ mod tests {
             unit_bitrate: ladder.qualities().map(|q| ladder.bitrate(q)).collect(),
             buffer: SimDuration::from_secs_f64(buffer_s),
             bandwidth_bps: bw,
+            measured_bps: None,
             bandwidth_forecast: vec![],
             last_quality: last,
             chunk_duration: SimDuration::from_secs(1),
@@ -483,6 +500,42 @@ mod tests {
             ExactMpc::default().choose(&ctx(&ladder, 5.0, None, Quality(2))),
             Quality::LOWEST
         );
+    }
+
+    #[test]
+    fn mpc_trusts_measured_bbr_estimate_over_declared() {
+        // Regression: the declared estimate says the link is generous,
+        // but the BBR probe has measured a much thinner bottleneck. Both
+        // MPC variants must plan against the measurement and back off;
+        // ignoring it (the pre-fix behaviour) picks the top rung.
+        let ladder = Ladder::vod_default(); // 4/8/16/32 Mbps
+        let mut declared_only = ctx(&ladder, 2.0, Some(100e6), Quality(3));
+        let mut probed = declared_only.clone();
+        probed.measured_bps = Some(5e6);
+
+        for (name, q_declared, q_probed) in [
+            (
+                "mpc",
+                Mpc::default().choose(&declared_only),
+                Mpc::default().choose(&probed),
+            ),
+            (
+                "exact-mpc",
+                ExactMpc::default().choose(&declared_only),
+                ExactMpc::default().choose(&probed),
+            ),
+        ] {
+            assert_eq!(q_declared, ladder.top(), "{name}: generous declared");
+            assert!(
+                q_probed < q_declared,
+                "{name}: measured 5 Mbps must pull quality below the top, got {q_probed}"
+            );
+        }
+
+        // With probing off (None) nothing changes: byte-for-byte the
+        // declared-capacity decision.
+        declared_only.measured_bps = None;
+        assert_eq!(Mpc::default().choose(&declared_only), ladder.top());
     }
 
     #[test]

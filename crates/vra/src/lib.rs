@@ -21,6 +21,7 @@
 pub mod abr;
 pub mod knapsack;
 pub mod oos;
+pub mod policy;
 pub mod sperke;
 pub mod superchunk;
 pub mod upgrade;
@@ -28,6 +29,10 @@ pub mod upgrade;
 pub use abr::{Abr, AbrContext, BufferBased, ExactMpc, FixedQuality, Mpc, RateBased};
 pub use knapsack::{expected_utility, select_stochastic, selection_cost, StochasticChoice};
 pub use oos::{select_oos, OosChoice, OosConfig};
+pub use policy::{
+    AbrPolicy, AbrPolicyKind, ConsistencyAware, KnapsackQoe, MechanismTransition, PolicyInput,
+    PolicyPlan, PolicyVra, QerPrecoded, SperkeSelector, TileAssignment, DEFAULT_MIN_PROBABILITY,
+};
 pub use sperke::{
     plan_fov_agnostic, upgrade_candidates, EncodingPolicy, FetchPlan, PlanInput, PlannedFetch,
     SelectionPolicy, SperkeConfig, SperkeVra,
@@ -71,6 +76,7 @@ mod proptests {
                 now: SimTime::ZERO,
                 buffer: SimDuration::from_secs(2),
                 bandwidth_bps: Some(bw_mbps * 1e6),
+                measured_bps: None,
                 bandwidth_forecast: vec![],
                 last_quality: Quality(last_q.min(3)),
             });
@@ -165,6 +171,183 @@ mod proptests {
                 let fetch_secs = delta_bytes as f64 * 8.0 / bw;
                 prop_assert!(fetch_secs <= deadline_ms as f64 / 1000.0 + 1e-9,
                     "proposed fetch {fetch_secs}s misses {deadline_ms}ms deadline");
+            }
+        }
+
+        /// No policy in the suite ever exceeds the capacity budget
+        /// (QER is exempt when even the cheapest indivisible precoded
+        /// variant is over budget — a modelling necessity, asserted to
+        /// be the only excuse).
+        #[test]
+        fn policies_respect_capacity_budget(
+            seed: u64,
+            budget in 50_000u64..20_000_000,
+            probs in proptest::collection::vec(0.0f64..1.0, 24),
+            conf in 0.0f64..1.0,
+        ) {
+            let video = VideoModelBuilder::new(seed)
+                .duration(SimDuration::from_secs(4))
+                .build();
+            let fc = TileForecast::new(probs);
+            let input = policy::PolicyInput {
+                video: &video,
+                forecast: &fc,
+                confidence: conf,
+                time: ChunkTime(0),
+                buffer: SimDuration::from_secs(2),
+                budget_bytes: budget,
+                capacity_bps: Some(budget as f64 * 8.0),
+                scheme: sperke_video::Scheme::Avc,
+                min_probability: DEFAULT_MIN_PROBABILITY,
+                prev: None,
+            };
+            for kind in AbrPolicyKind::all() {
+                let plan = kind.decide(&input);
+                let cost = plan.cost_bytes(&video, ChunkTime(0), sperke_video::Scheme::Avc);
+                if matches!(kind, AbrPolicyKind::Qer { .. }) && cost > budget {
+                    // Indivisible precoded stream: only the floor
+                    // variant (all tiles at the base pair) may overrun.
+                    let min_q: u8 = plan.assignments.iter().map(|a| a.quality.0).max().unwrap_or(0);
+                    prop_assert_eq!(min_q, 0, "over-budget QER above the floor variant");
+                    continue;
+                }
+                prop_assert!(cost <= budget,
+                    "{} spent {cost} of {budget}", kind.name());
+            }
+        }
+
+        /// Mechanism transitioning is monotone in confidence: a higher
+        /// confidence never widens the delivered tile set.
+        #[test]
+        fn transition_monotone_in_confidence(
+            seed: u64,
+            budget in 50_000u64..20_000_000,
+            probs in proptest::collection::vec(0.0f64..1.0, 24),
+            conf_a in 0.0f64..1.0,
+            conf_b in 0.0f64..1.0,
+        ) {
+            let video = VideoModelBuilder::new(seed)
+                .duration(SimDuration::from_secs(4))
+                .build();
+            let fc = TileForecast::new(probs);
+            let policy = MechanismTransition::default();
+            let (lo, hi) = if conf_a <= conf_b { (conf_a, conf_b) } else { (conf_b, conf_a) };
+            let plan_at = |conf: f64| {
+                policy.decide(&policy::PolicyInput {
+                    video: &video,
+                    forecast: &fc,
+                    confidence: conf,
+                    time: ChunkTime(0),
+                    buffer: SimDuration::from_secs(2),
+                    budget_bytes: budget,
+                    capacity_bps: None,
+                    scheme: sperke_video::Scheme::Avc,
+                    min_probability: DEFAULT_MIN_PROBABILITY,
+                    prev: None,
+                })
+            };
+            let wide = plan_at(lo);
+            let narrow = plan_at(hi);
+            let wide_tiles: std::collections::BTreeSet<_> =
+                wide.assignments.iter().map(|a| a.tile).collect();
+            for a in &narrow.assignments {
+                prop_assert!(wide_tiles.contains(&a.tile),
+                    "tile {:?} delivered at confidence {hi} but not {lo}", a.tile);
+            }
+        }
+
+        /// Consistency-aware selection never oscillates more than the
+        /// plain knapsack on the same forecast trace.
+        #[test]
+        fn consistency_oscillates_no_more_than_knapsack(
+            seed: u64,
+            budgets in proptest::collection::vec(50_000u64..6_000_000, 4..8),
+            probs in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..1.0, 24), 4..8),
+        ) {
+            let video = VideoModelBuilder::new(seed)
+                .duration(SimDuration::from_secs(10))
+                .build();
+            let steps = budgets.len().min(probs.len());
+            let tiles = 24usize;
+            let policy = ConsistencyAware { max_up_step: 1 };
+            let mut prev_k: Option<Vec<i8>> = None;
+            let mut prev_c: Option<Vec<i8>> = None;
+            let mut osc_k = 0i64;
+            let mut osc_c = 0i64;
+            for step in 0..steps {
+                let fc = TileForecast::new(probs[step].clone());
+                let mut input = policy::PolicyInput {
+                    video: &video,
+                    forecast: &fc,
+                    confidence: fc.confidence(),
+                    time: ChunkTime(step as u32),
+                    buffer: SimDuration::from_secs(2),
+                    budget_bytes: budgets[step],
+                    capacity_bps: None,
+                    scheme: sperke_video::Scheme::Avc,
+                    min_probability: DEFAULT_MIN_PROBABILITY,
+                    prev: None,
+                };
+                let k = AbrPolicyKind::Knapsack.decide(&input).levels(tiles);
+                input.prev = prev_c.as_deref();
+                let c = policy.decide(&input).levels(tiles);
+                for t in 0..tiles {
+                    if let Some(pk) = &prev_k {
+                        osc_k += (k[t] as i64 - pk[t] as i64).abs();
+                    }
+                    if let Some(pc) = &prev_c {
+                        osc_c += (c[t] as i64 - pc[t] as i64).abs();
+                    }
+                }
+                prev_k = Some(k);
+                prev_c = Some(c);
+            }
+            prop_assert!(osc_c <= osc_k,
+                "consistency oscillated {osc_c} > knapsack {osc_k}");
+        }
+
+        /// With its distinguishing knob disabled, every rival collapses
+        /// to the knapsack core — i.e. Sperke's stochastic selector —
+        /// byte for byte.
+        #[test]
+        fn degenerate_policies_collapse_to_sperke_bytes(
+            seed: u64,
+            budget in 50_000u64..20_000_000,
+            probs in proptest::collection::vec(0.0f64..1.0, 24),
+            conf in 0.0f64..1.0,
+        ) {
+            let video = VideoModelBuilder::new(seed)
+                .duration(SimDuration::from_secs(4))
+                .build();
+            let fc = TileForecast::new(probs);
+            let prev = vec![-1i8; 24];
+            let input = policy::PolicyInput {
+                video: &video,
+                forecast: &fc,
+                confidence: conf,
+                time: ChunkTime(0),
+                buffer: SimDuration::from_secs(2),
+                budget_bytes: budget,
+                capacity_bps: Some(budget as f64 * 8.0),
+                scheme: sperke_video::Scheme::Avc,
+                min_probability: DEFAULT_MIN_PROBABILITY,
+                prev: Some(&prev),
+            };
+            let baseline = AbrPolicyKind::Sperke.decide(&input);
+            let degenerate = [
+                AbrPolicyKind::Knapsack,
+                AbrPolicyKind::Transition {
+                    full_below: 0.0,
+                    fov_only_above: 1.1,
+                    fov_floor: 0.5,
+                },
+                AbrPolicyKind::Qer { variants: 0, emphasis_drop: 2 },
+                AbrPolicyKind::Consistency { max_up_step: 0 },
+            ];
+            for kind in degenerate {
+                prop_assert_eq!(&kind.decide(&input), &baseline,
+                    "{} with knob off diverged from Sperke", kind.name());
             }
         }
     }

@@ -133,6 +133,11 @@ pub struct PlanInput<'a> {
     pub buffer: SimDuration,
     /// Conservative bandwidth estimate, bits/second.
     pub bandwidth_bps: Option<f64>,
+    /// Measured bottleneck bandwidth from the transport's BBR probe,
+    /// bits/second; `None` when capacity probing is off. Forwarded to
+    /// the inner ABR, where the control-theoretic policies prefer it
+    /// over the declared estimate.
+    pub measured_bps: Option<f64>,
     /// Optional bandwidth forecast for MPC-style ABRs.
     pub bandwidth_forecast: Vec<f64>,
     /// Quality of the previous super chunk.
@@ -218,27 +223,7 @@ impl<A: Abr> SperkeVra<A> {
     /// Emit the per-plan [`TraceEvent::AbrDecision`], with the candidate
     /// ladder only when the sink actually records VRA decisions.
     fn emit_decision(&self, input: &PlanInput<'_>, chosen: Quality, unit_bitrate: &[f64]) {
-        if !self.trace.enabled(Subsystem::Vra, TraceLevel::Decisions) {
-            return;
-        }
-        let ladder = input.video.ladder();
-        let candidates = ladder
-            .qualities()
-            .zip(unit_bitrate.iter())
-            .map(|(q, &bps)| CandidateQuality {
-                quality: q.0,
-                bitrate_bps: bps,
-                utility: ladder.utility(q),
-            })
-            .collect();
-        self.trace.emit(TraceEvent::AbrDecision {
-            at: input.now,
-            chunk: input.time.0,
-            chosen: chosen.0,
-            buffer_ms: input.buffer.as_nanos() / 1_000_000,
-            bandwidth_bps: input.bandwidth_bps.unwrap_or(0.0),
-            candidates,
-        });
+        emit_abr_decision(&self.trace, input, chosen, unit_bitrate);
     }
 
     /// Produce the fetch plan for one chunk time.
@@ -266,6 +251,7 @@ impl<A: Abr> SperkeVra<A> {
             bandwidth_bps: input
                 .bandwidth_bps
                 .map(|b| b * self.config.fov_budget_share),
+            measured_bps: input.measured_bps.map(|b| b * self.config.fov_budget_share),
             bandwidth_forecast: input
                 .bandwidth_forecast
                 .iter()
@@ -420,15 +406,50 @@ impl<A: Abr> SperkeVra<A> {
     }
 }
 
+/// The shared [`TraceEvent::AbrDecision`] emit: candidate ladder only
+/// when the sink actually records VRA decisions. Used by the Sperke
+/// planner and by the policy-suite wrapper so every planner's decisions
+/// land in the trace with identical shape.
+pub(crate) fn emit_abr_decision(
+    trace: &TraceSink,
+    input: &PlanInput<'_>,
+    chosen: Quality,
+    unit_bitrate: &[f64],
+) {
+    if !trace.enabled(Subsystem::Vra, TraceLevel::Decisions) {
+        return;
+    }
+    let ladder = input.video.ladder();
+    let candidates = ladder
+        .qualities()
+        .zip(unit_bitrate.iter())
+        .map(|(q, &bps)| CandidateQuality {
+            quality: q.0,
+            bitrate_bps: bps,
+            utility: ladder.utility(q),
+        })
+        .collect();
+    trace.emit(TraceEvent::AbrDecision {
+        at: input.now,
+        chunk: input.time.0,
+        chosen: chosen.0,
+        buffer_ms: input.buffer.as_nanos() / 1_000_000,
+        bandwidth_bps: input.bandwidth_bps.unwrap_or(0.0),
+        candidates,
+    });
+}
+
 /// A FoV-agnostic plan (the YouTube/Facebook baseline of §2): every tile
 /// of the panorama at one quality, chosen by the inner ABR against the
 /// full-panorama bitrate.
+#[allow(clippy::too_many_arguments)]
 pub fn plan_fov_agnostic<A: Abr>(
     abr: &mut A,
     video: &VideoModel,
     time: ChunkTime,
     buffer: SimDuration,
     bandwidth_bps: Option<f64>,
+    measured_bps: Option<f64>,
     last_quality: Quality,
 ) -> FetchPlan {
     let unit_bitrate: Vec<f64> = video
@@ -444,6 +465,7 @@ pub fn plan_fov_agnostic<A: Abr>(
         unit_bitrate,
         buffer,
         bandwidth_bps,
+        measured_bps,
         bandwidth_forecast: vec![],
         last_quality,
         chunk_duration: video.chunk_duration(),
@@ -525,6 +547,7 @@ mod tests {
             now: SimTime::ZERO,
             buffer: SimDuration::from_secs(2),
             bandwidth_bps: bw,
+            measured_bps: None,
             bandwidth_forecast: vec![],
             last_quality: Quality(1),
         }
@@ -649,6 +672,7 @@ mod tests {
             ChunkTime(0),
             SimDuration::from_secs(5),
             Some(100e6),
+            None,
             Quality(0),
         );
         assert_eq!(plan.fetches.len(), v.grid().tile_count());

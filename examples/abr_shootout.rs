@@ -1,0 +1,64 @@
+//! The ABR shootout: race all five viewport-adaptation policies
+//! ([`sperke_core::ShootoutGrid`]) over a policy × bandwidth ×
+//! behaviour × content grid, then print the ranked leaderboard and
+//! write it as JSON + markdown artifacts.
+//!
+//! The run self-checks the repo's determinism contract: the grid is
+//! executed on 1, 2 and 8 workers and the three report digests must be
+//! byte-identical, or the process exits non-zero.
+//!
+//! ```sh
+//! cargo run --release --example abr_shootout            # default 40-point grid
+//! ABR_SHOOTOUT_SMOKE=1 cargo run --release --example abr_shootout   # 10-point CI grid
+//! ABR_SHOOTOUT_FULL=1 cargo run --release --example abr_shootout    # 180-point nightly grid
+//! ```
+//!
+//! Artifacts land next to the working directory as `abr_shootout.json`
+//! (full report: grid, every point, leaderboard) and `abr_shootout.md`
+//! (the leaderboard table).
+
+use sperke_core::{run_shootout, ShootoutGrid};
+
+fn main() {
+    let (grid, label) = if std::env::var_os("ABR_SHOOTOUT_FULL").is_some() {
+        (ShootoutGrid::full(), "full")
+    } else if std::env::var_os("ABR_SHOOTOUT_SMOKE").is_some() {
+        (ShootoutGrid::smoke(), "smoke")
+    } else {
+        (ShootoutGrid::default_grid(), "default")
+    };
+    let points = grid.points().len();
+    println!(
+        "ABR shootout [{label}]: {} policies x {} bandwidths x {} behaviours x {} seeds = {points} points",
+        grid.policies.len(),
+        grid.bandwidths_bps.len(),
+        grid.behaviors.len(),
+        grid.seeds.len(),
+    );
+
+    // Worker-invariance self-check: the same grid on 1, 2 and 8
+    // workers must merge to byte-identical reports.
+    let report = run_shootout(&grid, 1);
+    for workers in [2usize, 8] {
+        let other = run_shootout(&grid, workers);
+        if other.digest() != report.digest() {
+            eprintln!(
+                "DIGEST MISMATCH: 1 worker -> {:#018x}, {} workers -> {:#018x}",
+                report.digest(),
+                workers,
+                other.digest()
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "digest {:#018x} byte-identical across 1/2/8 workers\n",
+        report.digest()
+    );
+
+    print!("{}", report.to_markdown());
+
+    std::fs::write("abr_shootout.json", report.to_json()).expect("write abr_shootout.json");
+    std::fs::write("abr_shootout.md", report.to_markdown()).expect("write abr_shootout.md");
+    println!("\nwrote abr_shootout.json and abr_shootout.md");
+}

@@ -18,15 +18,18 @@
 
 use sperke_core::{
     run_edge_fleet, run_edge_sweep, run_federation, run_fleet_sweep, run_fleet_with_cache,
-    EdgeConfig, EdgeGrid, FederationConfig, FederationHarness, FleetConfig, FleetGrid, LossChannel,
+    run_shootout, EdgeConfig, EdgeGrid, FederationConfig, FederationHarness, FleetConfig,
+    FleetGrid, LossChannel, ShootoutGrid,
 };
 use sperke_edge::{
     default_clients, flash_crowd_clients, prepare_edge_batch, run_edge_full, run_edge_prepared,
     EdgeHarness,
 };
 use sperke_geo::{Orientation, TileGrid, Viewport, VisibilityCache};
-use sperke_sim::SimDuration;
-use sperke_video::VideoModelBuilder;
+use sperke_hmp::FusedForecaster;
+use sperke_sim::{SimDuration, SimTime};
+use sperke_video::{ChunkTime, Scheme, VideoModelBuilder};
+use sperke_vra::{AbrPolicyKind, PolicyInput, DEFAULT_MIN_PROBABILITY};
 use std::time::Instant;
 
 /// Which way a metric is allowed to drift.
@@ -499,6 +502,67 @@ fn main() {
         digest_bytes as f64 / 1e6
     );
 
+    // ---------------- PR10: viewport-adaptation policy suite ----------------
+    // Per-policy decide() latency on one representative scheduling
+    // window (the default tile grid, a motion-only forecast, a
+    // mid-range byte budget), plus shootout throughput over the CI
+    // smoke grid. Record-only this PR (the comparator gates next PR
+    // once a committed baseline exists).
+    let pol_video = VideoModelBuilder::new(9)
+        .duration(SimDuration::from_secs(20))
+        .build();
+    let pol_history = vec![(SimTime::ZERO, Orientation::FRONT)];
+    let pol_forecast = FusedForecaster::motion_only().forecast(
+        pol_video.grid(),
+        &pol_history,
+        SimTime::ZERO,
+        SimTime::from_secs(1),
+        ChunkTime(1),
+    );
+    let prev_window: Vec<i8> = vec![0; pol_video.grid().tile_count()];
+    let pol_input = PolicyInput {
+        video: &pol_video,
+        forecast: &pol_forecast,
+        confidence: pol_forecast.confidence(),
+        time: ChunkTime(1),
+        buffer: SimDuration::from_secs(2),
+        budget_bytes: 400_000,
+        capacity_bps: Some(3.2e6),
+        scheme: Scheme::Avc,
+        min_probability: DEFAULT_MIN_PROBABILITY,
+        prev: Some(&prev_window),
+    };
+    println!("policy decide() latency (one scheduling window)");
+    let decide_ns: Vec<(&'static str, f64)> = AbrPolicyKind::all()
+        .into_iter()
+        .map(|kind| {
+            let ns = median_ns(31, 100, || {
+                std::hint::black_box(kind.decide(&pol_input));
+            });
+            println!("  {:<12}: {ns:>10.1} ns/op", kind.name());
+            (kind.name(), ns)
+        })
+        .collect();
+
+    let smoke = ShootoutGrid::smoke();
+    let smoke_points = smoke.points().len() as f64;
+    let shootout_warm = run_shootout(&smoke, 0);
+    assert_eq!(
+        shootout_warm.ranking.len(),
+        5,
+        "smoke shootout must rank all five policies"
+    );
+    let mut shootout_secs: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run_shootout(&smoke, 0));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    shootout_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let shootout_pps = smoke_points / shootout_secs[1];
+    println!("abr shootout  : {shootout_pps:>10.2} points/s ({smoke_points} smoke points)");
+
     // ---------------- Compare against committed baselines ----------------
     let pr4_base = load_baseline("BENCH_PR4.json");
     let pr5_base = load_baseline("BENCH_PR5.json");
@@ -506,10 +570,11 @@ fn main() {
     let pr7_base = load_baseline("BENCH_PR7.json");
     let pr8_base = load_baseline("BENCH_PR8.json");
     let pr9_base = load_baseline("BENCH_PR9.json");
+    let pr10_base = load_baseline("BENCH_PR10.json");
     // Wall-clock metrics gate at the tolerance; deterministic byte and
     // rate metrics regress only through a behaviour change, so they use
     // the same gate and will trip on far smaller drifts in practice.
-    let checks = [
+    let mut checks = vec![
         check(
             pr4_base.as_ref(),
             "visible_tiles_uncached_ns",
@@ -692,7 +757,23 @@ fn main() {
             Gate::Record,
             tol,
         ),
+        check(
+            pr10_base.as_ref(),
+            "shootout_points_per_s",
+            shootout_pps,
+            Gate::Record,
+            tol,
+        ),
     ];
+    for (name, ns) in &decide_ns {
+        checks.push(check(
+            pr10_base.as_ref(),
+            &format!("decide_{name}_ns"),
+            *ns,
+            Gate::Record,
+            tol,
+        ));
+    }
 
     // ---------------- Persist fresh artifacts ----------------
     let pr4_json = format!(
@@ -745,9 +826,17 @@ fn main() {
          \"digest_mb_per_s\": {digest_mb_per_s:.1}\n}}\n"
     );
     std::fs::write("BENCH_PR9.json", &pr9_json).expect("write BENCH_PR9.json");
+    let mut pr10_json = String::from("{\n");
+    for (name, ns) in &decide_ns {
+        pr10_json.push_str(&format!("  \"decide_{name}_ns\": {ns:.1},\n"));
+    }
+    pr10_json.push_str(&format!(
+        "  \"shootout_points_per_s\": {shootout_pps:.2}\n}}\n"
+    ));
+    std::fs::write("BENCH_PR10.json", &pr10_json).expect("write BENCH_PR10.json");
     println!(
         "\nwrote BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json, \
-         BENCH_PR8.json, BENCH_PR9.json"
+         BENCH_PR8.json, BENCH_PR9.json, BENCH_PR10.json"
     );
 
     let failures: Vec<String> = checks.into_iter().flatten().collect();

@@ -13,9 +13,9 @@
 //! then paste the printed constants over the `GOLDEN_*` values below.
 
 use sperke_core::{
-    run_federation, run_fleet_sweep, run_fleet_sweep_batched, FederationConfig, FederationHarness,
-    FleetConfig, FleetGrid, FleetSweepPoint, RunReport, SchedulerChoice, Sperke, SweepReport,
-    TraceLevel,
+    run_federation, run_fleet_sweep, run_fleet_sweep_batched, run_shootout, FederationConfig,
+    FederationHarness, FleetConfig, FleetGrid, FleetSweepPoint, RunReport, SchedulerChoice,
+    ShootoutGrid, ShootoutReport, Sperke, SweepReport, TraceLevel,
 };
 use sperke_edge::{flash_crowd_clients, FederationRunReport};
 use sperke_hmp::Behavior;
@@ -176,8 +176,39 @@ fn seed_77_federation_matches_golden_digest() {
     assert_eq!(run.report.failed_nodes, 0);
 }
 
-/// Prints fresh golden constants for ALL goldens (session, sweep, and
-/// federation).
+/// The exact shootout the shootout golden was captured from: the
+/// reduced CI smoke grid (all five policies × 2 bandwidths ×
+/// 1 behaviour × 1 seed), run on 3 workers so the merge's
+/// worker-blindness stays under golden coverage. The same grid is what
+/// `ABR_SHOOTOUT_SMOKE=1 cargo run --release --example abr_shootout`
+/// executes in CI.
+fn golden_shootout() -> ShootoutReport {
+    run_shootout(&ShootoutGrid::smoke(), 3)
+}
+
+const GOLDEN_SHOOTOUT_DIGEST: u64 = 0xb7e25213f8878736;
+const GOLDEN_SHOOTOUT_POINTS: usize = 10;
+const GOLDEN_SHOOTOUT_WINNER: &str = "qer";
+
+#[test]
+fn smoke_shootout_matches_golden_digest() {
+    let report = golden_shootout();
+    assert_eq!(report.points.len(), GOLDEN_SHOOTOUT_POINTS);
+    assert_eq!(
+        report.digest(),
+        GOLDEN_SHOOTOUT_DIGEST,
+        "shootout report drifted — if the behaviour change is \
+         intentional, regenerate with \
+         `cargo test --test golden_trace -- --ignored --nocapture`"
+    );
+    assert_eq!(
+        report.ranking[0].policy, GOLDEN_SHOOTOUT_WINNER,
+        "smoke-grid winner changed"
+    );
+}
+
+/// Prints fresh golden constants for ALL goldens (session, sweep,
+/// federation, and shootout).
 /// Run with `cargo test --test golden_trace -- --ignored --nocapture`
 /// and paste the output over the `GOLDEN_*` constants above.
 #[test]
@@ -222,5 +253,18 @@ fn regenerate_golden_constants() {
     println!(
         "const GOLDEN_FED_REGIONAL_HIT_BYTES: u64 = {};",
         fed.report.regional.hit_bytes
+    );
+    let shootout = golden_shootout();
+    println!(
+        "const GOLDEN_SHOOTOUT_DIGEST: u64 = {:#018x};",
+        shootout.digest()
+    );
+    println!(
+        "const GOLDEN_SHOOTOUT_POINTS: usize = {};",
+        shootout.points.len()
+    );
+    println!(
+        "const GOLDEN_SHOOTOUT_WINNER: &str = \"{}\";",
+        shootout.ranking[0].policy
     );
 }
